@@ -1,0 +1,69 @@
+// Ablation study: Gen-T with individual design choices disabled, on
+// TP-TR Small (fast) — the design-choice knobs DESIGN.md calls out.
+//
+//   full              the complete pipeline
+//   no-traversal      integrate every candidate (ALITE-style, §V-A2)
+//   2-valued          binary alignment matrices instead of 3-valued
+//   no-diversify      Algorithm 4 off
+//   no-guards         κ/β applied unconditionally (Algorithm 2 ablation)
+//   no-labels         source nulls not protected (LabelSourceNulls off)
+//   no-prune          greedy traversal without the backward pruning pass
+//
+// Expected shape: every ablation is at or below "full" in precision;
+// no-traversal and no-labels hurt most.
+
+#include "bench/bench_common.h"
+
+using namespace gent;
+using namespace gent::bench;
+
+int main() {
+  size_t max_sources = EnvSize("GENT_SOURCES", 26);
+  double timeout = EnvDouble("GENT_TIMEOUT_S", 20);
+  auto bench = BuildSmall();
+  if (!bench.ok()) {
+    std::fprintf(stderr, "bench build failed\n");
+    return 1;
+  }
+
+  auto run_variant = [&](const std::string& name, GenTConfig cfg) {
+    MethodRow row = RunGenT(*bench, max_sources, timeout, nullptr, cfg);
+    row.method = name;
+    return row;
+  };
+
+  std::vector<MethodRow> rows;
+  rows.push_back(run_variant("Gen-T (full)", GenTConfig{}));
+  {
+    GenTConfig cfg;
+    cfg.skip_traversal = true;
+    rows.push_back(run_variant("no matrix traversal", cfg));
+  }
+  {
+    GenTConfig cfg;
+    cfg.traversal.matrix.three_valued = false;
+    rows.push_back(run_variant("2-valued matrices", cfg));
+  }
+  {
+    GenTConfig cfg;
+    cfg.discovery.diversify = false;
+    rows.push_back(run_variant("no diversification", cfg));
+  }
+  {
+    GenTConfig cfg;
+    cfg.integration.guard_operators = false;
+    rows.push_back(run_variant("no operator guards", cfg));
+  }
+  {
+    GenTConfig cfg;
+    cfg.integration.label_source_nulls = false;
+    rows.push_back(run_variant("no labeled nulls", cfg));
+  }
+  {
+    GenTConfig cfg;
+    cfg.traversal.prune_redundant = false;
+    rows.push_back(run_variant("no backward pruning", cfg));
+  }
+  PrintMethodTable("Ablation study (TP-TR Small)", rows);
+  return 0;
+}

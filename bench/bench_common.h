@@ -1,0 +1,222 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md §4). The harness runs a method — Gen-T or a
+// baseline — over every source table of a benchmark and aggregates the
+// paper's metrics: Recall, Precision, Instance Divergence, D_KL, perfect
+// reclamations, runtime, and output-size ratio.
+//
+// Environment knobs (all optional; defaults keep every bench minutes-fast):
+//   GENT_SOURCES     max sources per benchmark (default: all 26)
+//   GENT_TIMEOUT_S   per-source operator budget, seconds (default 20)
+//   GENT_SCALE_LARGE TP-TR Large scale factor (default 32; paper-shape 64+)
+//   GENT_NOISE       distractor tables for SANTOS embedding (default 400)
+//   GENT_WDC         WDC sample size (default 3000)
+
+#ifndef GENT_BENCH_BENCH_COMMON_H_
+#define GENT_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/baseline.h"
+#include "src/benchgen/benchmarks.h"
+#include "src/gent/gent.h"
+#include "src/metrics/divergence.h"
+#include "src/metrics/precision_recall.h"
+#include "src/metrics/similarity.h"
+
+namespace gent::bench {
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : static_cast<size_t>(std::atoll(v));
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Aggregated metrics of one method over one benchmark (a row of the
+/// paper's Tables II-IV).
+struct MethodRow {
+  std::string method;
+  double recall = 0;
+  double precision = 0;
+  double inst_div = 0;
+  double dkl = 0;
+  size_t perfect = 0;
+  size_t evaluated = 0;
+  size_t timeouts = 0;
+  double avg_seconds = 0;
+  double size_ratio = 0;  // avg |output cells| / |source cells|
+};
+
+struct PerSource {
+  double recall = 0, precision = 0, f1 = 0;
+  bool perfect = false, timeout = false;
+  double seconds = 0;
+  QueryClass query_class = QueryClass::kProjectSelectUnion;
+};
+
+/// Runs one reclamation method over the benchmark's sources.
+/// `reclaim(spec, index)` returns the reclaimed table or an error
+/// (Timeout/OutOfRange counts as a timeout, like the paper's baselines).
+template <typename Fn>
+MethodRow RunMethod(const std::string& name, const TpTrBenchmark& bench,
+                    size_t max_sources, Fn&& reclaim,
+                    std::vector<PerSource>* per_source = nullptr) {
+  MethodRow row;
+  row.method = name;
+  size_t limit = std::min(max_sources, bench.sources.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const SourceSpec& spec = bench.sources[i];
+    auto t0 = std::chrono::steady_clock::now();
+    Result<Table> reclaimed = reclaim(spec, i);
+    double secs = Seconds(t0);
+    PerSource ps;
+    ps.seconds = secs;
+    ps.query_class = spec.query_class;
+    if (!reclaimed.ok()) {
+      ++row.timeouts;
+      ps.timeout = true;
+      if (per_source != nullptr) per_source->push_back(ps);
+      continue;
+    }
+    auto pr = ComputePrecisionRecall(spec.source, *reclaimed);
+    double inst = InstanceDivergence(spec.source, *reclaimed).value_or(1.0);
+    double dkl =
+        ConditionalKlDivergence(spec.source, *reclaimed).value_or(1000.0);
+    row.recall += pr.recall;
+    row.precision += pr.precision;
+    row.inst_div += inst;
+    row.dkl += dkl;
+    row.perfect += IsPerfectReclamation(spec.source, *reclaimed);
+    row.avg_seconds += secs;
+    row.size_ratio += spec.source.num_cells() == 0
+                          ? 0
+                          : static_cast<double>(reclaimed->num_cells()) /
+                                static_cast<double>(spec.source.num_cells());
+    ++row.evaluated;
+    ps.recall = pr.recall;
+    ps.precision = pr.precision;
+    ps.f1 = pr.F1();
+    ps.perfect = IsPerfectReclamation(spec.source, *reclaimed);
+    if (per_source != nullptr) per_source->push_back(ps);
+  }
+  if (row.evaluated > 0) {
+    double n = static_cast<double>(row.evaluated);
+    row.recall /= n;
+    row.precision /= n;
+    row.inst_div /= n;
+    row.dkl /= n;
+    row.avg_seconds /= n;
+    row.size_ratio /= n;
+  }
+  return row;
+}
+
+/// Candidate tables from Set Similarity for a source — what the paper
+/// feeds every baseline ("given the same set of candidate tables").
+inline std::vector<Table> CandidateTables(const GenT& gent,
+                                          const Table& source) {
+  Discovery discovery(gent.index(), gent.config().discovery);
+  auto candidates = discovery.FindCandidates(source);
+  std::vector<Table> tables;
+  if (!candidates.ok()) return tables;
+  for (auto& c : *candidates) tables.push_back(std::move(c.table));
+  return tables;
+}
+
+/// The "w/ int. set" inputs: the 4 variants of every original table the
+/// source's query touched, straight from the lake.
+inline std::vector<Table> IntegratingSet(const TpTrBenchmark& bench,
+                                         size_t source_idx) {
+  std::vector<Table> tables;
+  for (const auto& name : bench.integrating_sets[source_idx]) {
+    auto idx = bench.lake->IndexOf(name);
+    if (idx.ok()) tables.push_back(bench.lake->table(*idx).Clone());
+  }
+  return tables;
+}
+
+/// Gen-T over a benchmark with a per-source operator budget.
+inline MethodRow RunGenT(const TpTrBenchmark& bench, size_t max_sources,
+                         double timeout_s,
+                         std::vector<PerSource>* per_source = nullptr,
+                         GenTConfig config = {}) {
+  GenT gent(*bench.lake, config);
+  return RunMethod(
+      "Gen-T", bench, max_sources,
+      [&](const SourceSpec& spec, size_t) -> Result<Table> {
+        OpLimits limits = OpLimits::WithTimeout(timeout_s);
+        limits.MaxRows(2000000);
+        GENT_ASSIGN_OR_RETURN(auto result, gent.Reclaim(spec.source, limits));
+        return std::move(result.reclaimed);
+      },
+      per_source);
+}
+
+/// A baseline over a benchmark, fed either candidates or the int. set.
+inline MethodRow RunBaseline(const Baseline& baseline,
+                             const TpTrBenchmark& bench, size_t max_sources,
+                             double timeout_s, bool use_integrating_set,
+                             std::vector<PerSource>* per_source = nullptr) {
+  GenT gent(*bench.lake);  // for discovery/index only
+  std::string name = baseline.name();
+  if (use_integrating_set) name += " w/ int. set";
+  return RunMethod(
+      name, bench, max_sources,
+      [&](const SourceSpec& spec, size_t i) -> Result<Table> {
+        std::vector<Table> inputs =
+            use_integrating_set ? IntegratingSet(bench, i)
+                                : CandidateTables(gent, spec.source);
+        OpLimits limits = OpLimits::WithTimeout(timeout_s);
+        limits.MaxRows(2000000);
+        return baseline.Run(spec.source, inputs, limits);
+      },
+      per_source);
+}
+
+/// Prints rows in the paper's Table II/III layout.
+inline void PrintMethodTable(const std::string& title,
+                             const std::vector<MethodRow>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-24s %7s %7s %9s %9s %9s %9s %10s %8s\n", "Method", "Rec",
+              "Pre", "Inst-Div", "D_KL", "Perfect", "Timeout", "AvgSec",
+              "SizeX");
+  for (const auto& r : rows) {
+    std::printf("%-24s %7.3f %7.3f %9.3f %9.3f %6zu/%-2zu %9zu %10.2f %8.2f\n",
+                r.method.c_str(), r.recall, r.precision, r.inst_div, r.dkl,
+                r.perfect, r.evaluated + r.timeouts, r.timeouts,
+                r.avg_seconds, r.size_ratio);
+  }
+}
+
+/// Canonical benchmark builders with env-tuned sizes.
+inline Result<TpTrBenchmark> BuildSmall() {
+  return MakeTpTrBenchmark("TP-TR Small", TpTrSmallConfig());
+}
+inline Result<TpTrBenchmark> BuildMed() {
+  return MakeTpTrBenchmark("TP-TR Med", TpTrMedConfig());
+}
+inline Result<TpTrBenchmark> BuildLarge() {
+  TpTrConfig cfg = TpTrLargeConfig();
+  cfg.scale = EnvDouble("GENT_SCALE_LARGE", 32.0);
+  return MakeTpTrBenchmark("TP-TR Large", cfg);
+}
+
+}  // namespace gent::bench
+
+#endif  // GENT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,64 @@
+// Figure 6: Recall and Precision by query class (Project/Select+Union,
+// One Join+Union, Multiple Joins+Union) over the TP-TR benchmarks.
+//
+// Expected shape (paper): Gen-T leads in every class on every benchmark;
+// all methods do best on the join-free class.
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/baselines/alite.h"
+
+using namespace gent;
+using namespace gent::bench;
+
+namespace {
+
+void PrintByClass(const std::string& method,
+                  const std::vector<PerSource>& per_source) {
+  struct Agg {
+    double rec = 0, pre = 0;
+    size_t n = 0;
+  };
+  std::map<QueryClass, Agg> by_class;
+  for (const auto& ps : per_source) {
+    if (ps.timeout) continue;
+    auto& a = by_class[ps.query_class];
+    a.rec += ps.recall;
+    a.pre += ps.precision;
+    a.n += 1;
+  }
+  for (const auto& [cls, a] : by_class) {
+    if (a.n == 0) continue;
+    std::printf("  %-24s %-22s rec=%.3f pre=%.3f (n=%zu)\n", method.c_str(),
+                QueryClassName(cls).c_str(),
+                a.rec / static_cast<double>(a.n),
+                a.pre / static_cast<double>(a.n), a.n);
+  }
+}
+
+void RunOn(const TpTrBenchmark& bench, size_t max_sources, double timeout) {
+  std::printf("\n--- %s ---\n", bench.name.c_str());
+  AlitePsBaseline alite_ps;
+  std::vector<PerSource> ps_gent, ps_alite;
+  (void)RunGenT(bench, max_sources, timeout, &ps_gent);
+  (void)RunBaseline(alite_ps, bench, max_sources, timeout, false, &ps_alite);
+  PrintByClass("Gen-T", ps_gent);
+  PrintByClass("ALITE-PS", ps_alite);
+}
+
+}  // namespace
+
+int main() {
+  size_t max_sources = EnvSize("GENT_SOURCES", 26);
+  double timeout = EnvDouble("GENT_TIMEOUT_S", 20);
+  std::printf("=== Figure 6: Recall/Precision by query class ===\n");
+
+  auto small = BuildSmall();
+  if (small.ok()) RunOn(*small, max_sources, timeout);
+  auto med = BuildMed();
+  if (med.ok()) RunOn(*med, max_sources, timeout);
+  auto large = BuildLarge();
+  if (large.ok()) RunOn(*large, max_sources, timeout);
+  return 0;
+}

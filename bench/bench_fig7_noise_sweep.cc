@@ -1,0 +1,47 @@
+// Figure 7: Gen-T precision as the TP-TR lake's variants carry different
+// percentages of erroneous values (blue series: nullified fixed at 50%)
+// and of nullified values (red series: erroneous fixed at 50%).
+//
+// Expected shape (paper): precision RISES with % erroneous (erroneous
+// variants become easier to filter out) and FALLS with % nullified
+// (nullified variants lose their advantage and Gen-T drifts toward the
+// 50%-correct erroneous variants); the curves cross at the 50/50 point.
+
+#include "bench/bench_common.h"
+
+using namespace gent;
+using namespace gent::bench;
+
+namespace {
+
+double GenTPrecision(double null_rate, double error_rate,
+                     size_t max_sources, double timeout) {
+  TpTrConfig cfg = TpTrMedConfig();
+  cfg.variants.null_rate = null_rate;
+  cfg.variants.error_rate = error_rate;
+  auto bench = MakeTpTrBenchmark("sweep", cfg);
+  if (!bench.ok()) return -1;
+  MethodRow row = RunGenT(*bench, max_sources, timeout);
+  return row.precision;
+}
+
+}  // namespace
+
+int main() {
+  size_t max_sources = EnvSize("GENT_SOURCES", 8);
+  double timeout = EnvDouble("GENT_TIMEOUT_S", 20);
+  std::printf("=== Figure 7: Gen-T precision vs %% injected values "
+              "(TP-TR Med, %zu sources) ===\n",
+              max_sources);
+  std::printf("%-10s %22s %22s\n", "%injected", "Pre(%% erroneous varies)",
+              "Pre(%% nullified varies)");
+  for (int pct : {10, 30, 50, 70, 90}) {
+    double p = pct / 100.0;
+    double pre_err = GenTPrecision(0.5, p, max_sources, timeout);
+    double pre_null = GenTPrecision(p, 0.5, max_sources, timeout);
+    std::printf("%-10d %22.3f %22.3f\n", pct, pre_err, pre_null);
+  }
+  std::printf("\nExpected shape: left column non-decreasing, right column "
+              "non-increasing,\ncrossing near 50%%.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 8: scalability — (a) average runtime per source and (b) average
+// output-size ratio (|output| / |source|), across the four TP-TR
+// benchmarks, for ALITE, ALITE-PS, and Gen-T.
+//
+// Expected shape (paper): Gen-T's runtime and output size stay roughly
+// flat across benchmarks; ALITE's explode (it times out on the larger
+// ones); ALITE-PS survives but with much larger outputs.
+
+#include "bench/bench_common.h"
+#include "src/baselines/alite.h"
+
+using namespace gent;
+using namespace gent::bench;
+
+int main() {
+  size_t max_sources = EnvSize("GENT_SOURCES", 12);
+  double timeout = EnvDouble("GENT_TIMEOUT_S", 20);
+  AliteBaseline alite;
+  AlitePsBaseline alite_ps;
+
+  struct Point {
+    std::string bench;
+    MethodRow alite, alite_ps, gent;
+  };
+  std::vector<Point> points;
+
+  auto run = [&](Result<TpTrBenchmark> bench) {
+    if (!bench.ok()) return;
+    Point p;
+    p.bench = bench->name;
+    p.alite = RunBaseline(alite, *bench, max_sources, timeout, false);
+    p.alite_ps = RunBaseline(alite_ps, *bench, max_sources, timeout, false);
+    p.gent = RunGenT(*bench, max_sources, timeout);
+    points.push_back(std::move(p));
+  };
+
+  run(BuildSmall());
+  auto med = BuildMed();
+  if (med.ok()) {
+    // Run Med itself, then the SANTOS-embedded variant.
+    Point p;
+    p.bench = med->name;
+    p.alite = RunBaseline(alite, *med, max_sources, timeout, false);
+    p.alite_ps = RunBaseline(alite_ps, *med, max_sources, timeout, false);
+    p.gent = RunGenT(*med, max_sources, timeout);
+    points.push_back(std::move(p));
+    auto santos = EmbedInNoiseLake(*med, EnvSize("GENT_NOISE", 400), 99);
+    if (santos.ok()) {
+      santos->name = "SANTOS+Med";
+      Point q;
+      q.bench = santos->name;
+      q.alite = RunBaseline(alite, *santos, max_sources, timeout, false);
+      q.alite_ps =
+          RunBaseline(alite_ps, *santos, max_sources, timeout, false);
+      q.gent = RunGenT(*santos, max_sources, timeout);
+      points.push_back(std::move(q));
+    }
+  }
+  run(BuildLarge());
+
+  std::printf("\n=== Figure 8(a): average runtime per source (seconds; "
+              "t/o = sources hitting the %.0fs budget) ===\n",
+              timeout);
+  std::printf("%-14s %16s %16s %16s\n", "Benchmark", "ALITE", "ALITE-PS",
+              "Gen-T");
+  for (const auto& p : points) {
+    auto cell = [](const MethodRow& r) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%8.2fs (%zu t/o)", r.avg_seconds,
+                    r.timeouts);
+      return std::string(buf);
+    };
+    std::printf("%-14s %16s %16s %16s\n", p.bench.c_str(),
+                cell(p.alite).c_str(), cell(p.alite_ps).c_str(),
+                cell(p.gent).c_str());
+  }
+
+  std::printf("\n=== Figure 8(b): average output size ratio "
+              "(|output cells| / |source cells|) ===\n");
+  std::printf("%-14s %12s %12s %12s\n", "Benchmark", "ALITE", "ALITE-PS",
+              "Gen-T");
+  for (const auto& p : points) {
+    std::printf("%-14s %12.1f %12.1f %12.1f\n", p.bench.c_str(),
+                p.alite.size_ratio, p.alite_ps.size_ratio,
+                p.gent.size_ratio);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 9: per-source Recall, Precision, and F1 of Gen-T vs ALITE-PS on
+// TP-TR Med (one row per source table instead of the paper's bars).
+//
+// Expected shape (paper): Gen-T ≥ ALITE-PS in precision on every source,
+// in recall on almost every source, and in F1 on every source.
+
+#include "bench/bench_common.h"
+#include "src/baselines/alite.h"
+
+using namespace gent;
+using namespace gent::bench;
+
+int main() {
+  size_t max_sources = EnvSize("GENT_SOURCES", 26);
+  double timeout = EnvDouble("GENT_TIMEOUT_S", 20);
+  auto bench = BuildMed();
+  if (!bench.ok()) {
+    std::fprintf(stderr, "bench build failed\n");
+    return 1;
+  }
+
+  AlitePsBaseline alite_ps;
+  std::vector<PerSource> gent_rows, alite_rows;
+  (void)RunGenT(*bench, max_sources, timeout, &gent_rows);
+  (void)RunBaseline(alite_ps, *bench, max_sources, timeout, false,
+                    &alite_rows);
+
+  std::printf("=== Figure 9: per-source Gen-T vs ALITE-PS (TP-TR Med) ===\n");
+  std::printf("%-5s | %21s | %21s\n", "", "Gen-T", "ALITE-PS");
+  std::printf("%-5s | %6s %6s %6s | %6s %6s %6s\n", "Src", "Rec", "Pre",
+              "F1", "Rec", "Pre", "F1");
+  size_t gent_wins_pre = 0, gent_wins_f1 = 0, n = 0;
+  for (size_t i = 0; i < gent_rows.size() && i < alite_rows.size(); ++i) {
+    const auto& g = gent_rows[i];
+    const auto& a = alite_rows[i];
+    std::printf("S%-4zu | %6.3f %6.3f %6.3f | %6.3f %6.3f %6.3f\n", i,
+                g.recall, g.precision, g.f1, a.recall, a.precision, a.f1);
+    gent_wins_pre += g.precision >= a.precision;
+    gent_wins_f1 += g.f1 >= a.f1;
+    ++n;
+  }
+  std::printf("\nGen-T >= ALITE-PS: precision on %zu/%zu sources, "
+              "F1 on %zu/%zu sources\n",
+              gent_wins_pre, n, gent_wins_f1, n);
+  return 0;
+}

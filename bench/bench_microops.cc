@@ -1,0 +1,207 @@
+// Micro-benchmarks (google-benchmark) for the hot operators underneath
+// Gen-T: outer union, subsumption, complementation, natural join, matrix
+// initialization/combination, and EIS scoring. Not a paper figure; used
+// to track operator-level regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "src/benchgen/tpch.h"
+#include "src/keymining/key_miner.h"
+#include "src/matrix/alignment_matrix.h"
+#include "src/metrics/incomplete_similarity.h"
+#include "src/metrics/similarity.h"
+#include "src/ops/fusion.h"
+#include "src/ops/join.h"
+#include "src/ops/spju.h"
+#include "src/ops/unary.h"
+#include "src/ops/union.h"
+#include "src/semantic/value_map.h"
+#include "src/table/table_builder.h"
+#include "src/util/random.h"
+
+namespace gent {
+namespace {
+
+// A table with `rows` rows, `cols` columns, and a fraction of nulls.
+Table MakeTable(const DictionaryPtr& dict, const std::string& name,
+                size_t rows, size_t cols, double null_rate, uint64_t seed) {
+  Rng rng(seed);
+  Table t(name, dict);
+  for (size_t c = 0; c < cols; ++c) {
+    (void)t.AddColumn("c" + std::to_string(c));
+  }
+  std::vector<ValueId> row(cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = rng.Bernoulli(null_rate)
+                   ? kNull
+                   : dict->Intern("v" + std::to_string(c) + "_" +
+                                  std::to_string(r % 97));
+    }
+    // First column acts as a join/alignment key.
+    row[0] = dict->Intern(std::to_string(r));
+    t.AddRow(row);
+  }
+  return t;
+}
+
+void BM_OuterUnion(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  Table a = MakeTable(dict, "a", state.range(0), 8, 0.2, 1);
+  Table b = MakeTable(dict, "b", state.range(0), 8, 0.2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OuterUnion(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_OuterUnion)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Subsumption(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  Table t = MakeTable(dict, "t", state.range(0), 8, 0.4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Subsumption(t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Subsumption)->Arg(100)->Arg(1000);
+
+void BM_Complementation(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  Table t = MakeTable(dict, "t", state.range(0), 8, 0.4, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Complementation(t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Complementation)->Arg(100)->Arg(1000);
+
+void BM_NaturalJoin(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  Table a = MakeTable(dict, "a", state.range(0), 6, 0.0, 5);
+  Table b = MakeTable(dict, "b", state.range(0), 6, 0.0, 6);
+  (void)b.RenameColumn(1, "b1");
+  (void)b.RenameColumn(2, "b2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaturalJoin(a, b, JoinKind::kInner));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NaturalJoin)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MatrixInitialize(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  Table source = MakeTable(dict, "s", state.range(0), 8, 0.0, 7);
+  (void)source.SetKeyColumns({0});
+  Table cand = MakeTable(dict, "c", state.range(0), 8, 0.3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InitializeMatrix(source, cand));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MatrixInitialize)->Arg(100)->Arg(1000);
+
+void BM_EisScore(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  Table source = MakeTable(dict, "s", state.range(0), 8, 0.0, 8);
+  (void)source.SetKeyColumns({0});
+  Table reclaimed = MakeTable(dict, "r", state.range(0), 8, 0.2, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EisScore(source, reclaimed));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EisScore)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_TpchGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    auto dict = MakeDictionary();
+    TpchConfig cfg;
+    cfg.scale = static_cast<double>(state.range(0));
+    benchmark::DoNotOptimize(GenerateTpch(dict, cfg));
+  }
+}
+BENCHMARK(BM_TpchGenerate)->Arg(1)->Arg(4);
+
+void BM_KeyMine(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  Table t = MakeTable(dict, "t", state.range(0), 8, 0.1, 9);
+  KeyMiner miner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(miner.Mine(t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KeyMine)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ComplementationClosure(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  // Two complementary halves so the closure has real merging to do.
+  Table a = MakeTable(dict, "a", state.range(0), 8, 0.0, 10);
+  Table left = *Project(a, {"c0", "c1", "c2", "c3"});
+  Table right = *Project(a, {"c0", "c4", "c5", "c6", "c7"});
+  Table unioned = OuterUnion(left, right);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComplementationClosure(unioned));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComplementationClosure)->Arg(64)->Arg(256);
+
+void BM_IncompleteSimilarityExact(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  Table s = MakeTable(dict, "s", state.range(0), 6, 0.1, 11);
+  Table t = MakeTable(dict, "t", state.range(0), 6, 0.3, 12);
+  IncompleteSimilarityOptions options;
+  options.algorithm = MatchAlgorithm::kExact;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IncompleteInstanceSimilarity(s, t, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IncompleteSimilarityExact)->Arg(16)->Arg(64);
+
+void BM_IncompleteSimilarityGreedy(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  Table s = MakeTable(dict, "s", state.range(0), 6, 0.1, 11);
+  Table t = MakeTable(dict, "t", state.range(0), 6, 0.3, 12);
+  IncompleteSimilarityOptions options;
+  options.algorithm = MatchAlgorithm::kGreedy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IncompleteInstanceSimilarity(s, t, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IncompleteSimilarityGreedy)->Arg(64)->Arg(256);
+
+void BM_FuzzySimilarity(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<std::string> strings;
+  for (int i = 0; i < 256; ++i) strings.push_back(rng.AlphaNum(12));
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& a = strings[i % strings.size()];
+    const std::string& b = strings[(i + 1) % strings.size()];
+    benchmark::DoNotOptimize(FuzzySimilarity(a, b));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuzzySimilarity);
+
+void BM_FuzzyValueMapApply(benchmark::State& state) {
+  auto dict = MakeDictionary();
+  Table source = MakeTable(dict, "s", state.range(0), 6, 0.0, 14);
+  Table lake = MakeTable(dict, "l", state.range(0), 6, 0.1, 15);
+  FuzzyValueMap map = FuzzyValueMap::Build(source);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Apply(lake));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 6);
+}
+BENCHMARK(BM_FuzzyValueMapApply)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace gent
+
+BENCHMARK_MAIN();

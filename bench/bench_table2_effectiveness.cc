@@ -1,0 +1,55 @@
+// Table II: effectiveness of Gen-T vs ALITE / ALITE-PS (with and without
+// the integrating set) on the larger TP-TR benchmarks: TP-TR Med,
+// SANTOS Large + TP-TR Med, and TP-TR Large.
+//
+// Expected shape (paper): Gen-T wins every metric on every benchmark;
+// ALITE times out as tables grow; ALITE-PS survives but with much lower
+// precision. Absolute scale is reduced (DESIGN.md substitution #1); use
+// GENT_SCALE_LARGE / GENT_SOURCES / GENT_TIMEOUT_S to trade time for
+// fidelity.
+
+#include "bench/bench_common.h"
+#include "src/baselines/alite.h"
+
+using namespace gent;
+using namespace gent::bench;
+
+namespace {
+
+void RunOn(const TpTrBenchmark& bench, size_t max_sources, double timeout) {
+  AliteBaseline alite;
+  AlitePsBaseline alite_ps;
+  std::vector<MethodRow> rows;
+  rows.push_back(RunBaseline(alite, bench, max_sources, timeout, false));
+  rows.push_back(RunBaseline(alite, bench, max_sources, timeout, true));
+  rows.push_back(RunBaseline(alite_ps, bench, max_sources, timeout, false));
+  rows.push_back(RunBaseline(alite_ps, bench, max_sources, timeout, true));
+  rows.push_back(RunGenT(bench, max_sources, timeout));
+  PrintMethodTable("Table II: " + bench.name, rows);
+}
+
+}  // namespace
+
+int main() {
+  size_t max_sources = EnvSize("GENT_SOURCES", 26);
+  double timeout = EnvDouble("GENT_TIMEOUT_S", 20);
+
+  auto med = BuildMed();
+  if (!med.ok()) {
+    std::fprintf(stderr, "med build failed\n");
+    return 1;
+  }
+  RunOn(*med, max_sources, timeout);
+
+  auto santos = EmbedInNoiseLake(*med, EnvSize("GENT_NOISE", 400), 99);
+  if (santos.ok()) {
+    santos->name = "SANTOS Large+TP-TR Med";
+    RunOn(*santos, max_sources, timeout);
+  }
+
+  auto large = BuildLarge();
+  if (large.ok()) {
+    RunOn(*large, max_sources, timeout);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table III: similarity (Rec, Pre) and divergence (Inst-Div, D_KL) of
+// Gen-T and every baseline on TP-TR Small — the only benchmark where all
+// methods (including Auto-Pipeline* and Ver*) finish.
+//
+// Expected shape (paper): Gen-T tops every metric; ALITE-PS is the best
+// baseline; plain ALITE has very low precision; Ver* has high D_KL.
+
+#include "bench/bench_common.h"
+#include "src/baselines/alite.h"
+#include "src/baselines/auto_pipeline.h"
+#include "src/baselines/ver.h"
+
+using namespace gent;
+using namespace gent::bench;
+
+int main() {
+  size_t max_sources = EnvSize("GENT_SOURCES", 26);
+  double timeout = EnvDouble("GENT_TIMEOUT_S", 20);
+
+  auto bench = BuildSmall();
+  if (!bench.ok()) {
+    std::fprintf(stderr, "bench build failed: %s\n",
+                 bench.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<MethodRow> rows;
+  AliteBaseline alite;
+  AlitePsBaseline alite_ps;
+  AutoPipelineBaseline auto_pipeline;
+  VerBaseline ver;
+
+  rows.push_back(RunBaseline(alite, *bench, max_sources, timeout, false));
+  rows.push_back(RunBaseline(alite, *bench, max_sources, timeout, true));
+  rows.push_back(RunBaseline(alite_ps, *bench, max_sources, timeout, false));
+  rows.push_back(RunBaseline(alite_ps, *bench, max_sources, timeout, true));
+  rows.push_back(
+      RunBaseline(auto_pipeline, *bench, max_sources, timeout, false));
+  rows.push_back(
+      RunBaseline(auto_pipeline, *bench, max_sources, timeout, true));
+  rows.push_back(RunBaseline(ver, *bench, max_sources, timeout, true));
+  rows.push_back(RunGenT(*bench, max_sources, timeout));
+
+  PrintMethodTable("Table III: TP-TR Small, all methods", rows);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Key mining: discover a source table's key before reclaiming it.
+//
+// The paper assumes every source table has a (possibly multi-attribute)
+// key found "using existing mining techniques" (§II). This example runs
+// that step: it mines candidate keys for a keyless source — including a
+// table whose only key is composite — installs the best one, and then
+// reclaims the source as usual.
+//
+//   $ ./build/examples/key_mining
+
+#include <cstdio>
+
+#include "src/gent/gent.h"
+#include "src/keymining/key_miner.h"
+#include "src/metrics/similarity.h"
+#include "src/table/table_builder.h"
+
+using namespace gent;
+
+namespace {
+
+void PrintCandidates(const Table& table,
+                     const std::vector<CandidateKey>& keys) {
+  std::printf("candidate keys of '%s':\n", table.name().c_str());
+  for (const CandidateKey& key : keys) {
+    std::printf("  {");
+    for (size_t i = 0; i < key.columns.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  table.column_name(key.columns[i]).c_str());
+    }
+    std::printf("}  score=%.3f  unique=%.2f  non-null=%.2f\n", key.score,
+                key.uniqueness, key.non_null_fraction);
+  }
+}
+
+}  // namespace
+
+int main() {
+  DataLake lake;
+  const DictionaryPtr& dict = lake.dict();
+
+  // A source about course enrollments: neither student nor course is
+  // unique alone — the key is the pair.
+  Table source = TableBuilder(dict, "enrollments")
+                     .Columns({"student", "course", "grade", "credits"})
+                     .Row({"ada", "db101", "A", "4"})
+                     .Row({"ada", "os201", "B", "3"})
+                     .Row({"bob", "db101", "B", "4"})
+                     .Row({"bob", "ml301", "A", "3"})
+                     .Build();
+
+  KeyMiner miner;
+  std::vector<CandidateKey> keys = miner.Mine(source);
+  PrintCandidates(source, keys);
+  if (Status s = miner.AssignBestKey(source); !s.ok()) {
+    std::fprintf(stderr, "no key found: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ninstalled key: {");
+  for (size_t i = 0; i < source.key_columns().size(); ++i) {
+    std::printf("%s%s", i ? ", " : "",
+                source.column_name(source.key_columns()[i]).c_str());
+  }
+  std::printf("}\n\n");
+
+  // A lake that can reconstruct the source from two fragments.
+  (void)lake.AddTable(TableBuilder(dict, "grades")
+                          .Columns({"student", "course", "grade"})
+                          .Row({"ada", "db101", "A"})
+                          .Row({"ada", "os201", "B"})
+                          .Row({"bob", "db101", "B"})
+                          .Row({"bob", "ml301", "A"})
+                          .Build());
+  (void)lake.AddTable(TableBuilder(dict, "catalog")
+                          .Columns({"student", "course", "credits"})
+                          .Row({"ada", "db101", "4"})
+                          .Row({"ada", "os201", "3"})
+                          .Row({"bob", "db101", "4"})
+                          .Row({"bob", "ml301", "3"})
+                          .Build());
+
+  GenT gent(lake);
+  auto result = gent.Reclaim(source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "reclamation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reclaimed with EIS %.3f using %zu originating tables\n",
+              EisScore(source, result->reclaimed).value(),
+              result->originating.size());
+  std::printf("%s\n", result->reclaimed.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The paper's motivating scenario (Fig. 1): a news article reports
+// demographics of US tech companies; an analyst holds a contradicting
+// company report and asks whether any combination of tables in her data
+// lake reproduces the article's table.
+//
+// The lake contains worldwide statistics split across per-topic tables
+// (ethnicity percentages, employee counts) plus the company's US-only
+// report. Gen-T reclaims the article's table by joining and unioning the
+// worldwide tables — revealing that the article reports international
+// numbers while the analyst's report is US-only.
+//
+//   $ ./build/examples/news_article_reclamation
+
+#include <cstdio>
+
+#include "src/gent/gent.h"
+#include "src/metrics/precision_recall.h"
+#include "src/metrics/similarity.h"
+#include "src/table/table_builder.h"
+
+using namespace gent;
+
+int main() {
+  DataLake lake;
+  const DictionaryPtr& dict = lake.dict();
+
+  // The news article's table (the Source the analyst wants to verify).
+  Table article =
+      TableBuilder(dict, "news_article")
+          .Columns({"Company", "% White", "% Asian", "% Black", "% Hispanic",
+                    "% Other", "# Total Emps"})
+          .Row({"Microsoft", "54%", "21%", "13%", "7%", "5%", "181,000"})
+          .Row({"Amazon", "54%", "21%", "12%", "9%", "4%", "1,608,000"})
+          .Row({"Google", "51%", "24%", "7%", "12%", "6%", "156,500"})
+          .Key({"Company"})
+          .Build();
+
+  // Lake: worldwide ethnicity stats (per-company rows, no counts)...
+  (void)lake.AddTable(
+      TableBuilder(dict, "World_Ethnicity_2021")
+          .Columns({"Company Name", "% White", "% Asian", "% Black",
+                    "% Hispanic", "% Other"})
+          .Row({"Microsoft", "54%", "21%", "13%", "7%", "5%"})
+          .Row({"Amazon", "54%", "21%", "12%", "9%", "4%"})
+          .Row({"Google", "51%", "24%", "7%", "12%", "6%"})
+          .Row({"Meta", "40%", "44%", "5%", "7%", "4%"})
+          .Build());
+  // ...worldwide employee counts...
+  (void)lake.AddTable(TableBuilder(dict, "World_Employees_2021")
+                          .Columns({"Company Name", "# Total Emps"})
+                          .Row({"Microsoft", "181,000"})
+                          .Row({"Amazon", "1,608,000"})
+                          .Row({"Google", "156,500"})
+                          .Row({"Meta", "71,970"})
+                          .Build());
+  // ...and the analyst's contradicting US-only report.
+  (void)lake.AddTable(
+      TableBuilder(dict, "MS_US_Diversity_Report")
+          .Columns({"Company Name", "% White", "% Asian", "% Black",
+                    "% Hispanic", "% Other", "# Total Emps"})
+          .Row({"Microsoft", "48.7%", "35.4%", "5.7%", "7%", "3.2%",
+                "103,000"})
+          .Build());
+
+  GenT gent(lake);
+  auto result = gent.Reclaim(article);
+  if (!result.ok()) {
+    std::fprintf(stderr, "reclamation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Article table:\n%s\n", article.ToString().c_str());
+  std::printf("Originating tables:\n");
+  for (const auto& name : result->originating_names) {
+    std::printf("  - %s\n", name.c_str());
+  }
+  std::printf("\nReclaimed table:\n%s\n",
+              result->reclaimed.ToString().c_str());
+
+  bool perfect = IsPerfectReclamation(article, result->reclaimed);
+  std::printf("Perfect reclamation: %s (EIS %.3f)\n",
+              perfect ? "yes" : "no",
+              EisScore(article, result->reclaimed).value_or(0));
+  std::printf(
+      "\nDiagnosis: the article is reclaimable from the *worldwide* tables\n"
+      "— and the US-only report is not among the originating tables — so\n"
+      "the article and the analyst's report differ in population, not in\n"
+      "correctness.\n");
+  return perfect ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Quickstart: reclaim the paper's running example (Fig. 3).
+//
+// Builds a tiny data lake of four applicant tables — one of which
+// contradicts the source — runs Gen-T end to end, and prints the
+// originating tables, the reclaimed table, and its quality metrics.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/gent/gent.h"
+#include "src/metrics/precision_recall.h"
+#include "src/metrics/similarity.h"
+#include "src/table/table_builder.h"
+
+using namespace gent;
+
+int main() {
+  DataLake lake;
+  const DictionaryPtr& dict = lake.dict();
+
+  // The source table the analyst wants to verify (key: ID).
+  Table source = TableBuilder(dict, "source")
+                     .Columns({"ID", "Name", "Age", "Gender", "Education"})
+                     .Row({"0", "Smith", "27", "", "Bachelors"})
+                     .Row({"1", "Brown", "24", "Male", "Masters"})
+                     .Row({"2", "Wang", "32", "Female", "High School"})
+                     .Key({"ID"})
+                     .Build();
+
+  // The data lake: partial tables, plus table C which wrongly claims
+  // everyone is Male.
+  (void)lake.AddTable(TableBuilder(dict, "A")
+                          .Columns({"ID", "Name", "Education"})
+                          .Row({"0", "Smith", "Bachelors"})
+                          .Row({"1", "Brown", ""})
+                          .Row({"2", "Wang", "High School"})
+                          .Build());
+  (void)lake.AddTable(TableBuilder(dict, "B")
+                          .Columns({"Name", "Age"})
+                          .Row({"Smith", "27"})
+                          .Row({"Brown", "24"})
+                          .Row({"Wang", "32"})
+                          .Build());
+  (void)lake.AddTable(TableBuilder(dict, "C")  // the misleading table
+                          .Columns({"Name", "Gender"})
+                          .Row({"Smith", "Male"})
+                          .Row({"Brown", "Male"})
+                          .Row({"Wang", "Male"})
+                          .Build());
+  (void)lake.AddTable(TableBuilder(dict, "D")
+                          .Columns({"Name", "Gender"})
+                          .Row({"Brown", "Male"})
+                          .Row({"Wang", "Female"})
+                          .Build());
+
+  GenT gent(lake);
+  auto result = gent.Reclaim(source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "reclamation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Source table:\n%s\n", source.ToString().c_str());
+  std::printf("Originating tables selected by matrix traversal:\n");
+  for (const auto& name : result->originating_names) {
+    std::printf("  - %s\n", name.c_str());
+  }
+  std::printf("\nReclaimed table:\n%s\n",
+              result->reclaimed.ToString().c_str());
+
+  double eis = EisScore(source, result->reclaimed).value();
+  double inst = InstanceSimilarity(source, result->reclaimed).value();
+  auto pr = ComputePrecisionRecall(source, result->reclaimed);
+  std::printf("EIS score:            %.3f\n", eis);
+  std::printf("Instance similarity:  %.3f\n", inst);
+  std::printf("Recall / Precision:   %.3f / %.3f\n", pr.recall, pr.precision);
+  std::printf(
+      "\nNote: Brown's Masters degree exists nowhere in the lake, so the\n"
+      "reclamation is necessarily partial — exactly the diagnosis table\n"
+      "reclamation is meant to surface.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// ALITE (Khatiwada et al., VLDB 2023) adapted to reclamation, and its
+// ALITE-PS variant (paper §VI-A1).
+//
+// ALITE integrates every input table with full disjunction — it is not
+// target-driven, so it maximally combines tuples and pays a steep cost in
+// precision and runtime. ALITE-PS first projects/selects the inputs onto
+// the source's columns and keys (the same preprocessing Gen-T uses),
+// which keeps the FD small enough to run on larger benchmarks.
+
+#ifndef GENT_BASELINES_ALITE_H_
+#define GENT_BASELINES_ALITE_H_
+
+#include "src/baselines/baseline.h"
+
+namespace gent {
+
+class AliteBaseline : public Baseline {
+ public:
+  std::string name() const override { return "ALITE"; }
+  Result<Table> Run(const Table& source, const std::vector<Table>& inputs,
+                    const OpLimits& limits) const override;
+};
+
+class AlitePsBaseline : public Baseline {
+ public:
+  std::string name() const override { return "ALITE-PS"; }
+  Result<Table> Run(const Table& source, const std::vector<Table>& inputs,
+                    const OpLimits& limits) const override;
+};
+
+}  // namespace gent
+
+#endif  // GENT_BASELINES_ALITE_H_

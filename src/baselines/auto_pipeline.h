@@ -1,0 +1,40 @@
+// Auto-Pipeline* (paper §VI-A1): a re-implementation of Auto-Pipeline's
+// query-search variant (Yang et al., VLDB 2021), restricted — as in the
+// paper — to the operators Gen-T considers: {σ, π, ∪, ⋈, ⟕, ⟗}.
+//
+// The search is a beam search over pipelines: a state is a partially
+// built table; successors extend it by combining it with one unused
+// input table under union or a join flavor. States are scored by EIS
+// against the target (by-target synthesis), and the best final state is
+// projected/selected onto the source schema.
+
+#ifndef GENT_BASELINES_AUTO_PIPELINE_H_
+#define GENT_BASELINES_AUTO_PIPELINE_H_
+
+#include "src/baselines/baseline.h"
+
+namespace gent {
+
+struct AutoPipelineConfig {
+  /// Beam width: states kept per search depth.
+  size_t beam_width = 4;
+  /// Maximum pipeline length (number of binary operators applied).
+  size_t max_steps = 8;
+};
+
+class AutoPipelineBaseline : public Baseline {
+ public:
+  explicit AutoPipelineBaseline(AutoPipelineConfig config = {})
+      : config_(config) {}
+
+  std::string name() const override { return "Auto-Pipeline*"; }
+  Result<Table> Run(const Table& source, const std::vector<Table>& inputs,
+                    const OpLimits& limits) const override;
+
+ private:
+  AutoPipelineConfig config_;
+};
+
+}  // namespace gent
+
+#endif  // GENT_BASELINES_AUTO_PIPELINE_H_

@@ -1,0 +1,36 @@
+// Common interface for the reclamation baselines of the paper's
+// evaluation (§VI-A1): ALITE, ALITE-PS, Auto-Pipeline*, Ver*, and the
+// LLM simulation. Each baseline receives the source table and a set of
+// input tables (either the candidates from Set Similarity or a known
+// "integrating set") and produces its best reclamation attempt.
+
+#ifndef GENT_BASELINES_BASELINE_H_
+#define GENT_BASELINES_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ops/op_limits.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+
+  /// Display name used in benchmark tables.
+  virtual std::string name() const = 0;
+
+  /// Produces a reclaimed table from `inputs`. Implementations return
+  /// Timeout/OutOfRange when `limits` is exceeded (reported as a timeout
+  /// in benches, matching the paper's treatment).
+  virtual Result<Table> Run(const Table& source,
+                            const std::vector<Table>& inputs,
+                            const OpLimits& limits) const = 0;
+};
+
+}  // namespace gent
+
+#endif  // GENT_BASELINES_BASELINE_H_

@@ -1,0 +1,74 @@
+#include "src/baselines/llm_sim.h"
+
+#include <algorithm>
+
+#include "src/util/random.h"
+
+namespace gent {
+
+Result<Table> LlmSimBaseline::Run(const Table& source,
+                                  const std::vector<Table>& inputs,
+                                  const OpLimits& limits) const {
+  (void)limits;
+  Rng rng(config_.seed ^ source.num_rows() ^ (source.num_cols() << 16));
+
+  // Value pool per source column, drawn from the *inputs* (what the
+  // "model" saw in its context window).
+  std::vector<std::vector<ValueId>> pools(source.num_cols());
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    for (const auto& t : inputs) {
+      auto idx = t.ColumnIndex(source.column_name(c));
+      if (!idx.has_value()) continue;
+      for (ValueId v : t.column(*idx)) {
+        if (v != kNull) pools[c].push_back(v);
+      }
+    }
+  }
+  auto random_pool_value = [&](size_t col) -> ValueId {
+    if (pools[col].empty()) {
+      return source.dict()->Intern("llm_" + rng.AlphaNum(6));
+    }
+    return pools[col][rng.Index(pools[col].size())];
+  };
+
+  Table out("reclaimed", source.dict());
+  for (const auto& name : source.column_names()) {
+    GENT_RETURN_IF_ERROR(out.AddColumn(name));
+  }
+
+  // Attempted tuples: a random subset of the source, with calibrated
+  // omissions and hallucinations applied cell-wise.
+  size_t attempts = static_cast<size_t>(
+      config_.tuple_recall * static_cast<double>(source.num_rows()) + 0.5);
+  auto rows = rng.SampleIndices(source.num_rows(), attempts);
+  std::vector<ValueId> row(source.num_cols());
+  for (size_t r : rows) {
+    for (size_t c = 0; c < source.num_cols(); ++c) {
+      ValueId v = source.cell(r, c);
+      if (!source.IsKeyColumn(c)) {
+        if (rng.Bernoulli(config_.omission_rate)) {
+          v = kNull;
+        } else if (rng.Bernoulli(config_.hallucination_rate)) {
+          v = random_pool_value(c);
+        }
+      }
+      row[c] = v;
+    }
+    out.AddRow(row);
+  }
+
+  // Fabricated rows: plausible-looking tuples with unseen keys.
+  size_t fabrications = static_cast<size_t>(
+      config_.fabrication_rate * static_cast<double>(attempts) + 0.5);
+  for (size_t i = 0; i < fabrications; ++i) {
+    for (size_t c = 0; c < source.num_cols(); ++c) {
+      row[c] = source.IsKeyColumn(c)
+                   ? source.dict()->Intern("llm_key_" + rng.AlphaNum(5))
+                   : random_pool_value(c);
+    }
+    out.AddRow(row);
+  }
+  return out;
+}
+
+}  // namespace gent

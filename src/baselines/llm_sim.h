@@ -1,0 +1,43 @@
+// LLM-sim: offline stand-in for the ChatGPT 3.5 baseline (paper
+// Appendix F). See DESIGN.md substitution #5.
+//
+// No LLM is available offline, so this baseline simulates the failure
+// modes the paper measured for ChatGPT on TP-TR Small (Recall 0.239,
+// Precision 0.256, high D_KL): it recovers only a fraction of source
+// tuples, hallucinates non-null values into a calibrated share of cells,
+// and pads the output with fabricated rows. Deterministic given the seed.
+
+#ifndef GENT_BASELINES_LLM_SIM_H_
+#define GENT_BASELINES_LLM_SIM_H_
+
+#include "src/baselines/baseline.h"
+
+namespace gent {
+
+struct LlmSimConfig {
+  uint64_t seed = 42;
+  /// Fraction of source tuples the "model" attempts to reproduce.
+  double tuple_recall = 0.30;
+  /// Per-cell probability of hallucinating a wrong non-null value.
+  double hallucination_rate = 0.25;
+  /// Per-cell probability of dropping a value (context truncation).
+  double omission_rate = 0.20;
+  /// Fabricated extra rows as a fraction of attempted rows.
+  double fabrication_rate = 0.30;
+};
+
+class LlmSimBaseline : public Baseline {
+ public:
+  explicit LlmSimBaseline(LlmSimConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "LLM-sim"; }
+  Result<Table> Run(const Table& source, const std::vector<Table>& inputs,
+                    const OpLimits& limits) const override;
+
+ private:
+  LlmSimConfig config_;
+};
+
+}  // namespace gent
+
+#endif  // GENT_BASELINES_LLM_SIM_H_

@@ -1,0 +1,43 @@
+// Ver* (paper §VI-A1): the Query-by-Example baseline, after Ver (Gong et
+// al., ICDE 2023), adapted as the paper describes.
+//
+// Ver takes tiny example tables (2 columns, a few rows). The paper
+// queries it with two-column projections of the source (key column plus
+// one attribute), evaluates each returned view, and aggregates. Ver's
+// goal is a view that *contains* the example plus many additional
+// tuples — not an exact reproduction — so its precision is naturally low.
+//
+// This re-implementation, per 2-column query, picks the input tables
+// whose mapped columns best contain the example values, unions their full
+// projections (all rows — views are not filtered to the example), and
+// finally outer-joins the per-attribute views on the key.
+
+#ifndef GENT_BASELINES_VER_H_
+#define GENT_BASELINES_VER_H_
+
+#include "src/baselines/baseline.h"
+
+namespace gent {
+
+struct VerConfig {
+  /// Example rows sampled from the source per query (Ver uses ~3).
+  size_t example_rows = 3;
+  /// Views unioned per query.
+  size_t views_per_query = 2;
+};
+
+class VerBaseline : public Baseline {
+ public:
+  explicit VerBaseline(VerConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "Ver*"; }
+  Result<Table> Run(const Table& source, const std::vector<Table>& inputs,
+                    const OpLimits& limits) const override;
+
+ private:
+  VerConfig config_;
+};
+
+}  // namespace gent
+
+#endif  // GENT_BASELINES_VER_H_

@@ -1,0 +1,123 @@
+#include "src/benchgen/benchmarks.h"
+
+#include "src/benchgen/noise_lake.h"
+#include "src/benchgen/tpch.h"
+#include "src/benchgen/web_tables.h"
+
+namespace gent {
+
+Result<TpTrBenchmark> MakeTpTrBenchmark(const std::string& name,
+                                        const TpTrConfig& config) {
+  TpTrBenchmark bench;
+  bench.name = name;
+  bench.lake = std::make_unique<DataLake>();
+  const DictionaryPtr& dict = bench.lake->dict();
+
+  TpchConfig tpch_cfg;
+  tpch_cfg.scale = config.scale;
+  tpch_cfg.seed = config.seed;
+  std::vector<Table> originals = GenerateTpch(dict, tpch_cfg);
+
+  QueryGenConfig qcfg = config.queries;
+  qcfg.target_rows = config.source_rows;
+  qcfg.seed = config.seed ^ 0x51a7;
+  GENT_ASSIGN_OR_RETURN(bench.sources,
+                        GenerateSourceTables(originals, qcfg));
+
+  // The lake holds only the damaged variants, never the originals.
+  for (const auto& original : originals) {
+    for (auto& v : MakeTpTrVariants(original, config.variants)) {
+      GENT_RETURN_IF_ERROR(bench.lake->AddTable(std::move(v)));
+    }
+  }
+
+  // Integrating sets: all 4 variants of every original the query touched.
+  for (const auto& spec : bench.sources) {
+    std::vector<std::string> set;
+    for (const auto& base : spec.base_tables) {
+      for (const char* suffix : {"_n1", "_n2", "_e1", "_e2"}) {
+        set.push_back(base + suffix);
+      }
+    }
+    bench.integrating_sets.push_back(std::move(set));
+  }
+  return bench;
+}
+
+TpTrConfig TpTrSmallConfig() {
+  TpTrConfig c;
+  c.scale = 1.0;
+  c.source_rows = 27;
+  return c;
+}
+
+TpTrConfig TpTrMedConfig() {
+  TpTrConfig c;
+  c.scale = 14.0;
+  c.source_rows = 1000;
+  return c;
+}
+
+TpTrConfig TpTrLargeConfig() {
+  TpTrConfig c;
+  c.scale = 64.0;
+  c.source_rows = 1000;
+  return c;
+}
+
+Result<TpTrBenchmark> EmbedInNoiseLake(const TpTrBenchmark& base,
+                                       size_t noise_tables, uint64_t seed) {
+  TpTrBenchmark bench;
+  bench.name = base.name + "+noise";
+  bench.lake = std::make_unique<DataLake>(base.lake->dict());
+  for (const auto& t : base.lake->tables()) {
+    GENT_RETURN_IF_ERROR(bench.lake->AddTable(t.Clone()));
+  }
+  NoiseLakeConfig ncfg;
+  ncfg.num_tables = noise_tables;
+  ncfg.seed = seed;
+  for (auto& t : GenerateNoiseLake(base.lake->dict(), base.lake->tables(),
+                                   ncfg)) {
+    GENT_RETURN_IF_ERROR(bench.lake->AddTable(std::move(t)));
+  }
+  for (const auto& spec : base.sources) {
+    SourceSpec copy(spec.source.Clone());
+    copy.query_class = spec.query_class;
+    copy.description = spec.description;
+    copy.base_tables = spec.base_tables;
+    bench.sources.push_back(std::move(copy));
+  }
+  bench.integrating_sets = base.integrating_sets;
+  return bench;
+}
+
+Result<WebBenchmark> MakeWebBenchmark(const std::string& name,
+                                      const WebBenchConfig& config) {
+  WebBenchmark bench;
+  bench.name = name;
+  bench.lake = std::make_unique<DataLake>();
+  const DictionaryPtr& dict = bench.lake->dict();
+
+  WebCorpusConfig wcfg;
+  wcfg.num_tables = config.t2d_tables;
+  wcfg.seed = config.seed;
+  WebCorpus corpus = GenerateWebCorpus(dict, wcfg);
+  bench.duplicate_tables = corpus.duplicate_tables;
+  bench.partitioned_bases = corpus.partitioned_bases;
+
+  for (auto& t : corpus.tables) {
+    bench.source_indices.push_back(bench.lake->size());
+    GENT_RETURN_IF_ERROR(bench.lake->AddTable(std::move(t)));
+  }
+  if (config.wdc_tables > 0) {
+    WdcConfig wdc;
+    wdc.num_tables = config.wdc_tables;
+    wdc.seed = config.seed ^ 0x3dc;
+    for (auto& t : GenerateWdcSample(dict, wdc)) {
+      GENT_RETURN_IF_ERROR(bench.lake->AddTable(std::move(t)));
+    }
+  }
+  return bench;
+}
+
+}  // namespace gent

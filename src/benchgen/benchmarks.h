@@ -1,0 +1,83 @@
+// Benchmark assembly: builds the six evaluation benchmarks of Table I.
+//
+//   TP-TR Small / Med / Large        (GenerateTpch at 3 scales + variants)
+//   SANTOS Large + TP-TR Med        (Med embedded in a distractor lake)
+//   T2D Gold                         (web corpus)
+//   WDC Sample + T2D Gold            (web corpus embedded in WDC sample)
+//
+// A benchmark bundles the lake, the source tables, and — for TP-TR — the
+// per-source "integrating sets" (the variant tables of the originals each
+// query touched), which the paper feeds to baselines as the
+// "w/ int. set" condition.
+
+#ifndef GENT_BENCHGEN_BENCHMARKS_H_
+#define GENT_BENCHGEN_BENCHMARKS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/benchgen/query_gen.h"
+#include "src/benchgen/variants.h"
+#include "src/lake/data_lake.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+struct TpTrBenchmark {
+  std::string name;
+  std::unique_ptr<DataLake> lake;
+  std::vector<SourceSpec> sources;
+  /// Per source: names of the lake tables forming its integrating set.
+  std::vector<std::vector<std::string>> integrating_sets;
+};
+
+struct TpTrConfig {
+  double scale = 1.0;           // 1 = Small, 14 = Med, 64 = Large
+  size_t source_rows = 27;      // 27 for Small, 1000 for Med/Large
+  VariantConfig variants;
+  QueryGenConfig queries;
+  uint64_t seed = 7;
+};
+
+/// Builds a TP-TR benchmark: generates TPC-H, derives the 26 sources from
+/// the originals, fills the lake with the 32 variants.
+Result<TpTrBenchmark> MakeTpTrBenchmark(const std::string& name,
+                                        const TpTrConfig& config);
+
+/// Canonical configurations for the paper's three TP-TR benchmarks.
+TpTrConfig TpTrSmallConfig();
+TpTrConfig TpTrMedConfig();
+TpTrConfig TpTrLargeConfig();
+
+/// Embeds an existing TP-TR benchmark's lake into a distractor lake
+/// (SANTOS Large + TP-TR Med). `noise_tables` controls the distractor
+/// count (paper: ~11K; default scaled down for runtime, see
+/// EXPERIMENTS.md).
+Result<TpTrBenchmark> EmbedInNoiseLake(const TpTrBenchmark& base,
+                                       size_t noise_tables, uint64_t seed);
+
+struct WebBenchmark {
+  std::string name;
+  std::unique_ptr<DataLake> lake;
+  /// Indices (into the lake) of the tables iterated as potential sources.
+  std::vector<size_t> source_indices;
+  /// Ground truth for sanity reporting.
+  std::vector<std::string> duplicate_tables;
+  std::vector<std::string> partitioned_bases;
+};
+
+struct WebBenchConfig {
+  size_t t2d_tables = 515;
+  size_t wdc_tables = 0;  // 0 = plain T2D Gold; >0 = WDC-embedded
+  uint64_t seed = 17;
+};
+
+/// Builds the T2D-Gold-like benchmark (optionally embedded in a WDC-like
+/// sample). Every T2D table is a potential source.
+Result<WebBenchmark> MakeWebBenchmark(const std::string& name,
+                                      const WebBenchConfig& config);
+
+}  // namespace gent
+
+#endif  // GENT_BENCHGEN_BENCHMARKS_H_

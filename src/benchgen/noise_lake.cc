@@ -1,0 +1,105 @@
+#include "src/benchgen/noise_lake.h"
+
+#include <algorithm>
+
+namespace gent {
+
+namespace {
+
+const char* kOpenDataWords[] = {
+    "district", "ward",   "precinct", "permit",  "license", "inspection",
+    "violation", "budget", "agency",   "program", "fiscal",  "quarter",
+    "category",  "status", "approved", "pending", "closed",  "active"};
+
+Table SyntheticOpenDataTable(const DictionaryPtr& dict,
+                             const std::string& name, size_t rows,
+                             Rng& rng) {
+  Table t(name, dict);
+  size_t cols = 3 + rng.Index(6);
+  for (size_t c = 0; c < cols; ++c) {
+    (void)t.AddColumn("col_" + std::to_string(c) + "_" + rng.AlphaNum(4));
+  }
+  std::vector<ValueId> row(cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      switch ((c + r) % 3) {
+        case 0:
+          row[c] = dict->Intern(std::to_string(rng.Uniform(1, 100000)));
+          break;
+        case 1:
+          row[c] = dict->Intern(
+              kOpenDataWords[rng.Index(std::size(kOpenDataWords))]);
+          break;
+        default:
+          row[c] = dict->Intern(rng.AlphaNum(8));
+      }
+    }
+    t.AddRow(row);
+  }
+  return t;
+}
+
+// Copies 1-3 random columns from a benchmark table (a random row window)
+// and pads with noise columns/rows — a plausible "same data re-published
+// elsewhere" distractor.
+Table SliceDistractor(const DictionaryPtr& dict, const Table& victim,
+                      const std::string& name, Rng& rng) {
+  Table t(name, dict);
+  size_t n_copy = 1 + rng.Index(std::min<size_t>(3, victim.num_cols()));
+  auto cols = rng.SampleIndices(victim.num_cols(), n_copy);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    // Distractors keep the original column name half the time (metadata
+    // in lakes is unreliable in both directions).
+    std::string col_name = rng.Bernoulli(0.5)
+                               ? victim.column_name(cols[i])
+                               : "c" + std::to_string(i) + rng.AlphaNum(3);
+    if (t.HasColumn(col_name)) col_name += "_" + rng.AlphaNum(3);
+    (void)t.AddColumn(col_name);
+  }
+  size_t n_noise_cols = rng.Index(3);
+  for (size_t i = 0; i < n_noise_cols; ++i) {
+    (void)t.AddColumn("extra_" + rng.AlphaNum(4));
+  }
+
+  size_t window = std::min<size_t>(victim.num_rows(),
+                                   20 + rng.Index(200));
+  size_t start = victim.num_rows() > window
+                     ? rng.Index(victim.num_rows() - window)
+                     : 0;
+  std::vector<ValueId> row(t.num_cols());
+  for (size_t r = start; r < start + window && r < victim.num_rows(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      row[i] = victim.cell(r, cols[i]);
+    }
+    for (size_t i = cols.size(); i < t.num_cols(); ++i) {
+      row[i] = dict->Intern(rng.AlphaNum(6));
+    }
+    t.AddRow(row);
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<Table> GenerateNoiseLake(const DictionaryPtr& dict,
+                                     const std::vector<Table>& embedded,
+                                     const NoiseLakeConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Table> out;
+  out.reserve(config.num_tables);
+  for (size_t i = 0; i < config.num_tables; ++i) {
+    std::string name = "santos_" + std::to_string(i);
+    bool slice = !embedded.empty() && rng.Bernoulli(config.slice_fraction);
+    if (slice) {
+      const Table& victim = embedded[rng.Index(embedded.size())];
+      out.push_back(SliceDistractor(dict, victim, name, rng));
+    } else {
+      size_t rows =
+          config.min_rows + rng.Index(config.max_rows - config.min_rows + 1);
+      out.push_back(SyntheticOpenDataTable(dict, name, rows, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace gent

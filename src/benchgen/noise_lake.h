@@ -1,0 +1,39 @@
+// SANTOS-Large-like distractor lake (DESIGN.md substitution #2).
+//
+// When TP-TR Med is embedded into a real 11K-table lake, discovery must
+// prune a large, noisy candidate pool: many tables share *some* values
+// with any source (common words, overlapping numeric ranges, copied
+// columns) without being originating tables. This generator reproduces
+// that pressure: a mix of (a) tables that copy random column slices from
+// the embedded benchmark tables with extra noise rows — high-overlap
+// distractors — and (b) fully synthetic open-data-shaped tables.
+
+#ifndef GENT_BENCHGEN_NOISE_LAKE_H_
+#define GENT_BENCHGEN_NOISE_LAKE_H_
+
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/random.h"
+
+namespace gent {
+
+struct NoiseLakeConfig {
+  size_t num_tables = 1000;
+  /// Fraction of distractors that copy column slices from real benchmark
+  /// tables (the dangerous kind).
+  double slice_fraction = 0.3;
+  size_t min_rows = 50;
+  size_t max_rows = 400;
+  uint64_t seed = 29;
+};
+
+/// Generates distractor tables. `embedded` are the benchmark tables whose
+/// columns may be sliced into distractors.
+std::vector<Table> GenerateNoiseLake(const DictionaryPtr& dict,
+                                     const std::vector<Table>& embedded,
+                                     const NoiseLakeConfig& config);
+
+}  // namespace gent
+
+#endif  // GENT_BENCHGEN_NOISE_LAKE_H_

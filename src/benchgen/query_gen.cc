@@ -1,0 +1,211 @@
+#include "src/benchgen/query_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/benchgen/tpch.h"
+#include "src/ops/join.h"
+#include "src/ops/unary.h"
+#include "src/ops/union.h"
+
+namespace gent {
+
+namespace {
+
+// Foreign-key edge: child.fk_column = parent.key_column (parent key is
+// single-attribute for every edge we use).
+struct FkEdge {
+  const char* child;
+  const char* fk_column;
+  const char* parent;
+  const char* parent_key;
+};
+
+constexpr FkEdge kFkEdges[] = {
+    {"lineitem", "l_orderkey", "orders", "o_orderkey"},
+    {"lineitem", "l_partkey", "part", "p_partkey"},
+    {"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+    {"orders", "o_custkey", "customer", "c_custkey"},
+    {"customer", "c_nationkey", "nation", "n_nationkey"},
+    {"supplier", "s_nationkey", "nation", "n_nationkey"},
+    {"nation", "n_regionkey", "region", "r_regionkey"},
+    {"partsupp", "ps_partkey", "part", "p_partkey"},
+    {"partsupp", "ps_suppkey", "supplier", "s_suppkey"},
+};
+
+// Multi-join chains (2-3 FK hops), primary (key-providing) table first.
+const std::vector<std::vector<FkEdge>>& MultiJoinChains() {
+  static const std::vector<std::vector<FkEdge>> chains = {
+      {{kFkEdges[0], kFkEdges[3]}},                 // lineitem→orders→customer
+      {{kFkEdges[0], kFkEdges[3], kFkEdges[4]}},    // …→customer→nation
+      {{kFkEdges[3], kFkEdges[4]}},                 // orders→customer→nation
+      {{kFkEdges[4], kFkEdges[6]}},                 // customer→nation→region
+      {{kFkEdges[5], kFkEdges[6]}},                 // supplier→nation→region
+      {{kFkEdges[7], kFkEdges[8]}},                 // partsupp→part + →supplier
+      {{kFkEdges[1], kFkEdges[2]}},                 // lineitem→part + →supplier
+  };
+  return chains;
+}
+
+// FK natural join: rename the parent's key column to the child's FK
+// column name, then hash-join on it.
+Result<Table> JoinFk(const Table& child, const Table& parent,
+                     const FkEdge& edge) {
+  Table p = parent.Clone();
+  auto pk = p.ColumnIndex(edge.parent_key);
+  if (!pk.has_value()) {
+    return Status::NotFound(std::string("missing parent key ") +
+                            edge.parent_key);
+  }
+  GENT_RETURN_IF_ERROR(p.RenameColumn(*pk, edge.fk_column));
+  return NaturalJoin(child, p, JoinKind::kInner);
+}
+
+}  // namespace
+
+std::string QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kProjectSelectUnion:
+      return "Project/Select+Union";
+    case QueryClass::kOneJoinUnion:
+      return "One Join+Union";
+    case QueryClass::kMultiJoinUnion:
+      return "Multiple Joins+Union";
+  }
+  return "?";
+}
+
+Result<std::vector<SourceSpec>> GenerateSourceTables(
+    const std::vector<Table>& tpch, const QueryGenConfig& config) {
+  Rng rng(config.seed);
+  std::unordered_map<std::string, const Table*> by_name;
+  for (const auto& t : tpch) by_name[t.name()] = &t;
+  for (const char* required :
+       {"region", "nation", "supplier", "part", "partsupp", "customer",
+        "orders", "lineitem"}) {
+    if (by_name.count(required) == 0) {
+      return Status::InvalidArgument(std::string("missing TPC-H table ") +
+                                     required);
+    }
+  }
+
+  // Base tables eligible as PSU / join children.
+  const std::vector<std::string> psu_bases = {
+      "orders", "customer", "part", "supplier", "lineitem", "partsupp"};
+
+  std::vector<SourceSpec> specs;
+  for (size_t qi = 0; qi < config.num_sources; ++qi) {
+    // Round-robin classes: ~equal thirds.
+    QueryClass cls = static_cast<QueryClass>(qi % 3);
+    Rng qrng = rng.Fork();
+
+    Table joined("", tpch[0].dict());
+    std::string primary;
+    std::vector<std::string> bases;
+    std::string desc;
+
+    if (cls == QueryClass::kProjectSelectUnion) {
+      primary = psu_bases[qrng.Index(psu_bases.size())];
+      joined = by_name.at(primary)->Clone();
+      bases = {primary};
+      desc = primary;
+    } else if (cls == QueryClass::kOneJoinUnion) {
+      const FkEdge& e = kFkEdges[qrng.Index(std::size(kFkEdges))];
+      primary = e.child;
+      GENT_ASSIGN_OR_RETURN(
+          joined, JoinFk(*by_name.at(e.child), *by_name.at(e.parent), e));
+      bases = {e.child, e.parent};
+      desc = std::string(e.child) + " ⋈ " + e.parent;
+    } else {
+      const auto& chains = MultiJoinChains();
+      const auto& chain = chains[qrng.Index(chains.size())];
+      primary = chain[0].child;
+      joined = by_name.at(primary)->Clone();
+      bases = {primary};
+      desc = primary;
+      for (const FkEdge& e : chain) {
+        // Each hop joins the accumulated table (which contains e.child's
+        // FK column) with e.parent.
+        GENT_ASSIGN_OR_RETURN(joined, JoinFk(joined, *by_name.at(e.parent), e));
+        bases.push_back(e.parent);
+        desc += std::string(" ⋈ ") + e.parent;
+      }
+    }
+
+    // Key of the result: the primary (child) table's key columns.
+    std::vector<std::string> key_cols = TpchKeyColumns(primary);
+
+    // σ: sample target_rows rows.
+    const size_t rows =
+        std::min(config.target_rows, joined.num_rows());
+    if (rows == 0) {
+      return Status::Internal("query produced no rows: " + desc);
+    }
+    auto keep_rows = qrng.SampleIndices(joined.num_rows(), rows);
+    std::sort(keep_rows.begin(), keep_rows.end());
+    {
+      std::vector<bool> keep(joined.num_rows(), false);
+      for (size_t r : keep_rows) keep[r] = true;
+      std::vector<size_t> drop;
+      for (size_t r = 0; r < joined.num_rows(); ++r) {
+        if (!keep[r]) drop.push_back(r);
+      }
+      joined.RemoveRows(drop);
+    }
+
+    // π: key columns plus a random sample of the rest, up to target_cols.
+    std::vector<std::string> proj = key_cols;
+    std::vector<std::string> others;
+    for (const auto& name : joined.column_names()) {
+      if (std::find(proj.begin(), proj.end(), name) == proj.end()) {
+        others.push_back(name);
+      }
+    }
+    qrng.Shuffle(&others);
+    for (const auto& name : others) {
+      if (proj.size() >= config.target_cols) break;
+      proj.push_back(name);
+    }
+    GENT_ASSIGN_OR_RETURN(Table projected, Project(joined, proj));
+    desc += "; π " + std::to_string(proj.size()) + " cols; σ " +
+            std::to_string(rows) + " rows";
+
+    // ∪: split into 1-4 key-disjoint chunks and reassemble with union
+    // (1 chunk = no union; the paper's queries union up to 4 tables).
+    size_t chunks = 1 + qrng.Index(4);
+    if (cls == QueryClass::kOneJoinUnion && chunks == 1) chunks = 2;
+    if (chunks > 1 && projected.num_rows() >= chunks) {
+      std::vector<Table> parts;
+      for (size_t p = 0; p < chunks; ++p) {
+        Table part = projected.Clone();
+        std::vector<size_t> drop;
+        for (size_t r = 0; r < projected.num_rows(); ++r) {
+          if (r % chunks != p) drop.push_back(r);
+        }
+        part.RemoveRows(drop);
+        parts.push_back(std::move(part));
+      }
+      Table unioned = std::move(parts[0]);
+      for (size_t p = 1; p < parts.size(); ++p) {
+        GENT_ASSIGN_OR_RETURN(unioned, InnerUnion(unioned, parts[p]));
+      }
+      projected = std::move(unioned);
+      desc += "; ∪ " + std::to_string(chunks) + " chunks";
+    }
+
+    projected.set_name("source_" + std::to_string(qi));
+    GENT_RETURN_IF_ERROR(projected.SetKeyColumnsByName(key_cols));
+
+    SourceSpec spec(std::move(projected));
+    spec.query_class = cls;
+    spec.description = desc;
+    // De-duplicate base table names (multi-join chains can repeat).
+    std::sort(bases.begin(), bases.end());
+    bases.erase(std::unique(bases.begin(), bases.end()), bases.end());
+    spec.base_tables = std::move(bases);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace gent

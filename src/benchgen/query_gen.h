@@ -1,0 +1,61 @@
+// Source-table generation: the 26 SPJU queries over the original TPC-H
+// tables that define the TP-TR benchmarks (paper §VI-A).
+//
+// Queries fall into the three classes of Fig. 6:
+//   - Project/Select + Union of 0-4 chunks
+//   - One (FK) Join + Union of 1-4 chunks
+//   - Multiple (2-3) Joins + Union of 0-4 chunks
+// FK joins go child → parent so the child's key remains a key of the
+// result; every source therefore has a declared (possibly composite) key,
+// as the problem statement requires.
+
+#ifndef GENT_BENCHGEN_QUERY_GEN_H_
+#define GENT_BENCHGEN_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+enum class QueryClass {
+  kProjectSelectUnion,
+  kOneJoinUnion,
+  kMultiJoinUnion,
+};
+
+std::string QueryClassName(QueryClass c);
+
+struct SourceSpec {
+  Table source;
+  QueryClass query_class;
+  /// Human-readable rendering of the generating query.
+  std::string description;
+  /// Names of the original TPC-H tables the query touched (defines the
+  /// "integrating set": all 4 variants of each).
+  std::vector<std::string> base_tables;
+
+  explicit SourceSpec(Table s) : source(std::move(s)),
+                                 query_class(QueryClass::kProjectSelectUnion) {}
+};
+
+struct QueryGenConfig {
+  size_t num_sources = 26;
+  /// Rows per source (27 for TP-TR Small, 1000 for Med/Large).
+  size_t target_rows = 27;
+  /// Approximate columns per source (paper average: 9).
+  size_t target_cols = 9;
+  uint64_t seed = 13;
+};
+
+/// Generates the source-table suite from the 8 original TPC-H tables
+/// (the output of GenerateTpch, keys declared).
+Result<std::vector<SourceSpec>> GenerateSourceTables(
+    const std::vector<Table>& tpch, const QueryGenConfig& config);
+
+}  // namespace gent
+
+#endif  // GENT_BENCHGEN_QUERY_GEN_H_

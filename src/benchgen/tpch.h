@@ -1,0 +1,43 @@
+// Self-contained TPC-H-style data generator (dbgen-lite).
+//
+// Generates the 8 TPC-H tables — region, nation, supplier, part,
+// partsupp, customer, orders, lineitem — with correct PK/FK structure,
+// realistic value shapes, and deterministic output for a given seed.
+// See DESIGN.md substitution #1: the paper uses TPC-H only as a source of
+// joinable/unionable business tables with known provenance, so any
+// relationally-consistent instance over the same schema graph exercises
+// identical code paths.
+//
+// `scale` = 1.0 targets the paper's TP-TR Small shape (avg ~780 rows per
+// table); TP-TR Med uses scale 14, TP-TR Large scale 64 (scaled down from
+// the paper's 1M-row average to stay laptop-runnable; ratios documented
+// in EXPERIMENTS.md).
+
+#ifndef GENT_BENCHGEN_TPCH_H_
+#define GENT_BENCHGEN_TPCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/random.h"
+
+namespace gent {
+
+struct TpchConfig {
+  double scale = 1.0;
+  uint64_t seed = 7;
+};
+
+/// The key column names of each TPC-H table (multi-attribute for
+/// partsupp and lineitem).
+std::vector<std::string> TpchKeyColumns(const std::string& table_name);
+
+/// Generates all 8 tables into the given dictionary, in schema-graph
+/// order (parents before children).
+std::vector<Table> GenerateTpch(const DictionaryPtr& dict,
+                                const TpchConfig& config);
+
+}  // namespace gent
+
+#endif  // GENT_BENCHGEN_TPCH_H_

@@ -1,0 +1,96 @@
+#include "src/benchgen/variants.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gent {
+
+namespace {
+
+// Picks `count` positions out of `eligible`, preferring positions not in
+// `avoid` (spill into `avoid` only once fresh cells run out).
+std::vector<size_t> PickCells(const std::vector<size_t>& eligible,
+                              size_t count, const std::vector<bool>& avoid,
+                              Rng& rng) {
+  std::vector<size_t> fresh, burnt;
+  fresh.reserve(eligible.size());
+  for (size_t cell : eligible) {
+    (avoid.empty() || !avoid[cell] ? fresh : burnt).push_back(cell);
+  }
+  rng.Shuffle(&fresh);
+  rng.Shuffle(&burnt);
+  std::vector<size_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < fresh.size() && out.size() < count; ++i) {
+    out.push_back(fresh[i]);
+  }
+  for (size_t i = 0; i < burnt.size() && out.size() < count; ++i) {
+    out.push_back(burnt[i]);
+  }
+  return out;
+}
+
+Table Damage(const Table& original, const std::string& suffix,
+             VariantKind kind, const std::vector<size_t>& cells, Rng& rng) {
+  Table v = original.Clone();
+  v.set_name(original.name() + suffix);
+  (void)v.SetKeyColumns({});  // lake tables carry no key constraint
+  const size_t rows = v.num_rows();
+  for (size_t cell : cells) {
+    size_t r = cell % rows;
+    size_t c = cell / rows;
+    if (kind == VariantKind::kNullified) {
+      v.set_cell(r, c, kNull);
+    } else {
+      v.set_cell(r, c, v.dict()->Intern("err_" + rng.AlphaNum(8)));
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<Table> MakeVariantPair(const Table& original, VariantKind kind,
+                                   double rate, Rng& rng) {
+  // Damage targets non-key cells only (see header).
+  std::vector<size_t> eligible;
+  const size_t rows = original.num_rows();
+  for (size_t c = 0; c < original.num_cols(); ++c) {
+    if (original.IsKeyColumn(c)) continue;
+    for (size_t r = 0; r < rows; ++r) eligible.push_back(c * rows + r);
+  }
+  const size_t count = static_cast<size_t>(
+      std::min(1.0, std::max(0.0, rate)) *
+          static_cast<double>(eligible.size()) +
+      0.5);
+  const char* s1 = kind == VariantKind::kNullified ? "_n1" : "_e1";
+  const char* s2 = kind == VariantKind::kNullified ? "_n2" : "_e2";
+
+  std::vector<size_t> first = PickCells(eligible, count, {}, rng);
+  std::vector<bool> mask(original.num_cells(), false);
+  for (size_t c : first) mask[c] = true;
+  std::vector<size_t> second = PickCells(eligible, count, mask, rng);
+
+  std::vector<Table> out;
+  out.push_back(Damage(original, s1, kind, first, rng));
+  out.push_back(Damage(original, s2, kind, second, rng));
+  return out;
+}
+
+std::vector<Table> MakeTpTrVariants(const Table& original,
+                                    const VariantConfig& config) {
+  Rng rng(config.seed ^ std::hash<std::string>{}(original.name()));
+  std::vector<Table> out;
+  for (auto& t :
+       MakeVariantPair(original, VariantKind::kNullified, config.null_rate,
+                       rng)) {
+    out.push_back(std::move(t));
+  }
+  for (auto& t : MakeVariantPair(original, VariantKind::kErroneous,
+                                 config.error_rate, rng)) {
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace gent

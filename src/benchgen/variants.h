@@ -1,0 +1,53 @@
+// Nullified / erroneous table variants (paper §VI-A, TP-TR construction).
+//
+// Each original table yields four lake variants: two with values replaced
+// by nulls and two with values replaced by injected erroneous strings.
+// The two variants of a kind nullify *different* subsets of cells (the
+// paper's wording); at rate 0.5 the masks are exact complements, so their
+// union covers every original cell — which is what makes perfect
+// reclamation possible. Rates above 0.5 force overlap (2p−1 of cells
+// damaged in both variants), which is how the Fig. 7 ablation degrades.
+//
+// Damage applies to non-key cells only: if key cells were damaged, tuple
+// halves from the two variants would share no values and complementation
+// (which requires a shared non-null value) could never fuse them — no
+// source would be perfectly reclaimable, contradicting the paper's
+// results (15-17 of 26 perfect reclamations).
+
+#ifndef GENT_BENCHGEN_VARIANTS_H_
+#define GENT_BENCHGEN_VARIANTS_H_
+
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/random.h"
+
+namespace gent {
+
+struct VariantConfig {
+  /// Fraction of cells nullified in each nullified variant.
+  double null_rate = 0.5;
+  /// Fraction of cells replaced with injected noise in each erroneous
+  /// variant.
+  double error_rate = 0.5;
+  uint64_t seed = 11;
+};
+
+enum class VariantKind { kNullified, kErroneous };
+
+/// Makes the paired variants of one kind: the second variant's damage
+/// mask avoids the first's cells as far as the rate allows (disjoint for
+/// rate ≤ 0.5, minimal overlap above). Variant names get suffixes
+/// "_n1"/"_n2" or "_e1"/"_e2". Key designations are stripped (lake tables
+/// carry no constraints).
+std::vector<Table> MakeVariantPair(const Table& original, VariantKind kind,
+                                   double rate, Rng& rng);
+
+/// The full TP-TR treatment: 4 variants (2 nullified + 2 erroneous) per
+/// original table.
+std::vector<Table> MakeTpTrVariants(const Table& original,
+                                    const VariantConfig& config);
+
+}  // namespace gent
+
+#endif  // GENT_BENCHGEN_VARIANTS_H_

@@ -1,0 +1,65 @@
+// Synthetic web-table corpora standing in for T2D Gold and the WDC
+// sample (DESIGN.md substitution #3).
+//
+// The T2D-like corpus reproduces the structure that matters for the
+// paper's §VI-D generalizability experiment:
+//   - a handful of duplicate clusters (pairs of identical tables), which
+//     Gen-T should detect as trivially reclaimable sources;
+//   - a few "partitioned" groups: a base entity table plus 5-6 row/column
+//     partitions that, integrated, reclaim the base exactly;
+//   - a long tail of unrelated singleton entity tables.
+// Every table has an entity-name key column, mirroring the paper's "515
+// raw tables that contain some non-numerical columns and a key column".
+//
+// The WDC-like sample is a large pile of small entity tables (avg ~14
+// rows) over the same domains, used as distractors when T2D tables are
+// embedded into it (Table IV).
+
+#ifndef GENT_BENCHGEN_WEB_TABLES_H_
+#define GENT_BENCHGEN_WEB_TABLES_H_
+
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/random.h"
+
+namespace gent {
+
+struct WebCorpusConfig {
+  size_t num_tables = 515;
+  size_t duplicate_clusters = 6;
+  size_t partitioned_groups = 3;
+  /// Rows per table range (T2D Gold averages ~74).
+  size_t min_rows = 20;
+  size_t max_rows = 120;
+  uint64_t seed = 17;
+};
+
+struct WebCorpus {
+  std::vector<Table> tables;
+  /// Names of tables that are one half of a duplicate pair.
+  std::vector<std::string> duplicate_tables;
+  /// Names of the partitioned-group base tables (reclaimable by
+  /// integrating their 5-6 partitions).
+  std::vector<std::string> partitioned_bases;
+};
+
+/// Generates the T2D-like corpus. Tables declare their entity column as
+/// key (the paper's T2D experiment requires a key column per table).
+WebCorpus GenerateWebCorpus(const DictionaryPtr& dict,
+                            const WebCorpusConfig& config);
+
+struct WdcConfig {
+  size_t num_tables = 15000;
+  size_t min_rows = 4;
+  size_t max_rows = 24;
+  uint64_t seed = 23;
+};
+
+/// Generates the WDC-like distractor sample.
+std::vector<Table> GenerateWdcSample(const DictionaryPtr& dict,
+                                     const WdcConfig& config);
+
+}  // namespace gent
+
+#endif  // GENT_BENCHGEN_WEB_TABLES_H_

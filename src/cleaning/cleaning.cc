@@ -1,0 +1,265 @@
+#include "src/cleaning/cleaning.h"
+
+#include <algorithm>
+
+#include "src/ops/unary.h"
+
+namespace gent {
+
+namespace {
+
+// One non-null candidate value for a (key, column) slot.
+struct Vote {
+  ValueId value;
+  size_t table_index;       // originating-table order (for kFirst)
+  std::string table_name;   // for trust lookup
+};
+
+// Resolves a slot's votes under `options`. Returns kNull when no winner
+// clears min_agreement; sets *contested when candidates existed.
+ValueId ResolveVotes(const std::vector<Vote>& votes,
+                     const CleaningOptions& options, bool* contested) {
+  *contested = false;
+  if (votes.empty()) return kNull;
+  if (options.policy == VotePolicy::kFirst) return votes.front().value;
+
+  // Accumulate weights per candidate, preserving first-seen order for
+  // deterministic tie-breaks.
+  std::vector<std::pair<ValueId, double>> tally;
+  double total = 0.0;
+  for (const Vote& vote : votes) {
+    double weight = 1.0;
+    if (options.policy == VotePolicy::kTrustWeighted) {
+      auto it = options.trust.find(vote.table_name);
+      if (it != options.trust.end()) weight = it->second;
+    }
+    total += weight;
+    auto slot = std::find_if(tally.begin(), tally.end(),
+                             [&](const auto& p) { return p.first == vote.value; });
+    if (slot == tally.end()) {
+      tally.emplace_back(vote.value, weight);
+    } else {
+      slot->second += weight;
+    }
+  }
+  if (total <= 0.0) return kNull;
+  auto best = std::max_element(
+      tally.begin(), tally.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (best->second / total + 1e-12 < options.min_agreement) {
+    *contested = true;
+    return kNull;
+  }
+  return best->first;
+}
+
+// Indices of `names` in `table`, or empty if any is missing.
+std::vector<size_t> ColumnIndices(const Table& table,
+                                  const std::vector<std::string>& names) {
+  std::vector<size_t> idx;
+  idx.reserve(names.size());
+  for (const std::string& name : names) {
+    auto i = table.ColumnIndex(name);
+    if (!i) return {};
+    idx.push_back(*i);
+  }
+  return idx;
+}
+
+// Key tuple of `row` read through explicit column indices; empty if any
+// component is null (null keys never align, as in the paper's metrics).
+KeyTuple KeyThrough(const Table& table, size_t row,
+                    const std::vector<size_t>& key_cols) {
+  KeyTuple key;
+  key.reserve(key_cols.size());
+  for (size_t c : key_cols) {
+    const ValueId v = table.cell(row, c);
+    if (v == kNull) return {};
+    key.push_back(v);
+  }
+  return key;
+}
+
+Status CheckInputs(const Table& reclaimed, const Table& source) {
+  if (!source.has_key()) {
+    return Status::InvalidArgument("source table must declare a key");
+  }
+  for (const std::string& name : source.column_names()) {
+    if (!reclaimed.HasColumn(name)) {
+      return Status::InvalidArgument("reclaimed table lacks source column '" +
+                                     name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SourceKeyNames(const Table& source) {
+  std::vector<std::string> names;
+  for (size_t c : source.key_columns()) names.push_back(source.column_name(c));
+  return names;
+}
+
+}  // namespace
+
+Result<Table> ImputeNulls(const Table& reclaimed, const Table& source,
+                          const std::vector<Table>& originating,
+                          const CleaningOptions& options,
+                          CleaningStats* stats) {
+  GENT_RETURN_IF_ERROR(CheckInputs(reclaimed, source));
+  const std::vector<std::string> key_names = SourceKeyNames(source);
+  const KeyIndex source_index = source.BuildKeyIndex();
+
+  // Gather evidence per (key, source column name) from the originating
+  // tables, in table order so kFirst is deterministic.
+  struct SlotHash {
+    size_t operator()(const std::pair<KeyTuple, std::string>& s) const {
+      return KeyTupleHash()(s.first) ^ std::hash<std::string>()(s.second);
+    }
+  };
+  std::unordered_map<std::pair<KeyTuple, std::string>, std::vector<Vote>,
+                     SlotHash>
+      evidence;
+  for (size_t t = 0; t < originating.size(); ++t) {
+    const Table& orig = originating[t];
+    const std::vector<size_t> key_cols = ColumnIndices(orig, key_names);
+    if (key_cols.empty() && !key_names.empty()) continue;  // abstains
+    for (size_t c = 0; c < orig.num_cols(); ++c) {
+      const std::string& name = orig.column_name(c);
+      if (!source.HasColumn(name)) continue;
+      const bool is_key_col =
+          std::find(key_names.begin(), key_names.end(), name) !=
+          key_names.end();
+      if (is_key_col) continue;
+      for (size_t r = 0; r < orig.num_rows(); ++r) {
+        const ValueId v = orig.cell(r, c);
+        if (v == kNull || orig.dict()->IsLabeledNull(v)) continue;
+        KeyTuple key = KeyThrough(orig, r, key_cols);
+        if (key.empty()) continue;
+        evidence[{std::move(key), name}].push_back({v, t, orig.name()});
+      }
+    }
+  }
+
+  Table result = reclaimed.Clone();
+  const std::vector<size_t> reclaimed_keys = ColumnIndices(result, key_names);
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    const KeyTuple key = KeyThrough(result, r, reclaimed_keys);
+    if (key.empty()) continue;
+    auto source_rows = source_index.find(key);
+    if (source_rows == source_index.end()) continue;  // extra tuple
+    const size_t source_row = source_rows->second.front();
+    for (size_t c = 0; c < result.num_cols(); ++c) {
+      if (result.cell(r, c) != kNull) continue;
+      const std::string& name = result.column_name(c);
+      auto source_col = source.ColumnIndex(name);
+      if (!source_col) continue;  // padding column outside source schema
+      if (options.respect_source_nulls &&
+          source.cell(source_row, *source_col) == kNull) {
+        continue;
+      }
+      auto slot = evidence.find({key, name});
+      if (slot == evidence.end()) continue;
+      bool contested = false;
+      const ValueId winner = ResolveVotes(slot->second, options, &contested);
+      if (winner != kNull) {
+        result.set_cell(r, c, winner);
+        if (stats != nullptr) ++stats->cells_imputed;
+      } else if (contested && stats != nullptr) {
+        ++stats->cells_contested;
+      }
+    }
+  }
+  return result;
+}
+
+Result<Table> FuseAlignedTuples(const Table& reclaimed, const Table& source,
+                                const CleaningOptions& options,
+                                CleaningStats* stats) {
+  GENT_RETURN_IF_ERROR(CheckInputs(reclaimed, source));
+  const std::vector<std::string> key_names = SourceKeyNames(source);
+  const KeyIndex source_index = source.BuildKeyIndex();
+  const std::vector<size_t> key_cols = ColumnIndices(reclaimed, key_names);
+
+  // Group rows by key tuple, preserving first-appearance order.
+  std::unordered_map<KeyTuple, std::vector<size_t>, KeyTupleHash> groups;
+  std::vector<KeyTuple> group_order;
+  std::vector<size_t> loose_rows;  // null or non-source keys: kept as-is
+  for (size_t r = 0; r < reclaimed.num_rows(); ++r) {
+    KeyTuple key = KeyThrough(reclaimed, r, key_cols);
+    if (key.empty() || !source_index.count(key)) {
+      loose_rows.push_back(r);
+      continue;
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) group_order.push_back(key);
+    it->second.push_back(r);
+  }
+
+  Table result(reclaimed.name(), reclaimed.dict());
+  for (const std::string& name : reclaimed.column_names()) {
+    GENT_RETURN_IF_ERROR(result.AddColumn(name));
+  }
+  for (const KeyTuple& key : group_order) {
+    const std::vector<size_t>& rows = groups[key];
+    if (rows.size() == 1) {
+      result.AddRow(reclaimed.Row(rows.front()));
+      continue;
+    }
+    std::vector<ValueId> fused(reclaimed.num_cols(), kNull);
+    for (size_t c = 0; c < reclaimed.num_cols(); ++c) {
+      std::vector<Vote> votes;
+      for (size_t r : rows) {
+        const ValueId v = reclaimed.cell(r, c);
+        if (v == kNull) continue;
+        votes.push_back({v, r, reclaimed.name()});
+      }
+      bool contested = false;
+      fused[c] = ResolveVotes(votes, options, &contested);
+      if (contested && stats != nullptr) ++stats->cells_contested;
+    }
+    result.AddRow(fused);
+    if (stats != nullptr) stats->tuples_fused += rows.size() - 1;
+  }
+  for (size_t r : loose_rows) result.AddRow(reclaimed.Row(r));
+  return result;
+}
+
+Result<Table> AlignKeysFuzzy(const Table& table, const Table& source,
+                             const ValueMapOptions& options,
+                             CleaningStats* stats) {
+  if (!source.has_key()) {
+    return Status::InvalidArgument("source table must declare a key");
+  }
+  if (table.dict() != source.dict()) {
+    return Status::InvalidArgument(
+        "table and source must share a dictionary");
+  }
+  const std::vector<std::string> key_names = SourceKeyNames(source);
+  GENT_ASSIGN_OR_RETURN(Table key_proj, Project(source, key_names));
+  const FuzzyValueMap map = FuzzyValueMap::Build(key_proj, options);
+
+  Table result = table.Clone();
+  for (const std::string& name : key_names) {
+    auto col = result.ColumnIndex(name);
+    if (!col) continue;
+    for (ValueId& v : result.mutable_column(*col)) {
+      const ValueId mapped = map.MapValue(v);
+      if (mapped != v) {
+        v = mapped;
+        if (stats != nullptr) ++stats->keys_aligned;
+      }
+    }
+  }
+  return result;
+}
+
+Result<Table> CleanReclaimed(const Table& reclaimed, const Table& source,
+                             const std::vector<Table>& originating,
+                             const CleaningOptions& options,
+                             CleaningStats* stats) {
+  GENT_ASSIGN_OR_RETURN(Table fused,
+                        FuseAlignedTuples(reclaimed, source, options, stats));
+  return ImputeNulls(fused, source, originating, options, stats);
+}
+
+}  // namespace gent

@@ -1,0 +1,105 @@
+// Reclamation-aware data cleaning: imputation and conflict fusion.
+//
+// The paper's future work (§VII) asks "if reclamation can be combined
+// with data cleaning (for example, value imputation over missing values
+// or entity resolution) to produce a better reclamation". This module
+// implements that combination on top of the reclamation outputs:
+//
+//  - ImputeNulls fills nullified cells of a reclaimed table by voting
+//    over the evidence in the originating tables (the tables Gen-T
+//    selected), per (key, column);
+//  - FuseAlignedTuples resolves the multiple aligned tuples integration
+//    keeps for a key when values conflict, producing one tuple per key
+//    under a fusion policy;
+//  - AlignKeysFuzzy performs entity-resolution-lite: key values that are
+//    fuzzily but unambiguously similar to a source key value are
+//    rewritten so their tuples align (builds on src/semantic).
+//
+// All functions are pure (inputs are untouched) and guarded: by default
+// no cell where the *source* is null is ever filled — fabricating values
+// over source nulls is exactly what the EIS score penalizes.
+
+#ifndef GENT_CLEANING_CLEANING_H_
+#define GENT_CLEANING_CLEANING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/semantic/value_map.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+enum class VotePolicy {
+  /// Most frequent candidate wins; ties broken by first occurrence.
+  kMajority,
+  /// First candidate in originating-table order wins.
+  kFirst,
+  /// Votes weighted by per-table trust (default weight 1.0).
+  kTrustWeighted,
+};
+
+struct CleaningOptions {
+  VotePolicy policy = VotePolicy::kMajority;
+  /// Per-table trust weights for kTrustWeighted, keyed by table name.
+  std::unordered_map<std::string, double> trust;
+  /// A winning candidate must hold at least this fraction of the total
+  /// vote mass for its (key, column); otherwise the cell stays null.
+  double min_agreement = 0.5;
+  /// Never fill a cell whose source value is null (recommended — filling
+  /// it can only lower EIS).
+  bool respect_source_nulls = true;
+};
+
+struct CleaningStats {
+  size_t cells_imputed = 0;
+  /// Cells with candidate values that failed min_agreement.
+  size_t cells_contested = 0;
+  /// Tuples dropped/merged by fusion.
+  size_t tuples_fused = 0;
+  /// Key values rewritten by AlignKeysFuzzy.
+  size_t keys_aligned = 0;
+};
+
+/// Fills null cells of `reclaimed` (same schema as `source`, which must
+/// declare a key) using evidence from `originating`: every originating
+/// row sharing the cell's key votes with its value in that column.
+/// Originating tables lacking the key columns or the target column
+/// abstain. Returns the imputed copy.
+Result<Table> ImputeNulls(const Table& reclaimed, const Table& source,
+                          const std::vector<Table>& originating,
+                          const CleaningOptions& options = {},
+                          CleaningStats* stats = nullptr);
+
+/// Collapses multiple aligned tuples per source key in `reclaimed` into
+/// exactly one tuple per key: per column, non-null candidates vote under
+/// `options.policy` (trust weights are keyed by "<row index>" order of
+/// appearance and thus unused here unless provided per reclaimed name).
+/// Rows whose key is absent from `source` are kept as-is (they are
+/// extra tuples; Precision accounting handles them). Returns the fused
+/// copy satisfying: at most one row per source key value.
+Result<Table> FuseAlignedTuples(const Table& reclaimed, const Table& source,
+                                const CleaningOptions& options = {},
+                                CleaningStats* stats = nullptr);
+
+/// Entity-resolution-lite: rewrites values in `table`'s columns that
+/// correspond (by name) to `source` key columns onto fuzzily-matching
+/// source key values, so near-miss keys align during reclamation.
+/// `table` must share `source`'s dictionary.
+Result<Table> AlignKeysFuzzy(const Table& table, const Table& source,
+                             const ValueMapOptions& options = {},
+                             CleaningStats* stats = nullptr);
+
+/// Convenience pipeline: fuse aligned tuples, then impute remaining
+/// nulls from the originating tables. The typical post-reclamation
+/// cleanup (see examples/cleaning_repair.cpp).
+Result<Table> CleanReclaimed(const Table& reclaimed, const Table& source,
+                             const std::vector<Table>& originating,
+                             const CleaningOptions& options = {},
+                             CleaningStats* stats = nullptr);
+
+}  // namespace gent
+
+#endif  // GENT_CLEANING_CLEANING_H_

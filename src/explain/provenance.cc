@@ -1,0 +1,250 @@
+#include "src/explain/provenance.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace gent {
+
+namespace {
+
+std::vector<std::string> KeyNames(const Table& source) {
+  std::vector<std::string> names;
+  for (size_t c : source.key_columns()) names.push_back(source.column_name(c));
+  return names;
+}
+
+// Key→rows index of `table` through the source's key column *names*;
+// nullopt-like empty map when `table` lacks any key column. Keys with
+// null components are not indexed.
+KeyIndex IndexBySourceKey(const Table& table,
+                          const std::vector<std::string>& key_names,
+                          bool* has_key_columns) {
+  KeyIndex index;
+  std::vector<size_t> cols;
+  for (const std::string& name : key_names) {
+    auto c = table.ColumnIndex(name);
+    if (!c) {
+      *has_key_columns = false;
+      return index;
+    }
+    cols.push_back(*c);
+  }
+  *has_key_columns = true;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    KeyTuple key;
+    key.reserve(cols.size());
+    bool null_key = false;
+    for (size_t c : cols) {
+      const ValueId v = table.cell(r, c);
+      if (v == kNull) {
+        null_key = true;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (!null_key) index[key].push_back(r);
+  }
+  return index;
+}
+
+Status CheckKeyedSource(const Table& source) {
+  if (!source.has_key()) {
+    return Status::InvalidArgument("source table must declare a key");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ProvenanceResult::Summarize() const {
+  std::vector<const TableContribution*> sorted;
+  for (const TableContribution& c : contributions) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TableContribution* a, const TableContribution* b) {
+              return a->cells_witnessed > b->cells_witnessed;
+            });
+  std::ostringstream out;
+  out << "provenance over " << cells_examined << " cells ("
+      << unexplained_cells << " unexplained)\n";
+  for (const TableContribution* c : sorted) {
+    out << "  " << c->name << ": witnesses " << c->cells_witnessed
+        << " cells (" << c->cells_unique << " uniquely), touches "
+        << c->rows_touched << " rows\n";
+  }
+  return out.str();
+}
+
+Result<ProvenanceResult> TraceProvenance(
+    const Table& reclaimed, const Table& source,
+    const std::vector<Table>& originating) {
+  GENT_RETURN_IF_ERROR(CheckKeyedSource(source));
+  const std::vector<std::string> key_names = KeyNames(source);
+  for (const std::string& name : source.column_names()) {
+    if (!reclaimed.HasColumn(name)) {
+      return Status::InvalidArgument("reclaimed table lacks source column '" +
+                                     name + "'");
+    }
+  }
+
+  // Reclaimed key columns (by source key names).
+  std::vector<size_t> reclaimed_keys;
+  for (const std::string& name : key_names) {
+    reclaimed_keys.push_back(*reclaimed.ColumnIndex(name));
+  }
+  std::vector<char> is_key_col(reclaimed.num_cols(), 0);
+  for (size_t c : reclaimed_keys) is_key_col[c] = 1;
+
+  // Per-originating indexes.
+  struct OrigIndex {
+    bool usable = false;
+    KeyIndex by_key;
+    std::vector<std::optional<size_t>> col_of;  // reclaimed col -> orig col
+  };
+  std::vector<OrigIndex> indexes(originating.size());
+  for (size_t t = 0; t < originating.size(); ++t) {
+    indexes[t].by_key =
+        IndexBySourceKey(originating[t], key_names, &indexes[t].usable);
+    indexes[t].col_of.resize(reclaimed.num_cols());
+    for (size_t c = 0; c < reclaimed.num_cols(); ++c) {
+      indexes[t].col_of[c] = originating[t].ColumnIndex(reclaimed.column_name(c));
+    }
+  }
+
+  ProvenanceResult result;
+  result.witnesses.assign(
+      reclaimed.num_rows(),
+      std::vector<std::vector<size_t>>(reclaimed.num_cols()));
+  result.contributions.resize(originating.size());
+  for (size_t t = 0; t < originating.size(); ++t) {
+    result.contributions[t].name = originating[t].name();
+  }
+
+  for (size_t r = 0; r < reclaimed.num_rows(); ++r) {
+    KeyTuple key;
+    bool null_key = false;
+    for (size_t c : reclaimed_keys) {
+      const ValueId v = reclaimed.cell(r, c);
+      if (v == kNull) {
+        null_key = true;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (null_key) continue;
+    // Row-touch accounting.
+    for (size_t t = 0; t < originating.size(); ++t) {
+      if (indexes[t].usable && indexes[t].by_key.count(key)) {
+        ++result.contributions[t].rows_touched;
+      }
+    }
+    for (size_t c = 0; c < reclaimed.num_cols(); ++c) {
+      if (is_key_col[c]) continue;
+      const ValueId v = reclaimed.cell(r, c);
+      if (v == kNull || reclaimed.dict()->IsLabeledNull(v)) continue;
+      ++result.cells_examined;
+      std::vector<size_t>& cell_witnesses = result.witnesses[r][c];
+      for (size_t t = 0; t < originating.size(); ++t) {
+        const OrigIndex& idx = indexes[t];
+        if (!idx.usable || !idx.col_of[c]) continue;
+        auto rows = idx.by_key.find(key);
+        if (rows == idx.by_key.end()) continue;
+        for (size_t orig_row : rows->second) {
+          if (originating[t].cell(orig_row, *idx.col_of[c]) == v) {
+            cell_witnesses.push_back(t);
+            break;
+          }
+        }
+      }
+      if (cell_witnesses.empty()) {
+        ++result.unexplained_cells;
+      } else {
+        for (size_t t : cell_witnesses) {
+          ++result.contributions[t].cells_witnessed;
+        }
+        if (cell_witnesses.size() == 1) {
+          ++result.contributions[cell_witnesses.front()].cells_unique;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::string RowExplanation::ToString() const {
+  std::ostringstream out;
+  out << "row [" << key << "] "
+      << (key_found ? "found in originating tables" : "key not found")
+      << "\n";
+  for (const ColumnEvidence& col : columns) {
+    out << "  " << col.column << ": source="
+        << (col.source_value.empty() ? "⊥" : col.source_value);
+    if (col.observed.empty()) {
+      out << " (no evidence)";
+    } else {
+      for (const auto& [table, value] : col.observed) {
+        out << ", " << table << "=" << (value.empty() ? "⊥" : value);
+      }
+      if (col.supported) out << " [supported]";
+      if (col.contradicted) out << " [contradicted]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<RowExplanation> ExplainSourceRow(
+    const Table& source, size_t row, const std::vector<Table>& originating) {
+  GENT_RETURN_IF_ERROR(CheckKeyedSource(source));
+  if (row >= source.num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range for source with " +
+                              std::to_string(source.num_rows()) + " rows");
+  }
+  const std::vector<std::string> key_names = KeyNames(source);
+  const KeyTuple key = source.KeyOf(row);
+
+  RowExplanation explanation;
+  {
+    std::ostringstream k;
+    for (size_t i = 0; i < key_names.size(); ++i) {
+      if (i > 0) k << ", ";
+      k << key_names[i] << "="
+        << source.dict()->StringOf(source.cell(row, source.key_columns()[i]));
+    }
+    explanation.key = k.str();
+  }
+
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    if (source.IsKeyColumn(c)) continue;
+    ColumnEvidence evidence;
+    evidence.column = source.column_name(c);
+    const ValueId source_value = source.cell(row, c);
+    evidence.source_value = source.dict()->StringOf(source_value);
+    for (const Table& orig : originating) {
+      bool usable = false;
+      const KeyIndex index = IndexBySourceKey(orig, key_names, &usable);
+      if (!usable) continue;
+      auto rows = index.find(key);
+      if (rows == index.end()) continue;
+      explanation.key_found = true;
+      auto col = orig.ColumnIndex(evidence.column);
+      if (!col) continue;
+      for (size_t r : rows->second) {
+        const ValueId observed = orig.cell(r, *col);
+        evidence.observed.emplace_back(orig.name(),
+                                       orig.dict()->StringOf(observed));
+        if (observed != kNull && observed == source_value) {
+          evidence.supported = true;
+        } else if (observed != kNull && source_value != kNull &&
+                   observed != source_value) {
+          evidence.contradicted = true;
+        }
+      }
+    }
+    explanation.columns.push_back(std::move(evidence));
+  }
+  return explanation;
+}
+
+}  // namespace gent

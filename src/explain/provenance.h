@@ -1,0 +1,105 @@
+// Provenance of a reclaimed table: which originating tables witness
+// which cells, and why a source row could (or could not) be reclaimed.
+//
+// The paper motivates reclamation with exactly this analysis: "From this
+// (the originating tables including their meta-data and data), a user
+// can understand that while her table is reporting US statistics, the
+// article is reporting international numbers" (Example 1), and "The user
+// can analyze the originating tables returned by our approach to
+// understand these differences" (Example 2). DiagnoseReclamation
+// (src/gent/report.h) classifies cells; this module answers the
+// follow-up questions:
+//
+//   TraceProvenance  — for every non-null reclaimed cell, the set of
+//                      originating tables containing that (key, column,
+//                      value) observation; per-table contribution totals;
+//                      cells no originating table can justify.
+//   ExplainSourceRow — for one source row, the per-column evidence found
+//                      across the originating tables: supporting values,
+//                      contradicting values, or silence.
+//
+// Provenance is reconstructed post-hoc by value matching rather than
+// threaded through the integrator: integration rewrites tuples through
+// ⊎/κ/β where per-cell lineage would have to be tracked through merges,
+// and post-hoc witnessing against the final table answers the user's
+// question directly (who *can* justify this value), matching how
+// provenance is defined for reclamation — no query is known (§I).
+
+#ifndef GENT_EXPLAIN_PROVENANCE_H_
+#define GENT_EXPLAIN_PROVENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+/// Per-originating-table contribution totals.
+struct TableContribution {
+  std::string name;
+  /// Non-null reclaimed cells this table witnesses.
+  size_t cells_witnessed = 0;
+  /// Cells witnessed by this table and no other.
+  size_t cells_unique = 0;
+  /// Reclaimed rows whose key this table contains.
+  size_t rows_touched = 0;
+};
+
+struct ProvenanceResult {
+  /// witnesses[r][c] = indices (into the originating vector) of tables
+  /// containing reclaimed cell (r, c)'s exact (key, column, value)
+  /// observation. Empty for null cells and key columns.
+  std::vector<std::vector<std::vector<size_t>>> witnesses;
+  /// Parallel to the originating vector.
+  std::vector<TableContribution> contributions;
+  /// Non-null, non-key reclaimed cells with no witness — values the
+  /// integration produced that no originating table directly contains
+  /// (possible with complementation merges across expanded tables).
+  size_t unexplained_cells = 0;
+  /// Total non-null, non-key cells examined.
+  size_t cells_examined = 0;
+
+  /// Human-readable contribution summary, best contributor first.
+  std::string Summarize() const;
+};
+
+/// Traces every cell of `reclaimed` (same schema as `source`, which must
+/// declare a key) back to the originating tables. Originating tables
+/// missing some key column abstain entirely (they witness nothing).
+Result<ProvenanceResult> TraceProvenance(const Table& reclaimed,
+                                         const Table& source,
+                                         const std::vector<Table>& originating);
+
+/// Evidence for one source column of one source row.
+struct ColumnEvidence {
+  std::string column;
+  std::string source_value;
+  /// (table name, observed value) pairs for this key and column.
+  std::vector<std::pair<std::string, std::string>> observed;
+  /// Some observation equals the source value.
+  bool supported = false;
+  /// Some non-null observation differs from the source value.
+  bool contradicted = false;
+};
+
+struct RowExplanation {
+  /// Rendered key of the row ("ID=2").
+  std::string key;
+  /// True if any originating table contains the row's key.
+  bool key_found = false;
+  std::vector<ColumnEvidence> columns;
+
+  /// Multi-line rendering ("Age: source=32, ages.csv=32 ✓ ...").
+  std::string ToString() const;
+};
+
+/// Explains source row `row` against the originating tables: what each
+/// table says about each non-key column of that row.
+Result<RowExplanation> ExplainSourceRow(const Table& source, size_t row,
+                                        const std::vector<Table>& originating);
+
+}  // namespace gent
+
+#endif  // GENT_EXPLAIN_PROVENANCE_H_

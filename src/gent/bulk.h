@@ -1,0 +1,54 @@
+// Bulk reclamation: many source tables against one lake, in parallel.
+//
+// The paper's evaluation reclaims 26+ sources per benchmark and up to
+// 515 sources in the T2D experiment (§VI-D), each independently. The
+// per-source pipeline is single-threaded (as in the paper's runtime
+// measurements); BulkReclaim shards sources across a small worker pool
+// while sharing the one expensive structure — the lake's inverted
+// index — across all workers.
+//
+// Thread-safety contract: GenT::Reclaim is const and touches only
+// immutable state (lake, index, config) plus the shared
+// ValueDictionary, which is internally synchronized (see
+// src/value/dictionary.h) — integration mutates it when creating
+// labeled nulls. Results are returned in input order regardless of
+// completion order, and a failed source carries its Status instead of
+// poisoning the batch.
+
+#ifndef GENT_GENT_BULK_H_
+#define GENT_GENT_BULK_H_
+
+#include <vector>
+
+#include "src/gent/gent.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+struct BulkOptions {
+  /// Worker threads. 0 = hardware concurrency, capped at 8.
+  size_t threads = 0;
+  /// Per-source wall-clock budget, seconds (0 = unlimited).
+  double timeout_seconds = 0.0;
+  /// Per-source intermediate row budget.
+  uint64_t max_rows = 2'000'000;
+};
+
+/// Outcome of one source in a bulk run.
+struct BulkOutcome {
+  /// The reclamation, or the per-source error (Timeout etc.).
+  Result<ReclamationResult> result;
+
+  explicit BulkOutcome(Result<ReclamationResult> r) : result(std::move(r)) {}
+};
+
+/// Reclaims every source against `lake`. Sources must declare keys.
+/// Output[i] corresponds to sources[i].
+std::vector<BulkOutcome> BulkReclaim(const DataLake& lake,
+                                     const std::vector<Table>& sources,
+                                     const GenTConfig& config = {},
+                                     const BulkOptions& options = {});
+
+}  // namespace gent
+
+#endif  // GENT_GENT_BULK_H_

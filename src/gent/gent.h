@@ -1,0 +1,86 @@
+// Gen-T: end-to-end table reclamation (paper Fig. 2).
+//
+//   Source Table ──► Discovery (Set Similarity + diversification)
+//                ──► Expand (key-covering joins)
+//                ──► Matrix Traversal (originating-table selection)
+//                ──► Table Integration (⊎, σ, π, κ, β)
+//                ──► Reclaimed Source Table + originating tables
+//
+// Usage:
+//   DataLake lake;                       // register tables...
+//   GenT gent(lake);                     // builds the value index once
+//   auto result = gent.Reclaim(source);  // per-source reclamation
+//   double eis = EisScore(source, result->reclaimed).value();
+
+#ifndef GENT_GENT_GENT_H_
+#define GENT_GENT_GENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/discovery/discovery.h"
+#include "src/integration/integrator.h"
+#include "src/lake/data_lake.h"
+#include "src/lake/inverted_index.h"
+#include "src/matrix/expand.h"
+#include "src/matrix/traversal.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+struct GenTConfig {
+  DiscoveryConfig discovery;
+  TraversalOptions traversal;
+  IntegrationOptions integration;
+  /// Ablation: bypass matrix traversal and integrate every candidate
+  /// (what ALITE-style direct integration does).
+  bool skip_traversal = false;
+};
+
+/// Everything a reclamation run produces.
+struct ReclamationResult {
+  /// The reclaimed table, with exactly the source's schema.
+  Table reclaimed;
+  /// The originating tables, in selection order, in their integrated
+  /// (projected/expanded) form.
+  std::vector<Table> originating;
+  /// Lake names of the originating tables (pre-expansion identity).
+  std::vector<std::string> originating_names;
+  /// EIS the matrix traversal predicted for the integration.
+  double predicted_eis = 0.0;
+  /// Phase timings, seconds.
+  double discovery_seconds = 0.0;
+  double traversal_seconds = 0.0;
+  double integration_seconds = 0.0;
+
+  explicit ReclamationResult(Table r) : reclaimed(std::move(r)) {}
+};
+
+class GenT {
+ public:
+  /// Builds the inverted index over `lake` (shared across Reclaim calls).
+  /// The lake must outlive this object.
+  explicit GenT(const DataLake& lake, GenTConfig config = {});
+
+  /// Reclaims one source table (must declare a key).
+  Result<ReclamationResult> Reclaim(const Table& source) const;
+
+  /// Reclaim with per-call operator limits (e.g. a fresh wall-clock
+  /// budget per source; OpLimits deadlines are fixed at construction so
+  /// the config-level limits cannot express per-call timeouts).
+  Result<ReclamationResult> Reclaim(const Table& source,
+                                    const OpLimits& limits) const;
+
+  const InvertedIndex& index() const { return *index_; }
+  const GenTConfig& config() const { return config_; }
+
+ private:
+  const DataLake& lake_;
+  GenTConfig config_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+}  // namespace gent
+
+#endif  // GENT_GENT_GENT_H_

@@ -1,0 +1,63 @@
+// Reclamation diagnosis: the cell-level explanation of how a reclaimed
+// table differs from its source (paper Examples 1-2: the *point* of
+// reclamation is telling an analyst which facts the lake supports, which
+// it cannot derive, and which it contradicts).
+
+#ifndef GENT_GENT_REPORT_H_
+#define GENT_GENT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+/// Classification of one source cell against the best aligned reclaimed
+/// tuple of its row.
+enum class CellVerdict {
+  kMatched,        // reclaimed value equals the source value
+  kMissing,        // reclaimed has null where the source has a value
+  kContradicting,  // reclaimed has a different non-null value
+  kUnderivable,    // the whole source row has no aligned reclaimed tuple
+};
+
+std::string CellVerdictName(CellVerdict v);
+
+struct CellFinding {
+  size_t source_row = 0;
+  size_t source_col = 0;
+  CellVerdict verdict = CellVerdict::kMatched;
+  /// The reclaimed value involved (empty for kMissing/kUnderivable).
+  std::string reclaimed_value;
+};
+
+/// The full diagnosis of one reclamation.
+struct ReclamationReport {
+  /// Non-matching cells only (kMatched cells are counted, not listed).
+  std::vector<CellFinding> findings;
+  size_t matched_cells = 0;
+  size_t missing_cells = 0;
+  size_t contradicting_cells = 0;
+  size_t underivable_rows = 0;
+  size_t source_rows = 0;
+
+  bool perfect() const {
+    return missing_cells == 0 && contradicting_cells == 0 &&
+           underivable_rows == 0;
+  }
+
+  /// Human-readable multi-line summary (row/column names resolved).
+  std::string Summarize(const Table& source, size_t max_findings = 20) const;
+};
+
+/// Diagnoses `reclaimed` against `source` (which must declare a key).
+/// For each source row the best aligned reclaimed tuple (most matching
+/// cells) is compared cell by cell over the non-key columns.
+Result<ReclamationReport> DiagnoseReclamation(const Table& source,
+                                              const Table& reclaimed);
+
+}  // namespace gent
+
+#endif  // GENT_GENT_REPORT_H_

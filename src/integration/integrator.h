@@ -1,0 +1,52 @@
+// Table Integration (paper Algorithm 2): integrates a set of originating
+// tables into a reclaimed Source Table using the representative operator
+// set L = {⊎, σ, π, κ, β} (Theorem 8).
+//
+// Pipeline:
+//   1. ProjectSelect — π onto source columns, σ onto source key values.
+//   2. InnerUnion    — merge same-schema tables.
+//   3. LabelSourceNulls — protect source nulls with labeled values so κ/β
+//      cannot "repair" a correct null into an erroneous non-null.
+//   4. TakeMinimalForm — dedupe + β + κ per table.
+//   5. Iterative ⊎ with guarded κ and β: each operator is applied only if
+//      it does not lower the (labeled-null-aware) EIS against the source.
+//   6. RemoveLabeledNulls, pad missing columns, final dedupe.
+
+#ifndef GENT_INTEGRATION_INTEGRATOR_H_
+#define GENT_INTEGRATION_INTEGRATOR_H_
+
+#include <vector>
+
+#include "src/ops/op_limits.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+struct IntegrationOptions {
+  OpLimits limits;
+  /// Apply the κ/β improvement guards (lines 10-13). Off = ablation:
+  /// operators are applied unconditionally, which can over-combine.
+  bool guard_operators = true;
+  /// Label source nulls (line 5). Off = ablation.
+  bool label_source_nulls = true;
+};
+
+/// Runs Algorithm 2. `tables` are the originating tables (schema-matched:
+/// their columns carry source column names). Returns the reclaimed table
+/// with exactly the source's schema. An empty input yields an empty table
+/// with the source schema.
+Result<Table> IntegrateTables(const Table& source,
+                              const std::vector<Table>& tables,
+                              const IntegrationOptions& options = {});
+
+/// π onto the source columns present in `table`, then σ keeping only
+/// tuples whose full key tuple occurs in the source (Algorithm 2 line 3).
+/// Shared with the ALITE-PS baseline, which applies the same
+/// preprocessing before full disjunction.
+Result<Table> ProjectSelectOntoSource(const Table& source,
+                                      const Table& table);
+
+}  // namespace gent
+
+#endif  // GENT_INTEGRATION_INTEGRATOR_H_

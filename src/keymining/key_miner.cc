@@ -1,0 +1,187 @@
+#include "src/keymining/key_miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/ops/unary.h"
+
+namespace gent {
+
+namespace {
+
+// Uniqueness/null statistics of a column combination in one pass.
+struct ComboStats {
+  double non_null_fraction = 0.0;
+  double uniqueness = 0.0;  // distinct / non-null rows
+};
+
+ComboStats ComputeComboStats(const Table& table,
+                             const std::vector<size_t>& cols) {
+  const size_t rows = table.num_rows();
+  ComboStats stats;
+  if (rows == 0) return stats;
+  std::unordered_set<std::vector<ValueId>, RowVectorHash> seen;
+  seen.reserve(rows);
+  size_t non_null_rows = 0;
+  std::vector<ValueId> tuple(cols.size());
+  for (size_t r = 0; r < rows; ++r) {
+    bool any_null = false;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      tuple[i] = table.cell(r, cols[i]);
+      any_null |= (tuple[i] == kNull);
+    }
+    if (any_null) continue;
+    ++non_null_rows;
+    seen.insert(tuple);
+  }
+  stats.non_null_fraction = static_cast<double>(non_null_rows) / rows;
+  stats.uniqueness = non_null_rows == 0
+                         ? 0.0
+                         : static_cast<double>(seen.size()) / non_null_rows;
+  return stats;
+}
+
+// Next k-combination of indices in [0, n) after `combo` (lexicographic).
+// Returns false when exhausted.
+bool NextCombination(std::vector<size_t>& combo, size_t n) {
+  const size_t k = combo.size();
+  for (size_t i = k; i-- > 0;) {
+    if (combo[i] < n - (k - i)) {
+      ++combo[i];
+      for (size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsSupersetOfAny(const std::vector<size_t>& combo,
+                     const std::vector<std::vector<size_t>>& keys) {
+  for (const auto& key : keys) {
+    if (key.size() > combo.size()) continue;
+    if (std::includes(combo.begin(), combo.end(), key.begin(), key.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ColumnProfile ProfileColumn(const Table& table, size_t column) {
+  ColumnProfile profile;
+  const auto& col = table.column(column);
+  std::unordered_set<ValueId> distinct;
+  distinct.reserve(col.size());
+  size_t total_length = 0;
+  size_t non_null = 0;
+  for (ValueId v : col) {
+    if (v == kNull) {
+      ++profile.null_count;
+      continue;
+    }
+    ++non_null;
+    distinct.insert(v);
+    total_length += table.dict()->StringOf(v).size();
+  }
+  profile.distinct_non_null = distinct.size();
+  profile.avg_value_length =
+      non_null == 0 ? 0.0 : static_cast<double>(total_length) / non_null;
+  profile.uniqueness =
+      non_null == 0 ? 0.0
+                    : static_cast<double>(distinct.size()) / non_null;
+  return profile;
+}
+
+CandidateKey KeyMiner::MakeCandidate(const Table& table,
+                                     const std::vector<size_t>& cols) const {
+  CandidateKey key;
+  key.columns = cols;
+  const ComboStats stats = ComputeComboStats(table, cols);
+  key.non_null_fraction = stats.non_null_fraction;
+  key.uniqueness = stats.uniqueness;
+
+  // Scoring heuristics from natural-key discovery: prefer fewer columns,
+  // earlier (left-most) columns, short values, and fully unique/non-null
+  // combinations. All factors in [0,1]; geometric-ish blend.
+  const double arity_factor = 1.0 / static_cast<double>(cols.size());
+  double position_sum = 0.0;
+  double length_factor = 1.0;
+  for (size_t c : cols) {
+    position_sum += 1.0 - static_cast<double>(c) /
+                              std::max<size_t>(1, table.num_cols());
+    const ColumnProfile profile = ProfileColumn(table, c);
+    if (profile.avg_value_length > options_.long_value_threshold) {
+      length_factor *= 0.5;
+    }
+  }
+  const double position_factor = position_sum / cols.size();
+  key.score = 0.4 * stats.uniqueness * stats.non_null_fraction +
+              0.3 * arity_factor + 0.2 * position_factor +
+              0.1 * length_factor;
+  return key;
+}
+
+std::vector<CandidateKey> KeyMiner::Mine(const Table& table) const {
+  std::vector<CandidateKey> result;
+  const size_t n = table.num_cols();
+  if (n == 0 || table.num_rows() == 0) return result;
+
+  // Lattice search, level by level (arity 1, 2, ...). Once a combination
+  // qualifies, every superset is non-minimal and skipped. A further
+  // standard pruning: a combination can only be unique if the product of
+  // its columns' distinct counts reaches the row count.
+  std::vector<ColumnProfile> profiles(n);
+  for (size_t c = 0; c < n; ++c) profiles[c] = ProfileColumn(table, c);
+
+  std::vector<std::vector<size_t>> minimal_keys;
+  const size_t max_arity = std::min(options_.max_key_arity, n);
+  for (size_t arity = 1; arity <= max_arity; ++arity) {
+    std::vector<size_t> combo(arity);
+    for (size_t i = 0; i < arity; ++i) combo[i] = i;
+    do {
+      if (IsSupersetOfAny(combo, minimal_keys)) continue;
+      // Cardinality upper bound: distinct tuples ≤ ∏ distinct values.
+      double distinct_bound = 1.0;
+      for (size_t c : combo) {
+        distinct_bound *= std::max<size_t>(1, profiles[c].distinct_non_null);
+      }
+      const double required =
+          options_.min_uniqueness * options_.min_non_null_fraction *
+          static_cast<double>(table.num_rows());
+      if (distinct_bound + 1e-9 < required) continue;
+
+      const ComboStats stats = ComputeComboStats(table, combo);
+      if (stats.non_null_fraction + 1e-12 <
+              options_.min_non_null_fraction ||
+          stats.uniqueness + 1e-12 < options_.min_uniqueness) {
+        continue;
+      }
+      minimal_keys.push_back(combo);
+      result.push_back(MakeCandidate(table, combo));
+    } while (NextCombination(combo, n));
+  }
+
+  std::stable_sort(result.begin(), result.end(),
+                   [](const CandidateKey& a, const CandidateKey& b) {
+                     return a.score > b.score;
+                   });
+  if (result.size() > options_.max_results) {
+    result.resize(options_.max_results);
+  }
+  return result;
+}
+
+Status KeyMiner::AssignBestKey(Table& table) const {
+  std::vector<CandidateKey> keys = Mine(table);
+  if (keys.empty()) {
+    return Status::NotFound("no candidate key within arity " +
+                            std::to_string(options_.max_key_arity) +
+                            " qualifies for table '" + table.name() + "'");
+  }
+  return table.SetKeyColumns(keys.front().columns);
+}
+
+}  // namespace gent

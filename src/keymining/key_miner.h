@@ -1,0 +1,99 @@
+// Candidate-key discovery for source tables.
+//
+// The paper assumes every Source Table has a (possibly multi-attribute)
+// key and notes it "can be found using existing mining techniques"
+// (§II, citing Jiang & Naumann [21] and Bornemann et al. [22]). This
+// module supplies that substrate: a lattice search over column
+// combinations that finds minimal unique, null-free column sets and
+// ranks them with the scoring heuristics those papers describe
+// (null penalties, value-length, position, and cardinality features).
+//
+// Usage:
+//   KeyMiner miner;                            // default options
+//   std::vector<CandidateKey> keys = miner.Mine(table);
+//   if (!keys.empty()) table.SetKeyColumns(keys.front().columns);
+
+#ifndef GENT_KEYMINING_KEY_MINER_H_
+#define GENT_KEYMINING_KEY_MINER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+/// A minimal candidate key together with the features that ranked it.
+struct CandidateKey {
+  /// Column indices forming the key, ascending.
+  std::vector<size_t> columns;
+  /// Composite score in [0,1]; higher is a better "natural" key.
+  double score = 0.0;
+  /// Fraction of rows whose key tuple is entirely non-null (1.0 for a
+  /// strict key; the miner can tolerate a small null fraction).
+  double non_null_fraction = 1.0;
+  /// Fraction of distinct key tuples among non-null rows (1.0 = unique).
+  double uniqueness = 1.0;
+};
+
+struct KeyMinerOptions {
+  /// Largest number of columns a candidate key may have. The lattice
+  /// grows combinatorially; 3 covers every key the paper's benchmarks
+  /// use (TPC-H keys are 1-2 columns).
+  size_t max_key_arity = 3;
+  /// Candidate keys must be non-null on at least this fraction of rows.
+  /// 1.0 mines strict keys; lower values tolerate dirty lake tables.
+  double min_non_null_fraction = 1.0;
+  /// Candidate keys must be unique on at least this fraction of their
+  /// non-null rows. 1.0 mines exact keys.
+  double min_uniqueness = 1.0;
+  /// Keep at most this many ranked keys.
+  size_t max_results = 8;
+  /// Columns whose average value length exceeds this are penalized as
+  /// unlikely "natural" keys (long free text; Bornemann et al. observe
+  /// natural keys are short).
+  size_t long_value_threshold = 64;
+};
+
+class KeyMiner {
+ public:
+  explicit KeyMiner(KeyMinerOptions options = {}) : options_(options) {}
+
+  /// Mines minimal candidate keys of `table`, best first. Returns an
+  /// empty vector when no column set within the arity bound qualifies
+  /// (e.g. duplicate rows). Minimality: no returned key is a superset
+  /// of another qualifying key.
+  std::vector<CandidateKey> Mine(const Table& table) const;
+
+  /// Convenience: mines and installs the best key on `table`.
+  /// Fails with kNotFound when no key qualifies.
+  Status AssignBestKey(Table& table) const;
+
+  const KeyMinerOptions& options() const { return options_; }
+
+ private:
+  /// Scores a qualifying key (uniqueness, nulls, arity, position,
+  /// value-length features combined).
+  CandidateKey MakeCandidate(const Table& table,
+                             const std::vector<size_t>& cols) const;
+
+  KeyMinerOptions options_;
+};
+
+/// Profile of one column, reused by the miner and exposed for tests and
+/// diagnostics (e.g. the lake-debugging example prints these).
+struct ColumnProfile {
+  size_t distinct_non_null = 0;
+  size_t null_count = 0;
+  double avg_value_length = 0.0;
+  /// distinct_non_null / non-null row count (0 when the column is all null).
+  double uniqueness = 0.0;
+};
+
+ColumnProfile ProfileColumn(const Table& table, size_t column);
+
+}  // namespace gent
+
+#endif  // GENT_KEYMINING_KEY_MINER_H_

@@ -1,0 +1,50 @@
+#include "src/lake/data_lake.h"
+
+#include "src/table/table_io.h"
+
+namespace gent {
+
+Status DataLake::AddTable(Table table) {
+  if (table.dict() != dict_) {
+    return Status::InvalidArgument("table uses a foreign dictionary: " +
+                                   table.name());
+  }
+  if (by_name_.count(table.name()) > 0) {
+    return Status::AlreadyExists("table already registered: " + table.name());
+  }
+  by_name_.emplace(table.name(), tables_.size());
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Result<size_t> DataLake::IndexOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("no table: " + name);
+  return it->second;
+}
+
+Status DataLake::LoadDirectory(const std::string& dir) {
+  GENT_ASSIGN_OR_RETURN(auto tables, ReadTableDirectory(dict_, dir));
+  for (auto& t : tables) {
+    GENT_RETURN_IF_ERROR(AddTable(std::move(t)));
+  }
+  return Status::OK();
+}
+
+DataLake::Stats DataLake::ComputeStats() const {
+  Stats s;
+  s.num_tables = tables_.size();
+  size_t total_rows = 0;
+  for (const auto& t : tables_) {
+    s.num_columns += t.num_cols();
+    total_rows += t.num_rows();
+    s.total_cells += t.num_cells();
+  }
+  s.avg_rows = tables_.empty()
+                   ? 0
+                   : static_cast<double>(total_rows) /
+                         static_cast<double>(tables_.size());
+  return s;
+}
+
+}  // namespace gent

@@ -1,0 +1,53 @@
+// The data lake: a registry of tables sharing one value dictionary.
+
+#ifndef GENT_LAKE_DATA_LAKE_H_
+#define GENT_LAKE_DATA_LAKE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+class DataLake {
+ public:
+  explicit DataLake(DictionaryPtr dict) : dict_(std::move(dict)) {}
+  DataLake() : DataLake(MakeDictionary()) {}
+
+  const DictionaryPtr& dict() const { return dict_; }
+
+  /// Registers a table. The table must use this lake's dictionary and its
+  /// name must be unique in the lake.
+  Status AddTable(Table table);
+
+  size_t size() const { return tables_.size(); }
+  const Table& table(size_t i) const { return tables_[i]; }
+  const std::vector<Table>& tables() const { return tables_; }
+
+  /// Index of the table named `name`, if registered.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Loads every .csv file in `dir` as a lake table.
+  Status LoadDirectory(const std::string& dir);
+
+  /// Aggregate statistics (for Table I-style reporting).
+  struct Stats {
+    size_t num_tables = 0;
+    size_t num_columns = 0;
+    double avg_rows = 0;
+    size_t total_cells = 0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  DictionaryPtr dict_;
+  std::vector<Table> tables_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace gent
+
+#endif  // GENT_LAKE_DATA_LAKE_H_

@@ -1,0 +1,75 @@
+// Value-level inverted index over a data lake.
+//
+// Maps each distinct ValueId to the (table, column) pairs containing it —
+// the workhorse behind candidate retrieval. This plays the role of the
+// JOSIE-style exact set-containment index in the paper (§V-A1): given a
+// source column's value set, it returns every lake column's overlap count
+// in one merged postings scan, without touching non-matching tables.
+
+#ifndef GENT_LAKE_INVERTED_INDEX_H_
+#define GENT_LAKE_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/lake/data_lake.h"
+
+namespace gent {
+
+/// A (table, column) coordinate in the lake.
+struct ColumnRef {
+  uint32_t table = 0;
+  uint32_t column = 0;
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+};
+
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& c) const {
+    return (static_cast<uint64_t>(c.table) << 32) | c.column;
+  }
+};
+
+class InvertedIndex {
+ public:
+  /// Builds postings for every cell of every table in `lake`.
+  /// The index holds a reference; the lake must outlive it.
+  explicit InvertedIndex(const DataLake& lake);
+
+  /// For a query value set, the number of distinct query values present in
+  /// each lake column that shares at least one value.
+  std::unordered_map<ColumnRef, uint32_t, ColumnRefHash> OverlapCounts(
+      const std::unordered_set<ValueId>& values) const;
+
+  /// Top-k lake tables ranked by total distinct source values shared
+  /// across all columns of the whole query table (the recall stage that
+  /// stands in for Starmie's dense retrieval; see DESIGN.md §3.4).
+  std::vector<size_t> TopKTables(const Table& query, size_t k) const;
+
+  /// Distinct value set of one lake column.
+  const std::vector<ValueId>& ColumnValues(ColumnRef ref) const;
+
+  const DataLake& lake() const { return lake_; }
+
+ private:
+  const DataLake& lake_;
+  std::unordered_map<ValueId, std::vector<ColumnRef>> postings_;
+  // Distinct values per column, for overlap verification.
+  std::unordered_map<ColumnRef, std::vector<ValueId>, ColumnRefHash>
+      column_values_;
+};
+
+/// Distinct non-null values of column `c` of `t`.
+std::unordered_set<ValueId> DistinctColumnValues(const Table& t, size_t c);
+
+/// |a ∩ b| for id sets.
+size_t SetIntersectionSize(const std::unordered_set<ValueId>& a,
+                           const std::unordered_set<ValueId>& b);
+
+}  // namespace gent
+
+#endif  // GENT_LAKE_INVERTED_INDEX_H_

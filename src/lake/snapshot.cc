@@ -1,0 +1,189 @@
+#include "src/lake/snapshot.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace gent {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'E', 'N', 'T', 'S', 'N', 'A', 'P'};
+constexpr uint32_t kVersion = 1;
+
+// Thin RAII + typed-write/read helpers over stdio. All multi-byte values
+// little-endian; this code assumes a little-endian host (x86/ARM), as
+// the rest of the library does.
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : file_(std::fopen(path.c_str(), "wb")) {}
+  ~Writer() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  void Bytes(const void* data, size_t n) {
+    if (!ok()) return;
+    failed_ |= std::fwrite(data, 1, n, file_) != n;
+  }
+  void U32(uint32_t v) { Bytes(&v, sizeof v); }
+  void U64(uint64_t v) { Bytes(&v, sizeof v); }
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+
+ private:
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : file_(std::fopen(path.c_str(), "rb")) {}
+  ~Reader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  bool open() const { return file_ != nullptr; }
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  void Bytes(void* data, size_t n) {
+    if (!ok()) return;
+    failed_ |= std::fread(data, 1, n, file_) != n;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Bytes(&v, sizeof v);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Bytes(&v, sizeof v);
+    return v;
+  }
+  std::string String(uint32_t max_len = 1u << 24) {
+    const uint32_t n = U32();
+    if (n > max_len) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(n, '\0');
+    Bytes(s.data(), n);
+    return s;
+  }
+
+ private:
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Status SaveSnapshot(const DataLake& lake, const std::string& path) {
+  const ValueDictionary& dict = *lake.dict();
+  Writer w(path);
+  if (!w.ok()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  w.Bytes(kMagic, sizeof kMagic);
+  w.U32(kVersion);
+
+  // Dictionary: every id in order, so loaded ids can be remapped by
+  // index. Id 0 is the null sentinel and is written as the empty string.
+  const uint64_t dict_size = dict.size();
+  w.U64(dict_size);
+  for (uint64_t id = 0; id < dict_size; ++id) {
+    if (dict.IsLabeledNull(static_cast<ValueId>(id))) {
+      return Status::InvalidArgument(
+          "snapshot cannot contain labeled nulls (transient integration "
+          "state)");
+    }
+    w.String(dict.StringOf(static_cast<ValueId>(id)));
+  }
+
+  w.U64(lake.size());
+  for (const Table& t : lake.tables()) {
+    w.String(t.name());
+    w.U32(static_cast<uint32_t>(t.num_cols()));
+    for (const std::string& name : t.column_names()) w.String(name);
+    w.U32(static_cast<uint32_t>(t.key_columns().size()));
+    for (size_t k : t.key_columns()) w.U32(static_cast<uint32_t>(k));
+    w.U64(t.num_rows());
+    for (size_t c = 0; c < t.num_cols(); ++c) {
+      const auto& col = t.column(c);
+      w.Bytes(col.data(), col.size() * sizeof(ValueId));
+    }
+  }
+  if (!w.ok()) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Status LoadSnapshot(DataLake& lake, const std::string& path) {
+  Reader r(path);
+  if (!r.open()) return Status::IOError("cannot open '" + path + "'");
+  char magic[8];
+  r.Bytes(magic, sizeof magic);
+  if (!r.ok() || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a gent snapshot");
+  }
+  const uint32_t version = r.U32();
+  if (version > kVersion) {
+    return Status::InvalidArgument(
+        "snapshot version " + std::to_string(version) +
+        " is newer than supported version " + std::to_string(kVersion));
+  }
+
+  // Dictionary remap: saved id -> id in the target dictionary.
+  const uint64_t dict_size = r.U64();
+  if (!r.ok()) return Status::IOError("truncated snapshot header");
+  std::vector<ValueId> remap(dict_size, kNull);
+  for (uint64_t id = 0; id < dict_size; ++id) {
+    const std::string s = r.String();
+    if (!r.ok()) return Status::IOError("truncated snapshot dictionary");
+    remap[id] = id == 0 ? kNull : lake.dict()->Intern(s);
+  }
+
+  const uint64_t table_count = r.U64();
+  if (!r.ok()) return Status::IOError("truncated snapshot: no table count");
+  for (uint64_t i = 0; i < table_count; ++i) {
+    const std::string name = r.String();
+    const uint32_t cols = r.U32();
+    if (!r.ok() || cols > (1u << 20)) {
+      return Status::IOError("truncated or corrupt snapshot table header");
+    }
+    Table t(name, lake.dict());
+    for (uint32_t c = 0; c < cols; ++c) {
+      GENT_RETURN_IF_ERROR(t.AddColumn(r.String()));
+    }
+    const uint32_t key_count = r.U32();
+    std::vector<size_t> keys;
+    for (uint32_t k = 0; k < key_count; ++k) keys.push_back(r.U32());
+    const uint64_t rows = r.U64();
+    if (!r.ok()) return Status::IOError("truncated snapshot table");
+    std::vector<ValueId> column(rows);
+    for (uint32_t c = 0; c < cols; ++c) {
+      r.Bytes(column.data(), rows * sizeof(ValueId));
+      if (!r.ok()) return Status::IOError("truncated snapshot column data");
+      auto& dst = t.mutable_column(c);
+      dst.resize(rows);
+      for (uint64_t row = 0; row < rows; ++row) {
+        const ValueId saved = column[row];
+        if (saved >= remap.size()) {
+          return Status::IOError("corrupt snapshot: value id out of range");
+        }
+        dst[row] = remap[saved];
+      }
+    }
+    if (!keys.empty()) {
+      GENT_RETURN_IF_ERROR(t.SetKeyColumns(keys));
+    }
+    GENT_RETURN_IF_ERROR(lake.AddTable(std::move(t)));
+  }
+  return Status::OK();
+}
+
+}  // namespace gent

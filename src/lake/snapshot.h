@@ -1,0 +1,46 @@
+// Binary snapshots of a data lake.
+//
+// Loading a lake from a directory of CSVs re-parses and re-interns every
+// cell; for the repository sizes the paper targets (up to 15K tables,
+// §VI-A) that dominates startup. A snapshot serializes the dictionary
+// once and every table as raw ValueId columns, so reloading is a single
+// sequential read with no parsing or hashing.
+//
+// Format (little-endian, versioned):
+//   magic "GENTSNAP" | u32 version | u64 dictionary size
+//   per dictionary entry: u32 length, bytes   (ids are implicit, in order)
+//   u64 table count
+//   per table: name, u32 column count, column names,
+//              u32 key-column count, u32 key indices,
+//              u64 row count, columns as u32 ValueId runs
+//
+// Snapshots are self-contained: ids written are ids of the saved
+// dictionary, and LoadSnapshot re-interns them into the target
+// dictionary, so a snapshot can be loaded into a non-empty lake.
+// Labeled nulls are never written (they are transient integration
+// state); encountering one while saving is an error.
+
+#ifndef GENT_LAKE_SNAPSHOT_H_
+#define GENT_LAKE_SNAPSHOT_H_
+
+#include <string>
+
+#include "src/lake/data_lake.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+/// Writes `lake` to `path`, overwriting. Fails with InvalidArgument if a
+/// labeled null is present, IOError on filesystem trouble.
+Status SaveSnapshot(const DataLake& lake, const std::string& path);
+
+/// Appends every table of the snapshot at `path` into `lake`,
+/// re-interning values into lake.dict(). Fails with IOError on a
+/// missing/short file, InvalidArgument on bad magic or a version from
+/// the future, AlreadyExists on a table-name collision (the lake is left
+/// with the tables added so far in that case).
+Status LoadSnapshot(DataLake& lake, const std::string& path);
+
+}  // namespace gent
+
+#endif  // GENT_LAKE_SNAPSHOT_H_

@@ -1,0 +1,129 @@
+#include "src/matrix/alignment_matrix.h"
+
+#include <algorithm>
+
+namespace gent {
+
+size_t AlignmentMatrix::TotalAlternatives() const {
+  size_t n = 0;
+  for (const auto& alts : rows_) n += alts.size();
+  return n;
+}
+
+Result<AlignmentMatrix> InitializeMatrix(const Table& source,
+                                         const Table& candidate,
+                                         const MatrixOptions& options) {
+  if (!source.has_key()) {
+    return Status::InvalidArgument("source has no key");
+  }
+  // Candidate column for each source column, or SIZE_MAX if absent.
+  std::vector<size_t> cand_col(source.num_cols(), SIZE_MAX);
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    auto idx = candidate.ColumnIndex(source.column_name(c));
+    if (idx.has_value()) cand_col[c] = *idx;
+  }
+  for (size_t kc : source.key_columns()) {
+    if (cand_col[kc] == SIZE_MAX) {
+      return Status::InvalidArgument(
+          candidate.name() + " does not cover source key column " +
+          source.column_name(kc) + "; run Expand() first");
+    }
+  }
+
+  KeyIndex source_keys = source.BuildKeyIndex();
+  AlignmentMatrix m(source.num_rows());
+
+  KeyTuple key(source.key_columns().size());
+  for (size_t r = 0; r < candidate.num_rows(); ++r) {
+    bool null_key = false;
+    for (size_t i = 0; i < source.key_columns().size(); ++i) {
+      key[i] = candidate.cell(r, cand_col[source.key_columns()[i]]);
+      null_key |= key[i] == kNull;
+    }
+    if (null_key) continue;  // cannot align on a null key
+    auto it = source_keys.find(key);
+    if (it == source_keys.end()) continue;  // aligns with no source tuple
+    for (size_t src_row : it->second) {
+      TruthRow row(source.num_cols());
+      for (size_t c = 0; c < source.num_cols(); ++c) {
+        ValueId sv = source.cell(src_row, c);
+        ValueId cv = cand_col[c] == SIZE_MAX ? kNull
+                                             : candidate.cell(r, cand_col[c]);
+        int8_t truth;
+        if (sv == cv) {
+          truth = 1;  // includes null == null
+        } else if (sv != kNull && cv == kNull) {
+          truth = 0;  // nullified
+        } else {
+          truth = options.three_valued ? int8_t{-1} : int8_t{0};
+        }
+        row[c] = truth;
+      }
+      m.Add(src_row, std::move(row));
+    }
+  }
+  return m;
+}
+
+bool CombineRows(const TruthRow& a, const TruthRow& b, TruthRow* merged) {
+  // Contradiction: both non-zero and different (one +1, one -1).
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (a[j] != 0 && b[j] != 0 && a[j] != b[j]) return false;
+  }
+  merged->resize(a.size());
+  for (size_t j = 0; j < a.size(); ++j) {
+    (*merged)[j] = std::max(a[j], b[j]);
+  }
+  return true;
+}
+
+AlignmentMatrix CombineMatrices(const AlignmentMatrix& a,
+                                const AlignmentMatrix& b) {
+  AlignmentMatrix out(a.num_source_rows());
+  TruthRow merged;
+  for (size_t i = 0; i < a.num_source_rows(); ++i) {
+    std::vector<TruthRow> result = a.alternatives(i);
+    for (const TruthRow& rb : b.alternatives(i)) {
+      bool absorbed = false;
+      for (auto& ra : result) {
+        if (CombineRows(ra, rb, &merged)) {
+          ra = merged;
+          absorbed = true;
+          break;
+        }
+      }
+      if (!absorbed) result.push_back(rb);
+    }
+    out.mutable_alternatives(i) = std::move(result);
+  }
+  return out;
+}
+
+double EvaluateMatrixSimilarity(const AlignmentMatrix& m,
+                                const Table& source) {
+  // Non-key column positions.
+  std::vector<size_t> nonkey;
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    if (!source.IsKeyColumn(c)) nonkey.push_back(c);
+  }
+  const double n = static_cast<double>(nonkey.size());
+  if (source.num_rows() == 0) return 0.0;
+
+  double total = 0.0;
+  for (size_t i = 0; i < m.num_source_rows(); ++i) {
+    double best = 0.0;  // no aligned tuple contributes 0
+    for (const TruthRow& alt : m.alternatives(i)) {
+      double alpha = 0, delta = 0;
+      for (size_t c : nonkey) {
+        if (alt[c] > 0) alpha += 1;
+        if (alt[c] < 0) delta += 1;
+      }
+      double e = n == 0 ? 1.0 : (alpha - delta) / n;
+      best = std::max(best, 0.5 * (1.0 + e));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(source.num_rows());
+}
+
+}  // namespace gent

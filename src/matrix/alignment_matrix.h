@@ -1,0 +1,92 @@
+// Three-valued alignment matrices (paper §V-A2, §V-A3).
+//
+// A candidate table is represented relative to the Source Table S as a
+// matrix with S's shape. For each candidate tuple aligned (by key) to
+// source row i, cell (i, j) encodes (Eq. 4):
+//
+//    +1  candidate value equals S[i,j]            (match; null==null too)
+//     0  candidate is null where S[i,j] is not    (nullified)
+//    -1  candidate has a non-null value that contradicts S[i,j], or is
+//        non-null where S[i,j] is null            (erroneous)
+//
+// Because integration can keep contradicting tuples separate, a source row
+// may have several aligned alternatives; the matrix is stored row-sparse as
+// source-row → list of int8 rows. Combining two matrices with the guarded
+// logical OR (Eq. 5) simulates Outer Union + κ + β without touching data.
+
+#ifndef GENT_MATRIX_ALIGNMENT_MATRIX_H_
+#define GENT_MATRIX_ALIGNMENT_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/discovery/discovery.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+/// One aligned alternative: a row of truth values over source columns.
+using TruthRow = std::vector<int8_t>;
+
+class AlignmentMatrix {
+ public:
+  /// An empty matrix over `num_source_rows` rows.
+  explicit AlignmentMatrix(size_t num_source_rows)
+      : rows_(num_source_rows) {}
+
+  size_t num_source_rows() const { return rows_.size(); }
+
+  const std::vector<TruthRow>& alternatives(size_t src_row) const {
+    return rows_[src_row];
+  }
+  std::vector<TruthRow>& mutable_alternatives(size_t src_row) {
+    return rows_[src_row];
+  }
+
+  /// Adds an aligned alternative for a source row.
+  void Add(size_t src_row, TruthRow row) {
+    rows_[src_row].push_back(std::move(row));
+  }
+
+  /// Total number of stored alternatives.
+  size_t TotalAlternatives() const;
+
+ private:
+  std::vector<std::vector<TruthRow>> rows_;
+};
+
+struct MatrixOptions {
+  /// Three-valued encoding (paper §V-A3). False = binary ablation
+  /// (§V-A2): erroneous cells collapse to 0.
+  bool three_valued = true;
+};
+
+/// Builds the alignment matrix of `candidate` w.r.t. `source`
+/// (MatrixInitialization, Algorithm 1 line 4). The candidate must cover
+/// the source key (run Expand() first otherwise). Candidate columns are
+/// matched to source columns by name (discovery already renamed them).
+Result<AlignmentMatrix> InitializeMatrix(const Table& source,
+                                         const Table& candidate,
+                                         const MatrixOptions& options = {});
+
+/// Guarded elementwise OR of two truth rows (Eq. 5 applied to one pair):
+/// returns true and writes `*merged` when no position holds contradicting
+/// non-zero values; returns false (keep both rows) otherwise.
+bool CombineRows(const TruthRow& a, const TruthRow& b, TruthRow* merged);
+
+/// Combine two matrices (Eq. 5 lifted to row lists): per source row,
+/// alternatives that agree on non-zero positions merge via OR; the rest
+/// stay separate.
+AlignmentMatrix CombineMatrices(const AlignmentMatrix& a,
+                                const AlignmentMatrix& b);
+
+/// evaluateSimilarity (Algorithm 1): the EIS score the matrix predicts for
+/// the simulated integration — per source row take the best alternative's
+/// 0.5·(1 + (α−δ)/n) over non-key attributes; rows with no aligned
+/// alternative contribute 0.
+double EvaluateMatrixSimilarity(const AlignmentMatrix& m, const Table& source);
+
+}  // namespace gent
+
+#endif  // GENT_MATRIX_ALIGNMENT_MATRIX_H_

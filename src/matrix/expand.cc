@@ -1,0 +1,410 @@
+#include "src/matrix/expand.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "src/matrix/alignment_matrix.h"
+#include "src/ops/join.h"
+#include "src/ops/unary.h"
+#include "src/ops/union.h"
+
+namespace gent {
+
+namespace {
+
+// A joinable column pair between two candidate tables, discovered by
+// value overlap (lake metadata is unreliable, so edges are value-based:
+// "edges = tables that have joinable columns; edge weights = value
+// overlap of joinable columns", Algorithm 5).
+struct JoinPair {
+  size_t a_col = 0;
+  size_t b_col = 0;
+  double weight = 0.0;  // |Va ∩ Vb| / max(|Va|, |Vb|)
+  size_t inter = 0;
+};
+
+// Distinct value sets per column, computed once per candidate.
+using ColumnSets = std::vector<std::unordered_set<ValueId>>;
+
+ColumnSets ComputeColumnSets(const Table& t) {
+  ColumnSets sets(t.num_cols());
+  for (size_t c = 0; c < t.num_cols(); ++c) {
+    sets[c] = DistinctColumnValues(t, c);
+  }
+  return sets;
+}
+
+// Best joinable pair between tables a and b, or nullopt when no pair is
+// strong enough. Pair weight = containment × keyness:
+//   containment = |Va ∩ Vb| / max(|Va|, |Vb|) — max-normalization avoids
+//     spurious edges from small domains inside large unrelated ones;
+//   keyness = max over the two sides of (distinct values / rows) — joins
+//     should run into a column that behaves like a key, keeping the path
+//     "as close to functional as possible" (Algorithm 5). A low-keyness
+//     pair (e.g. a 25-value nation id over 400 rows) is a many-to-many
+//     join that attaches rows to unrelated keys.
+std::optional<JoinPair> BestJoinPair(const ColumnSets& a, size_t rows_a,
+                                     const ColumnSets& b, size_t rows_b,
+                                     double threshold) {
+  std::optional<JoinPair> best;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].empty()) continue;
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (b[j].empty()) continue;
+      size_t inter = SetIntersectionSize(a[i], b[j]);
+      if (inter == 0) continue;
+      double containment =
+          static_cast<double>(inter) /
+          static_cast<double>(std::max(a[i].size(), b[j].size()));
+      double keyness = std::max(
+          rows_a == 0 ? 0.0
+                      : static_cast<double>(a[i].size()) /
+                            static_cast<double>(rows_a),
+          rows_b == 0 ? 0.0
+                      : static_cast<double>(b[j].size()) /
+                            static_cast<double>(rows_b));
+      double w = containment * keyness;
+      if (w < threshold) continue;
+      if (!best || w > best->weight ||
+          (w == best->weight && inter > best->inter)) {
+        best = JoinPair{i, j, w, inter};
+      }
+    }
+  }
+  return best;
+}
+
+// Joins `left` with `right` on exactly the given column pair: the right
+// join column is renamed to the left's name, and colliding non-join
+// columns are suffixed out of the way. Collisions on names in
+// `preserve_right` keep the RIGHT column (the expansion-start candidate's
+// data) and move the left's aside — the left (hop) table's same-named
+// column is usually a spurious mapping over an overlapping domain.
+Result<Table> JoinOnPair(const Table& left, const Table& right,
+                         size_t left_col, size_t right_col,
+                         const std::unordered_set<std::string>& preserve_right,
+                         const OpLimits& limits) {
+  Table l = left.Clone();
+  Table r = right.Clone();
+  for (size_t c = 0; c < r.num_cols(); ++c) {
+    if (c == right_col) continue;
+    const std::string& name = r.column_name(c);
+    auto lc = l.ColumnIndex(name);
+    if (!lc.has_value()) continue;
+    if (preserve_right.count(name) > 0 && *lc != left_col) {
+      std::string fresh = name + "#hop";
+      while (r.HasColumn(fresh) || l.HasColumn(fresh)) fresh += "'";
+      GENT_RETURN_IF_ERROR(l.RenameColumn(*lc, fresh));
+    } else {
+      std::string fresh = name + "#dup";
+      while (r.HasColumn(fresh) || l.HasColumn(fresh)) fresh += "'";
+      GENT_RETURN_IF_ERROR(r.RenameColumn(c, fresh));
+    }
+  }
+  const std::string& join_name = l.column_name(left_col);
+  if (r.column_name(right_col) != join_name) {
+    if (r.HasColumn(join_name)) {
+      // Can't happen after the collision pass, but guard anyway.
+      return Status::Internal("join column collision");
+    }
+    GENT_RETURN_IF_ERROR(r.RenameColumn(right_col, join_name));
+  }
+  return NaturalJoin(l, r, JoinKind::kInner, limits);
+}
+
+}  // namespace
+
+Result<ExpandResult> Expand(const Table& source,
+                            const std::vector<Candidate>& candidates,
+                            const OpLimits& limits) {
+  constexpr double kJoinThreshold = 0.3;
+  const size_t n = candidates.size();
+  ExpandResult result;
+
+  // Expansion joins are a means to key coverage, not an end product; a
+  // path whose intermediate result explodes is a wrong join (weak pair,
+  // many-to-many) and gets dropped rather than materialized. The cap also
+  // protects the caller's memory when `limits` is unbounded.
+  OpLimits join_limits = limits;
+  join_limits.MaxRows(std::min<uint64_t>(limits.max_rows(), 200000));
+
+  // Column value sets, once per candidate.
+  std::vector<ColumnSets> sets;
+  sets.reserve(n);
+  for (const auto& c : candidates) {
+    sets.push_back(ComputeColumnSets(c.table));
+  }
+
+  // Join graph: value-overlap edges with their best column pair.
+  struct Edge {
+    size_t to;
+    JoinPair pair;  // pair.a_col indexes the *from* table
+  };
+  std::vector<std::vector<Edge>> adj(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      auto pair =
+          BestJoinPair(sets[i], candidates[i].table.num_rows(), sets[j],
+                       candidates[j].table.num_rows(), kJoinThreshold);
+      if (!pair) continue;
+      adj[i].push_back(Edge{j, *pair});
+      adj[j].push_back(Edge{i, JoinPair{pair->b_col, pair->a_col,
+                                        pair->weight, pair->inter}});
+    }
+  }
+
+  if (getenv("GENT_DEBUG_EXPAND")) {
+    for (size_t i = 0; i < n; ++i) {
+      fprintf(stderr, "[edges] %s:", candidates[i].table.name().c_str());
+      for (const Edge& e : adj[i]) {
+        fprintf(stderr, " %s(w=%.2f,%s~%s)",
+                candidates[e.to].table.name().c_str(), e.pair.weight,
+                candidates[i].table.column_name(e.pair.a_col).c_str(),
+                candidates[e.to].table.column_name(e.pair.b_col).c_str());
+      }
+      fprintf(stderr, "\n");
+    }
+  }
+  // Best join path from `start` to any key-covering candidate: Dijkstra
+  // with edge cost (1 + penalty - w); `forced_first` optionally pins the
+  // first hop (alternative-path enumeration).
+  constexpr double kHopPenalty = 0.25;
+  auto best_path = [&](size_t start, size_t forced_first) -> std::vector<size_t> {
+    std::vector<double> cost(n, 1e18);
+    std::vector<size_t> parent(n, SIZE_MAX);
+    std::vector<bool> settled(n, false);
+    size_t root = start;
+    if (forced_first != SIZE_MAX) {
+      root = forced_first;
+      if (candidates[root].covers_key) return {start, root};
+      settled[start] = true;  // never route back through the start
+    }
+    cost[root] = 0.0;
+    size_t end_node = SIZE_MAX;
+    while (true) {
+      size_t node = SIZE_MAX;
+      double bc = 1e18;
+      for (size_t v = 0; v < n; ++v) {
+        if (!settled[v] && cost[v] < bc) { bc = cost[v]; node = v; }
+      }
+      if (node == SIZE_MAX) break;
+      settled[node] = true;
+      if (node != start && candidates[node].covers_key) { end_node = node; break; }
+      for (const Edge& e : adj[node]) {
+        double c = cost[node] + (1.0 - e.pair.weight) + kHopPenalty;
+        if (c < cost[e.to]) { cost[e.to] = c; parent[e.to] = node; }
+      }
+    }
+    if (end_node == SIZE_MAX) return {};
+    std::vector<size_t> path;
+    for (size_t cur = end_node; cur != SIZE_MAX; cur = parent[cur]) path.push_back(cur);
+    if (forced_first != SIZE_MAX) path.push_back(start);
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  const bool debug = getenv("GENT_DEBUG_EXPAND") != nullptr;
+
+  // Materializes one expansion along `path`; nullopt = unusable.
+  auto build_expansion = [&](size_t ci, const std::vector<size_t>& path)
+      -> std::optional<Table> {
+    const Candidate& cand = candidates[ci];
+    Table joined = candidates[path[0]].table.Clone();
+    ColumnSets joined_sets = sets[path[0]];
+    for (size_t p = 1; p < path.size(); ++p) {
+      size_t next = path[p];
+      auto pair = BestJoinPair(joined_sets, joined.num_rows(), sets[next],
+                               candidates[next].table.num_rows(),
+                               kJoinThreshold);
+      if (!pair) return std::nullopt;
+      // Join against the inner-union of the hop table's schema family: a
+      // single lake table may be missing join-key values (nulls) that a
+      // sibling variant supplies.
+      Table hop_table = candidates[next].table.Clone();
+      for (size_t other = 0; other < n; ++other) {
+        if (other == next || other == ci) continue;
+        auto unioned = InnerUnion(hop_table, candidates[other].table);
+        if (unioned.ok()) hop_table = std::move(unioned).value();
+      }
+      if (debug) {
+        fprintf(stderr, "[hop] %s: %s ~ %s (w=%.2f)\n",
+                cand.table.name().c_str(),
+                joined.column_name(pair->a_col).c_str(),
+                candidates[next].table.column_name(pair->b_col).c_str(),
+                pair->weight);
+      }
+      // Hop table on the LEFT so its column names -- including the mapped
+      // source key columns of the path's end table -- survive the rename.
+      std::unordered_set<std::string> preserve(
+          cand.table.column_names().begin(), cand.table.column_names().end());
+      auto j = JoinOnPair(hop_table, joined, pair->b_col, pair->a_col,
+                          preserve, join_limits);
+      if (!j.ok()) return std::nullopt;
+      joined = std::move(j).value();
+      joined_sets = ComputeColumnSets(joined);
+    }
+    if (joined.num_rows() == 0) return std::nullopt;
+    for (size_t kc : source.key_columns()) {
+      if (!joined.HasColumn(source.column_name(kc))) return std::nullopt;
+    }
+    // Keep only the start candidate's own columns plus the source key:
+    // the join partners are candidates in their own right, and carrying
+    // their cells here would duplicate (and, for erroneous variants,
+    // pollute) what they already contribute directly.
+    std::vector<std::string> keep;
+    for (size_t kc : source.key_columns()) {
+      keep.push_back(source.column_name(kc));
+    }
+    for (const auto& name : cand.table.column_names()) {
+      if (std::find(keep.begin(), keep.end(), name) == keep.end() &&
+          joined.HasColumn(name)) {
+        keep.push_back(name);
+      }
+    }
+    auto projected = Project(joined, keep);
+    if (!projected.ok()) return std::nullopt;
+    joined = Distinct(*projected);
+
+    // Post-expansion mapping verification: now that the table covers the
+    // key, aligned rows expose mis-mapped columns (a constant or tiny
+    // source domain is trivially "contained" in many unrelated columns).
+    // Columns whose aligned values systematically contradict the source
+    // are unmapped so they cannot block complementation later.
+    {
+      std::vector<size_t> key_cols;
+      for (size_t kc : source.key_columns()) {
+        key_cols.push_back(*joined.ColumnIndex(source.column_name(kc)));
+      }
+      KeyIndex source_keys = source.BuildKeyIndex();
+      std::vector<std::pair<size_t, size_t>> align;
+      KeyTuple key(key_cols.size());
+      for (size_t r = 0; r < joined.num_rows(); ++r) {
+        bool null_key = false;
+        for (size_t k = 0; k < key_cols.size(); ++k) {
+          key[k] = joined.cell(r, key_cols[k]);
+          null_key |= key[k] == kNull;
+        }
+        if (null_key) continue;
+        auto it = source_keys.find(key);
+        if (it != source_keys.end()) align.emplace_back(r, it->second.front());
+      }
+      for (size_t c = 0; c < joined.num_cols(); ++c) {
+        auto sc = source.ColumnIndex(joined.column_name(c));
+        if (!sc.has_value() || source.IsKeyColumn(*sc)) continue;
+        size_t both = 0, eq = 0;
+        for (const auto& [jr, sr] : align) {
+          ValueId jv = joined.cell(jr, c);
+          ValueId sv = source.cell(sr, *sc);
+          if (jv == kNull || sv == kNull) continue;
+          ++both;
+          eq += jv == sv;
+        }
+        if (both >= 3 &&
+            static_cast<double>(eq) / static_cast<double>(both) < 0.15) {
+          std::string neutral = "#mismapped_" + joined.column_name(c);
+          while (joined.HasColumn(neutral)) neutral += "'";
+          (void)joined.RenameColumn(c, neutral);
+        }
+      }
+    }
+    joined.set_name(cand.table.name() + "+expanded");
+    return joined;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const Candidate& cand = candidates[i];
+    if (cand.covers_key) {
+      result.tables.push_back(cand.table.Clone());
+      continue;
+    }
+    // Alternative paths: the globally best path plus paths forced through
+    // the strongest schema-distinct neighbors. Value statistics cannot
+    // always tell a true foreign key from a coincidental dense-integer
+    // containment, so each materialized alternative is scored against
+    // the source (simulated EIS) and the best expansion wins.
+    constexpr size_t kMaxAlternativePaths = 4;
+    std::vector<std::vector<size_t>> paths;
+    auto add_path = [&](std::vector<size_t> p) {
+      if (p.empty()) return;
+      for (const auto& existing : paths) {
+        if (existing == p) return;
+      }
+      paths.push_back(std::move(p));
+    };
+    add_path(best_path(i, SIZE_MAX));
+    std::vector<const Edge*> neighbors;
+    for (const Edge& e : adj[i]) neighbors.push_back(&e);
+    std::sort(neighbors.begin(), neighbors.end(),
+              [](const Edge* a, const Edge* b) {
+                return a->pair.weight > b->pair.weight;
+              });
+    auto same_schema = [&](size_t a, size_t b) {
+      const auto& ca = candidates[a].table.column_names();
+      const auto& cb = candidates[b].table.column_names();
+      return std::set<std::string>(ca.begin(), ca.end()) ==
+             std::set<std::string>(cb.begin(), cb.end());
+    };
+    std::vector<std::set<std::string>> used_hop_schemas;
+    for (size_t k = 0;
+         k < neighbors.size() && paths.size() < kMaxAlternativePaths; ++k) {
+      size_t hop = neighbors[k]->to;
+      if (same_schema(i, hop)) continue;  // sibling variant: useless hop
+      const auto& cols = candidates[hop].table.column_names();
+      std::set<std::string> schema(cols.begin(), cols.end());
+      bool seen = false;
+      for (const auto& u : used_hop_schemas) seen = seen || u == schema;
+      if (seen) continue;  // one forced path per neighbor family
+      used_hop_schemas.push_back(std::move(schema));
+      add_path(best_path(i, hop));
+    }
+    if (paths.empty()) {
+      if (debug) {
+        fprintf(stderr, "[drop] %s: no path\n", cand.table.name().c_str());
+      }
+      ++result.num_dropped;
+      continue;
+    }
+
+    std::optional<Table> best_table;
+    double best_score = -1.0;
+    for (const auto& path : paths) {
+      if (debug) {
+        fprintf(stderr, "[expand] %s path:", cand.table.name().c_str());
+        for (size_t pnode : path) {
+          fprintf(stderr, " %s", candidates[pnode].table.name().c_str());
+        }
+        fprintf(stderr, "\n");
+      }
+      auto expansion = build_expansion(i, path);
+      if (!expansion.has_value()) continue;
+      auto matrix = InitializeMatrix(source, *expansion, MatrixOptions{});
+      if (!matrix.ok()) continue;
+      double score = EvaluateMatrixSimilarity(*matrix, source);
+      if (debug) {
+        fprintf(stderr, "[expand] %s score=%.3f rows=%zu\n",
+                cand.table.name().c_str(), score, expansion->num_rows());
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_table = std::move(expansion);
+      }
+    }
+    if (!best_table.has_value()) {
+      if (debug) {
+        fprintf(stderr, "[drop] %s: all paths failed\n",
+                cand.table.name().c_str());
+      }
+      ++result.num_dropped;
+      continue;
+    }
+    result.tables.push_back(std::move(*best_table));
+    ++result.num_expanded;
+  }
+  return result;
+}
+
+}  // namespace gent

@@ -1,0 +1,37 @@
+// Expand (paper Algorithm 5 / §V-A2): candidates that do not cover the
+// source key are joined — along a maximum-weight path in the candidate
+// join graph — with candidates that do, so that every table entering
+// matrix traversal can align its tuples to source rows by key.
+
+#ifndef GENT_MATRIX_EXPAND_H_
+#define GENT_MATRIX_EXPAND_H_
+
+#include <vector>
+
+#include "src/discovery/discovery.h"
+#include "src/ops/op_limits.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+struct ExpandResult {
+  /// Every table covers the source key; expanded candidates appear in
+  /// their joined ("expanded") form, as the paper returns them.
+  std::vector<Table> tables;
+  /// How many candidates were expanded via a join path.
+  size_t num_expanded = 0;
+  /// Candidates dropped because no join path reaches the key.
+  size_t num_dropped = 0;
+};
+
+/// Joins key-less candidates toward key-covering ones. Edge weights are
+/// the value overlap of the joinable (shared-name) columns; the DFS keeps
+/// the maximum-weight path per start node (Algorithm 5).
+Result<ExpandResult> Expand(const Table& source,
+                            const std::vector<Candidate>& candidates,
+                            const OpLimits& limits = {});
+
+}  // namespace gent
+
+#endif  // GENT_MATRIX_EXPAND_H_

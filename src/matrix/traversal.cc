@@ -1,0 +1,94 @@
+#include "src/matrix/traversal.h"
+
+#include <algorithm>
+
+namespace gent {
+
+Result<TraversalResult> MatrixTraversal(const Table& source,
+                                        const std::vector<Table>& tables,
+                                        const TraversalOptions& options) {
+  TraversalResult result;
+  if (tables.empty()) return result;
+
+  // MatrixInitialization (line 4).
+  std::vector<AlignmentMatrix> matrices;
+  matrices.reserve(tables.size());
+  for (const auto& t : tables) {
+    GENT_ASSIGN_OR_RETURN(auto m,
+                          InitializeMatrix(source, t, options.matrix));
+    matrices.push_back(std::move(m));
+  }
+
+  // GetStartTable (lines 5-6): highest individual similarity.
+  size_t start = 0;
+  double best_start = -1.0;
+  for (size_t i = 0; i < matrices.size(); ++i) {
+    double s = EvaluateMatrixSimilarity(matrices[i], source);
+    if (s > best_start) {
+      best_start = s;
+      start = i;
+    }
+  }
+  result.selected.push_back(start);
+  double most_correct = best_start;
+
+  std::vector<bool> in_set(tables.size(), false);
+  in_set[start] = true;
+  AlignmentMatrix combined = matrices[start];
+
+  // Greedy extension (lines 8-20).
+  while (result.selected.size() < tables.size()) {
+    double prev_correct = most_correct;
+    size_t next_table = SIZE_MAX;
+    AlignmentMatrix best_combined(0);
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (in_set[i]) continue;
+      AlignmentMatrix merged = CombineMatrices(combined, matrices[i]);
+      double score = EvaluateMatrixSimilarity(merged, source);
+      if (score > most_correct) {
+        most_correct = score;
+        next_table = i;
+        best_combined = std::move(merged);
+      }
+    }
+    if (most_correct <= prev_correct || next_table == SIZE_MAX) {
+      break;  // integration found no more of S's values (lines 18-19)
+    }
+    in_set[next_table] = true;
+    result.selected.push_back(next_table);
+    combined = std::move(best_combined);
+  }
+
+  // Backward pruning: a table picked early can become redundant once
+  // later picks cover its values (typical for a half-erroneous variant
+  // chosen before both clean halves arrived). Drop any table whose
+  // removal does not lower the combined score -- fewer originating tables
+  // means less noise for integration to fight.
+  if (options.prune_redundant && result.selected.size() > 1) {
+    bool pruned = true;
+    while (pruned && result.selected.size() > 1) {
+      pruned = false;
+      for (size_t drop = result.selected.size(); drop-- > 0;) {
+        AlignmentMatrix without(source.num_rows());
+        bool first = true;
+        for (size_t k = 0; k < result.selected.size(); ++k) {
+          if (k == drop) continue;
+          const AlignmentMatrix& m = matrices[result.selected[k]];
+          without = first ? m : CombineMatrices(without, m);
+          first = false;
+        }
+        if (EvaluateMatrixSimilarity(without, source) >=
+            most_correct - 1e-12) {
+          result.selected.erase(result.selected.begin() +
+                                static_cast<ptrdiff_t>(drop));
+          pruned = true;
+          break;
+        }
+      }
+    }
+  }
+  result.final_score = most_correct;
+  return result;
+}
+
+}  // namespace gent

@@ -1,0 +1,43 @@
+// Matrix Traversal (paper Algorithm 1): greedy selection of originating
+// tables by simulating integration on alignment matrices instead of
+// performing it on data.
+//
+// Starting from the single best matrix, repeatedly add the candidate whose
+// combined matrix has the highest simulated EIS; stop when no candidate
+// improves the score. The tables chosen are the originating tables fed to
+// Table Integration (Algorithm 2).
+
+#ifndef GENT_MATRIX_TRAVERSAL_H_
+#define GENT_MATRIX_TRAVERSAL_H_
+
+#include <vector>
+
+#include "src/matrix/alignment_matrix.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+struct TraversalOptions {
+  MatrixOptions matrix;  // three-valued vs binary encoding
+  /// Backward pass removing selected tables that became redundant
+  /// (off = ablation of the pruning refinement).
+  bool prune_redundant = true;
+};
+
+struct TraversalResult {
+  /// Indices into the input table vector, in selection order.
+  std::vector<size_t> selected;
+  /// Simulated EIS of the final combined matrix.
+  double final_score = 0.0;
+};
+
+/// Runs Algorithm 1 over key-covering tables (the output of Expand()).
+/// Empty input yields an empty selection.
+Result<TraversalResult> MatrixTraversal(const Table& source,
+                                        const std::vector<Table>& tables,
+                                        const TraversalOptions& options = {});
+
+}  // namespace gent
+
+#endif  // GENT_MATRIX_TRAVERSAL_H_

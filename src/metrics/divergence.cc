@@ -1,0 +1,110 @@
+#include "src/metrics/divergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/metrics/similarity.h"
+
+namespace gent {
+
+Result<double> InstanceDivergence(const Table& source,
+                                  const Table& reclaimed) {
+  GENT_ASSIGN_OR_RETURN(double sim, InstanceSimilarity(source, reclaimed));
+  return 1.0 - sim;
+}
+
+Result<double> ConditionalKlDivergence(const Table& source,
+                                       const Table& reclaimed,
+                                       const KlOptions& options) {
+  if (!source.has_key()) {
+    return Status::InvalidArgument("source table must declare a key");
+  }
+  if (source.num_rows() == 0) return 0.0;
+
+  // Column mapping and key index over the reclaimed table.
+  std::vector<size_t> rec_col(source.num_cols(), SIZE_MAX);
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    auto idx = reclaimed.ColumnIndex(source.column_name(c));
+    if (idx.has_value()) rec_col[c] = *idx;
+  }
+  bool key_covered = true;
+  for (size_t kc : source.key_columns()) {
+    key_covered &= rec_col[kc] != SIZE_MAX;
+  }
+  if (!key_covered || reclaimed.num_rows() == 0) return options.cap;
+
+  KeyIndex rec_keys;
+  {
+    KeyTuple key(source.key_columns().size());
+    for (size_t r = 0; r < reclaimed.num_rows(); ++r) {
+      for (size_t i = 0; i < source.key_columns().size(); ++i) {
+        key[i] = reclaimed.cell(r, rec_col[source.key_columns()[i]]);
+      }
+      rec_keys[key].push_back(r);
+    }
+  }
+
+  std::vector<size_t> nonkey;
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    if (!source.IsKeyColumn(c)) nonkey.push_back(c);
+  }
+  if (nonkey.empty()) return 0.0;
+
+  // Per source tuple: the single best aligned tuple (most shared values).
+  std::vector<ptrdiff_t> best_row(source.num_rows(), -1);
+  size_t keys_found = 0;
+  for (size_t r = 0; r < source.num_rows(); ++r) {
+    auto it = rec_keys.find(source.KeyOf(r));
+    if (it == rec_keys.end()) continue;
+    ++keys_found;
+    size_t best_shared = 0;
+    ptrdiff_t best = -1;
+    for (size_t rr : it->second) {
+      size_t shared = 0;
+      for (size_t c : nonkey) {
+        if (rec_col[c] != SIZE_MAX &&
+            reclaimed.cell(rr, rec_col[c]) == source.cell(r, c)) {
+          ++shared;
+        }
+      }
+      if (best < 0 || shared > best_shared) {
+        best_shared = shared;
+        best = static_cast<ptrdiff_t>(rr);
+      }
+    }
+    best_row[r] = best;
+  }
+  double qk = static_cast<double>(keys_found) /
+              static_cast<double>(source.num_rows());
+  if (qk == 0.0) return options.cap;
+
+  const double eps = options.epsilon;
+  double sum_columns = 0.0;
+  for (size_t c : nonkey) {
+    double col_sum = 0.0;
+    size_t terms = 0;
+    for (size_t r = 0; r < source.num_rows(); ++r) {
+      if (best_row[r] < 0) continue;  // key absent: handled by Q(K)
+      ValueId sv = source.cell(r, c);
+      if (sv == kNull) continue;  // P(x|k) defined for source values only
+      ValueId rv = rec_col[c] == SIZE_MAX
+                       ? kNull
+                       : reclaimed.cell(static_cast<size_t>(best_row[r]),
+                                        rec_col[c]);
+      // P(x|k) = 1 (source key ⇒ one value). Q(x|k): matched or the ε
+      // floor; Q(¬x|k): a contradicting non-null value present. A match
+      // contributes exactly 0; a nullified cell −log ε; an erroneous cell
+      // −log ε² (double penalty).
+      double q = rv == sv ? 1.0 : eps;
+      double q_not = (rv != sv && rv != kNull) ? 1.0 - eps : 0.0;
+      col_sum += -std::log(q * (1.0 - q_not));
+      ++terms;
+    }
+    if (terms > 0) sum_columns += col_sum / static_cast<double>(terms);
+  }
+  double dkl =
+      sum_columns / (qk * static_cast<double>(nonkey.size()));
+  return std::min(dkl, options.cap);
+}
+
+}  // namespace gent

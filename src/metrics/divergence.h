@@ -1,0 +1,39 @@
+// Divergence measures (paper §VI-A2 and Appendix E): Instance Divergence
+// and the error-penalizing Conditional KL-divergence.
+//
+// Both operate on the single best aligned tuple per source tuple (ties on
+// shared-value count broken arbitrarily), so a source tuple has at most
+// one counterpart.
+
+#ifndef GENT_METRICS_DIVERGENCE_H_
+#define GENT_METRICS_DIVERGENCE_H_
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+/// Inst-Div = 1 − Instance Similarity (Eq. 2); ideal 0.
+Result<double> InstanceDivergence(const Table& source, const Table& reclaimed);
+
+struct KlOptions {
+  /// Probability floor standing in for "value not reclaimed". A nullified
+  /// cell costs −log ε and an erroneous cell −log ε² = 2·(−log ε), so
+  /// errors diverge twice as fast as nulls (the paper's penalization).
+  double epsilon = 0.05;
+  /// Cap applied when no source key is reclaimed at all (the measure
+  /// "naturally approaches ∞", Appendix E); keeps averages finite.
+  double cap = 1000.0;
+};
+
+/// Conditional KL-divergence D_KL(T) of the reclaimed table (Eq. 11-12):
+/// per non-key column, the mean over source keys of
+/// −log(Q(x|k)·(1 − Q(¬x|k))), summed over columns and divided by
+/// Q(K)·n where Q(K) is the fraction of source keys present. Ideal 0.
+Result<double> ConditionalKlDivergence(const Table& source,
+                                       const Table& reclaimed,
+                                       const KlOptions& options = {});
+
+}  // namespace gent
+
+#endif  // GENT_METRICS_DIVERGENCE_H_

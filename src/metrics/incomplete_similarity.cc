@@ -1,0 +1,214 @@
+#include "src/metrics/incomplete_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gent {
+
+double PairWeight(const std::vector<ValueId>& s, const std::vector<ValueId>& t,
+                  TupleWeight weight) {
+  const size_t n = s.size();
+  if (n == 0) return 0.0;
+  size_t alpha = 0;  // equal non-null values
+  size_t delta = 0;  // t non-null and different from s
+  for (size_t c = 0; c < n; ++c) {
+    if (s[c] != kNull && s[c] == t[c]) {
+      ++alpha;
+    } else if (t[c] != kNull && s[c] != t[c]) {
+      ++delta;
+    }
+  }
+  const double dn = static_cast<double>(n);
+  if (weight == TupleWeight::kPlain) return alpha / dn;
+  // (1 + E)/2 with E = (α − δ)/n, normalized into [0,1].
+  return 0.5 * (1.0 + (static_cast<double>(alpha) -
+                       static_cast<double>(delta)) / dn);
+}
+
+std::vector<size_t> HungarianMatch(const std::vector<std::vector<double>>& w) {
+  const size_t rows = w.size();
+  const size_t cols = rows == 0 ? 0 : w[0].size();
+  if (rows == 0 || cols == 0) return std::vector<size_t>(rows, SIZE_MAX);
+
+  // Square the problem by padding with zero-weight dummy rows/columns and
+  // convert maximization to minimization (Jonker-style potentials).
+  const size_t n = std::max(rows, cols);
+  double max_w = 0.0;
+  for (const auto& row : w) {
+    for (double x : row) max_w = std::max(max_w, x);
+  }
+  auto cost = [&](size_t r, size_t c) -> double {
+    if (r >= rows || c >= cols) return max_w;  // dummy: cost of weight 0
+    return max_w - w[r][c];
+  };
+
+  // O(n³) Hungarian with potentials; 1-indexed internal arrays.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0), way(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, std::numeric_limits<double>::infinity());
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = p[j0];
+      double delta = std::numeric_limits<double>::infinity();
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<size_t> match(rows, SIZE_MAX);
+  for (size_t j = 1; j <= n; ++j) {
+    const size_t i = p[j];
+    if (i == 0 || i > rows || j > cols) continue;
+    if (w[i - 1][j - 1] > 0.0) match[i - 1] = j - 1;
+  }
+  return match;
+}
+
+namespace {
+
+// Target rows materialized in source column order; absent columns would
+// have been rejected earlier.
+std::vector<std::vector<ValueId>> AlignedRows(const Table& source,
+                                              const Table& target) {
+  std::vector<size_t> col_map(source.num_cols());
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    col_map[c] = *target.ColumnIndex(source.column_name(c));
+  }
+  std::vector<std::vector<ValueId>> rows(target.num_rows());
+  for (size_t r = 0; r < target.num_rows(); ++r) {
+    rows[r].resize(source.num_cols());
+    for (size_t c = 0; c < source.num_cols(); ++c) {
+      rows[r][c] = target.cell(r, col_map[c]);
+    }
+  }
+  return rows;
+}
+
+IncompleteSimilarityResult GreedyMatch(
+    const std::vector<std::vector<ValueId>>& source_rows,
+    const std::vector<std::vector<ValueId>>& target_rows,
+    const IncompleteSimilarityOptions& options) {
+  struct Pair {
+    double weight;
+    size_t s, t;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(source_rows.size() * target_rows.size());
+  for (size_t s = 0; s < source_rows.size(); ++s) {
+    for (size_t t = 0; t < target_rows.size(); ++t) {
+      const double weight =
+          PairWeight(source_rows[s], target_rows[t], options.weight);
+      if (weight > 0.0 && weight + 1e-12 >= options.min_pair_weight) {
+        pairs.push_back({weight, s, t});
+      }
+    }
+  }
+  // Stable tie-break on (s, t) keeps the result deterministic.
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    if (a.s != b.s) return a.s < b.s;
+    return a.t < b.t;
+  });
+  std::vector<char> s_used(source_rows.size(), false);
+  std::vector<char> t_used(target_rows.size(), false);
+  IncompleteSimilarityResult result;
+  for (const Pair& pair : pairs) {
+    if (s_used[pair.s] || t_used[pair.t]) continue;
+    s_used[pair.s] = true;
+    t_used[pair.t] = true;
+    result.matches.push_back({pair.s, pair.t, pair.weight});
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<IncompleteSimilarityResult> IncompleteInstanceSimilarity(
+    const Table& source, const Table& target,
+    const IncompleteSimilarityOptions& options) {
+  for (const std::string& name : source.column_names()) {
+    if (!target.HasColumn(name)) {
+      return Status::InvalidArgument(
+          "target table lacks source column '" + name + "'");
+    }
+  }
+  if (source.num_cols() == 0) {
+    return Status::InvalidArgument("source table has no columns");
+  }
+
+  std::vector<std::vector<ValueId>> source_rows(source.num_rows());
+  for (size_t r = 0; r < source.num_rows(); ++r) source_rows[r] = source.Row(r);
+  std::vector<std::vector<ValueId>> target_rows = AlignedRows(source, target);
+
+  const bool use_exact =
+      options.algorithm == MatchAlgorithm::kExact ||
+      (options.algorithm == MatchAlgorithm::kAuto &&
+       source_rows.size() <= options.exact_cutoff &&
+       target_rows.size() <= options.exact_cutoff);
+
+  IncompleteSimilarityResult result;
+  if (use_exact) {
+    std::vector<std::vector<double>> weights(
+        source_rows.size(), std::vector<double>(target_rows.size(), 0.0));
+    for (size_t s = 0; s < source_rows.size(); ++s) {
+      for (size_t t = 0; t < target_rows.size(); ++t) {
+        const double weight =
+            PairWeight(source_rows[s], target_rows[t], options.weight);
+        if (weight + 1e-12 >= options.min_pair_weight) {
+          weights[s][t] = weight;
+        }
+      }
+    }
+    const std::vector<size_t> match = HungarianMatch(weights);
+    for (size_t s = 0; s < match.size(); ++s) {
+      if (match[s] == SIZE_MAX) continue;
+      result.matches.push_back({s, match[s], weights[s][match[s]]});
+    }
+    result.exact = true;
+  } else {
+    result = GreedyMatch(source_rows, target_rows, options);
+    std::sort(result.matches.begin(), result.matches.end(),
+              [](const TupleMatch& a, const TupleMatch& b) {
+                return a.source_row < b.source_row;
+              });
+  }
+
+  if (!source_rows.empty()) {
+    double total = 0.0;
+    for (const TupleMatch& m : result.matches) total += m.weight;
+    result.similarity = total / static_cast<double>(source_rows.size());
+  }
+  return result;
+}
+
+}  // namespace gent

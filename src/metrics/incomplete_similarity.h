@@ -1,0 +1,96 @@
+// Approximate instance comparison for source tables *without* keys.
+//
+// The paper restricts sources to keyed tables because keyless instance
+// similarity needs tuple homomorphism checks, which are NP-hard (§II,
+// §IV-A), and names "a fast, approximate instance comparison algorithm"
+// (Glavic et al., EDBT 2024 [84]) as the future-work path to lift the
+// restriction (§VII). This module supplies that substrate: instance
+// similarity as a bipartite tuple-matching problem between two same-
+// schema tables, with
+//
+//   - an exact matcher (Hungarian algorithm) for small instances, and
+//   - a greedy matcher with an approximation guarantee of 1/2, linear in
+//     the number of candidate pairs, for lake-scale use.
+//
+// Tuple-pair weights are the paper's similarity notions: plain tuple
+// similarity α/n or the error-aware E(s,t) = (α−δ)/n over *all* columns
+// (no key is assumed, so no column is exempt). Each source tuple matches
+// at most one target tuple and vice versa — unlike keyed EIS, where many
+// lake tuples can align to one source tuple via the key.
+
+#ifndef GENT_METRICS_INCOMPLETE_SIMILARITY_H_
+#define GENT_METRICS_INCOMPLETE_SIMILARITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+enum class TupleWeight {
+  /// α/n — fraction of columns with equal values (nulls never match).
+  kPlain,
+  /// (α − δ)/n, shifted to [0,1] as (1+E)/2 — penalizes non-null
+  /// disagreements harder than nulls, mirroring EIS.
+  kErrorAware,
+};
+
+enum class MatchAlgorithm {
+  /// Maximum-weight matching via the Hungarian algorithm, O(max(n,m)³).
+  kExact,
+  /// Sort all pairs by weight, take greedily, 1/2-approximation,
+  /// O(nm log nm).
+  kGreedy,
+  /// kExact below `exact_cutoff` rows on both sides, else kGreedy.
+  kAuto,
+};
+
+struct IncompleteSimilarityOptions {
+  TupleWeight weight = TupleWeight::kErrorAware;
+  MatchAlgorithm algorithm = MatchAlgorithm::kAuto;
+  /// kAuto switches to greedy when either side exceeds this many rows.
+  size_t exact_cutoff = 64;
+  /// Pairs scoring below this weight are never matched (also prunes the
+  /// greedy candidate list). 0 keeps everything.
+  double min_pair_weight = 0.0;
+};
+
+/// One matched tuple pair in the result.
+struct TupleMatch {
+  size_t source_row = 0;
+  size_t target_row = 0;
+  double weight = 0.0;
+};
+
+struct IncompleteSimilarityResult {
+  /// Normalized instance similarity ∈ [0,1]: sum of matched weights
+  /// divided by |source| (unmatched source tuples contribute 0).
+  double similarity = 0.0;
+  /// The matching itself, source-row ascending (for explanations).
+  std::vector<TupleMatch> matches;
+  /// True if the exact algorithm was used.
+  bool exact = false;
+};
+
+/// Compares `source` and `target`, which must share the same column names
+/// (any order; columns are aligned by name). Neither table needs a key.
+Result<IncompleteSimilarityResult> IncompleteInstanceSimilarity(
+    const Table& source, const Table& target,
+    const IncompleteSimilarityOptions& options = {});
+
+/// The pairwise weight used by the matcher, exposed for tests: tuples are
+/// cell vectors in the source's column order.
+double PairWeight(const std::vector<ValueId>& s, const std::vector<ValueId>& t,
+                  TupleWeight weight);
+
+/// Maximum-weight bipartite matching (Hungarian algorithm) on a dense
+/// weight matrix (rows → source tuples, cols → target tuples). Returns
+/// for each row the matched column or SIZE_MAX. Weights must be ≥ 0;
+/// zero-weight matches are dropped from the result. Exposed for tests.
+std::vector<size_t> HungarianMatch(const std::vector<std::vector<double>>& w);
+
+}  // namespace gent
+
+#endif  // GENT_METRICS_INCOMPLETE_SIMILARITY_H_

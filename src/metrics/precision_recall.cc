@@ -1,0 +1,50 @@
+#include "src/metrics/precision_recall.h"
+
+#include "src/ops/unary.h"
+
+namespace gent {
+
+namespace {
+
+// Distinct rows of `t` projected onto source column order (missing
+// columns contribute null).
+RowSet ProjectedRows(const Table& source, const Table& t) {
+  std::vector<size_t> col(source.num_cols(), SIZE_MAX);
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    auto idx = t.ColumnIndex(source.column_name(c));
+    if (idx.has_value()) col[c] = *idx;
+  }
+  RowSet rows;
+  rows.reserve(t.num_rows());
+  std::vector<ValueId> row(source.num_cols());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < source.num_cols(); ++c) {
+      row[c] = col[c] == SIZE_MAX ? kNull : t.cell(r, col[c]);
+    }
+    rows.insert(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+PrecisionRecall ComputePrecisionRecall(const Table& source,
+                                       const Table& reclaimed) {
+  PrecisionRecall pr;
+  RowSet src_rows = RowsOf(source);
+  RowSet rec_rows = ProjectedRows(source, reclaimed);
+  if (src_rows.empty() || rec_rows.empty()) return pr;
+  size_t inter = 0;
+  for (const auto& row : rec_rows) inter += src_rows.count(row);
+  pr.recall = static_cast<double>(inter) / static_cast<double>(src_rows.size());
+  pr.precision =
+      static_cast<double>(inter) / static_cast<double>(rec_rows.size());
+  return pr;
+}
+
+bool IsPerfectReclamation(const Table& source, const Table& reclaimed) {
+  PrecisionRecall pr = ComputePrecisionRecall(source, reclaimed);
+  return pr.recall == 1.0 && pr.precision == 1.0;
+}
+
+}  // namespace gent

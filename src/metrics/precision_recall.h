@@ -1,0 +1,38 @@
+// Tuple-level Recall / Precision / F1 (paper §VI-A2, derived from the
+// Tuple Difference Ratio of ALITE):
+//
+//   Rec = |S ∩ Ŝ| / |S|      Pre = |S ∩ Ŝ| / |Ŝ|
+//
+// Tuples are compared as whole rows projected onto the source schema
+// (columns matched by name, absent columns read as null); the
+// intersection is over distinct rows.
+
+#ifndef GENT_METRICS_PRECISION_RECALL_H_
+#define GENT_METRICS_PRECISION_RECALL_H_
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+struct PrecisionRecall {
+  double recall = 0.0;
+  double precision = 0.0;
+
+  double F1() const {
+    double d = precision + recall;
+    return d == 0.0 ? 0.0 : 2.0 * precision * recall / d;
+  }
+};
+
+/// Computes tuple-set precision/recall of `reclaimed` against `source`.
+PrecisionRecall ComputePrecisionRecall(const Table& source,
+                                       const Table& reclaimed);
+
+/// True iff the reclamation is perfect: Rec = Pre = 1 (the distinct row
+/// sets coincide under the source schema).
+bool IsPerfectReclamation(const Table& source, const Table& reclaimed);
+
+}  // namespace gent
+
+#endif  // GENT_METRICS_PRECISION_RECALL_H_

@@ -1,0 +1,144 @@
+#include "src/metrics/similarity.h"
+
+#include <algorithm>
+
+namespace gent {
+
+namespace {
+
+// Shared alignment scaffolding for both instance measures.
+struct Aligner {
+  const Table& source;
+  const Table& reclaimed;
+  std::vector<size_t> nonkey_cols;          // source column indices
+  std::vector<size_t> reclaimed_col;        // per source col; SIZE_MAX absent
+  bool key_covered = true;
+  KeyIndex reclaimed_keys;                  // key tuple -> reclaimed rows
+
+  Aligner(const Table& src, const Table& rec) : source(src), reclaimed(rec) {
+    for (size_t c = 0; c < src.num_cols(); ++c) {
+      if (!src.IsKeyColumn(c)) nonkey_cols.push_back(c);
+    }
+    reclaimed_col.assign(src.num_cols(), SIZE_MAX);
+    for (size_t c = 0; c < src.num_cols(); ++c) {
+      auto idx = rec.ColumnIndex(src.column_name(c));
+      if (idx.has_value()) reclaimed_col[c] = *idx;
+    }
+    for (size_t kc : src.key_columns()) {
+      key_covered &= reclaimed_col[kc] != SIZE_MAX;
+    }
+    if (!key_covered) return;
+    reclaimed_keys.reserve(rec.num_rows());
+    KeyTuple key(src.key_columns().size());
+    for (size_t r = 0; r < rec.num_rows(); ++r) {
+      for (size_t i = 0; i < src.key_columns().size(); ++i) {
+        key[i] = rec.cell(r, reclaimed_col[src.key_columns()[i]]);
+      }
+      reclaimed_keys[key].push_back(r);
+    }
+  }
+
+  // Reclaimed cell for source column c in reclaimed row r (null if the
+  // column is absent from the reclaimed table).
+  ValueId Cell(size_t r, size_t c) const {
+    return reclaimed_col[c] == SIZE_MAX ? kNull
+                                        : reclaimed.cell(r, reclaimed_col[c]);
+  }
+
+  const std::vector<size_t>* AlignedRows(size_t src_row) const {
+    auto it = reclaimed_keys.find(source.KeyOf(src_row));
+    return it == reclaimed_keys.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace
+
+double ErrorAwareTupleSimilarity(const std::vector<ValueId>& s,
+                                 const std::vector<ValueId>& t,
+                                 const std::vector<size_t>& nonkey_cols) {
+  if (nonkey_cols.empty()) return 1.0;
+  double alpha = 0, delta = 0;
+  for (size_t c : nonkey_cols) {
+    if (s[c] == t[c]) {
+      alpha += 1;  // includes null == null (Def. 4; see Example 6)
+    } else if (t[c] != kNull) {
+      delta += 1;  // erroneous: t non-null and different
+    }
+  }
+  return (alpha - delta) / static_cast<double>(nonkey_cols.size());
+}
+
+double TupleSimilarity(const std::vector<ValueId>& s,
+                       const std::vector<ValueId>& t,
+                       const std::vector<size_t>& nonkey_cols) {
+  if (nonkey_cols.empty()) return 1.0;
+  double alpha = 0;
+  for (size_t c : nonkey_cols) {
+    // Alexe et al. count shared *values*; null matches nothing here.
+    if (s[c] != kNull && s[c] == t[c]) alpha += 1;
+  }
+  return alpha / static_cast<double>(nonkey_cols.size());
+}
+
+Result<double> InstanceSimilarity(const Table& source,
+                                  const Table& reclaimed) {
+  if (!source.has_key()) {
+    return Status::InvalidArgument("source table must declare a key");
+  }
+  if (source.num_rows() == 0) return 0.0;
+  Aligner aligner(source, reclaimed);
+  if (!aligner.key_covered) return 0.0;
+
+  double total = 0.0;
+  std::vector<ValueId> s(source.num_cols()), t(source.num_cols());
+  for (size_t r = 0; r < source.num_rows(); ++r) {
+    const auto* rows = aligner.AlignedRows(r);
+    if (rows == nullptr) continue;
+    for (size_t c = 0; c < source.num_cols(); ++c) s[c] = source.cell(r, c);
+    double best = 0.0;
+    for (size_t rr : *rows) {
+      for (size_t c = 0; c < source.num_cols(); ++c) {
+        t[c] = aligner.Cell(rr, c);
+      }
+      best = std::max(best, TupleSimilarity(s, t, aligner.nonkey_cols));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(source.num_rows());
+}
+
+Result<double> EisScore(const Table& source, const Table& reclaimed,
+                        const EisOptions& options) {
+  if (!source.has_key()) {
+    return Status::InvalidArgument("source table must declare a key");
+  }
+  if (source.num_rows() == 0) return 0.0;
+  Aligner aligner(source, reclaimed);
+  if (!aligner.key_covered) return 0.0;
+  const auto& dict = *reclaimed.dict();
+
+  double total = 0.0;
+  std::vector<ValueId> s(source.num_cols()), t(source.num_cols());
+  for (size_t r = 0; r < source.num_rows(); ++r) {
+    const auto* rows = aligner.AlignedRows(r);
+    if (rows == nullptr) continue;  // unreclaimed tuple contributes 0
+    for (size_t c = 0; c < source.num_cols(); ++c) s[c] = source.cell(r, c);
+    double best = 0.0;
+    for (size_t rr : *rows) {
+      for (size_t c = 0; c < source.num_cols(); ++c) {
+        ValueId v = aligner.Cell(rr, c);
+        if (options.labeled_nulls_match_source_null && v != kNull &&
+            dict.IsLabeledNull(v)) {
+          v = kNull;  // a labeled null stands for a protected source null
+        }
+        t[c] = v;
+      }
+      double e = ErrorAwareTupleSimilarity(s, t, aligner.nonkey_cols);
+      best = std::max(best, 0.5 * (1.0 + e));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(source.num_rows());
+}
+
+}  // namespace gent

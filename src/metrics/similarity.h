@@ -1,0 +1,43 @@
+// Instance similarity measures (paper §IV-A, Definitions 4-5).
+//
+// A reclaimed table's tuples are aligned to source tuples by equality on
+// the source key (a lake tuple aligns with at most one source tuple);
+// each source tuple takes its best-scoring aligned tuple. Columns are
+// matched by name; a column absent from the reclaimed table reads as null.
+
+#ifndef GENT_METRICS_SIMILARITY_H_
+#define GENT_METRICS_SIMILARITY_H_
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+struct EisOptions {
+  /// Treat labeled nulls in the reclaimed table as equal to a source null
+  /// (used when scoring intermediate integration states, where source
+  /// nulls are protected by labels; paper Algorithm 2 lines 10-13).
+  bool labeled_nulls_match_source_null = false;
+};
+
+/// Error-aware tuple similarity E(s,t) = (α − δ)/n over n non-key
+/// attributes (Eq. 1). `s`/`t` are cell vectors in source column order.
+double ErrorAwareTupleSimilarity(const std::vector<ValueId>& s,
+                                 const std::vector<ValueId>& t,
+                                 const std::vector<size_t>& nonkey_cols);
+
+/// Plain tuple similarity α/n (Alexe et al.).
+double TupleSimilarity(const std::vector<ValueId>& s,
+                       const std::vector<ValueId>& t,
+                       const std::vector<size_t>& nonkey_cols);
+
+/// Instance similarity (Eq. 2) of reclaimed w.r.t. source ∈ [0, 1].
+Result<double> InstanceSimilarity(const Table& source, const Table& reclaimed);
+
+/// Error-aware instance similarity (Eq. 3) ∈ [0, 1].
+Result<double> EisScore(const Table& source, const Table& reclaimed,
+                        const EisOptions& options = {});
+
+}  // namespace gent
+
+#endif  // GENT_METRICS_SIMILARITY_H_

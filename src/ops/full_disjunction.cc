@@ -1,0 +1,23 @@
+#include "src/ops/full_disjunction.h"
+
+#include "src/ops/fusion.h"
+#include "src/ops/unary.h"
+#include "src/ops/union.h"
+
+namespace gent {
+
+Result<Table> FullDisjunction(const std::vector<Table>& tables,
+                              const OpLimits& limits) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("full disjunction of zero tables");
+  }
+  Table acc = tables[0].Clone();
+  for (size_t i = 1; i < tables.size(); ++i) {
+    acc = OuterUnion(acc, tables[i]);
+    GENT_RETURN_IF_ERROR(limits.Check(acc.num_rows()));
+  }
+  acc.set_name("FD");
+  return TakeMinimalForm(acc, limits);
+}
+
+}  // namespace gent

@@ -1,0 +1,26 @@
+// Full disjunction (Galindo-Legaria 1994), computed the ALITE way
+// (Khatiwada et al., VLDB 2023): outer-union all tables, then apply
+// complementation to a fixpoint and drop subsumed tuples. This maximally
+// combines tuples across tables and is the integration engine of the
+// ALITE baseline.
+
+#ifndef GENT_OPS_FULL_DISJUNCTION_H_
+#define GENT_OPS_FULL_DISJUNCTION_H_
+
+#include <vector>
+
+#include "src/ops/op_limits.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+/// FD over a set of schema-aligned tables. Empty input yields an error.
+/// Cost is super-linear in the union size; pass limits to bound it (ALITE
+/// "times out" on the large benchmarks exactly as in the paper).
+Result<Table> FullDisjunction(const std::vector<Table>& tables,
+                              const OpLimits& limits = {});
+
+}  // namespace gent
+
+#endif  // GENT_OPS_FULL_DISJUNCTION_H_

@@ -1,0 +1,159 @@
+#include "src/ops/fusion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "src/ops/unary.h"
+
+namespace gent {
+
+namespace {
+
+size_t NonNullCount(const std::vector<ValueId>& t) {
+  size_t n = 0;
+  for (ValueId v : t) n += v != kNull;
+  return n;
+}
+
+// Rebuilds a table from a subset of materialized rows, preserving schema.
+Table FromRows(const Table& schema_of,
+               const std::vector<std::vector<ValueId>>& rows) {
+  Table out = schema_of.Clone();
+  // Clear data but keep columns/keys.
+  for (size_t c = 0; c < out.num_cols(); ++c) out.mutable_column(c).clear();
+  for (const auto& row : rows) out.AddRow(row);
+  return out;
+}
+
+}  // namespace
+
+bool Subsumes(const std::vector<ValueId>& t1,
+              const std::vector<ValueId>& t2) {
+  assert(t1.size() == t2.size());
+  bool strictly_more = false;
+  for (size_t j = 0; j < t1.size(); ++j) {
+    if (t2[j] != kNull) {
+      if (t1[j] != t2[j]) return false;
+    } else if (t1[j] != kNull) {
+      strictly_more = true;
+    }
+  }
+  return strictly_more;
+}
+
+bool Complements(const std::vector<ValueId>& t1,
+                 const std::vector<ValueId>& t2) {
+  assert(t1.size() == t2.size());
+  bool shares_value = false;
+  bool t1_extra = false;
+  bool t2_extra = false;
+  for (size_t j = 0; j < t1.size(); ++j) {
+    const bool n1 = t1[j] != kNull;
+    const bool n2 = t2[j] != kNull;
+    if (n1 && n2) {
+      if (t1[j] != t2[j]) return false;
+      shares_value = true;
+    } else if (n1) {
+      t1_extra = true;
+    } else if (n2) {
+      t2_extra = true;
+    }
+  }
+  return shares_value && t1_extra && t2_extra;
+}
+
+std::vector<ValueId> MergeComplement(const std::vector<ValueId>& t1,
+                                     const std::vector<ValueId>& t2) {
+  assert(t1.size() == t2.size());
+  std::vector<ValueId> merged(t1.size());
+  for (size_t j = 0; j < t1.size(); ++j) {
+    merged[j] = t1[j] != kNull ? t1[j] : t2[j];
+  }
+  return merged;
+}
+
+Result<Table> Subsumption(const Table& table, const OpLimits& limits) {
+  const size_t n = table.num_rows();
+  std::vector<std::vector<ValueId>> rows(n);
+  std::vector<size_t> nn(n);
+  for (size_t r = 0; r < n; ++r) {
+    rows[r] = table.Row(r);
+    nn[r] = NonNullCount(rows[r]);
+  }
+  // A tuple can only be subsumed by one with strictly more non-nulls;
+  // scanning candidates in decreasing non-null order lets us stop early.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return nn[a] > nn[b]; });
+
+  std::vector<bool> dropped(n, false);
+  uint64_t steps = 0;
+  for (size_t oi = 0; oi < n; ++oi) {
+    size_t i = order[oi];  // potential subsumer, most non-nulls first
+    if (dropped[i]) continue;
+    // O(n²) worst case: check the budget often enough that a deadline
+    // cuts a pass mid-flight, not after minutes.
+    if ((steps += n - oi) > 2000000) {
+      steps = 0;
+      GENT_RETURN_IF_ERROR(limits.Check(n));
+    }
+    for (size_t oj = oi + 1; oj < n; ++oj) {
+      size_t j = order[oj];
+      if (dropped[j] || nn[j] >= nn[i]) continue;
+      if (Subsumes(rows[i], rows[j])) dropped[j] = true;
+    }
+  }
+  std::vector<std::vector<ValueId>> kept;
+  kept.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (!dropped[r]) kept.push_back(std::move(rows[r]));
+  }
+  return FromRows(table, kept);
+}
+
+Result<Table> Complementation(const Table& table, const OpLimits& limits) {
+  std::vector<std::vector<ValueId>> rows;
+  rows.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) rows.push_back(table.Row(r));
+
+  // Fixpoint: merge any complementing pair, repeat until a clean pass.
+  bool merged_any = true;
+  uint64_t steps = 0;
+  while (merged_any) {
+    merged_any = false;
+    GENT_RETURN_IF_ERROR(limits.Check(rows.size()));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if ((steps += rows.size() - i) > 2000000) {
+        steps = 0;
+        GENT_RETURN_IF_ERROR(limits.Check(rows.size()));
+      }
+      for (size_t j = i + 1; j < rows.size(); ++j) {
+        if (!Complements(rows[i], rows[j])) continue;
+        rows[i] = MergeComplement(rows[i], rows[j]);
+        rows.erase(rows.begin() + static_cast<ptrdiff_t>(j));
+        --j;  // re-examine the element now at position j
+        merged_any = true;
+      }
+    }
+  }
+  return FromRows(table, rows);
+}
+
+Result<Table> TakeMinimalForm(const Table& table, const OpLimits& limits) {
+  Table current = Distinct(table);
+  // κ merges can expose new subsumptions and vice versa; iterate to a
+  // fixpoint on cardinality (both operators only shrink or keep the size,
+  // with at least one row removed per productive pass, so this terminates).
+  while (true) {
+    size_t before = current.num_rows();
+    GENT_ASSIGN_OR_RETURN(current, Complementation(current, limits));
+    GENT_ASSIGN_OR_RETURN(current, Subsumption(current, limits));
+    current = Distinct(current);
+    if (current.num_rows() == before) break;
+  }
+  return current;
+}
+
+}  // namespace gent

@@ -1,0 +1,48 @@
+// Data-fusion unary operators: subsumption (β) and complementation (κ),
+// plus minimal form (paper §IV-B, after Galindo-Legaria and
+// Bleiholder/Naumann).
+//
+// Labeled nulls are deliberately treated as ordinary non-null values here:
+// labeling exists precisely so source nulls cannot be absorbed by these
+// operators during integration (paper §V-B1).
+
+#ifndef GENT_OPS_FUSION_H_
+#define GENT_OPS_FUSION_H_
+
+#include <vector>
+
+#include "src/ops/op_limits.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+/// True iff t1 subsumes t2: they agree on every attribute where both are
+/// non-null, t2 is non-null only where t1 is, and t1 has strictly more
+/// non-null attributes.
+bool Subsumes(const std::vector<ValueId>& t1, const std::vector<ValueId>& t2);
+
+/// True iff t1 and t2 complement each other: they agree on all attributes
+/// where both are non-null, share at least one equal non-null value, and
+/// each has a non-null value where the other is null.
+bool Complements(const std::vector<ValueId>& t1,
+                 const std::vector<ValueId>& t2);
+
+/// Coalesces two complementing tuples (non-null wins per attribute).
+std::vector<ValueId> MergeComplement(const std::vector<ValueId>& t1,
+                                     const std::vector<ValueId>& t2);
+
+/// β — removes every tuple subsumed by another tuple of `table`.
+Result<Table> Subsumption(const Table& table, const OpLimits& limits = {});
+
+/// κ — repeatedly merges complementing tuple pairs until none remain.
+Result<Table> Complementation(const Table& table, const OpLimits& limits = {});
+
+/// Minimal form: duplicates removed, then κ and β applied to fixpoint.
+/// A table in minimal form has no duplicate, subsumable, or complementable
+/// tuples (precondition of Theorem 8).
+Result<Table> TakeMinimalForm(const Table& table, const OpLimits& limits = {});
+
+}  // namespace gent
+
+#endif  // GENT_OPS_FUSION_H_

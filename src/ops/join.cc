@@ -1,0 +1,163 @@
+#include "src/ops/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/ops/unary.h"
+
+namespace gent {
+
+std::vector<std::string> SharedColumns(const Table& left,
+                                       const Table& right) {
+  std::vector<std::string> shared;
+  for (const auto& name : left.column_names()) {
+    if (right.HasColumn(name)) shared.push_back(name);
+  }
+  return shared;
+}
+
+Result<Table> CrossProduct(const Table& left, const Table& right,
+                           const OpLimits& limits) {
+  Table out(left.name() + "×" + right.name(), left.dict());
+  for (const auto& n : left.column_names()) {
+    GENT_RETURN_IF_ERROR(out.AddColumn(n));
+  }
+  for (const auto& n : right.column_names()) {
+    GENT_RETURN_IF_ERROR(out.AddColumn(n));
+  }
+  std::vector<ValueId> row(out.num_cols());
+  for (size_t lr = 0; lr < left.num_rows(); ++lr) {
+    for (size_t rr = 0; rr < right.num_rows(); ++rr) {
+      GENT_RETURN_IF_ERROR(limits.Check(out.num_rows() + 1));
+      size_t c = 0;
+      for (size_t lc = 0; lc < left.num_cols(); ++lc) {
+        row[c++] = left.cell(lr, lc);
+      }
+      for (size_t rc = 0; rc < right.num_cols(); ++rc) {
+        row[c++] = right.cell(rr, rc);
+      }
+      out.AddRow(row);
+    }
+  }
+  return out;
+}
+
+Result<Table> NaturalJoin(const Table& left, const Table& right,
+                          JoinKind kind, const OpLimits& limits) {
+  const auto shared = SharedColumns(left, right);
+  if (shared.empty() && kind == JoinKind::kInner) {
+    return CrossProduct(left, right, limits);
+  }
+
+  std::vector<size_t> lshared, rshared;
+  for (const auto& n : shared) {
+    lshared.push_back(*left.ColumnIndex(n));
+    rshared.push_back(*right.ColumnIndex(n));
+  }
+  // Right-only columns appended after left's schema.
+  std::vector<size_t> rextra;
+  for (size_t rc = 0; rc < right.num_cols(); ++rc) {
+    if (!left.HasColumn(right.column_name(rc))) rextra.push_back(rc);
+  }
+
+  Table out(left.name() + "⋈" + right.name(), left.dict());
+  for (const auto& n : left.column_names()) {
+    GENT_RETURN_IF_ERROR(out.AddColumn(n));
+  }
+  for (size_t rc : rextra) {
+    GENT_RETURN_IF_ERROR(out.AddColumn(right.column_name(rc)));
+  }
+
+  // Hash the right side on its shared-column key (null-rejecting).
+  std::unordered_map<KeyTuple, std::vector<size_t>, KeyTupleHash> rindex;
+  rindex.reserve(right.num_rows());
+  KeyTuple key(shared.size());
+  auto key_of = [&](const Table& t, const std::vector<size_t>& cols,
+                    size_t r) -> bool {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      key[i] = t.cell(r, cols[i]);
+      if (key[i] == kNull) return false;
+    }
+    return true;
+  };
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    if (key_of(right, rshared, r)) rindex[key].push_back(r);
+  }
+
+  std::vector<bool> right_matched(right.num_rows(), false);
+  std::vector<ValueId> row(out.num_cols());
+  auto emit = [&](size_t lr, ptrdiff_t rr) {
+    for (size_t lc = 0; lc < left.num_cols(); ++lc) {
+      row[lc] = lr == SIZE_MAX ? kNull : left.cell(lr, lc);
+    }
+    // Right-preserved rows must still fill the shared columns.
+    if (lr == SIZE_MAX && rr >= 0) {
+      for (size_t i = 0; i < lshared.size(); ++i) {
+        row[lshared[i]] = right.cell(static_cast<size_t>(rr), rshared[i]);
+      }
+    }
+    for (size_t i = 0; i < rextra.size(); ++i) {
+      row[left.num_cols() + i] =
+          rr < 0 ? kNull : right.cell(static_cast<size_t>(rr), rextra[i]);
+    }
+    out.AddRow(row);
+  };
+
+  for (size_t lr = 0; lr < left.num_rows(); ++lr) {
+    GENT_RETURN_IF_ERROR(limits.Check(out.num_rows()));
+    bool matched = false;
+    if (key_of(left, lshared, lr)) {
+      auto it = rindex.find(key);
+      if (it != rindex.end()) {
+        for (size_t rr : it->second) {
+          emit(lr, static_cast<ptrdiff_t>(rr));
+          right_matched[rr] = true;
+          matched = true;
+        }
+      }
+    }
+    if (!matched && kind != JoinKind::kInner) {
+      emit(lr, -1);  // preserve left tuple
+    }
+  }
+  if (kind == JoinKind::kFullOuter) {
+    for (size_t rr = 0; rr < right.num_rows(); ++rr) {
+      GENT_RETURN_IF_ERROR(limits.Check(out.num_rows()));
+      if (!right_matched[rr]) emit(SIZE_MAX, static_cast<ptrdiff_t>(rr));
+    }
+  }
+  return out;
+}
+
+double EstimateJoinCardinality(const Table& left, const Table& right) {
+  if (left.num_rows() == 0 || right.num_rows() == 0) return 0.0;
+  const auto shared = SharedColumns(left, right);
+  if (shared.empty()) {
+    return static_cast<double>(left.num_rows()) *
+           static_cast<double>(right.num_rows());
+  }
+  auto distinct_keys = [&](const Table& t) {
+    std::vector<size_t> cols;
+    for (const auto& n : shared) cols.push_back(*t.ColumnIndex(n));
+    std::unordered_set<KeyTuple, KeyTupleHash> keys;
+    KeyTuple key(cols.size());
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      bool has_null = false;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        key[i] = t.cell(r, cols[i]);
+        has_null |= key[i] == kNull;
+      }
+      if (!has_null) keys.insert(key);
+    }
+    return keys.size();
+  };
+  size_t dl = distinct_keys(left);
+  size_t dr = distinct_keys(right);
+  size_t d = std::max(dl, dr);
+  if (d == 0) return 0.0;
+  return static_cast<double>(left.num_rows()) *
+         static_cast<double>(right.num_rows()) / static_cast<double>(d);
+}
+
+}  // namespace gent

@@ -1,0 +1,44 @@
+// Natural join family (inner ⋈, left ⟕, full outer ⟗) and cross product.
+//
+// Joins are natural: the join condition is equality on every column name
+// the two tables share, and null join values never match (null-rejecting,
+// as in SQL). These operators are used by the source-query generator, the
+// Expand() join-path machinery (Algorithm 5), and the Auto-Pipeline*
+// baseline; Gen-T's own integration uses only {⊎, σ, π, κ, β}
+// (Theorem 8 shows these subsume the join family).
+
+#ifndef GENT_OPS_JOIN_H_
+#define GENT_OPS_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ops/op_limits.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+enum class JoinKind { kInner, kLeft, kFullOuter };
+
+/// Natural join on all shared column names. With no shared columns the
+/// result is the cross product (SQL convention), subject to `limits`.
+/// Output schema: left's columns, then right-only columns.
+Result<Table> NaturalJoin(const Table& left, const Table& right,
+                          JoinKind kind, const OpLimits& limits = {});
+
+/// Column names common to both tables (in left's order).
+std::vector<std::string> SharedColumns(const Table& left, const Table& right);
+
+/// Cartesian product, subject to `limits`.
+Result<Table> CrossProduct(const Table& left, const Table& right,
+                           const OpLimits& limits = {});
+
+/// Estimated cardinality of the natural inner join (standard formula:
+/// |L|·|R| / max(distinct join-key counts)); used by Expand() to weight
+/// join-graph edges. Returns 0 when either side is empty.
+double EstimateJoinCardinality(const Table& left, const Table& right);
+
+}  // namespace gent
+
+#endif  // GENT_OPS_JOIN_H_

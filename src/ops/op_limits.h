@@ -1,0 +1,61 @@
+// Resource limits for integration operators.
+//
+// Full disjunction and complementation are super-linear; the paper's
+// baselines (notably ALITE) time out on large benchmarks. OpLimits lets
+// callers bound both wall-clock time and intermediate cardinality so a
+// bench can report a timeout instead of hanging.
+
+#ifndef GENT_OPS_OP_LIMITS_H_
+#define GENT_OPS_OP_LIMITS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "src/util/status.h"
+
+namespace gent {
+
+class OpLimits {
+ public:
+  /// Unlimited.
+  OpLimits() = default;
+
+  /// Bounded by wall-clock seconds and/or max intermediate rows.
+  static OpLimits WithTimeout(double seconds) {
+    OpLimits l;
+    l.deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(seconds));
+    l.has_deadline_ = true;
+    return l;
+  }
+
+  OpLimits& MaxRows(uint64_t rows) {
+    max_rows_ = rows;
+    return *this;
+  }
+
+  uint64_t max_rows() const { return max_rows_; }
+
+  /// OK while within budget; Timeout/OutOfRange once exceeded.
+  /// `rows` is the current intermediate cardinality.
+  Status Check(uint64_t rows) const {
+    if (rows > max_rows_) {
+      return Status::OutOfRange("intermediate result exceeds row budget");
+    }
+    if (has_deadline_ && Clock::now() > deadline_) {
+      return Status::Timeout("operator exceeded time budget");
+    }
+    return Status::OK();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  uint64_t max_rows_ = std::numeric_limits<uint64_t>::max();
+};
+
+}  // namespace gent
+
+#endif  // GENT_OPS_OP_LIMITS_H_

@@ -1,0 +1,352 @@
+#include "src/ops/spju.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "src/ops/fusion.h"
+#include "src/ops/join.h"
+#include "src/ops/unary.h"
+#include "src/ops/union.h"
+#include "src/util/string_util.h"
+
+namespace gent {
+
+namespace {
+
+QueryPtr MakeNode(QueryOp op, std::vector<QueryPtr> children) {
+  auto node = std::make_shared<Query>();
+  node->op = op;
+  node->children = std::move(children);
+  return node;
+}
+
+}  // namespace
+
+std::string QueryOpName(QueryOp op) {
+  switch (op) {
+    case QueryOp::kBase: return "base";
+    case QueryOp::kProject: return "π";
+    case QueryOp::kSelectEq: return "σ";
+    case QueryOp::kInnerJoin: return "⋈";
+    case QueryOp::kLeftJoin: return "⟕";
+    case QueryOp::kFullOuter: return "⟗";
+    case QueryOp::kCross: return "×";
+    case QueryOp::kInnerUnion: return "∪";
+    case QueryOp::kOuterUnion: return "⊎";
+  }
+  return "?";
+}
+
+QueryPtr Base(std::string table_name) {
+  auto node = std::make_shared<Query>();
+  node->op = QueryOp::kBase;
+  node->table_name = std::move(table_name);
+  return node;
+}
+
+QueryPtr ProjectQ(QueryPtr child, std::vector<std::string> columns) {
+  auto node = std::make_shared<Query>();
+  node->op = QueryOp::kProject;
+  node->children = {std::move(child)};
+  node->columns = std::move(columns);
+  return node;
+}
+
+QueryPtr SelectEqQ(QueryPtr child, std::string column, std::string literal) {
+  auto node = std::make_shared<Query>();
+  node->op = QueryOp::kSelectEq;
+  node->children = {std::move(child)};
+  node->column = std::move(column);
+  node->literal = std::move(literal);
+  return node;
+}
+
+QueryPtr JoinQ(QueryPtr left, QueryPtr right) {
+  return MakeNode(QueryOp::kInnerJoin, {std::move(left), std::move(right)});
+}
+QueryPtr LeftJoinQ(QueryPtr left, QueryPtr right) {
+  return MakeNode(QueryOp::kLeftJoin, {std::move(left), std::move(right)});
+}
+QueryPtr FullOuterQ(QueryPtr left, QueryPtr right) {
+  return MakeNode(QueryOp::kFullOuter, {std::move(left), std::move(right)});
+}
+QueryPtr CrossQ(QueryPtr left, QueryPtr right) {
+  return MakeNode(QueryOp::kCross, {std::move(left), std::move(right)});
+}
+QueryPtr UnionQ(QueryPtr left, QueryPtr right) {
+  return MakeNode(QueryOp::kInnerUnion, {std::move(left), std::move(right)});
+}
+QueryPtr OuterUnionQ(QueryPtr left, QueryPtr right) {
+  return MakeNode(QueryOp::kOuterUnion, {std::move(left), std::move(right)});
+}
+
+std::string QueryToString(const QueryPtr& query) {
+  switch (query->op) {
+    case QueryOp::kBase:
+      return query->table_name;
+    case QueryOp::kProject:
+      return "π(" + Join(query->columns, ",") + ", " +
+             QueryToString(query->children[0]) + ")";
+    case QueryOp::kSelectEq:
+      return "σ(" + query->column + "=" + query->literal + ", " +
+             QueryToString(query->children[0]) + ")";
+    default:
+      return "(" + QueryToString(query->children[0]) + " " +
+             QueryOpName(query->op) + " " +
+             QueryToString(query->children[1]) + ")";
+  }
+}
+
+std::string RewriteToString(const QueryPtr& query) {
+  switch (query->op) {
+    case QueryOp::kBase:
+      return query->table_name;
+    case QueryOp::kProject:
+      return "π(" + Join(query->columns, ",") + ", " +
+             RewriteToString(query->children[0]) + ")";
+    case QueryOp::kSelectEq:
+      return "σ(" + query->column + "=" + query->literal + ", " +
+             RewriteToString(query->children[0]) + ")";
+    case QueryOp::kInnerJoin:
+      // Lemma 12: σ(C=C'≠⊥, β(κ*(L ⊎ R))).
+      return "σ(C=C'≠⊥, β(κ*(" + RewriteToString(query->children[0]) + " ⊎ " +
+             RewriteToString(query->children[1]) + ")))";
+    case QueryOp::kLeftJoin: {
+      // Lemma 13: β((L ⋈ R) ⊎ L).
+      QueryPtr inner = JoinQ(query->children[0], query->children[1]);
+      return "β(" + RewriteToString(inner) + " ⊎ " +
+             RewriteToString(query->children[0]) + ")";
+    }
+    case QueryOp::kFullOuter: {
+      // Lemma 14: β(β((L ⋈ R) ⊎ L) ⊎ R).
+      QueryPtr inner = JoinQ(query->children[0], query->children[1]);
+      return "β(β(" + RewriteToString(inner) + " ⊎ " +
+             RewriteToString(query->children[0]) + ") ⊎ " +
+             RewriteToString(query->children[1]) + ")";
+    }
+    case QueryOp::kCross:
+      // Lemma 15: κ(π(C_L∪{c}, L) ⊎ π(C_R∪{c}, R)), constant column c.
+      return "π(¬c, κ*(π(+c, " + RewriteToString(query->children[0]) +
+             ") ⊎ π(+c, " + RewriteToString(query->children[1]) + ")))";
+    case QueryOp::kInnerUnion:
+      // Lemma 11: equal schemas make ∪ and ⊎ coincide.
+      return "(" + RewriteToString(query->children[0]) + " ⊎ " +
+             RewriteToString(query->children[1]) + ")";
+    case QueryOp::kOuterUnion:
+      return "(" + RewriteToString(query->children[0]) + " ⊎ " +
+             RewriteToString(query->children[1]) + ")";
+  }
+  return "?";
+}
+
+void QueryCatalog::Register(Table table) { tables_.push_back(std::move(table)); }
+
+Result<const Table*> QueryCatalog::Find(const std::string& name) const {
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    if (it->name() == name) return &*it;
+  }
+  return Status::NotFound("no table named '" + name + "' in catalog");
+}
+
+Result<Table> ComplementationClosure(const Table& table,
+                                     const OpLimits& limits) {
+  Table result = table.Clone();
+  RowSet seen = RowsOf(result);
+  // Worklist of row indices whose pairings are still unexplored.
+  std::deque<size_t> work;
+  for (size_t r = 0; r < result.num_rows(); ++r) work.push_back(r);
+  while (!work.empty()) {
+    const size_t r = work.front();
+    work.pop_front();
+    const std::vector<ValueId> row = result.Row(r);
+    // Pair `row` against every current row; snapshot the count so merges
+    // appended during this scan are themselves paired later (they enter
+    // the worklist).
+    const size_t n = result.num_rows();
+    for (size_t other = 0; other < n; ++other) {
+      if (other == r) continue;
+      const std::vector<ValueId> candidate = result.Row(other);
+      if (!Complements(row, candidate)) continue;
+      std::vector<ValueId> merged = MergeComplement(row, candidate);
+      if (seen.count(merged)) continue;
+      GENT_RETURN_IF_ERROR(limits.Check(result.num_rows()));
+      seen.insert(merged);
+      result.AddRow(merged);
+      work.push_back(result.num_rows() - 1);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// The C-tuples (values of `cols`, all non-null) present in `table`.
+RowSet NonNullTupleSet(const Table& table, const std::vector<std::string>& cols) {
+  RowSet set;
+  std::vector<size_t> idx;
+  idx.reserve(cols.size());
+  for (const std::string& c : cols) {
+    auto i = table.ColumnIndex(c);
+    if (!i) return set;  // unshared column: empty set, join matches nothing
+    idx.push_back(*i);
+  }
+  std::vector<ValueId> tuple(idx.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool any_null = false;
+    for (size_t i = 0; i < idx.size(); ++i) {
+      tuple[i] = table.cell(r, idx[i]);
+      any_null |= (tuple[i] == kNull);
+    }
+    if (!any_null) set.insert(tuple);
+  }
+  return set;
+}
+
+// Lemma 12: T1 ⋈ T2 = σ(T1.C = T2.C ≠ ⊥, β(κ*(T1 ⊎ T2))).
+Result<Table> RepInnerJoin(const Table& left, const Table& right,
+                           const OpLimits& limits) {
+  const std::vector<std::string> shared = SharedColumns(left, right);
+  Table unioned = OuterUnion(left, right);
+  GENT_ASSIGN_OR_RETURN(Table closed, ComplementationClosure(unioned, limits));
+  GENT_ASSIGN_OR_RETURN(Table reduced, Subsumption(closed, limits));
+  // σ(T1.C = T2.C ≠ ⊥): the C-tuple is fully non-null and appears in
+  // both operands' C projections.
+  const RowSet left_keys = NonNullTupleSet(left, shared);
+  const RowSet right_keys = NonNullTupleSet(right, shared);
+  std::vector<size_t> idx;
+  for (const std::string& c : shared) idx.push_back(*reduced.ColumnIndex(c));
+  return Select(reduced, [&](const Table& t, size_t r) {
+    std::vector<ValueId> tuple(idx.size());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      tuple[i] = t.cell(r, idx[i]);
+      if (tuple[i] == kNull) return false;
+    }
+    return left_keys.count(tuple) > 0 && right_keys.count(tuple) > 0;
+  });
+}
+
+// Lemma 15: T1 × T2 via a constant column c added to both sides, with the
+// proof's pairing (each merge combines one T1 tuple with one T2 tuple).
+Result<Table> RepCross(const Table& left, const Table& right,
+                       const OpLimits& limits) {
+  Table result(left.name() + "×" + right.name(), left.dict());
+  for (const auto& name : left.column_names()) {
+    GENT_RETURN_IF_ERROR(result.AddColumn(name));
+  }
+  for (const auto& name : right.column_names()) {
+    GENT_RETURN_IF_ERROR(result.AddColumn(name));
+  }
+  // π((C_T1, c), T1) ⊎ π((C_T2, c), T2) makes every (t1, t2) pair
+  // complement on c; the proof then "iteratively applies complementation
+  // on all tuples from T1 on all tuples from T2", i.e. merges exactly the
+  // cross pairs (merges within one operand are not part of the lemma).
+  const size_t lcols = left.num_cols();
+  const size_t rcols = right.num_cols();
+  for (size_t r1 = 0; r1 < left.num_rows(); ++r1) {
+    GENT_RETURN_IF_ERROR(limits.Check(result.num_rows()));
+    // t1 padded to the union schema (nulls on T2 columns, constant c
+    // implicit: it is equal on both sides and projected away again).
+    std::vector<ValueId> t1(lcols + rcols, kNull);
+    for (size_t c = 0; c < lcols; ++c) t1[c] = left.cell(r1, c);
+    for (size_t r2 = 0; r2 < right.num_rows(); ++r2) {
+      std::vector<ValueId> t2(lcols + rcols, kNull);
+      for (size_t c = 0; c < rcols; ++c) t2[lcols + c] = right.cell(r2, c);
+      result.AddRow(MergeComplement(t1, t2));
+    }
+  }
+  return result;
+}
+
+Result<Table> Evaluate(const QueryPtr& query, const QueryCatalog& catalog,
+                       const OpLimits& limits, bool representative) {
+  switch (query->op) {
+    case QueryOp::kBase: {
+      GENT_ASSIGN_OR_RETURN(const Table* t, catalog.Find(query->table_name));
+      return t->Clone();
+    }
+    case QueryOp::kProject: {
+      GENT_ASSIGN_OR_RETURN(
+          Table child, Evaluate(query->children[0], catalog, limits,
+                                representative));
+      return Project(child, query->columns);
+    }
+    case QueryOp::kSelectEq: {
+      GENT_ASSIGN_OR_RETURN(
+          Table child, Evaluate(query->children[0], catalog, limits,
+                                representative));
+      auto col = child.ColumnIndex(query->column);
+      if (!col) {
+        return Status::InvalidArgument("σ references unknown column '" +
+                                       query->column + "'");
+      }
+      const ValueId want = child.dict()->Lookup(query->literal);
+      return Select(child, [&](const Table& t, size_t r) {
+        return want != kNull && t.cell(r, *col) == want;
+      });
+    }
+    default:
+      break;
+  }
+
+  GENT_ASSIGN_OR_RETURN(
+      Table left, Evaluate(query->children[0], catalog, limits,
+                           representative));
+  GENT_ASSIGN_OR_RETURN(
+      Table right, Evaluate(query->children[1], catalog, limits,
+                            representative));
+  switch (query->op) {
+    case QueryOp::kInnerJoin:
+      if (representative) {
+        if (SharedColumns(left, right).empty()) {
+          return RepCross(left, right, limits);  // SQL convention, as direct
+        }
+        return RepInnerJoin(left, right, limits);
+      }
+      return NaturalJoin(left, right, JoinKind::kInner, limits);
+    case QueryOp::kLeftJoin: {
+      if (!representative) {
+        return NaturalJoin(left, right, JoinKind::kLeft, limits);
+      }
+      // Lemma 13: β((L ⋈ R) ⊎ L).
+      GENT_ASSIGN_OR_RETURN(Table inner, RepInnerJoin(left, right, limits));
+      return Subsumption(OuterUnion(inner, left), limits);
+    }
+    case QueryOp::kFullOuter: {
+      if (!representative) {
+        return NaturalJoin(left, right, JoinKind::kFullOuter, limits);
+      }
+      // Lemma 14: β(β((L ⋈ R) ⊎ L) ⊎ R).
+      GENT_ASSIGN_OR_RETURN(Table inner, RepInnerJoin(left, right, limits));
+      GENT_ASSIGN_OR_RETURN(Table with_left,
+                            Subsumption(OuterUnion(inner, left), limits));
+      return Subsumption(OuterUnion(with_left, right), limits);
+    }
+    case QueryOp::kCross:
+      if (representative) return RepCross(left, right, limits);
+      return CrossProduct(left, right, limits);
+    case QueryOp::kInnerUnion:
+      // Lemma 11: with equal schemas ∪ = ⊎.
+      if (representative) return OuterUnion(left, right);
+      return InnerUnion(left, right);
+    case QueryOp::kOuterUnion:
+      return OuterUnion(left, right);
+    default:
+      return Status::Internal("unhandled query op");
+  }
+}
+
+}  // namespace
+
+Result<Table> EvaluateDirect(const QueryPtr& query, const QueryCatalog& catalog,
+                             const OpLimits& limits) {
+  return Evaluate(query, catalog, limits, /*representative=*/false);
+}
+
+Result<Table> EvaluateRepresentative(const QueryPtr& query,
+                                     const QueryCatalog& catalog,
+                                     const OpLimits& limits) {
+  return Evaluate(query, catalog, limits, /*representative=*/true);
+}
+
+}  // namespace gent

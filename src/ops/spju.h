@@ -1,0 +1,111 @@
+// SPJU query trees and their rewrite into the representative operator
+// set {⊎, σ, π, κ, β} (paper Theorem 8, Lemmas 11-15, Appendix A).
+//
+// A Query is an AST over base tables with Select-Project-Join-Union
+// operators. It can be evaluated two ways:
+//
+//   EvaluateDirect(q)          — the native operators (⋈, ⟕, ⟗, ×, ∪, ⊎);
+//   EvaluateRepresentative(q)  — joins/unions rewritten per Lemmas 11-15
+//                                into outer union + unary operators only.
+//
+// Theorem 8 states the two agree on inputs in minimal form (no duplicate,
+// subsumable, or complementable tuples); the property tests verify this
+// on randomized instances. As in the theorem's proof, the κ used by the
+// join rewrites is the *complementation closure* (every merge of a
+// complementing pair is added; originals are then removed by β), i.e.
+// the pairwise-merge semantics of full disjunction — a destructive
+// fixpoint κ would under-produce on one-to-many joins.
+//
+// The rewrite is also a worked artifact for users: `RewriteToString`
+// prints the representative form of any SPJU query.
+
+#ifndef GENT_OPS_SPJU_H_
+#define GENT_OPS_SPJU_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ops/op_limits.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+enum class QueryOp {
+  kBase,        // leaf: a named base table
+  kProject,     // π columns
+  kSelectEq,    // σ column = literal
+  kInnerJoin,   // ⋈ natural
+  kLeftJoin,    // ⟕ natural
+  kFullOuter,   // ⟗ natural
+  kCross,       // × (requires disjoint schemas)
+  kInnerUnion,  // ∪ (requires equal schemas)
+  kOuterUnion,  // ⊎
+};
+
+std::string QueryOpName(QueryOp op);
+
+/// Immutable query-tree node. Build with the factory functions below.
+struct Query {
+  QueryOp op;
+  std::vector<std::shared_ptr<const Query>> children;
+
+  // kBase
+  std::string table_name;
+  // kProject
+  std::vector<std::string> columns;
+  // kSelectEq
+  std::string column;
+  std::string literal;
+};
+
+using QueryPtr = std::shared_ptr<const Query>;
+
+QueryPtr Base(std::string table_name);
+QueryPtr ProjectQ(QueryPtr child, std::vector<std::string> columns);
+QueryPtr SelectEqQ(QueryPtr child, std::string column, std::string literal);
+QueryPtr JoinQ(QueryPtr left, QueryPtr right);       // inner ⋈
+QueryPtr LeftJoinQ(QueryPtr left, QueryPtr right);   // ⟕
+QueryPtr FullOuterQ(QueryPtr left, QueryPtr right);  // ⟗
+QueryPtr CrossQ(QueryPtr left, QueryPtr right);      // ×
+QueryPtr UnionQ(QueryPtr left, QueryPtr right);      // inner ∪
+QueryPtr OuterUnionQ(QueryPtr left, QueryPtr right); // ⊎
+
+/// Renders the tree, e.g. "σ(city=Boston, π(name,city, people ⋈ cities))".
+std::string QueryToString(const QueryPtr& query);
+
+/// Renders the representative form: every join/cross/inner-union replaced
+/// by its Lemma 11-15 expansion over {⊎, σ, π, κ, β}.
+std::string RewriteToString(const QueryPtr& query);
+
+/// Resolves base-table names against this catalog.
+class QueryCatalog {
+ public:
+  /// Registers `table` under table.name(). Later registrations win.
+  void Register(Table table);
+  Result<const Table*> Find(const std::string& name) const;
+
+ private:
+  std::vector<Table> tables_;
+};
+
+/// Evaluates with the native operator implementations.
+Result<Table> EvaluateDirect(const QueryPtr& query, const QueryCatalog& catalog,
+                             const OpLimits& limits = {});
+
+/// Evaluates with only {⊎, σ, π, κ, β} per the Lemma 11-15 rewrites.
+Result<Table> EvaluateRepresentative(const QueryPtr& query,
+                                     const QueryCatalog& catalog,
+                                     const OpLimits& limits = {});
+
+/// The complementation closure κ* used by the rewrites: returns `table`
+/// plus the merge of every complementing tuple pair, iterated to a
+/// fixpoint, duplicates removed. β(κ*(T)) is the full disjunction of the
+/// tuples of T viewed as single-tuple relations.
+Result<Table> ComplementationClosure(const Table& table,
+                                     const OpLimits& limits = {});
+
+}  // namespace gent
+
+#endif  // GENT_OPS_SPJU_H_

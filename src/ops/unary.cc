@@ -1,0 +1,70 @@
+#include "src/ops/unary.h"
+
+namespace gent {
+
+Result<Table> Project(const Table& table,
+                      const std::vector<std::string>& columns) {
+  std::vector<size_t> indices;
+  indices.reserve(columns.size());
+  for (const auto& name : columns) {
+    auto c = table.ColumnIndex(name);
+    if (!c.has_value()) {
+      return Status::NotFound(table.name() + ": no column " + name);
+    }
+    indices.push_back(*c);
+  }
+  Table out(table.name(), table.dict());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    GENT_RETURN_IF_ERROR(out.AddColumn(columns[i]));
+    out.mutable_column(i) = table.column(indices[i]);
+  }
+  // Preserve surviving key columns.
+  std::vector<size_t> keys;
+  for (size_t kc : table.key_columns()) {
+    for (size_t i = 0; i < indices.size(); ++i) {
+      if (indices[i] == kc) keys.push_back(i);
+    }
+  }
+  if (keys.size() == table.key_columns().size()) {
+    GENT_RETURN_IF_ERROR(out.SetKeyColumns(keys));
+  }
+  return out;
+}
+
+Table Select(const Table& table, const RowPredicate& pred) {
+  Table out = table.Clone();
+  std::vector<size_t> drop;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!pred(table, r)) drop.push_back(r);
+  }
+  out.RemoveRows(drop);
+  return out;
+}
+
+Table SelectValueIn(const Table& table, size_t column,
+                    const std::unordered_set<ValueId>& values) {
+  return Select(table, [column, &values](const Table& t, size_t r) {
+    return values.count(t.cell(r, column)) > 0;
+  });
+}
+
+Table Distinct(const Table& table) {
+  RowSet seen;
+  seen.reserve(table.num_rows());
+  std::vector<size_t> drop;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!seen.insert(table.Row(r)).second) drop.push_back(r);
+  }
+  Table out = table.Clone();
+  out.RemoveRows(drop);
+  return out;
+}
+
+RowSet RowsOf(const Table& table) {
+  RowSet rows;
+  rows.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) rows.insert(table.Row(r));
+  return rows;
+}
+
+}  // namespace gent

@@ -1,0 +1,82 @@
+#include "src/ops/union.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gent {
+
+Table OuterUnion(const Table& left, const Table& right) {
+  Table out(left.name() + "⊎" + right.name(), left.dict());
+  for (const auto& name : left.column_names()) {
+    (void)out.AddColumn(name);
+  }
+  for (const auto& name : right.column_names()) {
+    if (!out.HasColumn(name)) (void)out.AddColumn(name);
+  }
+  const size_t ncols = out.num_cols();
+
+  // Precompute column mappings from each input to the output layout.
+  auto map_of = [&](const Table& t) {
+    std::vector<size_t> m(ncols, SIZE_MAX);
+    for (size_t c = 0; c < ncols; ++c) {
+      auto idx = t.ColumnIndex(out.column_name(c));
+      if (idx.has_value()) m[c] = *idx;
+    }
+    return m;
+  };
+  const auto lmap = map_of(left);
+  const auto rmap = map_of(right);
+
+  std::vector<ValueId> row(ncols);
+  for (size_t r = 0; r < left.num_rows(); ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      row[c] = lmap[c] == SIZE_MAX ? kNull : left.cell(r, lmap[c]);
+    }
+    out.AddRow(row);
+  }
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      row[c] = rmap[c] == SIZE_MAX ? kNull : right.cell(r, rmap[c]);
+    }
+    out.AddRow(row);
+  }
+  return out;
+}
+
+Result<Table> InnerUnion(const Table& left, const Table& right) {
+  if (left.num_cols() != right.num_cols()) {
+    return Status::InvalidArgument("inner union: schemas differ in width");
+  }
+  for (const auto& name : left.column_names()) {
+    if (!right.HasColumn(name)) {
+      return Status::InvalidArgument("inner union: right lacks column " +
+                                     name);
+    }
+  }
+  return OuterUnion(left, right);
+}
+
+std::vector<Table> InnerUnionBySchema(const std::vector<Table>& tables) {
+  // Group key: sorted column-name set.
+  std::map<std::set<std::string>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    std::set<std::string> schema(tables[i].column_names().begin(),
+                                 tables[i].column_names().end());
+    groups[schema].push_back(i);
+  }
+  std::vector<Table> out;
+  out.reserve(groups.size());
+  for (const auto& [schema, members] : groups) {
+    Table merged = tables[members[0]].Clone();
+    for (size_t i = 1; i < members.size(); ++i) {
+      auto unioned = InnerUnion(merged, tables[members[i]]);
+      // Same schema set by construction, so this cannot fail.
+      merged = std::move(unioned).value();
+    }
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace gent

@@ -1,0 +1,34 @@
+// Union operators: natural outer union (⊎, Codd 1979) and inner union.
+//
+// Column alignment is by name — the discovery phase renames candidate
+// columns to their best-matching source column (implicit schema matching,
+// paper §V-A1), so by the time tables are unioned here their unionable
+// columns share names.
+
+#ifndef GENT_OPS_UNION_H_
+#define GENT_OPS_UNION_H_
+
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+/// ⊎ — union of the two tables' columns; tuples padded with nulls on
+/// columns they lack. Commutative and associative up to row/column order.
+/// Left table's column order is kept; right-only columns are appended.
+Table OuterUnion(const Table& left, const Table& right);
+
+/// Inner union: requires identical schemas (same names, any order);
+/// appends right's rows onto left's column order. Equal to ⊎ when the
+/// schemas coincide (Lemma 11).
+Result<Table> InnerUnion(const Table& left, const Table& right);
+
+/// Groups tables by schema (set of column names) and inner-unions each
+/// group, reducing the number of tables to integrate (Algorithm 2 line 4).
+std::vector<Table> InnerUnionBySchema(const std::vector<Table>& tables);
+
+}  // namespace gent
+
+#endif  // GENT_OPS_UNION_H_

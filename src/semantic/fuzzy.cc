@@ -1,0 +1,140 @@
+#include "src/semantic/fuzzy.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/util/string_util.h"
+
+namespace gent {
+
+namespace {
+
+bool IsDroppedPunct(char c) {
+  switch (c) {
+    case '.': case ',': case ';': case ':': case '!': case '?':
+    case '\'': case '"': case '(': case ')': case '_': case '-':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string CanonicalizeValue(std::string_view s) {
+  // Numeric literals keep their decimal points: normalize and return
+  // before punctuation stripping ("3.10" → "3.1", not "310").
+  const std::string_view trimmed = Trim(s);
+  if (IsNumeric(trimmed)) return NormalizeNumeric(trimmed);
+  std::string out;
+  out.reserve(s.size());
+  bool pending_space = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (IsDroppedPunct(c)) continue;
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::vector<std::string> Trigrams(std::string_view s) {
+  // Two-char sentinel padding so short strings still yield trigrams and
+  // boundaries are emphasized (standard q-gram practice).
+  std::string padded = "\x01\x01" + std::string(s) + "\x01\x01";
+  std::vector<std::string> grams;
+  grams.reserve(padded.size());
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, 3));
+  }
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+double TrigramJaccard(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::vector<std::string> ga = Trigrams(a);
+  const std::vector<std::string> gb = Trigrams(b);
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < ga.size() && j < gb.size()) {
+    if (ga[i] == gb[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (ga[i] < gb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = ga.size() + gb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() - a.size() > bound) return bound + 1;
+  const size_t n = a.size(), m = b.size();
+  if (n == 0) return std::min(m, bound + 1);
+  // Banded DP over two rows; cells outside the band are +∞.
+  const size_t kInf = bound + 1;
+  std::vector<size_t> prev(m + 1, kInf), cur(m + 1, kInf);
+  for (size_t j = 0; j <= std::min(m, bound); ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t lo = i > bound ? i - bound : 0;
+    const size_t hi = std::min(m, i + bound);
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (lo == 0) cur[0] = i <= bound ? i : kInf;
+    size_t row_min = cur[0];
+    for (size_t j = std::max<size_t>(1, lo); j <= hi; ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      const size_t del = prev[j] == kInf ? kInf : prev[j] + 1;
+      const size_t ins = cur[j - 1] == kInf ? kInf : cur[j - 1] + 1;
+      cur[j] = std::min({sub, del, ins, kInf});
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (row_min >= kInf) return kInf;  // whole band exceeded the bound
+    std::swap(prev, cur);
+  }
+  return std::min(prev[m], kInf);
+}
+
+double FuzzySimilarity(std::string_view a, std::string_view b,
+                       const FuzzyOptions& options) {
+  std::string ca, cb;
+  if (options.canonicalize) {
+    ca = CanonicalizeValue(a);
+    cb = CanonicalizeValue(b);
+    a = ca;
+    b = cb;
+  }
+  if (a == b) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const double jaccard = TrigramJaccard(a, b);
+  const size_t maxlen = std::max(a.size(), b.size());
+  const size_t band = std::max<size_t>(
+      1, static_cast<size_t>(options.edit_band_fraction *
+                             static_cast<double>(maxlen)));
+  const size_t dist = BoundedEditDistance(a, b, band);
+  const double edit_sim =
+      dist > band ? 0.0
+                  : 1.0 - static_cast<double>(dist) /
+                              static_cast<double>(maxlen);
+  const double w = options.trigram_weight;
+  const double score = w * jaccard + (1.0 - w) * edit_sim;
+  // Never report 1.0 for unequal strings.
+  return std::min(score, 1.0 - 1e-9);
+}
+
+}  // namespace gent

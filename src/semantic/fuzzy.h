@@ -1,0 +1,63 @@
+// Fuzzy (syntactic-relaxed) value similarity.
+//
+// Gen-T matches values syntactically; the paper's future work (§VII)
+// names the case "in which values from a source table do not
+// syntactically align with values from a data lake", to be addressed by
+// exploring similarity of instances. This module supplies the substrate:
+// string canonicalization plus two classical similarity signals —
+// character-trigram Jaccard and banded edit distance — combined into one
+// score in [0,1] that is 1.0 exactly for canonically-equal strings.
+//
+// Everything here is allocation-light and deterministic; the
+// FuzzyValueMap in value_map.h lifts these string measures to whole
+// tables.
+
+#ifndef GENT_SEMANTIC_FUZZY_H_
+#define GENT_SEMANTIC_FUZZY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gent {
+
+/// Aggressive canonical form for fuzzy comparison: lowercase, outer
+/// whitespace trimmed, inner whitespace runs collapsed to one space,
+/// punctuation ([.,;:!?'"()_-]) dropped, numeric spellings normalized
+/// ("3.10" → "3.1"). Distinct from dictionary-intern canonicalization,
+/// which only normalizes numbers (exact matching must stay strict).
+std::string CanonicalizeValue(std::string_view s);
+
+/// Character trigrams of `s` padded with two sentinel chars on each side,
+/// sorted and deduplicated ("ab" → {"␣␣a","␣ab","ab␣","b␣␣"}).
+std::vector<std::string> Trigrams(std::string_view s);
+
+/// Jaccard similarity of the two trigram sets ∈ [0,1].
+double TrigramJaccard(std::string_view a, std::string_view b);
+
+/// Levenshtein distance, banded: returns min(distance, bound). A bound
+/// of k only examines a 2k+1 diagonal band, O(k·max(|a|,|b|)).
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound);
+
+struct FuzzyOptions {
+  /// Canonicalize before comparing (recommended; catches case/punct).
+  bool canonicalize = true;
+  /// Weight of trigram Jaccard vs normalized edit similarity. Edit
+  /// similarity carries more weight by default: a one-character typo
+  /// disturbs up to three trigrams but only one edit.
+  double trigram_weight = 0.4;
+  /// Edit-distance band as a fraction of the longer string (min 1 char).
+  double edit_band_fraction = 0.34;
+};
+
+/// Combined fuzzy similarity ∈ [0,1]; 1.0 iff canonically equal.
+/// score = w·jaccard + (1−w)·(1 − dist/maxlen), with dist capped at the
+/// band (strings further apart than the band score 0 on the edit term).
+double FuzzySimilarity(std::string_view a, std::string_view b,
+                       const FuzzyOptions& options = {});
+
+}  // namespace gent
+
+#endif  // GENT_SEMANTIC_FUZZY_H_

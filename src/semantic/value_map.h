@@ -1,0 +1,104 @@
+// Fuzzy alignment of lake values onto source values.
+//
+// Gen-T's discovery and integration match values by exact (dictionary)
+// equality. When a lake spells values differently from the source
+// ("N.Y.C" vs "nyc", "Müller " vs "muller"), the overlap signal — and
+// with it the whole reclamation — silently drops to zero. FuzzyValueMap
+// implements the paper's §VII direction: it maps each lake value that is
+// fuzzily (but unambiguously) similar to exactly one source value onto
+// that source value, producing rewritten lake tables whose values align
+// syntactically. Reclamation then proceeds unchanged on the rewritten
+// lake (see examples/fuzzy_reclamation.cpp).
+//
+// Mapping is conservative by design: a lake value is rewritten only when
+//   (1) its best-matching source value scores ≥ min_similarity, and
+//   (2) the best score beats the runner-up source value by ≥ min_margin
+// — an ambiguous value is left untouched rather than guessed, since a
+// wrong rewrite would fabricate erroneous cells (the exact failure EIS
+// penalizes).
+
+#ifndef GENT_SEMANTIC_VALUE_MAP_H_
+#define GENT_SEMANTIC_VALUE_MAP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/semantic/fuzzy.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+struct ValueMapOptions {
+  FuzzyOptions fuzzy;
+  /// Minimum combined fuzzy score to consider a rewrite. 0.75 accepts a
+  /// single-character typo in a ~9-character value and rejects anything
+  /// with more than ~1 edit per 4 characters.
+  double min_similarity = 0.75;
+  /// Best candidate must beat the second-best *distinct* source value by
+  /// this much, or the lake value stays as-is (ambiguity guard).
+  double min_margin = 0.05;
+  /// Candidate generation: source values sharing at least this many
+  /// canonical trigrams with the lake value are scored.
+  size_t min_shared_trigrams = 1;
+};
+
+/// Statistics of one Apply() call, for diagnostics and tests.
+struct ValueMapStats {
+  size_t cells_rewritten = 0;
+  size_t distinct_values_rewritten = 0;
+  size_t ambiguous_values_skipped = 0;
+};
+
+class FuzzyValueMap {
+ public:
+  /// Indexes the distinct values of `source`. The source's dictionary is
+  /// used to intern rewritten values, so lake tables passed to Apply()
+  /// must share it (they do within one DataLake).
+  static FuzzyValueMap Build(const Table& source,
+                             const ValueMapOptions& options = {});
+
+  /// The source value `lake_value` should be rewritten to, or `lake_value`
+  /// itself when no unambiguous fuzzy match exists. Nulls and labeled
+  /// nulls are never rewritten. Results are memoized.
+  ValueId MapValue(ValueId lake_value) const;
+
+  /// A clone of `table` with every cell passed through MapValue().
+  /// Cells already equal to a source value are untouched (MapValue is the
+  /// identity on exact matches).
+  Table Apply(const Table& table, ValueMapStats* stats = nullptr) const;
+
+  /// Applies the map to every table (convenience for whole-lake rewrite).
+  std::vector<Table> ApplyAll(const std::vector<Table>& tables,
+                              ValueMapStats* stats = nullptr) const;
+
+  size_t num_source_values() const { return source_values_.size(); }
+
+ private:
+  FuzzyValueMap(DictionaryPtr dict, ValueMapOptions options)
+      : dict_(std::move(dict)), options_(options) {}
+
+  /// Scores `value` against the trigram-indexed source values.
+  ValueId Resolve(ValueId value, bool* ambiguous) const;
+
+  DictionaryPtr dict_;
+  ValueMapOptions options_;
+  /// Distinct source value ids.
+  std::vector<ValueId> source_values_;
+  /// Canonical form of each source value (parallel to source_values_).
+  std::vector<std::string> canonical_;
+  /// canonical trigram → indices into source_values_.
+  std::unordered_map<std::string, std::vector<size_t>> trigram_index_;
+  /// canonical form → index of a source value with that form (for O(1)
+  /// exact-canonical hits).
+  std::unordered_map<std::string, size_t> canonical_index_;
+  /// Memo of resolved values (mutable cache guarded by logical constness:
+  /// single-threaded use per map instance).
+  mutable std::unordered_map<ValueId, ValueId> memo_;
+  mutable size_t ambiguous_skipped_ = 0;
+};
+
+}  // namespace gent
+
+#endif  // GENT_SEMANTIC_VALUE_MAP_H_

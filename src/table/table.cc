@@ -1,0 +1,147 @@
+#include "src/table/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace gent {
+
+std::optional<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t c = 0; c < column_names_.size(); ++c) {
+    if (column_names_[c] == name) return c;
+  }
+  return std::nullopt;
+}
+
+Status Table::AddColumn(const std::string& name) {
+  if (HasColumn(name)) {
+    return Status::AlreadyExists("column exists: " + name);
+  }
+  column_names_.push_back(name);
+  columns_.emplace_back(num_rows() > 0 && !columns_.empty()
+                            ? std::vector<ValueId>(columns_[0].size(), kNull)
+                            : std::vector<ValueId>());
+  return Status::OK();
+}
+
+Status Table::RenameColumn(size_t c, const std::string& name) {
+  if (c >= num_cols()) return Status::OutOfRange("column index");
+  auto existing = ColumnIndex(name);
+  if (existing.has_value() && *existing != c) {
+    return Status::AlreadyExists("column exists: " + name);
+  }
+  column_names_[c] = name;
+  return Status::OK();
+}
+
+Status Table::SetKeyColumns(std::vector<size_t> cols) {
+  std::unordered_set<size_t> seen;
+  for (size_t c : cols) {
+    if (c >= num_cols()) return Status::OutOfRange("key column index");
+    if (!seen.insert(c).second) {
+      return Status::InvalidArgument("duplicate key column");
+    }
+  }
+  key_columns_ = std::move(cols);
+  return Status::OK();
+}
+
+Status Table::SetKeyColumnsByName(const std::vector<std::string>& names) {
+  std::vector<size_t> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) {
+    auto c = ColumnIndex(n);
+    if (!c.has_value()) return Status::NotFound("no such column: " + n);
+    cols.push_back(*c);
+  }
+  return SetKeyColumns(std::move(cols));
+}
+
+bool Table::IsKeyColumn(size_t c) const {
+  return std::find(key_columns_.begin(), key_columns_.end(), c) !=
+         key_columns_.end();
+}
+
+KeyTuple Table::KeyOf(size_t r) const {
+  KeyTuple k;
+  k.reserve(key_columns_.size());
+  for (size_t c : key_columns_) k.push_back(cell(r, c));
+  return k;
+}
+
+KeyIndex Table::BuildKeyIndex() const {
+  assert(has_key());
+  KeyIndex index;
+  index.reserve(num_rows());
+  for (size_t r = 0; r < num_rows(); ++r) {
+    index[KeyOf(r)].push_back(r);
+  }
+  return index;
+}
+
+void Table::AddRow(const std::vector<ValueId>& row) {
+  assert(row.size() == num_cols());
+  for (size_t c = 0; c < row.size(); ++c) columns_[c].push_back(row[c]);
+}
+
+std::vector<ValueId> Table::Row(size_t r) const {
+  std::vector<ValueId> row(num_cols());
+  for (size_t c = 0; c < num_cols(); ++c) row[c] = cell(r, c);
+  return row;
+}
+
+size_t Table::RowNonNullCount(size_t r) const {
+  size_t n = 0;
+  for (size_t c = 0; c < num_cols(); ++c) n += cell(r, c) != kNull;
+  return n;
+}
+
+void Table::RemoveRows(const std::vector<size_t>& rows) {
+  if (rows.empty()) return;
+  std::vector<bool> drop(num_rows(), false);
+  for (size_t r : rows) {
+    assert(r < num_rows());
+    drop[r] = true;
+  }
+  for (auto& col : columns_) {
+    size_t w = 0;
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (!drop[r]) col[w++] = col[r];
+    }
+    col.resize(w);
+  }
+}
+
+Table Table::Clone() const {
+  Table copy(name_, dict_);
+  copy.column_names_ = column_names_;
+  copy.columns_ = columns_;
+  copy.key_columns_ = key_columns_;
+  return copy;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = name_ + " [" + std::to_string(num_rows()) + " x " +
+                    std::to_string(num_cols()) + "]\n";
+  for (size_t c = 0; c < num_cols(); ++c) {
+    if (c > 0) out += " | ";
+    out += column_names_[c];
+    if (IsKeyColumn(c)) out += "*";
+  }
+  out += "\n";
+  size_t limit = std::min(max_rows, num_rows());
+  for (size_t r = 0; r < limit; ++r) {
+    for (size_t c = 0; c < num_cols(); ++c) {
+      if (c > 0) out += " | ";
+      ValueId v = cell(r, c);
+      out += v == kNull ? "⊥" : dict_->StringOf(v);
+    }
+    out += "\n";
+  }
+  if (limit < num_rows()) {
+    out += "... (" + std::to_string(num_rows() - limit) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace gent

@@ -1,0 +1,49 @@
+#include "src/table/table_builder.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gent {
+
+TableBuilder::TableBuilder(DictionaryPtr dict, std::string name)
+    : table_(std::move(name), std::move(dict)) {}
+
+TableBuilder& TableBuilder::Columns(const std::vector<std::string>& names) {
+  assert(table_.num_cols() == 0 && "Columns() must be called once, first");
+  for (const auto& n : names) {
+    Status s = table_.AddColumn(n);
+    if (!s.ok()) {
+      std::fprintf(stderr, "TableBuilder: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+  return *this;
+}
+
+TableBuilder& TableBuilder::Row(const std::vector<std::string>& cells) {
+  assert(cells.size() == table_.num_cols());
+  std::vector<ValueId> row;
+  row.reserve(cells.size());
+  for (const auto& s : cells) row.push_back(table_.dict()->Intern(s));
+  table_.AddRow(row);
+  return *this;
+}
+
+TableBuilder& TableBuilder::Key(const std::vector<std::string>& names) {
+  key_names_ = names;
+  return *this;
+}
+
+Table TableBuilder::Build() {
+  if (!key_names_.empty()) {
+    Status s = table_.SetKeyColumnsByName(key_names_);
+    if (!s.ok()) {
+      std::fprintf(stderr, "TableBuilder: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+  return std::move(table_);
+}
+
+}  // namespace gent

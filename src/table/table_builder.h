@@ -1,0 +1,46 @@
+// Fluent construction of Tables from string literals.
+//
+// Primarily for tests, examples, and generators:
+//
+//   Table t = TableBuilder(dict, "people")
+//                 .Columns({"id", "name", "age"})
+//                 .Row({"0", "Smith", "27"})
+//                 .Row({"1", "Brown", ""})        // "" -> null
+//                 .Key({"id"})
+//                 .Build();
+
+#ifndef GENT_TABLE_TABLE_BUILDER_H_
+#define GENT_TABLE_TABLE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+
+namespace gent {
+
+class TableBuilder {
+ public:
+  TableBuilder(DictionaryPtr dict, std::string name);
+
+  /// Declares the column names (call once, before any Row()).
+  TableBuilder& Columns(const std::vector<std::string>& names);
+
+  /// Appends a row of cell strings; "" becomes null. Size must match.
+  TableBuilder& Row(const std::vector<std::string>& cells);
+
+  /// Declares key columns by name.
+  TableBuilder& Key(const std::vector<std::string>& names);
+
+  /// Finalizes. Aborts on misuse (unknown key column, mismatched row size)
+  /// since misuse is a programming error in test/generator code.
+  Table Build();
+
+ private:
+  Table table_;
+  std::vector<std::string> key_names_;
+};
+
+}  // namespace gent
+
+#endif  // GENT_TABLE_TABLE_BUILDER_H_

@@ -1,0 +1,40 @@
+// CSV persistence for tables and table directories.
+//
+// A data lake on disk is a directory of .csv files, one table per file,
+// first row = column names, empty fields = nulls. Values are re-interned
+// into the caller's dictionary on load, so ids remain corpus-comparable.
+
+#ifndef GENT_TABLE_TABLE_IO_H_
+#define GENT_TABLE_TABLE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent {
+
+/// Serializes one table as RFC-4180-style CSV (fields containing comma,
+/// quote, or newline are quoted; quotes doubled).
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Parses a CSV file into a table named `name`.
+Result<Table> ReadCsv(DictionaryPtr dict, const std::string& name,
+                      const std::string& path);
+
+/// Writes every table into `dir` as <table-name>.csv, creating `dir`.
+Status WriteTableDirectory(const std::vector<Table>& tables,
+                           const std::string& dir);
+
+/// Loads every .csv in `dir` (non-recursive); table names are file stems.
+Result<std::vector<Table>> ReadTableDirectory(DictionaryPtr dict,
+                                              const std::string& dir);
+
+/// Parses CSV text (exposed for tests).
+Result<Table> ParseCsvText(DictionaryPtr dict, const std::string& name,
+                           const std::string& text);
+
+}  // namespace gent
+
+#endif  // GENT_TABLE_TABLE_IO_H_

@@ -1,0 +1,81 @@
+#include "src/util/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gent {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97f4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  Shuffle(&all);
+  if (k < n) all.resize(k);
+  return all;
+}
+
+std::string Rng::AlphaNum(size_t length) {
+  static constexpr char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out(length, '\0');
+  for (auto& c : out) c = kChars[Index(sizeof(kChars) - 1)];
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace gent

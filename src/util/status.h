@@ -1,0 +1,153 @@
+// Status / Result error-handling primitives.
+//
+// Fallible operations across the gent public API return Status (for
+// operations with no payload) or Result<T> (for operations that produce a
+// value). Exceptions are not thrown across library boundaries; this follows
+// the Arrow/RocksDB idiom for database code.
+
+#ifndef GENT_UTIL_STATUS_H_
+#define GENT_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace gent {
+
+/// Machine-readable category for a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kTimeout,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation with no payload.
+///
+/// A default-constructed Status is OK. Failed statuses carry a code and a
+/// message. Statuses must be checked; helpers below make propagation terse:
+///
+///   GENT_RETURN_IF_ERROR(DoThing());
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Outcome of a fallible operation that produces a T on success.
+///
+/// Exactly one of value/status-error is held. Accessing the value of a
+/// failed Result aborts in debug builds (programming error).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                            // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result is an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+#define GENT_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::gent::Status _gent_status = (expr);          \
+    if (!_gent_status.ok()) return _gent_status;   \
+  } while (false)
+
+#define GENT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define GENT_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  GENT_ASSIGN_OR_RETURN_IMPL(GENT_CONCAT_(_gent_result_, __LINE__), lhs, expr)
+
+#define GENT_CONCAT_(a, b) GENT_CONCAT_IMPL_(a, b)
+#define GENT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace gent
+
+#endif  // GENT_UTIL_STATUS_H_

@@ -1,0 +1,85 @@
+#include "src/util/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gent {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsNumeric(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  const std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size() && std::isfinite(v);
+}
+
+std::string NormalizeNumeric(std::string_view s) {
+  std::string_view t = Trim(s);
+  if (!IsNumeric(t)) return std::string(s);
+  const std::string buf(t);
+  double v = std::strtod(buf.c_str(), nullptr);
+  // Integers print without a fractional part; everything else uses %.12g,
+  // which round-trips the distinct values our generators emit while
+  // collapsing trailing-zero spellings ("3.10" == "3.1").
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char out[32];
+    std::snprintf(out, sizeof(out), "%lld", static_cast<long long>(v));
+    return out;
+  }
+  char out[40];
+  std::snprintf(out, sizeof(out), "%.12g", v);
+  return out;
+}
+
+}  // namespace gent

@@ -1,0 +1,64 @@
+#include "src/value/dictionary.h"
+
+#include <cassert>
+#include <mutex>
+
+#include "src/util/string_util.h"
+
+namespace gent {
+
+ValueDictionary::ValueDictionary() {
+  strings_.emplace_back("");  // id 0: the null sentinel
+}
+
+ValueId ValueDictionary::Intern(std::string_view s) {
+  if (s.empty()) return kNull;
+  std::string canonical = NormalizeNumeric(s);
+  {
+    std::shared_lock lock(mutex_);
+    auto it = index_.find(canonical);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  // Re-check: another thread may have interned between the locks.
+  auto it = index_.find(canonical);
+  if (it != index_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(strings_.size());
+  strings_.push_back(canonical);
+  index_.emplace(std::move(canonical), id);
+  return id;
+}
+
+ValueId ValueDictionary::Lookup(std::string_view s) const {
+  if (s.empty()) return kNull;
+  std::string canonical = NormalizeNumeric(s);
+  std::shared_lock lock(mutex_);
+  auto it = index_.find(canonical);
+  return it == index_.end() ? kNull : it->second;
+}
+
+const std::string& ValueDictionary::StringOf(ValueId id) const {
+  std::shared_lock lock(mutex_);
+  assert(id < strings_.size());
+  return strings_[id];  // deque reference: stable after unlock
+}
+
+ValueId ValueDictionary::CreateLabeledNull() {
+  std::unique_lock lock(mutex_);
+  ValueId id = static_cast<ValueId>(strings_.size());
+  strings_.push_back("⟨null:" + std::to_string(next_label_++) + "⟩");
+  labeled_nulls_.insert(id);
+  return id;
+}
+
+bool ValueDictionary::IsLabeledNull(ValueId id) const {
+  std::shared_lock lock(mutex_);
+  return labeled_nulls_.count(id) > 0;
+}
+
+size_t ValueDictionary::size() const {
+  std::shared_lock lock(mutex_);
+  return strings_.size();
+}
+
+}  // namespace gent

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "src/baselines/alite.h"
+#include "src/baselines/auto_pipeline.h"
+#include "src/baselines/llm_sim.h"
+#include "src/baselines/ver.h"
+#include "src/metrics/precision_recall.h"
+#include "src/ops/join.h"
+#include "src/table/table_builder.h"
+
+namespace gent {
+namespace {
+
+using testing::PaperSource;
+using testing::PaperTableA;
+using testing::PaperTableB;
+using testing::PaperTableC;
+using testing::PaperTableD;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  DictionaryPtr dict_ = MakeDictionary();
+
+  std::vector<Table> PaperInputs() {
+    return {PaperTableA(dict_), PaperTableB(dict_), PaperTableC(dict_),
+            PaperTableD(dict_)};
+  }
+};
+
+// --- ALITE --------------------------------------------------------------------
+
+TEST_F(BaselineTest, AliteIntegratesEverythingIncludingNoise) {
+  Table source = PaperSource(dict_);
+  AliteBaseline alite;
+  auto out = alite.Run(source, PaperInputs(), OpLimits());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->column_names(), source.column_names());
+  EXPECT_GT(out->num_rows(), 0u);
+  // ALITE is not target-driven: table C's wrong "Male" values leak in.
+  auto gender = *out->ColumnIndex("Gender");
+  auto name = *out->ColumnIndex("Name");
+  bool wang_male = false;
+  for (size_t r = 0; r < out->num_rows(); ++r) {
+    wang_male |= out->CellString(r, name) == "Wang" &&
+                 out->CellString(r, gender) == "Male";
+  }
+  EXPECT_TRUE(wang_male) << out->ToString();
+}
+
+TEST_F(BaselineTest, AliteEmptyInputs) {
+  Table source = PaperSource(dict_);
+  auto out = AliteBaseline().Run(source, {}, OpLimits());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 0u);
+  EXPECT_EQ(out->column_names(), source.column_names());
+}
+
+TEST_F(BaselineTest, AliteHonorsLimits) {
+  Table source = PaperSource(dict_);
+  OpLimits limits;
+  limits.MaxRows(2);
+  auto out = AliteBaseline().Run(source, PaperInputs(), limits);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST_F(BaselineTest, AlitePsKeepsOnlySourceKeyedRows) {
+  Table source = PaperSource(dict_);
+  Table a = PaperTableA(dict_);
+  a.AddRow({dict_->Intern("99"), dict_->Intern("Ghost"),
+            dict_->Intern("PhD")});
+  auto out = AlitePsBaseline().Run(source, {a}, OpLimits());
+  ASSERT_TRUE(out.ok());
+  auto name = *out->ColumnIndex("Name");
+  for (size_t r = 0; r < out->num_rows(); ++r) {
+    EXPECT_NE(out->CellString(r, name), "Ghost");
+  }
+}
+
+TEST_F(BaselineTest, AlitePsBeatsAliteOnPrecision) {
+  // The paper's consistent finding: project/select before FD pays off.
+  Table source = PaperSource(dict_);
+  auto inputs = PaperInputs();
+  // Add a noisy table with many non-source rows.
+  TableBuilder noisy(dict_, "noise");
+  noisy.Columns({"ID", "Name"});
+  for (int i = 10; i < 40; ++i) {
+    noisy.Row({std::to_string(i), "Person" + std::to_string(i)});
+  }
+  inputs.push_back(noisy.Build());
+  auto alite = AliteBaseline().Run(source, inputs, OpLimits());
+  auto ps = AlitePsBaseline().Run(source, inputs, OpLimits());
+  ASSERT_TRUE(alite.ok());
+  ASSERT_TRUE(ps.ok());
+  EXPECT_GE(ComputePrecisionRecall(source, *ps).precision,
+            ComputePrecisionRecall(source, *alite).precision);
+}
+
+// --- Auto-Pipeline* ---------------------------------------------------------------
+
+TEST_F(BaselineTest, AutoPipelineFindsJoinPipeline) {
+  // Clean split of the source across two joinable tables: the by-target
+  // search should reassemble it (near-)perfectly.
+  Table source = PaperSource(dict_);
+  Table left = TableBuilder(dict_, "left")
+                   .Columns({"ID", "Name", "Age"})
+                   .Row({"0", "Smith", "27"})
+                   .Row({"1", "Brown", "24"})
+                   .Row({"2", "Wang", "32"})
+                   .Build();
+  Table right = TableBuilder(dict_, "right")
+                    .Columns({"ID", "Gender", "Education Level"})
+                    .Row({"0", "", "Bachelors"})
+                    .Row({"1", "Male", "Masters"})
+                    .Row({"2", "Female", "High School"})
+                    .Build();
+  auto out = AutoPipelineBaseline().Run(source, {left, right}, OpLimits());
+  ASSERT_TRUE(out.ok());
+  auto pr = ComputePrecisionRecall(source, *out);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0) << out->ToString();
+}
+
+TEST_F(BaselineTest, AutoPipelineEmptyInputs) {
+  Table source = PaperSource(dict_);
+  auto out = AutoPipelineBaseline().Run(source, {}, OpLimits());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 0u);
+}
+
+TEST_F(BaselineTest, AutoPipelineRespectsBeamConfig) {
+  AutoPipelineConfig cfg;
+  cfg.beam_width = 1;
+  cfg.max_steps = 1;
+  Table source = PaperSource(dict_);
+  auto out = AutoPipelineBaseline(cfg).Run(source, PaperInputs(), OpLimits());
+  EXPECT_TRUE(out.ok());
+}
+
+// --- Ver* ----------------------------------------------------------------------
+
+TEST_F(BaselineTest, VerReturnsContainingViews) {
+  // Ver's goal: views that contain the source tuples plus extras.
+  Table source = PaperSource(dict_);
+  Table wide = TableBuilder(dict_, "wide")
+                   .Columns({"ID", "Name", "Age", "Gender",
+                             "Education Level"})
+                   .Row({"0", "Smith", "27", "", "Bachelors"})
+                   .Row({"1", "Brown", "24", "Male", "Masters"})
+                   .Row({"2", "Wang", "32", "Female", "High School"})
+                   .Row({"7", "Extra", "99", "Male", "PhD"})
+                   .Build();
+  auto out = VerBaseline().Run(source, {wide}, OpLimits());
+  ASSERT_TRUE(out.ok());
+  auto pr = ComputePrecisionRecall(source, *out);
+  EXPECT_GT(pr.recall, 0.9);
+  EXPECT_LT(pr.precision, 1.0);  // extras hurt precision, as in the paper
+}
+
+TEST_F(BaselineTest, VerNeedsSingleColumnKey) {
+  Table source = TableBuilder(dict_, "s")
+                     .Columns({"a", "b", "v"})
+                     .Row({"1", "2", "x"})
+                     .Key({"a", "b"})
+                     .Build();
+  auto out = VerBaseline().Run(source, {source.Clone()}, OpLimits());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 0u);  // composite keys: Ver* abstains
+}
+
+// --- LLM-sim ---------------------------------------------------------------------
+
+TEST_F(BaselineTest, LlmSimIsDeterministicAndNoisy) {
+  Table source = PaperSource(dict_);
+  LlmSimBaseline llm;
+  auto out1 = llm.Run(source, PaperInputs(), OpLimits());
+  auto out2 = llm.Run(source, PaperInputs(), OpLimits());
+  ASSERT_TRUE(out1.ok());
+  ASSERT_TRUE(out2.ok());
+  ASSERT_EQ(out1->num_rows(), out2->num_rows());
+  for (size_t r = 0; r < out1->num_rows(); ++r) {
+    for (size_t c = 0; c < out1->num_cols(); ++c) {
+      EXPECT_EQ(out1->cell(r, c), out2->cell(r, c));
+    }
+  }
+}
+
+TEST_F(BaselineTest, LlmSimRecallRoughlyCalibrated) {
+  // On a larger source, tuple recall should land near the configured
+  // rate (the paper's ChatGPT measured 0.239).
+  TableBuilder b(dict_, "s");
+  b.Columns({"k", "a", "b"});
+  for (int i = 0; i < 200; ++i) {
+    b.Row({std::to_string(i), "a" + std::to_string(i),
+           "b" + std::to_string(i)});
+  }
+  Table source = b.Key({"k"}).Build();
+  LlmSimConfig cfg;
+  cfg.tuple_recall = 0.3;
+  auto out = LlmSimBaseline(cfg).Run(source, {source.Clone()}, OpLimits());
+  ASSERT_TRUE(out.ok());
+  auto pr = ComputePrecisionRecall(source, *out);
+  EXPECT_GT(pr.recall, 0.05);
+  EXPECT_LT(pr.recall, 0.35);
+  EXPECT_LT(pr.precision, 0.6);  // hallucinations + fabricated rows
+}
+
+}  // namespace
+}  // namespace gent

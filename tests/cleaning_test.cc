@@ -1,0 +1,288 @@
+// Tests for reclamation-aware cleaning (src/cleaning).
+
+#include "src/cleaning/cleaning.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/similarity.h"
+#include "src/table/table_builder.h"
+
+namespace gent {
+namespace {
+
+// Fixture shapes follow the paper's Fig. 3/4 example: a keyed source,
+// a reclaimed table with nullified cells, and originating tables with
+// partial evidence.
+class CleaningFixture : public ::testing::Test {
+ protected:
+  CleaningFixture() : dict_(MakeDictionary()) {
+    source_ = std::make_unique<Table>(
+        TableBuilder(dict_, "source")
+            .Columns({"ID", "Name", "Age", "Gender"})
+            .Row({"0", "Smith", "27", "Male"})
+            .Row({"1", "Brown", "24", "Male"})
+            .Row({"2", "Wang", "32", "Female"})
+            .Key({"ID"})
+            .Build());
+  }
+
+  Table Reclaimed(const std::vector<std::vector<std::string>>& rows) {
+    TableBuilder builder(dict_, "reclaimed");
+    builder.Columns({"ID", "Name", "Age", "Gender"});
+    for (const auto& row : rows) builder.Row(row);
+    return builder.Build();
+  }
+
+  DictionaryPtr dict_;
+  std::unique_ptr<Table> source_;
+};
+
+TEST_F(CleaningFixture, ImputeFillsNullFromSingleWitness) {
+  Table reclaimed = Reclaimed({{"0", "Smith", "", "Male"},
+                               {"1", "Brown", "24", "Male"},
+                               {"2", "Wang", "32", "Female"}});
+  std::vector<Table> originating;
+  originating.push_back(TableBuilder(dict_, "ages")
+                            .Columns({"ID", "Age"})
+                            .Row({"0", "27"})
+                            .Build());
+  CleaningStats stats;
+  auto result = ImputeNulls(reclaimed, *source_, originating, {}, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->CellString(0, 2), "27");
+  EXPECT_EQ(stats.cells_imputed, 1u);
+  // Imputation improved EIS.
+  EXPECT_GT(EisScore(*source_, *result).value(),
+            EisScore(*source_, reclaimed).value());
+}
+
+TEST_F(CleaningFixture, ImputeMajorityWinsOverMinority) {
+  Table reclaimed = Reclaimed({{"0", "Smith", "", "Male"}});
+  std::vector<Table> originating;
+  originating.push_back(TableBuilder(dict_, "w1")
+                            .Columns({"ID", "Age"})
+                            .Row({"0", "27"})
+                            .Build());
+  originating.push_back(TableBuilder(dict_, "w2")
+                            .Columns({"ID", "Age"})
+                            .Row({"0", "27"})
+                            .Build());
+  originating.push_back(TableBuilder(dict_, "w3")
+                            .Columns({"ID", "Age"})
+                            .Row({"0", "99"})
+                            .Build());
+  auto result = ImputeNulls(reclaimed, *source_, originating);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->CellString(0, 2), "27");
+}
+
+TEST_F(CleaningFixture, ImputeContestedStaysNull) {
+  Table reclaimed = Reclaimed({{"0", "Smith", "", "Male"}});
+  std::vector<Table> originating;
+  originating.push_back(TableBuilder(dict_, "w1")
+                            .Columns({"ID", "Age"})
+                            .Row({"0", "27"})
+                            .Build());
+  originating.push_back(TableBuilder(dict_, "w2")
+                            .Columns({"ID", "Age"})
+                            .Row({"0", "99"})
+                            .Build());
+  CleaningOptions options;
+  options.min_agreement = 0.6;  // 50/50 split cannot clear this
+  CleaningStats stats;
+  auto result =
+      ImputeNulls(reclaimed, *source_, originating, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cell(0, 2), kNull);
+  EXPECT_EQ(stats.cells_contested, 1u);
+  EXPECT_EQ(stats.cells_imputed, 0u);
+}
+
+TEST_F(CleaningFixture, ImputeRespectsSourceNulls) {
+  // Source with a null Gender for Smith; evidence exists but must not
+  // be used (it would fabricate an erroneous value under EIS).
+  Table source = TableBuilder(dict_, "s2")
+                     .Columns({"ID", "Name", "Age", "Gender"})
+                     .Row({"0", "Smith", "27", ""})
+                     .Key({"ID"})
+                     .Build();
+  Table reclaimed = Reclaimed({{"0", "Smith", "27", ""}});
+  std::vector<Table> originating;
+  originating.push_back(TableBuilder(dict_, "w")
+                            .Columns({"ID", "Gender"})
+                            .Row({"0", "Male"})
+                            .Build());
+  auto guarded = ImputeNulls(reclaimed, source, originating);
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_EQ(guarded->cell(0, 3), kNull);
+
+  CleaningOptions reckless;
+  reckless.respect_source_nulls = false;
+  auto filled = ImputeNulls(reclaimed, source, originating, reckless);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_EQ(filled->CellString(0, 3), "Male");
+  // And EIS confirms the guard was right.
+  EXPECT_GE(EisScore(source, *guarded).value(),
+            EisScore(source, *filled).value());
+}
+
+TEST_F(CleaningFixture, ImputeTrustWeightedFavorsTrustedTable) {
+  Table reclaimed = Reclaimed({{"0", "Smith", "", "Male"}});
+  std::vector<Table> originating;
+  originating.push_back(TableBuilder(dict_, "untrusted")
+                            .Columns({"ID", "Age"})
+                            .Row({"0", "99"})
+                            .Build());
+  originating.push_back(TableBuilder(dict_, "trusted")
+                            .Columns({"ID", "Age"})
+                            .Row({"0", "27"})
+                            .Build());
+  CleaningOptions options;
+  options.policy = VotePolicy::kTrustWeighted;
+  options.trust = {{"trusted", 3.0}, {"untrusted", 0.5}};
+  auto result = ImputeNulls(reclaimed, *source_, originating, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->CellString(0, 2), "27");
+}
+
+TEST_F(CleaningFixture, ImputeFirstPolicyTakesFirstWitness) {
+  Table reclaimed = Reclaimed({{"0", "Smith", "", "Male"}});
+  std::vector<Table> originating;
+  originating.push_back(TableBuilder(dict_, "w1")
+                            .Columns({"ID", "Age"})
+                            .Row({"0", "41"})
+                            .Build());
+  originating.push_back(TableBuilder(dict_, "w2")
+                            .Columns({"ID", "Age"})
+                            .Row({"0", "27"})
+                            .Build());
+  CleaningOptions options;
+  options.policy = VotePolicy::kFirst;
+  auto result = ImputeNulls(reclaimed, *source_, originating, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->CellString(0, 2), "41");
+}
+
+TEST_F(CleaningFixture, ImputeIgnoresTablesWithoutKeyColumns) {
+  Table reclaimed = Reclaimed({{"0", "Smith", "", "Male"}});
+  std::vector<Table> originating;
+  originating.push_back(TableBuilder(dict_, "keyless")
+                            .Columns({"Name", "Age"})
+                            .Row({"Smith", "27"})
+                            .Build());
+  auto result = ImputeNulls(reclaimed, *source_, originating);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cell(0, 2), kNull) << "keyless table cannot vote";
+}
+
+TEST_F(CleaningFixture, ImputeRejectsSchemaMismatch) {
+  Table bad = TableBuilder(dict_, "bad").Columns({"ID"}).Row({"0"}).Build();
+  auto result = ImputeNulls(bad, *source_, {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CleaningFixture, FuseCollapsesAlignedTuples) {
+  // Integration kept two aligned tuples for key 0 (paper Fig. 4 upper).
+  Table reclaimed = Reclaimed({{"0", "Smith", "27", ""},
+                               {"0", "Smith", "", "Male"},
+                               {"1", "Brown", "24", "Male"}});
+  CleaningStats stats;
+  auto result = FuseAlignedTuples(reclaimed, *source_, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(stats.tuples_fused, 1u);
+  // Fused tuple has both Age and Gender.
+  EXPECT_EQ(result->CellString(0, 2), "27");
+  EXPECT_EQ(result->CellString(0, 3), "Male");
+}
+
+TEST_F(CleaningFixture, FuseKeepsExtraAndNullKeyRows) {
+  Table reclaimed = Reclaimed({{"9", "Ghost", "1", "?"},   // not a source key
+                               {"", "NoKey", "2", "?"},    // null key
+                               {"1", "Brown", "24", "Male"}});
+  auto result = FuseAlignedTuples(reclaimed, *source_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);
+}
+
+TEST_F(CleaningFixture, FuseMajorityResolvesConflicts) {
+  Table reclaimed = Reclaimed({{"0", "Smith", "27", "Male"},
+                               {"0", "Smith", "27", "Male"},
+                               {"0", "Smith", "99", "Male"}});
+  auto result = FuseAlignedTuples(reclaimed, *source_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->CellString(0, 2), "27");
+}
+
+TEST_F(CleaningFixture, CleanReclaimedPipelineImprovesEis) {
+  Table reclaimed = Reclaimed({{"0", "Smith", "27", ""},
+                               {"0", "Smith", "", "Male"},
+                               {"1", "Brown", "", "Male"},
+                               {"2", "Wang", "32", "Female"}});
+  std::vector<Table> originating;
+  originating.push_back(TableBuilder(dict_, "ages")
+                            .Columns({"ID", "Age"})
+                            .Row({"1", "24"})
+                            .Build());
+  CleaningStats stats;
+  auto cleaned =
+      CleanReclaimed(reclaimed, *source_, originating, {}, &stats);
+  ASSERT_TRUE(cleaned.ok());
+  EXPECT_EQ(cleaned->num_rows(), 3u);
+  EXPECT_GT(stats.tuples_fused, 0u);
+  EXPECT_GT(stats.cells_imputed, 0u);
+  const double before = EisScore(*source_, reclaimed).value();
+  const double after = EisScore(*source_, *cleaned).value();
+  EXPECT_GT(after, before);
+  EXPECT_DOUBLE_EQ(after, 1.0) << "fully repaired in this scenario";
+}
+
+TEST_F(CleaningFixture, AlignKeysFuzzyRepairsTypoKeys) {
+  Table source = TableBuilder(dict_, "named")
+                     .Columns({"Name", "Age"})
+                     .Row({"Katherine", "27"})
+                     .Row({"Alexandra", "24"})
+                     .Key({"Name"})
+                     .Build();
+  Table lake = TableBuilder(dict_, "lake")
+                   .Columns({"Name", "Age"})
+                   .Row({"Katherlne", "27"})   // typo key
+                   .Row({"Alexandra", "24"})   // exact key
+                   .Row({"Zebediah", "99"})    // unrelated
+                   .Build();
+  CleaningStats stats;
+  auto aligned = AlignKeysFuzzy(lake, source, {}, &stats);
+  ASSERT_TRUE(aligned.ok()) << aligned.status().ToString();
+  EXPECT_EQ(aligned->CellString(0, 0), "Katherine");
+  EXPECT_EQ(aligned->CellString(1, 0), "Alexandra");
+  EXPECT_EQ(aligned->CellString(2, 0), "Zebediah");
+  EXPECT_EQ(stats.keys_aligned, 1u);
+}
+
+TEST_F(CleaningFixture, AlignKeysFuzzyRequiresSharedDictionary) {
+  Table source = TableBuilder(dict_, "s")
+                     .Columns({"k"})
+                     .Row({"a"})
+                     .Key({"k"})
+                     .Build();
+  auto other_dict = MakeDictionary();
+  Table foreign =
+      TableBuilder(other_dict, "f").Columns({"k"}).Row({"a"}).Build();
+  auto result = AlignKeysFuzzy(foreign, source);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(CleaningFixture, KeylessSourceRejectedEverywhere) {
+  Table keyless =
+      TableBuilder(dict_, "k").Columns({"a"}).Row({"1"}).Build();
+  EXPECT_FALSE(ImputeNulls(keyless, keyless, {}).ok());
+  EXPECT_FALSE(FuseAlignedTuples(keyless, keyless).ok());
+  EXPECT_FALSE(AlignKeysFuzzy(keyless, keyless).ok());
+}
+
+}  // namespace
+}  // namespace gent

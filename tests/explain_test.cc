@@ -1,0 +1,214 @@
+// Tests for reclamation provenance and row explanations (src/explain).
+
+#include "src/explain/provenance.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/gent/gent.h"
+#include "src/lake/data_lake.h"
+#include "src/table/table_builder.h"
+
+namespace gent {
+namespace {
+
+// The paper's Fig. 3 instance: source + originating tables A, B, D.
+class ExplainFixture : public ::testing::Test {
+ protected:
+  ExplainFixture() : dict_(MakeDictionary()) {
+    source_ = std::make_unique<Table>(
+        TableBuilder(dict_, "source")
+            .Columns({"ID", "Name", "Age", "Gender", "Education"})
+            .Row({"0", "Smith", "27", "", "Bachelors"})
+            .Row({"1", "Brown", "24", "Male", "Masters"})
+            .Row({"2", "Wang", "32", "Female", "High School"})
+            .Key({"ID"})
+            .Build());
+    // Table A: ID, Name, Education.
+    originating_.push_back(TableBuilder(dict_, "A")
+                               .Columns({"ID", "Name", "Education"})
+                               .Row({"0", "Smith", "Bachelors"})
+                               .Row({"1", "Brown", ""})
+                               .Row({"2", "Wang", "High School"})
+                               .Build());
+    // Table B expanded with ID (as Expand() would produce): ID, Name, Age.
+    originating_.push_back(TableBuilder(dict_, "B")
+                               .Columns({"ID", "Name", "Age"})
+                               .Row({"0", "Smith", "27"})
+                               .Row({"1", "Brown", "24"})
+                               .Row({"2", "Wang", "32"})
+                               .Build());
+    // Table C: contradicting genders (the paper's misleading table).
+    table_c_ = std::make_unique<Table>(TableBuilder(dict_, "C")
+                                           .Columns({"ID", "Name", "Gender"})
+                                           .Row({"0", "Smith", "Male"})
+                                           .Row({"1", "Brown", "Male"})
+                                           .Row({"2", "Wang", "Male"})
+                                           .Build());
+    reclaimed_ = std::make_unique<Table>(
+        TableBuilder(dict_, "reclaimed")
+            .Columns({"ID", "Name", "Age", "Gender", "Education"})
+            .Row({"0", "Smith", "27", "", "Bachelors"})
+            .Row({"1", "Brown", "24", "Male", "Masters"})
+            .Row({"2", "Wang", "32", "Female", "High School"})
+            .Build());
+  }
+
+  DictionaryPtr dict_;
+  std::unique_ptr<Table> source_;
+  std::unique_ptr<Table> table_c_;
+  std::vector<Table> originating_;
+  std::unique_ptr<Table> reclaimed_;
+};
+
+TEST_F(ExplainFixture, WitnessesResolveToContributingTables) {
+  // Add a third originating table that also knows Brown's Masters.
+  originating_.push_back(TableBuilder(dict_, "D")
+                             .Columns({"ID", "Gender", "Education"})
+                             .Row({"1", "Male", "Masters"})
+                             .Row({"2", "Female", ""})
+                             .Build());
+  auto result = TraceProvenance(*reclaimed_, *source_, originating_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Cell (0, Education)="Bachelors" witnessed only by A.
+  const auto& bachelors = result->witnesses[0][4];
+  ASSERT_EQ(bachelors.size(), 1u);
+  EXPECT_EQ(originating_[bachelors[0]].name(), "A");
+  // Cell (1, Education)="Masters" witnessed only by D (A has null).
+  const auto& masters = result->witnesses[1][4];
+  ASSERT_EQ(masters.size(), 1u);
+  EXPECT_EQ(originating_[masters[0]].name(), "D");
+  // Cell (1, Age)="24" witnessed only by B.
+  const auto& age = result->witnesses[1][2];
+  ASSERT_EQ(age.size(), 1u);
+  EXPECT_EQ(originating_[age[0]].name(), "B");
+  // Gender of Wang witnessed by D.
+  const auto& gender = result->witnesses[2][3];
+  ASSERT_EQ(gender.size(), 1u);
+  EXPECT_EQ(originating_[gender[0]].name(), "D");
+  EXPECT_EQ(result->unexplained_cells, 0u);
+}
+
+TEST_F(ExplainFixture, ContributionTotalsAreConsistent) {
+  auto result = TraceProvenance(*reclaimed_, *source_, originating_);
+  ASSERT_TRUE(result.ok());
+  // Every table touches all 3 rows (shared keys 0,1,2).
+  size_t total_witnessed = 0;
+  for (const TableContribution& c : result->contributions) {
+    EXPECT_EQ(c.rows_touched, 3u) << c.name;
+    EXPECT_GE(c.cells_witnessed, c.cells_unique) << c.name;
+    total_witnessed += c.cells_witnessed;
+  }
+  // 11 non-null non-key cells: Name×3, Age×3, Gender×2, Education×3.
+  // Name is doubly witnessed (A and B: 6), Age by B (3), Education by A
+  // for rows 0 and 2 (2; A has null for Brown's Masters). Unwitnessed:
+  // both Gender cells and Brown's Masters.
+  EXPECT_EQ(result->cells_examined, 11u);
+  EXPECT_EQ(result->unexplained_cells, 3u);
+  EXPECT_EQ(total_witnessed, 3u * 2 + 3 + 2);
+  const std::string summary = result->Summarize();
+  EXPECT_NE(summary.find("A:"), std::string::npos);
+  EXPECT_NE(summary.find("unexplained"), std::string::npos);
+}
+
+TEST_F(ExplainFixture, UnexplainedCellsCounted) {
+  // Reclaimed value "99" for Smith's Age exists in no originating table.
+  Table tampered = reclaimed_->Clone();
+  tampered.set_cell(0, 2, dict_->Intern("99"));
+  auto result = TraceProvenance(tampered, *source_, originating_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->witnesses[0][2].empty());
+  EXPECT_GE(result->unexplained_cells, 1u);
+}
+
+TEST_F(ExplainFixture, TablesWithoutKeyColumnsAbstain) {
+  originating_.push_back(TableBuilder(dict_, "keyless")
+                             .Columns({"Name", "Age"})
+                             .Row({"Smith", "27"})
+                             .Build());
+  auto result = TraceProvenance(*reclaimed_, *source_, originating_);
+  ASSERT_TRUE(result.ok());
+  const TableContribution& keyless = result->contributions.back();
+  EXPECT_EQ(keyless.cells_witnessed, 0u);
+  EXPECT_EQ(keyless.rows_touched, 0u);
+}
+
+TEST_F(ExplainFixture, SchemaAndKeyValidation) {
+  Table bad = TableBuilder(dict_, "bad").Columns({"ID"}).Row({"0"}).Build();
+  EXPECT_FALSE(TraceProvenance(bad, *source_, originating_).ok());
+  Table keyless_source =
+      TableBuilder(dict_, "ks").Columns({"a"}).Row({"1"}).Build();
+  EXPECT_FALSE(
+      TraceProvenance(keyless_source, keyless_source, originating_).ok());
+}
+
+TEST_F(ExplainFixture, ExplainRowReportsSupportAndSilence) {
+  auto explanation = ExplainSourceRow(*source_, 0, originating_);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_TRUE(explanation->key_found);
+  EXPECT_EQ(explanation->key, "ID=0");
+  // Columns: Name, Age, Gender, Education.
+  ASSERT_EQ(explanation->columns.size(), 4u);
+  const ColumnEvidence& age = explanation->columns[1];
+  EXPECT_EQ(age.column, "Age");
+  EXPECT_TRUE(age.supported);
+  EXPECT_FALSE(age.contradicted);
+  const ColumnEvidence& gender = explanation->columns[2];
+  EXPECT_TRUE(gender.observed.empty()) << "no originating table has Gender";
+  const std::string rendered = explanation->ToString();
+  EXPECT_NE(rendered.find("Age"), std::string::npos);
+  EXPECT_NE(rendered.find("supported"), std::string::npos);
+}
+
+TEST_F(ExplainFixture, ExplainRowFlagsContradiction) {
+  originating_.push_back(table_c_->Clone());
+  auto explanation = ExplainSourceRow(*source_, 2, originating_);
+  ASSERT_TRUE(explanation.ok());
+  // Wang's Gender: source=Female, C says Male → contradicted.
+  const ColumnEvidence& gender = explanation->columns[2];
+  EXPECT_TRUE(gender.contradicted);
+  EXPECT_FALSE(gender.supported);
+  EXPECT_NE(explanation->ToString().find("contradicted"), std::string::npos);
+}
+
+TEST_F(ExplainFixture, ExplainRowKeyNotFound) {
+  Table lone_source = TableBuilder(dict_, "lone")
+                          .Columns({"ID", "Name"})
+                          .Row({"42", "Nobody"})
+                          .Key({"ID"})
+                          .Build();
+  auto explanation = ExplainSourceRow(lone_source, 0, originating_);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_FALSE(explanation->key_found);
+  EXPECT_NE(explanation->ToString().find("key not found"), std::string::npos);
+}
+
+TEST_F(ExplainFixture, ExplainRowOutOfRange) {
+  auto explanation = ExplainSourceRow(*source_, 99, originating_);
+  EXPECT_FALSE(explanation.ok());
+  EXPECT_EQ(explanation.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ExplainFixture, EndToEndProvenanceOfGenTOutput) {
+  // Run the real pipeline on the fixture lake and trace its output.
+  DataLake lake(dict_);
+  ASSERT_TRUE(lake.AddTable(originating_[0].Clone()).ok());
+  ASSERT_TRUE(lake.AddTable(originating_[1].Clone()).ok());
+  ASSERT_TRUE(lake.AddTable(table_c_->Clone()).ok());
+  GenT gent(lake);
+  auto reclamation = gent.Reclaim(*source_);
+  ASSERT_TRUE(reclamation.ok()) << reclamation.status().ToString();
+  auto provenance = TraceProvenance(reclamation->reclaimed, *source_,
+                                    reclamation->originating);
+  ASSERT_TRUE(provenance.ok()) << provenance.status().ToString();
+  // Every non-null cell of a Gen-T reclamation is witnessed by some
+  // originating table: the integration only assembles lake values.
+  EXPECT_EQ(provenance->unexplained_cells, 0u)
+      << provenance->Summarize();
+}
+
+}  // namespace
+}  // namespace gent

@@ -1,0 +1,146 @@
+// End-to-end tests of the Gen-T pipeline on the paper's running example
+// (Figure 3): discovery → expand → matrix traversal → integration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "paper_fixtures.h"
+#include "src/gent/gent.h"
+#include "src/metrics/precision_recall.h"
+#include "src/metrics/similarity.h"
+#include "src/table/table_builder.h"
+
+namespace gent {
+namespace {
+
+using testing::PaperSource;
+using testing::PaperTableA;
+using testing::PaperTableB;
+using testing::PaperTableC;
+using testing::PaperTableD;
+
+class GenTTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    (void)lake_.AddTable(PaperTableA(lake_.dict()));
+    (void)lake_.AddTable(PaperTableB(lake_.dict()));
+    (void)lake_.AddTable(PaperTableC(lake_.dict()));
+    (void)lake_.AddTable(PaperTableD(lake_.dict()));
+  }
+  DataLake lake_;
+};
+
+TEST_F(GenTTest, ReclaimsPaperExample) {
+  GenT gent(lake_);
+  Table source = PaperSource(lake_.dict());
+  auto r = gent.Reclaim(source);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // Misleading table C must not be among the originating tables.
+  for (const auto& name : r->originating_names) {
+    EXPECT_EQ(name.find("C"), std::string::npos) << name;
+  }
+  // The reclaimed table matches the source schema.
+  EXPECT_EQ(r->reclaimed.column_names(), source.column_names());
+  // EIS is high: everything except Brown's education is reclaimable.
+  double eis = EisScore(source, r->reclaimed).value();
+  EXPECT_GT(eis, 0.9) << r->reclaimed.ToString();
+  // No erroneous values: Wang stays Female, Smith's gender stays null.
+  auto gender = *r->reclaimed.ColumnIndex("Gender");
+  auto name_col = *r->reclaimed.ColumnIndex("Name");
+  for (size_t row = 0; row < r->reclaimed.num_rows(); ++row) {
+    if (r->reclaimed.CellString(row, name_col) == "Wang") {
+      EXPECT_NE(r->reclaimed.CellString(row, gender), "Male");
+    }
+    if (r->reclaimed.CellString(row, name_col) == "Smith") {
+      EXPECT_EQ(r->reclaimed.cell(row, gender), kNull);
+    }
+  }
+}
+
+TEST_F(GenTTest, PerfectWhenSourceItselfInLake) {
+  Table source = PaperSource(lake_.dict());
+  Table copy = source.Clone();
+  copy.set_name("the_source_itself");
+  (void)lake_.AddTable(std::move(copy));
+  GenT gent(lake_);
+  auto r = gent.Reclaim(source);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(IsPerfectReclamation(source, r->reclaimed))
+      << r->reclaimed.ToString();
+  EXPECT_DOUBLE_EQ(EisScore(source, r->reclaimed).value(), 1.0);
+}
+
+TEST_F(GenTTest, PredictedEisMatchesRealizedEis) {
+  // The matrix simulation should predict the integration's quality well.
+  GenT gent(lake_);
+  Table source = PaperSource(lake_.dict());
+  auto r = gent.Reclaim(source);
+  ASSERT_TRUE(r.ok());
+  double realized = EisScore(source, r->reclaimed).value();
+  EXPECT_NEAR(r->predicted_eis, realized, 0.05);
+}
+
+TEST_F(GenTTest, SkipTraversalAblationIntegratesEverything) {
+  GenTConfig cfg;
+  cfg.skip_traversal = true;
+  GenT gent(lake_, cfg);
+  Table source = PaperSource(lake_.dict());
+  auto r = gent.Reclaim(source);
+  ASSERT_TRUE(r.ok());
+  // Without traversal, C leaks into the integration and injects Male rows.
+  GenT with(lake_);
+  auto r2 = with.Reclaim(source);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GE(EisScore(source, r2->reclaimed).value(),
+            EisScore(source, r->reclaimed).value());
+  EXPECT_GE(ComputePrecisionRecall(source, r2->reclaimed).precision,
+            ComputePrecisionRecall(source, r->reclaimed).precision);
+}
+
+TEST_F(GenTTest, EmptyLakeYieldsEmptyReclamation) {
+  DataLake empty;
+  GenT gent(empty);
+  Table source = PaperSource(empty.dict());
+  auto r = gent.Reclaim(source);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->reclaimed.num_rows(), 0u);
+  EXPECT_TRUE(r->originating.empty());
+}
+
+TEST_F(GenTTest, UnrelatedLakeYieldsNothing) {
+  DataLake other;
+  (void)other.AddTable(TableBuilder(other.dict(), "noise")
+                           .Columns({"p", "q"})
+                           .Row({"aa", "bb"})
+                           .Build());
+  GenT gent(other);
+  Table source = PaperSource(other.dict());
+  auto r = gent.Reclaim(source);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->reclaimed.num_rows(), 0u);
+}
+
+TEST_F(GenTTest, TimingsArePopulated) {
+  GenT gent(lake_);
+  Table source = PaperSource(lake_.dict());
+  auto r = gent.Reclaim(source);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->discovery_seconds, 0.0);
+  EXPECT_GE(r->traversal_seconds, 0.0);
+  EXPECT_GE(r->integration_seconds, 0.0);
+}
+
+TEST_F(GenTTest, OriginatingTablesAreReturnedWithData) {
+  GenT gent(lake_);
+  Table source = PaperSource(lake_.dict());
+  auto r = gent.Reclaim(source);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->originating.empty());
+  EXPECT_EQ(r->originating.size(), r->originating_names.size());
+  for (const auto& t : r->originating) EXPECT_GT(t.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace gent

@@ -1,0 +1,299 @@
+// Tests for keyless instance comparison (src/metrics/incomplete_similarity).
+
+#include "src/metrics/incomplete_similarity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/similarity.h"
+#include "src/table/table_builder.h"
+#include "src/util/random.h"
+
+namespace gent {
+namespace {
+
+TEST(PairWeightTest, PlainCountsEqualNonNulls) {
+  auto dict = MakeDictionary();
+  const ValueId a = dict->Intern("a"), b = dict->Intern("b"),
+                c = dict->Intern("c");
+  // 2 of 4 equal; one t-null; one disagreement.
+  std::vector<ValueId> s = {a, b, c, a};
+  std::vector<ValueId> t = {a, b, kNull, b};
+  EXPECT_DOUBLE_EQ(PairWeight(s, t, TupleWeight::kPlain), 0.5);
+}
+
+TEST(PairWeightTest, ErrorAwarePenalizesDisagreement) {
+  auto dict = MakeDictionary();
+  const ValueId a = dict->Intern("a"), b = dict->Intern("b"),
+                c = dict->Intern("c");
+  std::vector<ValueId> s = {a, b, c, a};
+  std::vector<ValueId> tn = {a, b, kNull, kNull};  // α=2, δ=0
+  std::vector<ValueId> te = {a, b, kNull, b};      // α=2, δ=1
+  const double wn = PairWeight(s, tn, TupleWeight::kErrorAware);
+  const double we = PairWeight(s, te, TupleWeight::kErrorAware);
+  EXPECT_DOUBLE_EQ(wn, 0.5 * (1.0 + 2.0 / 4.0));
+  EXPECT_DOUBLE_EQ(we, 0.5 * (1.0 + 1.0 / 4.0));
+  EXPECT_GT(wn, we) << "nullified must beat erroneous (EIS principle)";
+}
+
+TEST(PairWeightTest, ErroneousValueOnSourceNullPenalized) {
+  auto dict = MakeDictionary();
+  const ValueId a = dict->Intern("a"), x = dict->Intern("x");
+  std::vector<ValueId> s = {a, kNull};
+  std::vector<ValueId> t = {a, x};  // fabricates a value the source lacks
+  EXPECT_DOUBLE_EQ(PairWeight(s, t, TupleWeight::kErrorAware),
+                   0.5 * (1.0 + (1.0 - 1.0) / 2.0));
+}
+
+TEST(HungarianTest, PicksGlobalOptimumOverGreedyChoice) {
+  // Greedy takes (0,0)=0.9 then (1,1)=0.1 → 1.0.
+  // Optimum is (0,1)=0.8 + (1,0)=0.8 → 1.6.
+  std::vector<std::vector<double>> w = {{0.9, 0.8}, {0.8, 0.1}};
+  std::vector<size_t> match = HungarianMatch(w);
+  ASSERT_EQ(match.size(), 2u);
+  EXPECT_EQ(match[0], 1u);
+  EXPECT_EQ(match[1], 0u);
+}
+
+TEST(HungarianTest, RectangularMatrices) {
+  // More sources than targets: one source stays unmatched.
+  std::vector<std::vector<double>> w = {{0.5}, {0.9}, {0.2}};
+  std::vector<size_t> match = HungarianMatch(w);
+  ASSERT_EQ(match.size(), 3u);
+  EXPECT_EQ(match[1], 0u);
+  EXPECT_EQ(match[0], SIZE_MAX);
+  EXPECT_EQ(match[2], SIZE_MAX);
+}
+
+TEST(HungarianTest, ZeroWeightsUnmatched) {
+  std::vector<std::vector<double>> w = {{0.0, 0.0}, {0.0, 0.7}};
+  std::vector<size_t> match = HungarianMatch(w);
+  EXPECT_EQ(match[0], SIZE_MAX);
+  EXPECT_EQ(match[1], 1u);
+}
+
+TEST(HungarianTest, EmptyInputs) {
+  EXPECT_TRUE(HungarianMatch({}).empty());
+  std::vector<std::vector<double>> no_cols = {{}, {}};
+  std::vector<size_t> match = HungarianMatch(no_cols);
+  EXPECT_EQ(match, std::vector<size_t>(2, SIZE_MAX));
+}
+
+Table PaperSource(const DictionaryPtr& dict) {
+  return TableBuilder(dict, "source")
+      .Columns({"Name", "Age", "Gender", "Education"})
+      .Row({"Smith", "27", "", "Bachelors"})
+      .Row({"Brown", "24", "Male", "Masters"})
+      .Row({"Wang", "32", "Female", "High School"})
+      .Build();
+}
+
+TEST(IncompleteSimilarityTest, IdenticalTablesScoreOne) {
+  auto dict = MakeDictionary();
+  Table s = PaperSource(dict);
+  auto result = IncompleteInstanceSimilarity(s, s);
+  ASSERT_TRUE(result.ok());
+  // Self-match: α = non-null count per tuple, δ = 0; tuples with nulls
+  // score (1 + α/n)/2 < 1, so the instance score is < 1 but maximal.
+  EXPECT_EQ(result->matches.size(), 3u);
+  for (const TupleMatch& m : result->matches) {
+    EXPECT_EQ(m.source_row, m.target_row);
+  }
+  // Under plain weight the self-similarity of a null-free table is 1.
+  Table nf = TableBuilder(dict, "nf")
+                 .Columns({"a", "b"})
+                 .Row({"1", "2"})
+                 .Row({"3", "4"})
+                 .Build();
+  IncompleteSimilarityOptions plain;
+  plain.weight = TupleWeight::kPlain;
+  auto nf_result = IncompleteInstanceSimilarity(nf, nf, plain);
+  ASSERT_TRUE(nf_result.ok());
+  EXPECT_DOUBLE_EQ(nf_result->similarity, 1.0);
+}
+
+TEST(IncompleteSimilarityTest, DisjointTablesScoreZeroPlain) {
+  auto dict = MakeDictionary();
+  Table s = TableBuilder(dict, "s").Columns({"a"}).Row({"1"}).Row({"2"}).Build();
+  Table t = TableBuilder(dict, "t").Columns({"a"}).Row({"3"}).Row({"4"}).Build();
+  IncompleteSimilarityOptions plain;
+  plain.weight = TupleWeight::kPlain;
+  auto result = IncompleteInstanceSimilarity(s, t, plain);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->similarity, 0.0);
+  EXPECT_TRUE(result->matches.empty());
+}
+
+TEST(IncompleteSimilarityTest, RowPermutationIsIrrelevant) {
+  auto dict = MakeDictionary();
+  Table s = PaperSource(dict);
+  Table t = TableBuilder(dict, "t")
+                .Columns({"Name", "Age", "Gender", "Education"})
+                .Row({"Wang", "32", "Female", "High School"})
+                .Row({"Smith", "27", "", "Bachelors"})
+                .Row({"Brown", "24", "Male", "Masters"})
+                .Build();
+  auto self = IncompleteInstanceSimilarity(s, s);
+  auto perm = IncompleteInstanceSimilarity(s, t);
+  ASSERT_TRUE(self.ok());
+  ASSERT_TRUE(perm.ok());
+  EXPECT_DOUBLE_EQ(self->similarity, perm->similarity);
+}
+
+TEST(IncompleteSimilarityTest, ColumnPermutationIsIrrelevant) {
+  auto dict = MakeDictionary();
+  Table s = PaperSource(dict);
+  Table t = TableBuilder(dict, "t")
+                .Columns({"Education", "Name", "Gender", "Age"})
+                .Row({"Bachelors", "Smith", "", "27"})
+                .Row({"Masters", "Brown", "Male", "24"})
+                .Row({"High School", "Wang", "Female", "32"})
+                .Build();
+  auto self = IncompleteInstanceSimilarity(s, s);
+  auto perm = IncompleteInstanceSimilarity(s, t);
+  ASSERT_TRUE(self.ok());
+  ASSERT_TRUE(perm.ok());
+  EXPECT_DOUBLE_EQ(self->similarity, perm->similarity);
+}
+
+TEST(IncompleteSimilarityTest, MissingColumnRejected) {
+  auto dict = MakeDictionary();
+  Table s = PaperSource(dict);
+  Table t = TableBuilder(dict, "t").Columns({"Name"}).Row({"Smith"}).Build();
+  auto result = IncompleteInstanceSimilarity(s, t);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IncompleteSimilarityTest, PrefersNullifiedOverErroneousMatch) {
+  // The EIS principle (paper Example 6) without keys: a target tuple with
+  // nulls outranks one that fabricates values over source nulls.
+  auto dict = MakeDictionary();
+  Table s = TableBuilder(dict, "s")
+                .Columns({"Name", "Age", "Gender"})
+                .Row({"Smith", "27", ""})
+                .Build();
+  Table t = TableBuilder(dict, "t")
+                .Columns({"Name", "Age", "Gender"})
+                .Row({"Smith", "27", "Male"})  // erroneous on source null
+                .Row({"Smith", "27", ""})      // exact w.r.t. nulls
+                .Build();
+  auto result = IncompleteInstanceSimilarity(s, t);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matches.size(), 1u);
+  EXPECT_EQ(result->matches[0].target_row, 1u);
+}
+
+TEST(IncompleteSimilarityTest, GreedyAndExactAgreeOnEasyInstances) {
+  // When every source tuple has a unique best target (no competition),
+  // greedy attains the optimum.
+  auto dict = MakeDictionary();
+  Table s = PaperSource(dict);
+  IncompleteSimilarityOptions exact;
+  exact.algorithm = MatchAlgorithm::kExact;
+  IncompleteSimilarityOptions greedy;
+  greedy.algorithm = MatchAlgorithm::kGreedy;
+  auto e = IncompleteInstanceSimilarity(s, s, exact);
+  auto g = IncompleteInstanceSimilarity(s, s, greedy);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(e->exact);
+  EXPECT_FALSE(g->exact);
+  EXPECT_DOUBLE_EQ(e->similarity, g->similarity);
+}
+
+TEST(IncompleteSimilarityTest, AutoSwitchesOnCutoff) {
+  auto dict = MakeDictionary();
+  TableBuilder builder(dict, "big");
+  builder.Columns({"a"});
+  for (int i = 0; i < 100; ++i) builder.Row({std::to_string(i)});
+  Table big = builder.Build();
+  IncompleteSimilarityOptions options;  // kAuto, cutoff 64
+  auto result = IncompleteInstanceSimilarity(big, big, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exact);
+  options.exact_cutoff = 128;
+  result = IncompleteInstanceSimilarity(big, big, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exact);
+}
+
+TEST(IncompleteSimilarityTest, MinPairWeightPrunes) {
+  auto dict = MakeDictionary();
+  Table s = TableBuilder(dict, "s")
+                .Columns({"a", "b"})
+                .Row({"1", "2"})
+                .Build();
+  Table t = TableBuilder(dict, "t")
+                .Columns({"a", "b"})
+                .Row({"1", "9"})  // half-match
+                .Build();
+  IncompleteSimilarityOptions options;
+  options.weight = TupleWeight::kPlain;
+  options.min_pair_weight = 0.75;
+  auto result = IncompleteInstanceSimilarity(s, t, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->matches.empty());
+}
+
+TEST(IncompleteSimilarityTest, EmptySourceOrTarget) {
+  auto dict = MakeDictionary();
+  Table empty = TableBuilder(dict, "e").Columns({"a"}).Build();
+  Table t = TableBuilder(dict, "t").Columns({"a"}).Row({"1"}).Build();
+  auto result = IncompleteInstanceSimilarity(empty, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->similarity, 0.0);
+  result = IncompleteInstanceSimilarity(t, empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->similarity, 0.0);
+}
+
+// Property sweep: exact ≥ greedy on random instances (the exact matcher
+// is optimal), and both are within [0,1]; on permuted-self instances the
+// matching must recover similarity equal to self-comparison.
+class IncompleteSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncompleteSweep, ExactDominatesGreedy) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 17);
+  auto dict = MakeDictionary();
+  const size_t cols = 2 + rng.Index(3);
+  std::vector<std::string> names;
+  for (size_t c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
+  auto random_table = [&](const std::string& name) {
+    TableBuilder builder(dict, name);
+    builder.Columns(names);
+    const size_t rows = 3 + rng.Index(10);
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < cols; ++c) {
+        row.push_back(rng.Bernoulli(0.15)
+                          ? ""
+                          : "v" + std::to_string(rng.Index(5)));
+      }
+      builder.Row(row);
+    }
+    return builder.Build();
+  };
+  Table s = random_table("s");
+  Table t = random_table("t");
+  IncompleteSimilarityOptions exact;
+  exact.algorithm = MatchAlgorithm::kExact;
+  IncompleteSimilarityOptions greedy;
+  greedy.algorithm = MatchAlgorithm::kGreedy;
+  auto e = IncompleteInstanceSimilarity(s, t, exact);
+  auto g = IncompleteInstanceSimilarity(s, t, greedy);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(g.ok());
+  EXPECT_GE(e->similarity + 1e-9, g->similarity);
+  EXPECT_GE(g->similarity, 0.0);
+  EXPECT_LE(e->similarity, 1.0 + 1e-9);
+  // 1/2-approximation guarantee of greedy maximum-weight matching.
+  EXPECT_GE(g->similarity + 1e-9, 0.5 * e->similarity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncompleteSweep, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace gent

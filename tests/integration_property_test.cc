@@ -1,0 +1,181 @@
+// Property tests for Table Integration (Algorithm 2): invariants over
+// seeded random originating-table sets, complementing the example-based
+// tests in integration_test.cc.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/integration/integrator.h"
+#include "src/metrics/similarity.h"
+#include "src/table/table_builder.h"
+#include "src/util/random.h"
+
+namespace gent {
+namespace {
+
+struct IntegrationCase {
+  DictionaryPtr dict;
+  std::unique_ptr<Table> source;
+  std::vector<Table> tables;
+};
+
+// A keyed source plus randomized fragments: vertical splits with random
+// row subsets, random nullification, and an optional noise table with
+// disjoint keys.
+IntegrationCase MakeCase(uint64_t seed) {
+  IntegrationCase out;
+  out.dict = MakeDictionary();
+  Rng rng(seed);
+  const size_t rows = 5 + rng.Index(12);
+  TableBuilder sb(out.dict, "source");
+  sb.Columns({"k", "a", "b", "c"});
+  std::vector<std::vector<std::string>> data;
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row = {
+        "k" + std::to_string(r),
+        rng.Bernoulli(0.1) ? "" : "a" + std::to_string(rng.Index(9)),
+        rng.Bernoulli(0.1) ? "" : "b" + std::to_string(rng.Index(9)),
+        rng.Bernoulli(0.1) ? "" : "c" + std::to_string(rng.Index(9))};
+    data.push_back(row);
+    sb.Row(row);
+  }
+  out.source = std::make_unique<Table>(sb.Key({"k"}).Build());
+
+  const size_t n_fragments = 2 + rng.Index(3);
+  for (size_t t = 0; t < n_fragments; ++t) {
+    const bool left = rng.Bernoulli(0.5);
+    std::vector<std::string> cols =
+        left ? std::vector<std::string>{"k", "a", "b"}
+             : std::vector<std::string>{"k", "b", "c"};
+    TableBuilder tb(out.dict, "frag" + std::to_string(t));
+    tb.Columns(cols);
+    for (const auto& row : data) {
+      if (rng.Bernoulli(0.25)) continue;
+      std::vector<std::string> cells = {row[0]};
+      if (left) {
+        cells.push_back(rng.Bernoulli(0.2) ? "" : row[1]);
+        cells.push_back(rng.Bernoulli(0.2) ? "" : row[2]);
+      } else {
+        cells.push_back(rng.Bernoulli(0.2) ? "" : row[2]);
+        cells.push_back(rng.Bernoulli(0.2) ? "" : row[3]);
+      }
+      tb.Row(cells);
+    }
+    out.tables.push_back(tb.Build());
+  }
+  return out;
+}
+
+class IntegrationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntegrationSweep, OutputHasExactlySourceSchema) {
+  IntegrationCase c = MakeCase(GetParam() * 6151 + 1);
+  auto result = IntegrateTables(*c.source, c.tables);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->column_names(), c.source->column_names());
+}
+
+TEST_P(IntegrationSweep, NoLabeledNullsLeak) {
+  IntegrationCase c = MakeCase(GetParam() * 409 + 3);
+  auto result = IntegrateTables(*c.source, c.tables);
+  ASSERT_TRUE(result.ok());
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    for (size_t col = 0; col < result->num_cols(); ++col) {
+      EXPECT_FALSE(c.dict->IsLabeledNull(result->cell(r, col)))
+          << "labeled null leaked at (" << r << "," << col << ")";
+    }
+  }
+}
+
+TEST_P(IntegrationSweep, OnlySourceKeysInOutput) {
+  // ProjectSelect (line 3) keeps only tuples whose key occurs in the
+  // source, so every output row carries a source key or a null key.
+  IntegrationCase c = MakeCase(GetParam() * 811 + 5);
+  auto result = IntegrateTables(*c.source, c.tables);
+  ASSERT_TRUE(result.ok());
+  KeyIndex source_keys = c.source->BuildKeyIndex();
+  auto key_col = result->ColumnIndex("k");
+  ASSERT_TRUE(key_col.has_value());
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    const ValueId k = result->cell(r, *key_col);
+    if (k == kNull) continue;
+    EXPECT_TRUE(source_keys.count(KeyTuple{k}))
+        << "foreign key value in output: " << result->CellString(r, *key_col);
+  }
+}
+
+TEST_P(IntegrationSweep, SourceItselfIntegratesPerfectly) {
+  IntegrationCase c = MakeCase(GetParam() * 2003 + 7);
+  std::vector<Table> just_source;
+  just_source.push_back(c.source->Clone());
+  auto result = IntegrateTables(*c.source, just_source);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(EisScore(*c.source, *result).value(), 1.0);
+}
+
+TEST_P(IntegrationSweep, DisjointKeyNoiseIsHarmless) {
+  IntegrationCase c = MakeCase(GetParam() * 3571 + 11);
+  auto baseline = IntegrateTables(*c.source, c.tables);
+  ASSERT_TRUE(baseline.ok());
+  const double eis_before = EisScore(*c.source, *baseline).value();
+
+  Rng rng(GetParam());
+  TableBuilder noise(c.dict, "noise");
+  noise.Columns({"k", "a", "b", "c"});
+  for (size_t r = 0; r < 10; ++r) {
+    noise.Row({"foreign" + std::to_string(r), "x", "y", "z"});
+  }
+  c.tables.push_back(noise.Build());
+  auto with_noise = IntegrateTables(*c.source, c.tables);
+  ASSERT_TRUE(with_noise.ok());
+  EXPECT_DOUBLE_EQ(EisScore(*c.source, *with_noise).value(), eis_before)
+      << "tuples with non-source keys must be selected away";
+}
+
+TEST_P(IntegrationSweep, InputOrderDoesNotChangeEis) {
+  IntegrationCase c = MakeCase(GetParam() * 6863 + 13);
+  auto forward = IntegrateTables(*c.source, c.tables);
+  std::reverse(c.tables.begin(), c.tables.end());
+  auto backward = IntegrateTables(*c.source, c.tables);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_NEAR(EisScore(*c.source, *forward).value(),
+              EisScore(*c.source, *backward).value(), 1e-9);
+}
+
+TEST_P(IntegrationSweep, GuardsNeverHurt) {
+  // The guarded pipeline must score at least as well as the unguarded
+  // ablation on every input (the guards only accept improvements).
+  IntegrationCase c = MakeCase(GetParam() * 9001 + 17);
+  IntegrationOptions guarded;
+  IntegrationOptions unguarded;
+  unguarded.guard_operators = false;
+  auto with_guards = IntegrateTables(*c.source, c.tables, guarded);
+  auto without = IntegrateTables(*c.source, c.tables, unguarded);
+  ASSERT_TRUE(with_guards.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_GE(EisScore(*c.source, *with_guards).value() + 1e-9,
+            EisScore(*c.source, *without).value());
+}
+
+TEST_P(IntegrationSweep, IntegrationIsIdempotentOnItsOutput) {
+  // Feeding the reclaimed table back in cannot change the score.
+  IntegrationCase c = MakeCase(GetParam() * 557 + 19);
+  auto once = IntegrateTables(*c.source, c.tables);
+  ASSERT_TRUE(once.ok());
+  std::vector<Table> again;
+  again.push_back(once->Clone());
+  auto twice = IntegrateTables(*c.source, again);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_GE(EisScore(*c.source, *twice).value() + 1e-9,
+            EisScore(*c.source, *once).value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationSweep, ::testing::Range(1, 15));
+
+}  // namespace
+}  // namespace gent

@@ -1,0 +1,250 @@
+// Tests for candidate-key discovery (src/keymining).
+
+#include "src/keymining/key_miner.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/benchgen/tpch.h"
+#include "src/table/table_builder.h"
+#include "src/util/random.h"
+
+namespace gent {
+namespace {
+
+Table ApplicantsTable(const DictionaryPtr& dict) {
+  // The paper's running example (Fig. 3 source), with the intended key "ID".
+  return TableBuilder(dict, "applicants")
+      .Columns({"ID", "Name", "Age", "Gender", "Education Level"})
+      .Row({"0", "Smith", "27", "", "Bachelors"})
+      .Row({"1", "Brown", "24", "Male", "Masters"})
+      .Row({"2", "Wang", "32", "Female", "High School"})
+      .Build();
+}
+
+TEST(KeyMinerTest, FindsSingleColumnKeyOnPaperExample) {
+  auto dict = MakeDictionary();
+  Table t = ApplicantsTable(dict);
+  KeyMiner miner;
+  std::vector<CandidateKey> keys = miner.Mine(t);
+  ASSERT_FALSE(keys.empty());
+  // "ID" and "Name" are both unique and non-null; "ID" (position 0,
+  // shorter values) must rank first.
+  EXPECT_EQ(keys.front().columns, std::vector<size_t>({0}));
+  EXPECT_DOUBLE_EQ(keys.front().uniqueness, 1.0);
+  EXPECT_DOUBLE_EQ(keys.front().non_null_fraction, 1.0);
+}
+
+TEST(KeyMinerTest, AllMinedKeysAreUniqueAndNullFree) {
+  auto dict = MakeDictionary();
+  Table t = ApplicantsTable(dict);
+  for (const CandidateKey& key : KeyMiner().Mine(t)) {
+    EXPECT_DOUBLE_EQ(key.uniqueness, 1.0);
+    EXPECT_DOUBLE_EQ(key.non_null_fraction, 1.0);
+    EXPECT_GT(key.score, 0.0);
+    EXPECT_LE(key.score, 1.0 + 1e-9);
+  }
+}
+
+TEST(KeyMinerTest, NullableColumnIsNotAStrictKey) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "t")
+                .Columns({"a", "b"})
+                .Row({"1", "x"})
+                .Row({"", "y"})
+                .Row({"3", "z"})
+                .Build();
+  std::vector<CandidateKey> keys = KeyMiner().Mine(t);
+  ASSERT_FALSE(keys.empty());
+  // "a" has a null; only "b" qualifies as a strict single-column key.
+  EXPECT_EQ(keys.front().columns, std::vector<size_t>({1}));
+  for (const CandidateKey& key : keys) {
+    EXPECT_EQ(key.columns.size(), 1u);
+    EXPECT_NE(key.columns[0], 0u);
+  }
+}
+
+TEST(KeyMinerTest, RelaxedNullToleranceAdmitsNullableColumn) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "t")
+                .Columns({"a", "b"})
+                .Row({"1", "x"})
+                .Row({"", "x"})
+                .Row({"3", "x"})
+                .Build();
+  // "b" is constant (not unique); "a" is unique but 1/3 null.
+  EXPECT_TRUE(KeyMiner().Mine(t).empty());
+  KeyMinerOptions options;
+  options.min_non_null_fraction = 0.6;
+  std::vector<CandidateKey> keys = KeyMiner(options).Mine(t);
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.front().columns, std::vector<size_t>({0}));
+  EXPECT_NEAR(keys.front().non_null_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(KeyMinerTest, FindsCompositeKeyWhenNoSingleColumnIsUnique) {
+  auto dict = MakeDictionary();
+  // Classic enrollment shape: (student, course) is the only key.
+  Table t = TableBuilder(dict, "enrollment")
+                .Columns({"student", "course", "grade"})
+                .Row({"s1", "c1", "A"})
+                .Row({"s1", "c2", "B"})
+                .Row({"s2", "c1", "A"})
+                .Row({"s2", "c2", "A"})
+                .Build();
+  std::vector<CandidateKey> keys = KeyMiner().Mine(t);
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.front().columns, std::vector<size_t>({0, 1}));
+}
+
+TEST(KeyMinerTest, MinimalityNoKeyContainsAnother) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "t")
+                .Columns({"id", "a", "b"})
+                .Row({"1", "x", "p"})
+                .Row({"2", "x", "q"})
+                .Row({"3", "y", "p"})
+                .Build();
+  std::vector<CandidateKey> keys = KeyMiner().Mine(t);
+  for (const CandidateKey& k1 : keys) {
+    for (const CandidateKey& k2 : keys) {
+      if (&k1 == &k2) continue;
+      EXPECT_FALSE(std::includes(k1.columns.begin(), k1.columns.end(),
+                                 k2.columns.begin(), k2.columns.end()))
+          << "key is a superset of another mined key";
+    }
+  }
+}
+
+TEST(KeyMinerTest, DuplicateRowsYieldNoKey) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "dup")
+                .Columns({"a", "b"})
+                .Row({"1", "x"})
+                .Row({"1", "x"})
+                .Build();
+  EXPECT_TRUE(KeyMiner().Mine(t).empty());
+  Table copy = t.Clone();
+  Status s = KeyMiner().AssignBestKey(copy);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(KeyMinerTest, EmptyTableYieldsNoKey) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "empty").Columns({"a"}).Build();
+  EXPECT_TRUE(KeyMiner().Mine(t).empty());
+}
+
+TEST(KeyMinerTest, AssignBestKeyInstallsKey) {
+  auto dict = MakeDictionary();
+  Table t = ApplicantsTable(dict);
+  ASSERT_TRUE(KeyMiner().AssignBestKey(t).ok());
+  ASSERT_TRUE(t.has_key());
+  EXPECT_EQ(t.key_columns(), std::vector<size_t>({0}));
+}
+
+TEST(KeyMinerTest, ArityBoundIsRespected) {
+  auto dict = MakeDictionary();
+  // Only the full 3-column combination is unique.
+  Table t = TableBuilder(dict, "t")
+                .Columns({"a", "b", "c"})
+                .Row({"1", "1", "1"})
+                .Row({"1", "1", "2"})
+                .Row({"1", "2", "1"})
+                .Row({"2", "1", "1"})
+                .Row({"1", "2", "2"})
+                .Row({"2", "1", "2"})
+                .Row({"2", "2", "1"})
+                .Row({"2", "2", "2"})
+                .Build();
+  KeyMinerOptions narrow;
+  narrow.max_key_arity = 2;
+  EXPECT_TRUE(KeyMiner(narrow).Mine(t).empty());
+  KeyMinerOptions wide;
+  wide.max_key_arity = 3;
+  std::vector<CandidateKey> keys = KeyMiner(wide).Mine(t);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys.front().columns, std::vector<size_t>({0, 1, 2}));
+}
+
+TEST(KeyMinerTest, RecoversTpchPrimaryKeys) {
+  // The miner must find the true PK of every generated TPC-H table as a
+  // (possibly non-top-ranked) minimal candidate.
+  auto dict = MakeDictionary();
+  std::vector<Table> tables =
+      GenerateTpch(dict, TpchConfig{.scale = 0.2, .seed = 7});
+  KeyMiner miner;
+  for (const Table& t : tables) {
+    ASSERT_TRUE(t.has_key()) << t.name();
+    std::vector<size_t> expected = t.key_columns();
+    std::sort(expected.begin(), expected.end());
+    std::vector<CandidateKey> keys = miner.Mine(t);
+    ASSERT_FALSE(keys.empty()) << t.name();
+    const bool found =
+        std::any_of(keys.begin(), keys.end(), [&](const CandidateKey& k) {
+          return k.columns == expected;
+        });
+    // The true PK is unique+non-null, so if absent it must be because a
+    // *subset* of it already qualifies (minimality) — accept that too.
+    const bool subset_found =
+        std::any_of(keys.begin(), keys.end(), [&](const CandidateKey& k) {
+          return std::includes(expected.begin(), expected.end(),
+                               k.columns.begin(), k.columns.end());
+        });
+    EXPECT_TRUE(found || subset_found)
+        << t.name() << ": true PK (or a unique subset) not mined";
+  }
+}
+
+TEST(ColumnProfileTest, CountsDistinctNullsAndLengths) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "t")
+                .Columns({"a"})
+                .Row({"aa"})
+                .Row({"bbbb"})
+                .Row({""})
+                .Row({"aa"})
+                .Build();
+  ColumnProfile p = ProfileColumn(t, 0);
+  EXPECT_EQ(p.distinct_non_null, 2u);
+  EXPECT_EQ(p.null_count, 1u);
+  EXPECT_NEAR(p.avg_value_length, (2 + 4 + 2) / 3.0, 1e-12);
+  EXPECT_NEAR(p.uniqueness, 2.0 / 3.0, 1e-12);
+}
+
+// Property sweep: on random unique-first-column tables of varying shape,
+// the miner's top key must be exactly column 0.
+class KeyMinerRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyMinerRandomSweep, UniqueIdColumnAlwaysWins) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  auto dict = MakeDictionary();
+  const size_t rows = 20 + rng.Index(60);
+  const size_t extra_cols = 2 + rng.Index(4);
+  TableBuilder builder(dict, "rand");
+  std::vector<std::string> cols = {"id"};
+  for (size_t c = 0; c < extra_cols; ++c) cols.push_back("c" + std::to_string(c));
+  builder.Columns(cols);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row = {std::to_string(r)};
+    for (size_t c = 0; c < extra_cols; ++c) {
+      // Low-cardinality noise columns: never unique for rows >= 20.
+      row.push_back("v" + std::to_string(rng.Index(8)));
+    }
+    builder.Row(row);
+  }
+  Table t = builder.Build();
+  std::vector<CandidateKey> keys = KeyMiner().Mine(t);
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.front().columns, std::vector<size_t>({0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyMinerRandomSweep,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace gent

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "paper_fixtures.h"
+#include "src/matrix/alignment_matrix.h"
+#include "src/metrics/similarity.h"
+#include "src/matrix/expand.h"
+#include "src/matrix/traversal.h"
+#include "src/ops/join.h"
+#include "src/table/table_builder.h"
+
+namespace gent {
+namespace {
+
+using testing::PaperSource;
+using testing::PaperTableA;
+using testing::PaperTableB;
+using testing::PaperTableC;
+using testing::PaperTableD;
+
+class MatrixTest : public ::testing::Test {
+ protected:
+  DictionaryPtr dict_ = MakeDictionary();
+
+  // Table B/C/D lack the ID key; join through A (as Expand would).
+  Table WithKey(const Table& t) {
+    auto j = NaturalJoin(PaperTableA(dict_), t, JoinKind::kInner);
+    return std::move(j).value();
+  }
+};
+
+// --- Matrix initialization (Fig. 5 / Eq. 4) ---------------------------------
+
+TEST_F(MatrixTest, InitializeMatrixForTableA) {
+  Table source = PaperSource(dict_);
+  auto m = InitializeMatrix(source, PaperTableA(dict_));
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->num_source_rows(), 3u);
+  // One aligned alternative per source row.
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(m->alternatives(i).size(), 1u) << "row " << i;
+  }
+  // Fig. 5 matrix A: row0 = [1 1 0 0 1] over (ID,Name,Age,Gender,Edu) —
+  // but the paper treats missing-column gender for Smith (source ⊥) as 1
+  // in its drawing for table A's first row? Eq. 4: S=⊥, T=⊥ (absent) ⇒ 1.
+  const TruthRow& r0 = m->alternatives(0)[0];
+  EXPECT_EQ(r0[0], 1);  // ID matches
+  EXPECT_EQ(r0[1], 1);  // Name matches
+  EXPECT_EQ(r0[2], 0);  // Age: source 27, table lacks column ⇒ nullified
+  EXPECT_EQ(r0[3], 1);  // Gender: source ⊥ == absent ⊥
+  EXPECT_EQ(r0[4], 1);  // Education matches
+  // Row 1: Brown's education is null in A but Masters in source ⇒ 0.
+  const TruthRow& r1 = m->alternatives(1)[0];
+  EXPECT_EQ(r1[4], 0);
+}
+
+TEST_F(MatrixTest, InitializeMatrixMarksContradictions) {
+  Table source = PaperSource(dict_);
+  Table c_keyed = WithKey(PaperTableC(dict_));
+  auto m = InitializeMatrix(source, c_keyed);
+  ASSERT_TRUE(m.ok());
+  // Smith: source Gender ⊥, C says Male ⇒ -1 (erroneous w.r.t. source).
+  auto gender = 3u;
+  EXPECT_EQ(m->alternatives(0)[0][gender], -1);
+  // Brown: Male == Male ⇒ 1.
+  EXPECT_EQ(m->alternatives(1)[0][gender], 1);
+  // Wang: Female vs Male ⇒ -1.
+  EXPECT_EQ(m->alternatives(2)[0][gender], -1);
+}
+
+TEST_F(MatrixTest, TwoValuedAblationCollapsesErrors) {
+  Table source = PaperSource(dict_);
+  MatrixOptions binary;
+  binary.three_valued = false;
+  auto m = InitializeMatrix(source, WithKey(PaperTableC(dict_)), binary);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->alternatives(2)[0][3], 0);  // -1 becomes 0
+}
+
+TEST_F(MatrixTest, InitializeRequiresKeyCoverage) {
+  Table source = PaperSource(dict_);
+  auto m = InitializeMatrix(source, PaperTableB(dict_));  // no ID column
+  EXPECT_FALSE(m.ok());
+}
+
+TEST_F(MatrixTest, NullKeyRowsNeverAlign) {
+  Table source = PaperSource(dict_);
+  Table t = TableBuilder(dict_, "t")
+                .Columns({"ID", "Name"})
+                .Row({"", "Smith"})
+                .Build();
+  auto m = InitializeMatrix(source, t);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->TotalAlternatives(), 0u);
+}
+
+TEST_F(MatrixTest, UnmatchedKeysIgnored) {
+  Table source = PaperSource(dict_);
+  Table t = TableBuilder(dict_, "t")
+                .Columns({"ID", "Name"})
+                .Row({"7", "Ghost"})
+                .Build();
+  auto m = InitializeMatrix(source, t);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->TotalAlternatives(), 0u);
+}
+
+// --- Combine (Eq. 5) ----------------------------------------------------------
+
+TEST_F(MatrixTest, CombineRowsTakesMax) {
+  TruthRow a{1, 0, 0, -1};
+  TruthRow b{0, 1, 0, -1};
+  TruthRow merged;
+  ASSERT_TRUE(CombineRows(a, b, &merged));
+  EXPECT_EQ(merged, (TruthRow{1, 1, 0, -1}));
+}
+
+TEST_F(MatrixTest, CombineRowsSplitsOnContradiction) {
+  TruthRow a{1, 1};
+  TruthRow b{1, -1};  // +1 vs -1 in column 1
+  TruthRow merged;
+  EXPECT_FALSE(CombineRows(a, b, &merged));
+}
+
+TEST_F(MatrixTest, CombineRowsZeroAbsorbsError) {
+  // 0 vs -1 is not a contradiction under Eq. 5; max keeps 0.
+  TruthRow a{1, 0};
+  TruthRow b{1, -1};
+  TruthRow merged;
+  ASSERT_TRUE(CombineRows(a, b, &merged));
+  EXPECT_EQ(merged[1], 0);
+}
+
+TEST_F(MatrixTest, CombineMatricesAccumulatesValues) {
+  Table source = PaperSource(dict_);
+  auto ma = InitializeMatrix(source, PaperTableA(dict_));
+  auto mb = InitializeMatrix(source, WithKey(PaperTableB(dict_)));
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  AlignmentMatrix combined = CombineMatrices(*ma, *mb);
+  double sa = EvaluateMatrixSimilarity(*ma, source);
+  double sab = EvaluateMatrixSimilarity(combined, source);
+  EXPECT_GT(sab, sa);  // B adds the Age values
+  // No contradictions between A and B: still one alternative per row.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(combined.alternatives(i).size(), 1u);
+  }
+}
+
+TEST_F(MatrixTest, CombineMatricesSplitsOnContradictions) {
+  Table source = PaperSource(dict_);
+  auto ma = InitializeMatrix(source, PaperTableA(dict_));
+  auto mc = InitializeMatrix(source, WithKey(PaperTableC(dict_)));
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mc.ok());
+  AlignmentMatrix combined = CombineMatrices(*ma, *mc);
+  // Smith's row: A has +1 at Gender (⊥==⊥), C has -1 ⇒ rows stay apart
+  // (Example 10: "we find a (1) and (¬1) ... keep both tuples").
+  EXPECT_EQ(combined.alternatives(0).size(), 2u);
+}
+
+// --- evaluateSimilarity ----------------------------------------------------------
+
+TEST_F(MatrixTest, EvaluateEmptyMatrixIsZero) {
+  Table source = PaperSource(dict_);
+  AlignmentMatrix empty(source.num_rows());
+  EXPECT_DOUBLE_EQ(EvaluateMatrixSimilarity(empty, source), 0.0);
+}
+
+TEST_F(MatrixTest, EvaluatePerfectMatrixIsOne) {
+  Table source = PaperSource(dict_);
+  auto m = InitializeMatrix(source, source.Clone());
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(EvaluateMatrixSimilarity(*m, source), 1.0);
+}
+
+TEST_F(MatrixTest, EvaluateTakesBestAlternative) {
+  Table source = PaperSource(dict_);
+  AlignmentMatrix m(source.num_rows());
+  m.Add(0, TruthRow{1, 0, 0, 0, 0});   // weak: E = (0−0)/4 → 0.5
+  m.Add(0, TruthRow{1, 1, 1, 1, 1});   // perfect → 1.0
+  EXPECT_NEAR(EvaluateMatrixSimilarity(m, source), 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(MatrixTest, MatrixSimilarityMatchesTableEis) {
+  // The matrix simulation must agree with the real EIS of the aligned
+  // candidate (key-covering, same schema subset).
+  Table source = PaperSource(dict_);
+  Table a = PaperTableA(dict_);
+  auto m = InitializeMatrix(source, a);
+  ASSERT_TRUE(m.ok());
+  // Matrix prediction vs EIS of the candidate itself.
+  // The candidate lacks Age/Gender columns; EIS computed over the source
+  // schema treats them as nulls — identical to the matrix encoding.
+  double eis = EisScore(source, a).value();
+  EXPECT_NEAR(EvaluateMatrixSimilarity(*m, source), eis, 1e-9);
+}
+
+// --- Expand (Algorithm 5) ----------------------------------------------------------
+
+TEST_F(MatrixTest, ExpandJoinsKeylessCandidatesThroughKeyedOnes) {
+  Table source = PaperSource(dict_);
+  std::vector<Candidate> candidates;
+  {
+    Candidate a(PaperTableA(dict_));
+    a.covers_key = true;
+    a.lake_index = 0;
+    candidates.push_back(std::move(a));
+    Candidate b(PaperTableB(dict_));
+    b.covers_key = false;
+    b.lake_index = 1;
+    candidates.push_back(std::move(b));
+  }
+  auto r = Expand(source, candidates);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tables.size(), 2u);
+  EXPECT_EQ(r->num_expanded, 1u);
+  EXPECT_EQ(r->num_dropped, 0u);
+  // The expanded B now has the ID column.
+  const Table& expanded = r->tables[1];
+  EXPECT_TRUE(expanded.HasColumn("ID"));
+  EXPECT_TRUE(expanded.HasColumn("Age"));
+  EXPECT_EQ(expanded.num_rows(), 3u);
+}
+
+TEST_F(MatrixTest, ExpandDropsUnreachableCandidates) {
+  Table source = PaperSource(dict_);
+  std::vector<Candidate> candidates;
+  {
+    Candidate a(PaperTableA(dict_));
+    a.covers_key = true;
+    candidates.push_back(std::move(a));
+    // A table sharing no columns/values with anything.
+    Candidate x(TableBuilder(dict_, "x").Columns({"zzz"}).Row({"q"}).Build());
+    x.covers_key = false;
+    candidates.push_back(std::move(x));
+  }
+  auto r = Expand(source, candidates);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tables.size(), 1u);
+  EXPECT_EQ(r->num_dropped, 1u);
+}
+
+// --- Matrix Traversal (Algorithm 1) ----------------------------------------------
+
+TEST_F(MatrixTest, TraversalSelectsCleanTablesAndExcludesMisleadingOne) {
+  // The paper's headline example: integrating A, B, D beats using C.
+  Table source = PaperSource(dict_);
+  std::vector<Table> tables;
+  tables.push_back(PaperTableA(dict_));          // 0
+  tables.push_back(WithKey(PaperTableB(dict_))); // 1
+  tables.push_back(WithKey(PaperTableC(dict_))); // 2: misleading
+  tables.push_back(WithKey(PaperTableD(dict_))); // 3
+  auto r = MatrixTraversal(source, tables);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->selected.empty());
+  EXPECT_EQ(std::count(r->selected.begin(), r->selected.end(), 2), 0)
+      << "misleading table C must be filtered out";
+  // A⋈B and A⋈D contribute values (A itself is subsumed by A⋈B, so the
+  // greedy never needs it).
+  EXPECT_NE(std::count(r->selected.begin(), r->selected.end(), 1), 0);
+  EXPECT_NE(std::count(r->selected.begin(), r->selected.end(), 3), 0);
+  EXPECT_GT(r->final_score, 0.9);
+}
+
+TEST_F(MatrixTest, TraversalStopsWhenNoImprovement) {
+  Table source = PaperSource(dict_);
+  std::vector<Table> tables;
+  tables.push_back(source.Clone());        // perfect on its own
+  tables.push_back(PaperTableA(dict_));    // adds nothing new
+  auto r = MatrixTraversal(source, tables);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->selected, std::vector<size_t>{0});
+  EXPECT_DOUBLE_EQ(r->final_score, 1.0);
+}
+
+TEST_F(MatrixTest, TraversalOnEmptyInput) {
+  Table source = PaperSource(dict_);
+  auto r = MatrixTraversal(source, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->selected.empty());
+  EXPECT_DOUBLE_EQ(r->final_score, 0.0);
+}
+
+TEST_F(MatrixTest, TraversalDedupesIdenticalTables) {
+  // Example 9: a duplicate adds no value, so it is never selected twice.
+  Table source = PaperSource(dict_);
+  std::vector<Table> tables;
+  tables.push_back(PaperTableA(dict_));
+  Table dup = PaperTableA(dict_);
+  dup.set_name("E");
+  tables.push_back(dup);
+  tables.push_back(WithKey(PaperTableB(dict_)));
+  auto r = MatrixTraversal(source, tables);
+  ASSERT_TRUE(r.ok());
+  // A and its duplicate can't both be chosen: the second adds 0 new 1s.
+  // (Neither may be chosen at all if A⋈B already covers A's values.)
+  EXPECT_LE(std::count(r->selected.begin(), r->selected.end(), 0) +
+                std::count(r->selected.begin(), r->selected.end(), 1),
+            1);
+}
+
+}  // namespace
+}  // namespace gent

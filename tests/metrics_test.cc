@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "src/metrics/divergence.h"
+#include "src/metrics/precision_recall.h"
+#include "src/metrics/similarity.h"
+#include "src/table/table_builder.h"
+
+namespace gent {
+namespace {
+
+using testing::PaperReclaimedS1;
+using testing::PaperReclaimedS2;
+using testing::PaperSource;
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  DictionaryPtr dict_ = MakeDictionary();
+};
+
+// --- Example 6: the paper's worked numbers ------------------------------------
+
+TEST_F(MetricsTest, Example6InstanceSimilarity) {
+  Table s = PaperSource(dict_);
+  // Ŝ1: t0 = 3/4, t1 = 4/4, t2 = 3/4 → 0.833
+  auto s1 = InstanceSimilarity(s, PaperReclaimedS1(dict_));
+  ASSERT_TRUE(s1.ok());
+  EXPECT_NEAR(*s1, 0.8333, 1e-3);
+  // Ŝ2: t0 = 2/4, t1 = 4/4, t2 = 3/4 → 0.75
+  auto s2 = InstanceSimilarity(s, PaperReclaimedS2(dict_));
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NEAR(*s2, 0.75, 1e-9);
+}
+
+TEST_F(MetricsTest, Example6EisScore) {
+  Table s = PaperSource(dict_);
+  // Ŝ1: t0 = (3−1)/4, t1 = 4/4, t2 = 3/4 → 0.875
+  auto s1 = EisScore(s, PaperReclaimedS1(dict_));
+  ASSERT_TRUE(s1.ok());
+  EXPECT_NEAR(*s1, 0.875, 1e-9);
+  // Ŝ2: t0 = 3/4, t1 = 4/4, t2 = 3/4 → 0.917
+  auto s2 = EisScore(s, PaperReclaimedS2(dict_));
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NEAR(*s2, 0.9167, 1e-3);
+}
+
+TEST_F(MetricsTest, Example6EisPrefersNullsOverErrors) {
+  // The whole point of EIS: Ŝ2 (nullified) beats Ŝ1 (erroneous) even
+  // though plain instance similarity ranks them the other way.
+  Table s = PaperSource(dict_);
+  EXPECT_GT(*EisScore(s, PaperReclaimedS2(dict_)),
+            *EisScore(s, PaperReclaimedS1(dict_)));
+  EXPECT_GT(*InstanceSimilarity(s, PaperReclaimedS1(dict_)),
+            *InstanceSimilarity(s, PaperReclaimedS2(dict_)));
+}
+
+// --- Tuple-level measures -------------------------------------------------------
+
+TEST_F(MetricsTest, ErrorAwareTupleSimilarityRange) {
+  ValueId a = dict_->Intern("a"), b = dict_->Intern("b");
+  std::vector<size_t> nonkey{0, 1};
+  // Perfect match = 1; all-errors = -1.
+  EXPECT_DOUBLE_EQ(ErrorAwareTupleSimilarity({a, b}, {a, b}, nonkey), 1.0);
+  EXPECT_DOUBLE_EQ(ErrorAwareTupleSimilarity({a, b}, {b, a}, nonkey), -1.0);
+  // Nullified counts neither for nor against.
+  EXPECT_DOUBLE_EQ(ErrorAwareTupleSimilarity({a, b}, {a, kNull}, nonkey), 0.5);
+  // null == null counts as a match for EIS.
+  EXPECT_DOUBLE_EQ(ErrorAwareTupleSimilarity({a, kNull}, {a, kNull}, nonkey),
+                   1.0);
+  // t non-null where s is null is an error.
+  EXPECT_DOUBLE_EQ(ErrorAwareTupleSimilarity({a, kNull}, {a, b}, nonkey), 0.0);
+}
+
+TEST_F(MetricsTest, PlainTupleSimilarityIgnoresNullMatches) {
+  ValueId a = dict_->Intern("a");
+  std::vector<size_t> nonkey{0, 1};
+  EXPECT_DOUBLE_EQ(TupleSimilarity({a, kNull}, {a, kNull}, nonkey), 0.5);
+}
+
+TEST_F(MetricsTest, EmptyNonKeyMeansPerfect) {
+  ValueId a = dict_->Intern("a");
+  EXPECT_DOUBLE_EQ(ErrorAwareTupleSimilarity({a}, {a}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(TupleSimilarity({a}, {a}, {}), 1.0);
+}
+
+// --- Alignment edge cases ---------------------------------------------------------
+
+TEST_F(MetricsTest, EisRequiresSourceKey) {
+  Table s = TableBuilder(dict_, "s").Columns({"a"}).Row({"1"}).Build();
+  EXPECT_FALSE(EisScore(s, s).ok());
+  EXPECT_FALSE(InstanceSimilarity(s, s).ok());
+}
+
+TEST_F(MetricsTest, EisZeroWhenKeyMissingFromReclaimed) {
+  Table s = PaperSource(dict_);
+  Table no_key = TableBuilder(dict_, "r")
+                     .Columns({"Name", "Age"})
+                     .Row({"Smith", "27"})
+                     .Build();
+  EXPECT_DOUBLE_EQ(*EisScore(s, no_key), 0.0);
+}
+
+TEST_F(MetricsTest, EisIdenticalTableIsOne) {
+  Table s = PaperSource(dict_);
+  Table copy = s.Clone();
+  EXPECT_DOUBLE_EQ(*EisScore(s, copy), 1.0);
+  // Plain instance similarity never credits null==null (Alexe et al.), so
+  // an identical table with a source null still diverges by that cell.
+  EXPECT_NEAR(*InstanceDivergence(s, copy), 1.0 / 12.0, 1e-9);
+}
+
+TEST_F(MetricsTest, InstanceDivergenceZeroWithoutSourceNulls) {
+  Table s = TableBuilder(dict_, "s")
+                .Columns({"k", "a"})
+                .Row({"1", "x"})
+                .Row({"2", "y"})
+                .Key({"k"})
+                .Build();
+  EXPECT_DOUBLE_EQ(*InstanceDivergence(s, s.Clone()), 0.0);
+}
+
+TEST_F(MetricsTest, EisUsesBestOfMultipleAlignedTuples) {
+  Table s = PaperSource(dict_);
+  Table r = TableBuilder(dict_, "r")
+                .Columns({"ID", "Name", "Age", "Gender", "Education Level"})
+                .Row({"1", "Brown", "", "", ""})        // weak aligned tuple
+                .Row({"1", "Brown", "24", "Male", "Masters"})  // perfect
+                .Build();
+  // Row 1 scores 1.0 via the better alternative; rows 0 and 2 are absent.
+  EXPECT_NEAR(*EisScore(s, r), 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(MetricsTest, LabeledNullsMatchSourceNullWhenEnabled) {
+  Table s = PaperSource(dict_);
+  Table r = s.Clone();
+  // Replace Smith's (source-null) gender with a labeled null.
+  ValueId label = dict_->CreateLabeledNull();
+  r.set_cell(0, 3, label);
+  EisOptions strict;  // default: labeled null is an erroneous value
+  EisOptions lenient;
+  lenient.labeled_nulls_match_source_null = true;
+  EXPECT_LT(*EisScore(s, r, strict), 1.0);
+  EXPECT_DOUBLE_EQ(*EisScore(s, r, lenient), 1.0);
+}
+
+// --- Precision / Recall ----------------------------------------------------------
+
+TEST_F(MetricsTest, PerfectReclamationScoresOne) {
+  Table s = PaperSource(dict_);
+  auto pr = ComputePrecisionRecall(s, s.Clone());
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 1.0);
+  EXPECT_TRUE(IsPerfectReclamation(s, s.Clone()));
+}
+
+TEST_F(MetricsTest, ExtraTuplesHurtPrecisionNotRecall) {
+  Table s = PaperSource(dict_);
+  Table r = s.Clone();
+  r.AddRow({dict_->Intern("9"), dict_->Intern("Nobody"), kNull, kNull, kNull});
+  auto pr = ComputePrecisionRecall(s, r);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_NEAR(pr.precision, 0.75, 1e-9);
+  EXPECT_FALSE(IsPerfectReclamation(s, r));
+}
+
+TEST_F(MetricsTest, MissingTuplesHurtRecall) {
+  Table s = PaperSource(dict_);
+  Table r = s.Clone();
+  r.RemoveRows({2});
+  auto pr = ComputePrecisionRecall(s, r);
+  EXPECT_NEAR(pr.recall, 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+}
+
+TEST_F(MetricsTest, ValueMismatchBreaksTupleMatch) {
+  Table s = PaperSource(dict_);
+  Table r = s.Clone();
+  r.set_cell(0, 2, dict_->Intern("99"));  // wrong age
+  auto pr = ComputePrecisionRecall(s, r);
+  EXPECT_NEAR(pr.recall, 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(MetricsTest, EmptyReclamationScoresZero) {
+  Table s = PaperSource(dict_);
+  Table empty = TableBuilder(dict_, "e")
+                    .Columns({"ID", "Name", "Age", "Gender", "Education Level"})
+                    .Build();
+  auto pr = ComputePrecisionRecall(s, empty);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 0.0);
+}
+
+TEST_F(MetricsTest, PrecisionRecallProjectsOntoSourceSchema) {
+  Table s = PaperSource(dict_);
+  // Same data, extra column, shuffled column order: still perfect.
+  Table r = TableBuilder(dict_, "r")
+                .Columns({"Education Level", "extra", "Name", "ID", "Age",
+                          "Gender"})
+                .Row({"Bachelors", "junk", "Smith", "0", "27", ""})
+                .Row({"Masters", "junk", "Brown", "1", "24", "Male"})
+                .Row({"High School", "junk", "Wang", "2", "32", "Female"})
+                .Build();
+  EXPECT_TRUE(IsPerfectReclamation(s, r));
+}
+
+// --- Divergence measures -----------------------------------------------------------
+
+TEST_F(MetricsTest, InstanceDivergenceComplementsSimilarity) {
+  Table s = PaperSource(dict_);
+  auto div = InstanceDivergence(s, PaperReclaimedS1(dict_));
+  ASSERT_TRUE(div.ok());
+  EXPECT_NEAR(*div, 1.0 - 0.8333, 1e-3);
+}
+
+TEST_F(MetricsTest, KlZeroForPerfectReclamation) {
+  Table s = PaperSource(dict_);
+  auto kl = ConditionalKlDivergence(s, s.Clone());
+  ASSERT_TRUE(kl.ok());
+  EXPECT_NEAR(*kl, 0.0, 1e-9);
+}
+
+TEST_F(MetricsTest, KlPenalizesErrorsTwiceAsMuchAsNulls) {
+  Table s = PaperSource(dict_);
+  Table nullified = s.Clone();
+  nullified.set_cell(1, 2, kNull);  // Brown's age nullified
+  Table erroneous = s.Clone();
+  erroneous.set_cell(1, 2, dict_->Intern("999"));  // Brown's age wrong
+  double kl_null = *ConditionalKlDivergence(s, nullified);
+  double kl_err = *ConditionalKlDivergence(s, erroneous);
+  EXPECT_GT(kl_null, 0.0);
+  EXPECT_NEAR(kl_err, 2.0 * kl_null, 1e-6);
+}
+
+TEST_F(MetricsTest, KlCapsWhenNothingReclaimed) {
+  Table s = PaperSource(dict_);
+  Table empty = TableBuilder(dict_, "e")
+                    .Columns({"ID", "Name", "Age", "Gender", "Education Level"})
+                    .Build();
+  KlOptions opts;
+  auto kl = ConditionalKlDivergence(s, empty, opts);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_DOUBLE_EQ(*kl, opts.cap);
+}
+
+TEST_F(MetricsTest, KlGrowsAsKeyCoverageShrinks) {
+  Table s = PaperSource(dict_);
+  Table partial = s.Clone();
+  partial.RemoveRows({2});
+  partial.set_cell(0, 2, kNull);
+  Table full = s.Clone();
+  full.set_cell(0, 2, kNull);
+  // Same single nullified cell, but Q(K) = 2/3 vs 1 inflates divergence.
+  EXPECT_GT(*ConditionalKlDivergence(s, partial),
+            *ConditionalKlDivergence(s, full));
+}
+
+}  // namespace
+}  // namespace gent

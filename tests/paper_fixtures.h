@@ -1,0 +1,91 @@
+// Shared fixtures reproducing the paper's running example (Figures 3-5,
+// Examples 3, 6, 10): an applicant Source Table and lake tables A-D,
+// where Table C contradicts the source's Gender column.
+
+#ifndef GENT_TESTS_PAPER_FIXTURES_H_
+#define GENT_TESTS_PAPER_FIXTURES_H_
+
+#include "src/table/table_builder.h"
+
+namespace gent::testing {
+
+// Source (Fig. 3, green): key ID.
+//   (0, Smith, 27, ⊥,      Bachelors)
+//   (1, Brown, 24, Male,   Masters)
+//   (2, Wang,  32, Female, High School)
+inline Table PaperSource(const DictionaryPtr& dict) {
+  return TableBuilder(dict, "source")
+      .Columns({"ID", "Name", "Age", "Gender", "Education Level"})
+      .Row({"0", "Smith", "27", "", "Bachelors"})
+      .Row({"1", "Brown", "24", "Male", "Masters"})
+      .Row({"2", "Wang", "32", "Female", "High School"})
+      .Key({"ID"})
+      .Build();
+}
+
+// Table A: has the key; Brown's education is missing.
+inline Table PaperTableA(const DictionaryPtr& dict) {
+  return TableBuilder(dict, "A")
+      .Columns({"ID", "Name", "Education Level"})
+      .Row({"0", "Smith", "Bachelors"})
+      .Row({"1", "Brown", ""})
+      .Row({"2", "Wang", "High School"})
+      .Build();
+}
+
+// Table B: ages, no key column.
+inline Table PaperTableB(const DictionaryPtr& dict) {
+  return TableBuilder(dict, "B")
+      .Columns({"Name", "Age"})
+      .Row({"Smith", "27"})
+      .Row({"Brown", "24"})
+      .Row({"Wang", "32"})
+      .Build();
+}
+
+// Table C: the misleading table — claims everyone is Male, contradicting
+// the source (Wang is Female; Smith's gender is unknown).
+inline Table PaperTableC(const DictionaryPtr& dict) {
+  return TableBuilder(dict, "C")
+      .Columns({"Name", "Gender"})
+      .Row({"Smith", "Male"})
+      .Row({"Brown", "Male"})
+      .Row({"Wang", "Male"})
+      .Build();
+}
+
+// Table D: correct gender values for Brown and Wang, no key column.
+inline Table PaperTableD(const DictionaryPtr& dict) {
+  return TableBuilder(dict, "D")
+      .Columns({"Name", "Gender"})
+      .Row({"Brown", "Male"})
+      .Row({"Wang", "Female"})
+      .Build();
+}
+
+// Reclaimed candidate Ŝ1 of Example 6 (Fig. 4 top): contains an erroneous
+// Male for Smith and a split Wang tuple.
+inline Table PaperReclaimedS1(const DictionaryPtr& dict) {
+  return TableBuilder(dict, "S1")
+      .Columns({"ID", "Name", "Age", "Gender", "Education Level"})
+      .Row({"0", "Smith", "27", "Male", "Bachelors"})
+      .Row({"1", "Brown", "24", "Male", "Masters"})
+      .Row({"2", "Wang", "32", "Female", ""})
+      .Row({"2", "Wang", "32", "Male", "High School"})
+      .Build();
+}
+
+// Reclaimed candidate Ŝ2 of Example 6 (Fig. 4 bottom): nullified values
+// but no erroneous ones.
+inline Table PaperReclaimedS2(const DictionaryPtr& dict) {
+  return TableBuilder(dict, "S2")
+      .Columns({"ID", "Name", "Age", "Gender", "Education Level"})
+      .Row({"0", "Smith", "", "", "Bachelors"})
+      .Row({"1", "Brown", "24", "Male", "Masters"})
+      .Row({"2", "Wang", "32", "Female", ""})
+      .Build();
+}
+
+}  // namespace gent::testing
+
+#endif  // GENT_TESTS_PAPER_FIXTURES_H_

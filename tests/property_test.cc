@@ -1,0 +1,266 @@
+// Property-based tests: algebraic invariants of the integration operators
+// and the metrics, checked over seeded random table sweeps
+// (TEST_P / INSTANTIATE_TEST_SUITE_P over seeds and shapes).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/matrix/alignment_matrix.h"
+#include "src/metrics/divergence.h"
+#include "src/metrics/precision_recall.h"
+#include "src/metrics/similarity.h"
+#include "src/ops/fusion.h"
+#include "src/ops/join.h"
+#include "src/ops/unary.h"
+#include "src/ops/union.h"
+#include "src/table/table_builder.h"
+#include "src/util/random.h"
+
+namespace gent {
+namespace {
+
+struct Shape {
+  uint64_t seed;
+  size_t rows;
+  size_t cols;
+  double null_rate;
+};
+
+void PrintTo(const Shape& s, std::ostream* os) {
+  *os << "seed" << s.seed << "_r" << s.rows << "_c" << s.cols << "_n"
+      << static_cast<int>(s.null_rate * 100);
+}
+
+// Random table over a small value domain so duplicates, subsumptions and
+// complementations actually occur.
+Table RandomTable(const DictionaryPtr& dict, const Shape& shape,
+                  const std::string& name, bool unique_key) {
+  Rng rng(shape.seed);
+  Table t(name, dict);
+  for (size_t c = 0; c < shape.cols; ++c) {
+    (void)t.AddColumn("c" + std::to_string(c));
+  }
+  std::vector<ValueId> row(shape.cols);
+  for (size_t r = 0; r < shape.rows; ++r) {
+    for (size_t c = 0; c < shape.cols; ++c) {
+      if (c > 0 && rng.Bernoulli(shape.null_rate)) {
+        row[c] = kNull;
+      } else {
+        row[c] = dict->Intern("v" + std::to_string(c) + "_" +
+                              std::to_string(rng.Uniform(0, 5)));
+      }
+    }
+    if (unique_key) row[0] = dict->Intern("k" + std::to_string(r));
+    t.AddRow(row);
+  }
+  if (unique_key) (void)t.SetKeyColumns({0});
+  return t;
+}
+
+class OperatorProperties : public ::testing::TestWithParam<Shape> {
+ protected:
+  DictionaryPtr dict_ = MakeDictionary();
+};
+
+// --- β properties -------------------------------------------------------------
+
+TEST_P(OperatorProperties, SubsumptionIsIdempotent) {
+  Table t = RandomTable(dict_, GetParam(), "t", false);
+  Table once = Subsumption(t).value();
+  Table twice = Subsumption(once).value();
+  EXPECT_EQ(RowsOf(once), RowsOf(twice));
+}
+
+TEST_P(OperatorProperties, SubsumptionNeverGrows) {
+  Table t = RandomTable(dict_, GetParam(), "t", false);
+  EXPECT_LE(Subsumption(t)->num_rows(), t.num_rows());
+}
+
+TEST_P(OperatorProperties, SubsumptionOutputHasNoSubsumablePair) {
+  Table t = RandomTable(dict_, GetParam(), "t", false);
+  Table b = Subsumption(t).value();
+  for (size_t i = 0; i < b.num_rows(); ++i) {
+    for (size_t j = 0; j < b.num_rows(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(Subsumes(b.Row(i), b.Row(j)))
+          << "row " << i << " subsumes row " << j;
+    }
+  }
+}
+
+// --- κ properties -------------------------------------------------------------
+
+TEST_P(OperatorProperties, ComplementationOutputHasNoComplementingPair) {
+  Table t = RandomTable(dict_, GetParam(), "t", false);
+  Table k = Complementation(t).value();
+  for (size_t i = 0; i < k.num_rows(); ++i) {
+    for (size_t j = i + 1; j < k.num_rows(); ++j) {
+      EXPECT_FALSE(Complements(k.Row(i), k.Row(j)));
+    }
+  }
+}
+
+TEST_P(OperatorProperties, ComplementationPreservesNonNullCells) {
+  // Every non-null (row, value) association of the input survives in some
+  // output tuple (complementation only fuses, never drops values).
+  Table t = RandomTable(dict_, GetParam(), "t", false);
+  Table k = Complementation(t).value();
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    auto row = t.Row(r);
+    bool found = false;
+    for (size_t kr = 0; kr < k.num_rows() && !found; ++kr) {
+      auto krow = k.Row(kr);
+      bool covers = true;
+      for (size_t c = 0; c < row.size(); ++c) {
+        covers &= row[c] == kNull || krow[c] == row[c];
+      }
+      found = covers;
+    }
+    EXPECT_TRUE(found) << "input row " << r << " lost";
+  }
+}
+
+// --- Minimal form --------------------------------------------------------------
+
+TEST_P(OperatorProperties, MinimalFormIsFixpoint) {
+  Table t = RandomTable(dict_, GetParam(), "t", false);
+  Table m = TakeMinimalForm(t).value();
+  Table m2 = TakeMinimalForm(m).value();
+  EXPECT_EQ(RowsOf(m), RowsOf(m2));
+}
+
+// --- ⊎ properties ----------------------------------------------------------------
+
+TEST_P(OperatorProperties, OuterUnionIsCommutativeUpToRowOrder) {
+  Shape s = GetParam();
+  Table a = RandomTable(dict_, s, "a", false);
+  s.seed ^= 0x9e3779b9;
+  Table b = RandomTable(dict_, s, "b", false);
+  Table ab = OuterUnion(a, b);
+  Table ba = OuterUnion(b, a);
+  // Same multiset of rows once projected onto the same column order.
+  auto ba_proj = Project(ba, ab.column_names()).value();
+  EXPECT_EQ(RowsOf(ab), RowsOf(ba_proj));
+}
+
+TEST_P(OperatorProperties, OuterUnionRowCountAdds) {
+  Shape s = GetParam();
+  Table a = RandomTable(dict_, s, "a", false);
+  s.seed += 1;
+  Table b = RandomTable(dict_, s, "b", false);
+  EXPECT_EQ(OuterUnion(a, b).num_rows(), a.num_rows() + b.num_rows());
+}
+
+// --- Join properties ---------------------------------------------------------------
+
+TEST_P(OperatorProperties, InnerJoinSubsetOfLeftJoinSubsetOfFull) {
+  Shape s = GetParam();
+  Table a = RandomTable(dict_, s, "a", true);
+  s.seed ^= 0x51ef;
+  Table b = RandomTable(dict_, s, "b", true);
+  (void)b.RenameColumn(1 % b.num_cols(), "other");
+  auto inner = NaturalJoin(a, b, JoinKind::kInner).value();
+  auto left = NaturalJoin(a, b, JoinKind::kLeft).value();
+  auto full = NaturalJoin(a, b, JoinKind::kFullOuter).value();
+  auto inner_rows = RowsOf(inner);
+  auto left_rows = RowsOf(left);
+  auto full_rows = RowsOf(full);
+  for (const auto& row : inner_rows) {
+    EXPECT_EQ(left_rows.count(row), 1u);
+  }
+  for (const auto& row : left_rows) {
+    EXPECT_EQ(full_rows.count(row), 1u);
+  }
+}
+
+// --- Metric properties ----------------------------------------------------------------
+
+TEST_P(OperatorProperties, EisBoundedAndMaximalOnSelf) {
+  Table s = RandomTable(dict_, GetParam(), "s", true);
+  Shape noisy = GetParam();
+  noisy.seed ^= 0xbeef;
+  Table r = RandomTable(dict_, noisy, "r", true);
+  double self = EisScore(s, s.Clone()).value();
+  double other = EisScore(s, r).value();
+  EXPECT_DOUBLE_EQ(self, 1.0);
+  EXPECT_GE(other, 0.0);
+  EXPECT_LE(other, 1.0);
+}
+
+TEST_P(OperatorProperties, InstanceSimilarityNeverExceedsEisPlusErrors) {
+  // EIS >= instance similarity − penalty is not a theorem, but both stay
+  // in [0,1] and are 1/≥(1-nullrate-ish) on identical tables.
+  Table s = RandomTable(dict_, GetParam(), "s", true);
+  double inst = InstanceSimilarity(s, s.Clone()).value();
+  EXPECT_GE(inst, 0.0);
+  EXPECT_LE(inst, 1.0);
+}
+
+TEST_P(OperatorProperties, PrecisionRecallSymmetryOnSelf) {
+  Table s = RandomTable(dict_, GetParam(), "s", true);
+  auto pr = ComputePrecisionRecall(s, s.Clone());
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+}
+
+TEST_P(OperatorProperties, KlNonNegative) {
+  Table s = RandomTable(dict_, GetParam(), "s", true);
+  Shape noisy = GetParam();
+  noisy.seed ^= 0x77;
+  Table r = RandomTable(dict_, noisy, "r", true);
+  EXPECT_GE(ConditionalKlDivergence(s, r).value(), 0.0);
+}
+
+// --- Matrix/EIS agreement ----------------------------------------------------------
+
+TEST_P(OperatorProperties, MatrixSimulationMatchesTableEis) {
+  // For any key-covering candidate with the source's schema, the matrix
+  // prediction equals the real EIS (the core soundness claim of §V-A3).
+  Table s = RandomTable(dict_, GetParam(), "s", true);
+  Shape noisy = GetParam();
+  noisy.seed ^= 0xabcd;
+  Table cand = RandomTable(dict_, noisy, "cand", false);
+  // Give the candidate the source's key values so rows align.
+  for (size_t r = 0; r < std::min(s.num_rows(), cand.num_rows()); ++r) {
+    cand.set_cell(r, 0, s.cell(r, 0));
+  }
+  auto m = InitializeMatrix(s, cand);
+  ASSERT_TRUE(m.ok());
+  double predicted = EvaluateMatrixSimilarity(*m, s);
+  double actual = EisScore(s, cand).value();
+  EXPECT_NEAR(predicted, actual, 1e-9);
+}
+
+TEST_P(OperatorProperties, CombineMatricesNeverLowersSimilarity) {
+  Table s = RandomTable(dict_, GetParam(), "s", true);
+  Shape n1 = GetParam(), n2 = GetParam();
+  n1.seed ^= 0x1111;
+  n2.seed ^= 0x2222;
+  Table c1 = RandomTable(dict_, n1, "c1", false);
+  Table c2 = RandomTable(dict_, n2, "c2", false);
+  for (size_t r = 0; r < std::min(s.num_rows(), c1.num_rows()); ++r) {
+    c1.set_cell(r, 0, s.cell(r, 0));
+  }
+  for (size_t r = 0; r < std::min(s.num_rows(), c2.num_rows()); ++r) {
+    c2.set_cell(r, 0, s.cell(r, 0));
+  }
+  auto m1 = InitializeMatrix(s, c1).value();
+  auto m2 = InitializeMatrix(s, c2).value();
+  double s1 = EvaluateMatrixSimilarity(m1, s);
+  double s2 = EvaluateMatrixSimilarity(m2, s);
+  double combined = EvaluateMatrixSimilarity(CombineMatrices(m1, m2), s);
+  // Max-based evaluation: combining alternatives can only keep or improve
+  // the best per-row alternative.
+  EXPECT_GE(combined, std::max(s1, s2) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OperatorProperties,
+    ::testing::Values(Shape{1, 8, 3, 0.3}, Shape{2, 20, 4, 0.5},
+                      Shape{3, 50, 5, 0.2}, Shape{4, 12, 2, 0.7},
+                      Shape{5, 100, 6, 0.4}, Shape{6, 5, 4, 0.0},
+                      Shape{7, 64, 3, 0.6}, Shape{8, 30, 8, 0.35}));
+
+}  // namespace
+}  // namespace gent

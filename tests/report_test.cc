@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "src/gent/report.h"
+#include "src/table/table_builder.h"
+
+namespace gent {
+namespace {
+
+using testing::PaperReclaimedS1;
+using testing::PaperReclaimedS2;
+using testing::PaperSource;
+
+class ReportTest : public ::testing::Test {
+ protected:
+  DictionaryPtr dict_ = MakeDictionary();
+};
+
+TEST_F(ReportTest, PerfectReclamationHasNoFindings) {
+  Table s = PaperSource(dict_);
+  auto r = DiagnoseReclamation(s, s.Clone());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->perfect());
+  EXPECT_TRUE(r->findings.empty());
+  EXPECT_EQ(r->matched_cells, 12u);  // 3 rows × 4 non-key columns
+  EXPECT_EQ(r->underivable_rows, 0u);
+}
+
+TEST_F(ReportTest, ClassifiesErroneousCells) {
+  // Ŝ1 (Fig. 4): Smith's gender wrongly "Male" (source null).
+  Table s = PaperSource(dict_);
+  auto r = DiagnoseReclamation(s, PaperReclaimedS1(dict_));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->perfect());
+  bool found_gender = false;
+  for (const auto& f : r->findings) {
+    if (f.verdict == CellVerdict::kContradicting &&
+        s.column_name(f.source_col) == "Gender" && f.source_row == 0) {
+      found_gender = true;
+      EXPECT_EQ(f.reclaimed_value, "Male");
+    }
+  }
+  EXPECT_TRUE(found_gender);
+}
+
+TEST_F(ReportTest, ClassifiesMissingCells) {
+  // Ŝ2 (Fig. 4): Smith's age and Wang's education are nullified.
+  Table s = PaperSource(dict_);
+  auto r = DiagnoseReclamation(s, PaperReclaimedS2(dict_));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->contradicting_cells, 0u);
+  EXPECT_EQ(r->missing_cells, 2u);
+}
+
+TEST_F(ReportTest, ClassifiesUnderivableRows) {
+  Table s = PaperSource(dict_);
+  Table partial = s.Clone();
+  partial.RemoveRows({2});  // Wang gone entirely
+  auto r = DiagnoseReclamation(s, partial);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->underivable_rows, 1u);
+  bool found = false;
+  for (const auto& f : r->findings) {
+    found |= f.verdict == CellVerdict::kUnderivable && f.source_row == 2;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ReportTest, MissingKeyColumnMeansAllUnderivable) {
+  Table s = PaperSource(dict_);
+  Table no_key = TableBuilder(dict_, "r")
+                     .Columns({"Name", "Age"})
+                     .Row({"Smith", "27"})
+                     .Build();
+  auto r = DiagnoseReclamation(s, no_key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->underivable_rows, 3u);
+}
+
+TEST_F(ReportTest, UsesBestAlignedTuple) {
+  // Two aligned tuples for one key: the better one drives the verdicts.
+  Table s = PaperSource(dict_);
+  Table r = TableBuilder(dict_, "r")
+                .Columns({"ID", "Name", "Age", "Gender", "Education Level"})
+                .Row({"1", "Wrong", "0", "x", "y"})
+                .Row({"1", "Brown", "24", "Male", "Masters"})
+                .Build();
+  auto rep = DiagnoseReclamation(s, r);
+  ASSERT_TRUE(rep.ok());
+  // Row 1 is perfectly covered by the second tuple; rows 0/2 underivable.
+  EXPECT_EQ(rep->contradicting_cells, 0u);
+  EXPECT_EQ(rep->underivable_rows, 2u);
+}
+
+TEST_F(ReportTest, SummaryMentionsColumnsAndValues) {
+  Table s = PaperSource(dict_);
+  auto r = DiagnoseReclamation(s, PaperReclaimedS1(dict_));
+  ASSERT_TRUE(r.ok());
+  std::string summary = r->Summarize(s);
+  EXPECT_NE(summary.find("Gender"), std::string::npos);
+  EXPECT_NE(summary.find("Male"), std::string::npos);
+}
+
+TEST_F(ReportTest, RequiresSourceKey) {
+  Table keyless = TableBuilder(dict_, "s").Columns({"a"}).Row({"1"}).Build();
+  EXPECT_FALSE(DiagnoseReclamation(keyless, keyless.Clone()).ok());
+}
+
+TEST_F(ReportTest, VerdictNamesAreStable) {
+  EXPECT_EQ(CellVerdictName(CellVerdict::kMatched), "matched");
+  EXPECT_EQ(CellVerdictName(CellVerdict::kMissing), "missing");
+  EXPECT_EQ(CellVerdictName(CellVerdict::kContradicting), "contradicting");
+  EXPECT_EQ(CellVerdictName(CellVerdict::kUnderivable), "underivable");
+}
+
+}  // namespace
+}  // namespace gent

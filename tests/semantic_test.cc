@@ -1,0 +1,237 @@
+// Tests for fuzzy value similarity and the lake-value rewrite
+// (src/semantic).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/semantic/fuzzy.h"
+#include "src/semantic/value_map.h"
+#include "src/table/table_builder.h"
+#include "src/util/random.h"
+
+namespace gent {
+namespace {
+
+TEST(CanonicalizeValueTest, LowercasesTrimsAndDropsPunct) {
+  EXPECT_EQ(CanonicalizeValue("  New   York.  "), "new york");
+  EXPECT_EQ(CanonicalizeValue("O'Brien"), "obrien");
+  EXPECT_EQ(CanonicalizeValue("inter-national"), "international");
+  EXPECT_EQ(CanonicalizeValue("A_B"), "ab");
+}
+
+TEST(CanonicalizeValueTest, NormalizesNumbers) {
+  EXPECT_EQ(CanonicalizeValue("3.10"), CanonicalizeValue("3.1"));
+  EXPECT_EQ(CanonicalizeValue(" 007 "), CanonicalizeValue("7"));
+}
+
+TEST(CanonicalizeValueTest, EmptyAndWhitespaceOnly) {
+  EXPECT_EQ(CanonicalizeValue(""), "");
+  EXPECT_EQ(CanonicalizeValue("   "), "");
+  EXPECT_EQ(CanonicalizeValue("..."), "");
+}
+
+TEST(TrigramsTest, PaddedTrigramsOfShortStrings) {
+  // "ab" padded to \1\1ab\1\1 -> 4 distinct trigrams.
+  EXPECT_EQ(Trigrams("ab").size(), 4u);
+  EXPECT_TRUE(Trigrams("").empty() || Trigrams("").size() <= 2u);
+}
+
+TEST(TrigramJaccardTest, IdenticalIsOneDisjointIsZero) {
+  EXPECT_DOUBLE_EQ(TrigramJaccard("boston", "boston"), 1.0);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("", ""), 1.0);
+  EXPECT_EQ(TrigramJaccard("abc", "xyz"), 0.0);
+}
+
+TEST(TrigramJaccardTest, SimilarStringsScoreBetween) {
+  const double s = TrigramJaccard("boston", "bostan");
+  EXPECT_GT(s, 0.2);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(BoundedEditDistanceTest, ExactSmallCases) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 2), 0u);
+  EXPECT_EQ(BoundedEditDistance("", "abc", 5), 3u);
+  EXPECT_EQ(BoundedEditDistance("abc", "", 5), 3u);
+  EXPECT_EQ(BoundedEditDistance("a", "b", 3), 1u);
+}
+
+TEST(BoundedEditDistanceTest, BoundCapsResult) {
+  // True distance 3; bound 1 must report >1 ("more than the bound").
+  EXPECT_GT(BoundedEditDistance("kitten", "sitting", 1), 1u);
+  // Length difference alone exceeds the bound.
+  EXPECT_GT(BoundedEditDistance("ab", "abcdefgh", 2), 2u);
+}
+
+TEST(BoundedEditDistanceTest, AgreesWithUnboundedWhenGenerous) {
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    std::string a = rng.AlphaNum(rng.Index(8));
+    std::string b = rng.AlphaNum(rng.Index(8));
+    // Reference: full DP.
+    std::vector<std::vector<size_t>> dp(a.size() + 1,
+                                        std::vector<size_t>(b.size() + 1));
+    for (size_t x = 0; x <= a.size(); ++x) dp[x][0] = x;
+    for (size_t y = 0; y <= b.size(); ++y) dp[0][y] = y;
+    for (size_t x = 1; x <= a.size(); ++x) {
+      for (size_t y = 1; y <= b.size(); ++y) {
+        dp[x][y] = std::min({dp[x - 1][y] + 1, dp[x][y - 1] + 1,
+                             dp[x - 1][y - 1] + (a[x - 1] == b[y - 1] ? 0u : 1u)});
+      }
+    }
+    EXPECT_EQ(BoundedEditDistance(a, b, 16), dp[a.size()][b.size()])
+        << a << " vs " << b;
+  }
+}
+
+TEST(FuzzySimilarityTest, CanonicalEqualityIsExactlyOne) {
+  EXPECT_DOUBLE_EQ(FuzzySimilarity("New York", "new  york."), 1.0);
+  EXPECT_DOUBLE_EQ(FuzzySimilarity("abc", "abc"), 1.0);
+}
+
+TEST(FuzzySimilarityTest, UnequalStringsScoreBelowOne) {
+  EXPECT_LT(FuzzySimilarity("boston", "bostan"), 1.0);
+  EXPECT_GT(FuzzySimilarity("boston", "bostan"), 0.6);
+  EXPECT_LT(FuzzySimilarity("boston", "chicago"), 0.3);
+}
+
+TEST(FuzzySimilarityTest, EmptyNeverMatchesNonEmpty) {
+  EXPECT_DOUBLE_EQ(FuzzySimilarity("", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(FuzzySimilarity("...", "abc"), 0.0);
+}
+
+// --- FuzzyValueMap ---------------------------------------------------------
+
+Table CitySource(const DictionaryPtr& dict) {
+  return TableBuilder(dict, "source")
+      .Columns({"city", "state"})
+      .Row({"boston", "massachusetts"})
+      .Row({"worcester", "massachusetts"})
+      .Row({"new york", "new york"})
+      .Build();
+}
+
+TEST(FuzzyValueMapTest, RewritesTyposOntoSourceValues) {
+  auto dict = MakeDictionary();
+  Table source = CitySource(dict);
+  FuzzyValueMap map = FuzzyValueMap::Build(source);
+  Table lake = TableBuilder(dict, "lake")
+                   .Columns({"city", "pop"})
+                   .Row({"Boston", "650000"})       // typo
+                   .Row({"New York.", "8000000"})   // punctuation
+                   .Row({"chicago", "2700000"})     // genuinely absent
+                   .Build();
+  ValueMapStats stats;
+  Table rewritten = map.Apply(lake, &stats);
+  EXPECT_EQ(rewritten.CellString(0, 0), "boston");
+  EXPECT_EQ(rewritten.CellString(1, 0), "new york");
+  EXPECT_EQ(rewritten.CellString(2, 0), "chicago") << "no near match: kept";
+  EXPECT_EQ(stats.cells_rewritten, 2u);
+  EXPECT_EQ(stats.distinct_values_rewritten, 2u);
+}
+
+TEST(FuzzyValueMapTest, SourceValuesMapToThemselves) {
+  auto dict = MakeDictionary();
+  Table source = CitySource(dict);
+  FuzzyValueMap map = FuzzyValueMap::Build(source);
+  const ValueId boston = dict->Lookup("boston");
+  ASSERT_NE(boston, kNull);
+  EXPECT_EQ(map.MapValue(boston), boston);
+  EXPECT_EQ(map.MapValue(kNull), kNull);
+}
+
+TEST(FuzzyValueMapTest, AmbiguousValuesAreLeftAlone) {
+  auto dict = MakeDictionary();
+  // Two source values a lake typo is equidistant from.
+  Table source = TableBuilder(dict, "s")
+                     .Columns({"name"})
+                     .Row({"lena"})
+                     .Row({"lina"})
+                     .Build();
+  ValueMapOptions options;
+  options.min_similarity = 0.4;  // admit the typo so ambiguity decides
+  FuzzyValueMap map = FuzzyValueMap::Build(source, options);
+  Table lake = TableBuilder(dict, "lake")
+                   .Columns({"name"})
+                   .Row({"lsna"})  // 1 edit from both
+                   .Build();
+  ValueMapStats stats;
+  Table rewritten = map.Apply(lake, &stats);
+  EXPECT_EQ(rewritten.CellString(0, 0), "lsna");
+  EXPECT_EQ(stats.ambiguous_values_skipped, 1u);
+}
+
+TEST(FuzzyValueMapTest, ThresholdGovernsAggressiveness) {
+  auto dict = MakeDictionary();
+  Table source = CitySource(dict);
+  Table lake = TableBuilder(dict, "lake")
+                   .Columns({"city"})
+                   .Row({"bstn"})  // heavy typo: sim well below default
+                   .Build();
+  FuzzyValueMap strict = FuzzyValueMap::Build(source);
+  EXPECT_EQ(strict.Apply(lake).CellString(0, 0), "bstn");
+  ValueMapOptions loose;
+  loose.min_similarity = 0.2;
+  FuzzyValueMap relaxed = FuzzyValueMap::Build(source, loose);
+  EXPECT_EQ(relaxed.Apply(lake).CellString(0, 0), "boston");
+}
+
+TEST(FuzzyValueMapTest, LabeledNullsNeverRewritten) {
+  auto dict = MakeDictionary();
+  Table source = CitySource(dict);
+  FuzzyValueMap map = FuzzyValueMap::Build(source);
+  const ValueId label = dict->CreateLabeledNull();
+  EXPECT_EQ(map.MapValue(label), label);
+}
+
+TEST(FuzzyValueMapTest, ApplyAllRewritesEveryTable) {
+  auto dict = MakeDictionary();
+  Table source = CitySource(dict);
+  FuzzyValueMap map = FuzzyValueMap::Build(source);
+  std::vector<Table> lake;
+  lake.push_back(TableBuilder(dict, "l1").Columns({"city"}).Row({"Boston"}).Build());
+  lake.push_back(TableBuilder(dict, "l2").Columns({"city"}).Row({"worcestor"}).Build());
+  ValueMapStats stats;
+  std::vector<Table> rewritten = map.ApplyAll(lake, &stats);
+  ASSERT_EQ(rewritten.size(), 2u);
+  EXPECT_EQ(rewritten[0].CellString(0, 0), "boston");
+  EXPECT_EQ(rewritten[1].CellString(0, 0), "worcester");
+  EXPECT_EQ(stats.cells_rewritten, 2u);
+}
+
+// Property sweep: single-character corruptions of source values must map
+// back to the original for reasonably long values.
+class FuzzyRepairSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzyRepairSweep, SingleEditRepairs) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 5);
+  auto dict = MakeDictionary();
+  // Distinct, well-separated source values.
+  std::vector<std::string> values;
+  TableBuilder builder(dict, "s");
+  builder.Columns({"v"});
+  for (int i = 0; i < 12; ++i) {
+    values.push_back("entity" + std::to_string(i * i + 100) +
+                     rng.AlphaNum(6));
+    builder.Row({values.back()});
+  }
+  Table source = builder.Build();
+  FuzzyValueMap map = FuzzyValueMap::Build(source);
+  // Corrupt one character of one value.
+  const std::string& victim = values[rng.Index(values.size())];
+  std::string corrupted = victim;
+  const size_t pos = rng.Index(corrupted.size());
+  corrupted[pos] = corrupted[pos] == 'q' ? 'z' : 'q';
+  Table lake =
+      TableBuilder(dict, "lake").Columns({"v"}).Row({corrupted}).Build();
+  Table rewritten = map.Apply(lake);
+  EXPECT_EQ(rewritten.CellString(0, 0), victim)
+      << "corrupted '" << corrupted << "' did not map back";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzyRepairSweep, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace gent

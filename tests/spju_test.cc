@@ -1,0 +1,347 @@
+// Tests for SPJU query trees and the Theorem 8 rewrite (src/ops/spju).
+//
+// The property sweeps are the executable form of the paper's Appendix A:
+// on randomized minimal-form inputs, every SPJU query must evaluate to
+// the same set of tuples under the native operators and under the
+// {⊎, σ, π, κ, β} rewrite.
+
+#include "src/ops/spju.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/ops/fusion.h"
+#include "src/ops/unary.h"
+#include "src/table/table_builder.h"
+#include "src/util/random.h"
+
+namespace gent {
+namespace {
+
+// Row-set equality plus schema equality: the theorem speaks about tables
+// as sets of tuples over the same schema.
+void ExpectSameRelation(const Table& a, const Table& b) {
+  ASSERT_EQ(a.column_names(), b.column_names());
+  EXPECT_EQ(RowsOf(a), RowsOf(b));
+}
+
+class SpjuFixture : public ::testing::Test {
+ protected:
+  SpjuFixture() : dict_(MakeDictionary()) {
+    catalog_.Register(TableBuilder(dict_, "people")
+                          .Columns({"id", "name", "city"})
+                          .Row({"1", "smith", "boston"})
+                          .Row({"2", "brown", "worcester"})
+                          .Row({"3", "wang", "boston"})
+                          .Build());
+    catalog_.Register(TableBuilder(dict_, "cities")
+                          .Columns({"city", "state"})
+                          .Row({"boston", "ma"})
+                          .Row({"worcester", "ma"})
+                          .Row({"albany", "ny"})
+                          .Build());
+    catalog_.Register(TableBuilder(dict_, "more_people")
+                          .Columns({"id", "name", "city"})
+                          .Row({"4", "jones", "albany"})
+                          .Build());
+  }
+
+  void ExpectEquivalent(const QueryPtr& q) {
+    auto direct = EvaluateDirect(q, catalog_);
+    auto rep = EvaluateRepresentative(q, catalog_);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    ExpectSameRelation(direct.value(), rep.value());
+  }
+
+  DictionaryPtr dict_;
+  QueryCatalog catalog_;
+};
+
+TEST_F(SpjuFixture, BaseEvaluatesToCatalogTable) {
+  auto result = EvaluateDirect(Base("people"), catalog_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 3u);
+  EXPECT_FALSE(EvaluateDirect(Base("nope"), catalog_).ok());
+}
+
+TEST_F(SpjuFixture, ProjectAndSelect) {
+  QueryPtr q = SelectEqQ(ProjectQ(Base("people"), {"name", "city"}),
+                         "city", "boston");
+  auto result = EvaluateDirect(q, catalog_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 2u);
+  EXPECT_EQ(result.value().num_cols(), 2u);
+  ExpectEquivalent(q);
+}
+
+TEST_F(SpjuFixture, SelectUnknownLiteralYieldsEmpty) {
+  auto result = EvaluateDirect(SelectEqQ(Base("people"), "city", "nowhere"),
+                               catalog_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 0u);
+}
+
+TEST_F(SpjuFixture, SelectUnknownColumnFails) {
+  EXPECT_FALSE(
+      EvaluateDirect(SelectEqQ(Base("people"), "zip", "02115"), catalog_)
+          .ok());
+}
+
+TEST_F(SpjuFixture, InnerJoinLemma12) {
+  ExpectEquivalent(JoinQ(Base("people"), Base("cities")));
+}
+
+TEST_F(SpjuFixture, LeftJoinLemma13) {
+  // "albany" has no person: left join from cities keeps it null-padded.
+  QueryPtr q = LeftJoinQ(Base("cities"), Base("people"));
+  auto direct = EvaluateDirect(q, catalog_);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct.value().num_rows(), 4u);  // 3 matches + unmatched albany
+  ExpectEquivalent(q);
+}
+
+TEST_F(SpjuFixture, FullOuterJoinLemma14) {
+  ExpectEquivalent(FullOuterQ(Base("cities"), Base("more_people")));
+}
+
+TEST_F(SpjuFixture, CrossProductLemma15) {
+  // Disjoint schemas: project city-free people against states.
+  QueryPtr q = CrossQ(ProjectQ(Base("people"), {"id", "name"}),
+                      ProjectQ(Base("cities"), {"state"}));
+  auto direct = EvaluateDirect(q, catalog_);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct.value().num_rows(), 9u);
+  ExpectEquivalent(q);
+}
+
+TEST_F(SpjuFixture, InnerUnionLemma11) {
+  ExpectEquivalent(UnionQ(Base("people"), Base("more_people")));
+}
+
+TEST_F(SpjuFixture, CompositeQuery) {
+  // (people ⋈ cities) selected to MA, unioned with more_people ⋈ cities.
+  QueryPtr left = SelectEqQ(JoinQ(Base("people"), Base("cities")),
+                            "state", "ma");
+  QueryPtr right = JoinQ(Base("more_people"), Base("cities"));
+  ExpectEquivalent(UnionQ(left, right));
+}
+
+TEST_F(SpjuFixture, QueryToStringRendersTree) {
+  QueryPtr q = SelectEqQ(ProjectQ(JoinQ(Base("people"), Base("cities")),
+                                  {"name", "state"}),
+                         "state", "ma");
+  EXPECT_EQ(QueryToString(q),
+            "σ(state=ma, π(name,state, (people ⋈ cities)))");
+}
+
+TEST_F(SpjuFixture, RewriteToStringUsesOnlyRepresentativeOps) {
+  QueryPtr q = FullOuterQ(Base("people"), Base("cities"));
+  const std::string rewrite = RewriteToString(q);
+  EXPECT_EQ(rewrite.find("⋈"), std::string::npos) << rewrite;
+  EXPECT_EQ(rewrite.find("⟗"), std::string::npos) << rewrite;
+  EXPECT_NE(rewrite.find("⊎"), std::string::npos) << rewrite;
+  EXPECT_NE(rewrite.find("β"), std::string::npos) << rewrite;
+}
+
+TEST(ComplementationClosureTest, AddsMergesAndKeepsOriginals) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "t")
+                .Columns({"c", "a", "b"})
+                .Row({"1", "x", ""})
+                .Row({"1", "", "y"})
+                .Build();
+  auto closed = ComplementationClosure(t);
+  ASSERT_TRUE(closed.ok());
+  // Originals plus the merge (1, x, y).
+  EXPECT_EQ(closed.value().num_rows(), 3u);
+  RowSet rows = RowsOf(closed.value());
+  std::vector<ValueId> merged = {dict->Lookup("1"), dict->Lookup("x"),
+                                 dict->Lookup("y")};
+  EXPECT_TRUE(rows.count(merged));
+}
+
+TEST(ComplementationClosureTest, OneToManyProducesAllMerges) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "t")
+                .Columns({"c", "a", "b"})
+                .Row({"1", "x", ""})
+                .Row({"1", "", "y"})
+                .Row({"1", "", "z"})
+                .Build();
+  auto closed = ComplementationClosure(t);
+  ASSERT_TRUE(closed.ok());
+  // 3 originals + (1,x,y) + (1,x,z); (1,·,y) and (1,·,z) conflict on b.
+  EXPECT_EQ(closed.value().num_rows(), 5u);
+}
+
+TEST(ComplementationClosureTest, FixpointOnNonComplementingTable) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "t")
+                .Columns({"a", "b"})
+                .Row({"1", "x"})
+                .Row({"2", "y"})
+                .Build();
+  auto closed = ComplementationClosure(t);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed.value().num_rows(), 2u);
+}
+
+TEST(ComplementationClosureTest, RespectsRowBudget) {
+  auto dict = MakeDictionary();
+  TableBuilder builder(dict, "t");
+  builder.Columns({"c", "a", "b"});
+  for (int i = 0; i < 32; ++i) {
+    builder.Row({"1", "x" + std::to_string(i), ""});
+    builder.Row({"1", "", "y" + std::to_string(i)});
+  }
+  OpLimits limits;
+  limits.MaxRows(100);
+  auto closed = ComplementationClosure(builder.Build(), limits);
+  EXPECT_FALSE(closed.ok());
+  EXPECT_EQ(closed.status().code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized lemma sweeps.
+//
+// Each seed generates two random tables with a shared join column (values
+// drawn from a small domain so joins hit), nulls injected into non-join
+// columns, both reduced to minimal form (the theorem's precondition), and
+// checks direct-vs-representative equality per lemma.
+
+struct LemmaCase {
+  int seed;
+  QueryOp op;
+};
+
+class SpjuLemmaSweep : public ::testing::TestWithParam<LemmaCase> {};
+
+std::string LemmaCaseName(const ::testing::TestParamInfo<LemmaCase>& info) {
+  std::string op;
+  switch (info.param.op) {
+    case QueryOp::kInnerJoin: op = "Inner"; break;
+    case QueryOp::kLeftJoin: op = "Left"; break;
+    case QueryOp::kFullOuter: op = "FullOuter"; break;
+    case QueryOp::kCross: op = "Cross"; break;
+    case QueryOp::kInnerUnion: op = "Union"; break;
+    default: op = "Op"; break;
+  }
+  return op + "Seed" + std::to_string(info.param.seed);
+}
+
+Table RandomMinimalTable(Rng& rng, const DictionaryPtr& dict,
+                         const std::string& name,
+                         const std::vector<std::string>& columns,
+                         bool first_column_non_null) {
+  TableBuilder builder(dict, name);
+  builder.Columns(columns);
+  const size_t rows = 2 + rng.Index(6);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const bool allow_null = !(c == 0 && first_column_non_null);
+      if (allow_null && rng.Bernoulli(0.2)) {
+        row.push_back("");
+      } else {
+        // Small domain so join keys collide across tables.
+        row.push_back("v" + std::to_string(rng.Index(4)));
+      }
+    }
+    builder.Row(row);
+  }
+  auto minimal = TakeMinimalForm(builder.Build());
+  EXPECT_TRUE(minimal.ok());
+  return minimal.value();
+}
+
+TEST_P(SpjuLemmaSweep, DirectEqualsRepresentative) {
+  const LemmaCase param = GetParam();
+  Rng rng(static_cast<uint64_t>(param.seed) * 7919 + 13);
+  auto dict = MakeDictionary();
+  QueryCatalog catalog;
+  const bool cross = param.op == QueryOp::kCross;
+  const bool equal_schema = param.op == QueryOp::kInnerUnion;
+  std::vector<std::string> left_cols = {"c", "a", "b"};
+  std::vector<std::string> right_cols;
+  if (cross) {
+    right_cols = {"d", "e"};  // disjoint schemas
+  } else if (equal_schema) {
+    right_cols = left_cols;
+  } else {
+    right_cols = {"c", "d"};  // joins on "c"
+  }
+  catalog.Register(
+      RandomMinimalTable(rng, dict, "L", left_cols,
+                         /*first_column_non_null=*/!cross));
+  catalog.Register(
+      RandomMinimalTable(rng, dict, "R", right_cols,
+                         /*first_column_non_null=*/!cross));
+
+  QueryPtr q;
+  switch (param.op) {
+    case QueryOp::kInnerJoin: q = JoinQ(Base("L"), Base("R")); break;
+    case QueryOp::kLeftJoin: q = LeftJoinQ(Base("L"), Base("R")); break;
+    case QueryOp::kFullOuter: q = FullOuterQ(Base("L"), Base("R")); break;
+    case QueryOp::kCross: q = CrossQ(Base("L"), Base("R")); break;
+    case QueryOp::kInnerUnion: q = UnionQ(Base("L"), Base("R")); break;
+    default: FAIL() << "unexpected op";
+  }
+  auto direct = EvaluateDirect(q, catalog);
+  auto rep = EvaluateRepresentative(q, catalog);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  ASSERT_EQ(direct.value().column_names(), rep.value().column_names());
+  EXPECT_EQ(RowsOf(direct.value()), RowsOf(rep.value()))
+      << "seed " << param.seed << "\ndirect:\n"
+      << direct.value().ToString() << "\nrepresentative:\n"
+      << rep.value().ToString();
+}
+
+std::vector<LemmaCase> AllLemmaCases() {
+  std::vector<LemmaCase> cases;
+  for (QueryOp op : {QueryOp::kInnerJoin, QueryOp::kLeftJoin,
+                     QueryOp::kFullOuter, QueryOp::kCross,
+                     QueryOp::kInnerUnion}) {
+    for (int seed = 1; seed <= 20; ++seed) cases.push_back({seed, op});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lemmas, SpjuLemmaSweep,
+                         ::testing::ValuesIn(AllLemmaCases()),
+                         LemmaCaseName);
+
+// Composite random SPJU trees: σ/π over a join of L and R, unioned with
+// another copy of the same shape — exercising operator nesting.
+class SpjuCompositeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpjuCompositeSweep, DirectEqualsRepresentative) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  auto dict = MakeDictionary();
+  QueryCatalog catalog;
+  catalog.Register(RandomMinimalTable(rng, dict, "L1", {"c", "a", "b"}, true));
+  catalog.Register(RandomMinimalTable(rng, dict, "R1", {"c", "d"}, true));
+  catalog.Register(RandomMinimalTable(rng, dict, "L2", {"c", "a", "b"}, true));
+  catalog.Register(RandomMinimalTable(rng, dict, "R2", {"c", "d"}, true));
+
+  QueryPtr chunk1 = ProjectQ(JoinQ(Base("L1"), Base("R1")), {"c", "a", "d"});
+  QueryPtr chunk2 = ProjectQ(
+      LeftJoinQ(Base("L2"), Base("R2")), {"c", "a", "d"});
+  QueryPtr q = UnionQ(chunk1, chunk2);
+  if (rng.Bernoulli(0.5)) q = SelectEqQ(q, "c", "v1");
+
+  auto direct = EvaluateDirect(q, catalog);
+  auto rep = EvaluateRepresentative(q, catalog);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  ASSERT_EQ(direct.value().column_names(), rep.value().column_names());
+  EXPECT_EQ(RowsOf(direct.value()), RowsOf(rep.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpjuCompositeSweep, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace gent
