@@ -70,6 +70,54 @@ struct PerSource {
   QueryClass query_class = QueryClass::kProjectSelectUnion;
 };
 
+/// Folds one source outcome into `row` (and `per_source`): a timeout if
+/// `reclaimed` is null, the full metric set otherwise. `secs` is the
+/// per-source runtime (0 when a failed source's runtime is unknown, e.g.
+/// batch workers report no timings for failures).
+inline void AccumulateSource(MethodRow* row, const SourceSpec& spec,
+                             const Table* reclaimed, double secs,
+                             std::vector<PerSource>* per_source) {
+  PerSource ps;
+  ps.seconds = secs;
+  ps.query_class = spec.query_class;
+  if (reclaimed == nullptr) {
+    ++row->timeouts;
+    ps.timeout = true;
+    if (per_source != nullptr) per_source->push_back(ps);
+    return;
+  }
+  auto pr = ComputePrecisionRecall(spec.source, *reclaimed);
+  row->recall += pr.recall;
+  row->precision += pr.precision;
+  row->inst_div += InstanceDivergence(spec.source, *reclaimed).value_or(1.0);
+  row->dkl +=
+      ConditionalKlDivergence(spec.source, *reclaimed).value_or(1000.0);
+  row->perfect += IsPerfectReclamation(spec.source, *reclaimed);
+  row->avg_seconds += secs;
+  row->size_ratio += spec.source.num_cells() == 0
+                         ? 0
+                         : static_cast<double>(reclaimed->num_cells()) /
+                               static_cast<double>(spec.source.num_cells());
+  ++row->evaluated;
+  ps.recall = pr.recall;
+  ps.precision = pr.precision;
+  ps.f1 = pr.F1();
+  ps.perfect = IsPerfectReclamation(spec.source, *reclaimed);
+  if (per_source != nullptr) per_source->push_back(ps);
+}
+
+/// Turns the accumulated sums of `row` into averages.
+inline void FinalizeRow(MethodRow* row) {
+  if (row->evaluated == 0) return;
+  double n = static_cast<double>(row->evaluated);
+  row->recall /= n;
+  row->precision /= n;
+  row->inst_div /= n;
+  row->dkl /= n;
+  row->avg_seconds /= n;
+  row->size_ratio /= n;
+}
+
 /// Runs one reclamation method over the benchmark's sources.
 /// `reclaim(spec, index)` returns the reclaimed table or an error
 /// (Timeout/OutOfRange counts as a timeout, like the paper's baselines).
@@ -84,60 +132,32 @@ MethodRow RunMethod(const std::string& name, const TpTrBenchmark& bench,
     const SourceSpec& spec = bench.sources[i];
     auto t0 = std::chrono::steady_clock::now();
     Result<Table> reclaimed = reclaim(spec, i);
-    double secs = Seconds(t0);
-    PerSource ps;
-    ps.seconds = secs;
-    ps.query_class = spec.query_class;
-    if (!reclaimed.ok()) {
-      ++row.timeouts;
-      ps.timeout = true;
-      if (per_source != nullptr) per_source->push_back(ps);
-      continue;
-    }
-    auto pr = ComputePrecisionRecall(spec.source, *reclaimed);
-    double inst = InstanceDivergence(spec.source, *reclaimed).value_or(1.0);
-    double dkl =
-        ConditionalKlDivergence(spec.source, *reclaimed).value_or(1000.0);
-    row.recall += pr.recall;
-    row.precision += pr.precision;
-    row.inst_div += inst;
-    row.dkl += dkl;
-    row.perfect += IsPerfectReclamation(spec.source, *reclaimed);
-    row.avg_seconds += secs;
-    row.size_ratio += spec.source.num_cells() == 0
-                          ? 0
-                          : static_cast<double>(reclaimed->num_cells()) /
-                                static_cast<double>(spec.source.num_cells());
-    ++row.evaluated;
-    ps.recall = pr.recall;
-    ps.precision = pr.precision;
-    ps.f1 = pr.F1();
-    ps.perfect = IsPerfectReclamation(spec.source, *reclaimed);
-    if (per_source != nullptr) per_source->push_back(ps);
+    AccumulateSource(&row, spec, reclaimed.ok() ? &*reclaimed : nullptr,
+                     Seconds(t0), per_source);
   }
-  if (row.evaluated > 0) {
-    double n = static_cast<double>(row.evaluated);
-    row.recall /= n;
-    row.precision /= n;
-    row.inst_div /= n;
-    row.dkl /= n;
-    row.avg_seconds /= n;
-    row.size_ratio /= n;
-  }
+  FinalizeRow(&row);
   return row;
 }
 
 /// Candidate tables from Set Similarity for a source — what the paper
 /// feeds every baseline ("given the same set of candidate tables").
+/// `exclude_self` removes the lake table named like the source from its
+/// own candidacy (leave-one-out protocols).
 inline std::vector<Table> CandidateTables(const GenT& gent,
-                                          const Table& source) {
-  Discovery discovery(gent.index(), gent.config().discovery);
+                                          const Table& source,
+                                          bool exclude_self = false) {
+  DiscoveryConfig config = gent.config().discovery;
+  if (exclude_self) config.exclude_table = source.name();
+  Discovery discovery(gent.catalog(), config);
   auto candidates = discovery.FindCandidates(source);
   std::vector<Table> tables;
   if (!candidates.ok()) return tables;
   for (auto& c : *candidates) tables.push_back(std::move(c.table));
   return tables;
 }
+
+// (Bit-identity of reclaimed tables is TablesBitIdentical from
+// src/table/table.h — the ReclaimBatch determinism contract.)
 
 /// The "w/ int. set" inputs: the 4 variants of every original table the
 /// source's query touched, straight from the lake.
@@ -166,6 +186,46 @@ inline MethodRow RunGenT(const TpTrBenchmark& bench, size_t max_sources,
         return std::move(result.reclaimed);
       },
       per_source);
+}
+
+/// Gen-T over a benchmark through the batch engine: one shared
+/// ColumnStatsCatalog, `threads` workers, per-source budgets applied
+/// inside each worker. Metrics match RunGenT (results are bit-identical
+/// to the serial path); per-source seconds are the summed phase timings
+/// (wall clock inside the worker, excluding queueing).
+inline MethodRow RunGenTBatch(const TpTrBenchmark& bench, size_t max_sources,
+                              double timeout_s, size_t threads,
+                              std::vector<PerSource>* per_source = nullptr,
+                              GenTConfig config = {}) {
+  GenT gent(*bench.lake, config);
+  size_t limit = std::min(max_sources, bench.sources.size());
+  std::vector<Table> sources;
+  sources.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    sources.push_back(bench.sources[i].source.Clone());
+  }
+  BatchOptions options;
+  options.num_threads = threads;
+  options.timeout_seconds = timeout_s;
+  options.max_rows = 2000000;
+  auto results = gent.ReclaimBatch(sources, options);
+
+  MethodRow row;
+  row.method = "Gen-T (batch x" + std::to_string(threads) + ")";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SourceSpec& spec = bench.sources[i];
+    if (!results[i].ok()) {
+      // Failed sources carry no timings out of the worker.
+      AccumulateSource(&row, spec, nullptr, 0.0, per_source);
+      continue;
+    }
+    const ReclamationResult& rr = *results[i];
+    double secs = rr.discovery_seconds + rr.traversal_seconds +
+                  rr.integration_seconds;
+    AccumulateSource(&row, spec, &rr.reclaimed, secs, per_source);
+  }
+  FinalizeRow(&row);
+  return row;
 }
 
 /// A baseline over a benchmark, fed either candidates or the int. set.

@@ -5,12 +5,64 @@
 // Expected shape (paper): Gen-T's runtime and output size stay roughly
 // flat across benchmarks; ALITE's explode (it times out on the larger
 // ones); ALITE-PS survives but with much larger outputs.
+//
+// A third section exercises the engine layer: serial Reclaim calls vs
+// ReclaimBatch over one shared ColumnStatsCatalog, verifying the batch
+// results are bit-identical to the serial ones and reporting the
+// wall-clock speedup (GENT_THREADS workers, default 4; speedup tracks
+// the machine's core count).
 
 #include "bench/bench_common.h"
 #include "src/baselines/alite.h"
 
 using namespace gent;
 using namespace gent::bench;
+
+namespace {
+
+// Serial loop vs ReclaimBatch on one benchmark; returns false if any
+// batch result differs from its serial counterpart.
+bool RunBatchScalability(const TpTrBenchmark& bench, size_t max_sources,
+                         size_t threads) {
+  GenT gent(*bench.lake);  // one catalog for both passes
+  size_t limit = std::min(max_sources, bench.sources.size());
+  std::vector<Table> sources;
+  sources.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    sources.push_back(bench.sources[i].source.Clone());
+  }
+  BatchOptions options;
+  options.max_rows = 2000000;  // deterministic: row budget, no deadline
+
+  auto t0 = std::chrono::steady_clock::now();
+  options.num_threads = 1;
+  auto serial = gent.ReclaimBatch(sources, options);
+  double serial_s = Seconds(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  options.num_threads = threads;
+  auto parallel = gent.ReclaimBatch(sources, options);
+  double parallel_s = Seconds(t0);
+
+  bool identical = serial.size() == parallel.size();
+  for (size_t i = 0; identical && i < serial.size(); ++i) {
+    if (serial[i].ok() != parallel[i].ok()) {
+      identical = false;
+    } else if (serial[i].ok()) {
+      identical =
+          TablesBitIdentical(serial[i]->reclaimed, parallel[i]->reclaimed) &&
+          serial[i]->originating_names == parallel[i]->originating_names;
+    }
+  }
+  double speedup =
+      sources.empty() || parallel_s <= 0 ? 0.0 : serial_s / parallel_s;
+  std::printf("%-14s %4zu sources %10.2fs %10.2fs %9.2fx %10s\n",
+              bench.name.c_str(), sources.size(), serial_s, parallel_s,
+              speedup, identical ? "yes" : "NO");
+  return identical;
+}
+
+}  // namespace
 
 int main() {
   size_t max_sources = EnvSize("GENT_SOURCES", 12);
@@ -24,7 +76,7 @@ int main() {
   };
   std::vector<Point> points;
 
-  auto run = [&](Result<TpTrBenchmark> bench) {
+  auto run = [&](const Result<TpTrBenchmark>& bench) {
     if (!bench.ok()) return;
     Point p;
     p.bench = bench->name;
@@ -34,7 +86,8 @@ int main() {
     points.push_back(std::move(p));
   };
 
-  run(BuildSmall());
+  auto small = BuildSmall();
+  run(small);
   auto med = BuildMed();
   if (med.ok()) {
     // Run Med itself, then the SANTOS-embedded variant.
@@ -83,6 +136,26 @@ int main() {
     std::printf("%-14s %12.1f %12.1f %12.1f\n", p.bench.c_str(),
                 p.alite.size_ratio, p.alite_ps.size_ratio,
                 p.gent.size_ratio);
+  }
+
+  // --- Engine layer: serial vs parallel batch reclamation ----------------
+  size_t threads = EnvSize("GENT_THREADS", 4);
+  std::printf("\n=== Batch reclamation: serial vs %zu-thread ReclaimBatch "
+              "(shared catalog) ===\n",
+              threads);
+  std::printf("%-14s %12s %11s %11s %9s %10s\n", "Benchmark", "", "serial",
+              "parallel", "speedup", "identical");
+  bool all_identical = true;
+  if (small.ok()) {
+    all_identical &= RunBatchScalability(*small, max_sources, threads);
+  }
+  if (med.ok()) {
+    all_identical &= RunBatchScalability(*med, max_sources, threads);
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: batch results diverged from serial reclamation\n");
+    return 1;
   }
   return 0;
 }

@@ -13,6 +13,9 @@ using namespace gent::bench;
 int main() {
   size_t max_sources = EnvSize("GENT_SOURCES", 26);
   double timeout = EnvDouble("GENT_TIMEOUT_S", 20);
+  // 0 = auto (hardware concurrency, capped at 8): oversubscribing a
+  // small machine would burn the per-source deadlines on contention.
+  size_t threads = EnvSize("GENT_THREADS", 0);
   auto bench = BuildMed();
   if (!bench.ok()) {
     std::fprintf(stderr, "bench build failed\n");
@@ -21,7 +24,12 @@ int main() {
 
   AlitePsBaseline alite_ps;
   std::vector<PerSource> gent_rows, alite_rows;
-  (void)RunGenT(*bench, max_sources, timeout, &gent_rows);
+  // Per-source rows come from the batch engine: results are in input
+  // order, so rows line up with ALITE-PS's. Note the per-source deadline
+  // is wall-clock and therefore scheduling-dependent: under core
+  // contention a source can time out here that would pass serially
+  // (raise GENT_TIMEOUT_S or set GENT_THREADS=1 for strict parity).
+  (void)RunGenTBatch(*bench, max_sources, timeout, threads, &gent_rows);
   (void)RunBaseline(alite_ps, *bench, max_sources, timeout, false,
                     &alite_rows);
 

@@ -3,16 +3,17 @@
 // A team that reclaims dashboards nightly does not want to re-parse the
 // lake's CSVs per run or reclaim sources one at a time. This example
 // shows the production path: build a lake once, persist it as a binary
-// snapshot, reload it (parse-free), and reclaim a whole batch of source
-// tables across a worker pool with one shared index.
+// snapshot, reload it (parse-free), build the ColumnStatsCatalog once,
+// and reclaim a whole batch of source tables across a worker pool with
+// GenT::ReclaimBatch — whose results are bit-identical to a serial run.
 //
-//   $ ./build/examples/bulk_snapshot
+//   $ ./build/bulk_snapshot
 
 #include <chrono>
 #include <cstdio>
 
 #include "src/benchgen/benchmarks.h"
-#include "src/gent/bulk.h"
+#include "src/gent/gent.h"
 #include "src/lake/snapshot.h"
 #include "src/metrics/similarity.h"
 
@@ -53,31 +54,43 @@ int main() {
   std::printf("snapshot reload: %zu tables in %.3fs\n", lake.size(),
               SecondsSince(t0));
 
-  // Reclaim all sources: sequential vs parallel over the same lake.
+  // Reclaim all sources: sequential vs parallel, one shared catalog.
   std::vector<Table> sources;
   for (const SourceSpec& spec : bench->sources) {
     sources.push_back(spec.source.Clone());
   }
+  GenT gent(lake);  // builds the ColumnStatsCatalog once
+  std::vector<std::vector<Result<ReclamationResult>>> runs;
   for (size_t threads : {size_t{1}, size_t{4}}) {
-    BulkOptions options;
-    options.threads = threads;
-    options.timeout_seconds = 30;
+    BatchOptions options;
+    options.num_threads = threads;
+    options.max_rows = 2'000'000;
     t0 = std::chrono::steady_clock::now();
-    std::vector<BulkOutcome> outcomes =
-        BulkReclaim(lake, sources, {}, options);
+    auto results = gent.ReclaimBatch(sources, options);
     const double elapsed = SecondsSince(t0);
     size_t ok = 0;
     double eis_sum = 0;
-    for (size_t i = 0; i < outcomes.size(); ++i) {
-      if (!outcomes[i].result.ok()) continue;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) continue;
       ++ok;
-      eis_sum +=
-          EisScore(sources[i], outcomes[i].result->reclaimed).value_or(0);
+      eis_sum += EisScore(sources[i], results[i]->reclaimed).value_or(0);
     }
     std::printf("%zu thread(s): %zu/%zu reclaimed, avg EIS %.3f, %.2fs\n",
-                threads, ok, outcomes.size(),
+                threads, ok, results.size(),
                 ok ? eis_sum / static_cast<double>(ok) : 0.0, elapsed);
+    runs.push_back(std::move(results));
   }
+
+  // The batch contract: scheduling never changes the answer.
+  bool identical = true;
+  for (size_t i = 0; i < sources.size() && identical; ++i) {
+    const auto& a = runs[0][i];
+    const auto& b = runs[1][i];
+    identical = a.ok() == b.ok() &&
+                (!a.ok() || TablesBitIdentical(a->reclaimed, b->reclaimed));
+  }
+  std::printf("parallel results bit-identical to serial: %s\n",
+              identical ? "yes" : "NO");
   std::remove(snap.c_str());
-  return 0;
+  return identical ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 //   $ ./build/examples/quickstart
 
 #include <cstdio>
+#include <memory>
 
 #include "src/gent/gent.h"
 #include "src/metrics/precision_recall.h"
@@ -54,7 +55,10 @@ int main() {
                           .Row({"Wang", "Female"})
                           .Build());
 
-  GenT gent(lake);
+  // The column-stats catalog is built once per lake and can be shared by
+  // any number of GenT instances (and ReclaimBatch worker threads).
+  auto catalog = std::make_shared<ColumnStatsCatalog>(lake);
+  GenT gent(catalog);
   auto result = gent.Reclaim(source);
   if (!result.ok()) {
     std::fprintf(stderr, "reclamation failed: %s\n",

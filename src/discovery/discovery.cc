@@ -16,10 +16,6 @@ struct MatchPair {
   double overlap;   // |cand ∩ src| / |src|
 };
 
-std::unordered_set<ValueId> ToSet(const std::vector<ValueId>& v) {
-  return std::unordered_set<ValueId>(v.begin(), v.end());
-}
-
 }  // namespace
 
 std::vector<std::pair<size_t, double>> DiversifyCandidateColumns(
@@ -32,7 +28,7 @@ std::vector<std::pair<size_t, double>> DiversifyCandidateColumns(
       // Penalize overlap with the previous (higher-ranked) candidate:
       // diverseOverlapScore = |T∩S|/|S| − |T∩T_prev|/|T|   (Eq. 10)
       size_t inter =
-          SetIntersectionSize(*ranked[i].values, *ranked[i - 1].values);
+          SortedIntersectionSize(*ranked[i].values, *ranked[i - 1].values);
       score -= static_cast<double>(inter) /
                static_cast<double>(ranked[i].values->size());
     }
@@ -50,16 +46,18 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
   if (!source.has_key()) {
     return Status::InvalidArgument("source table must declare a key");
   }
-  const DataLake& lake = index_.lake();
+  const DataLake& lake = catalog_.lake();
 
   // --- Recall stage -------------------------------------------------------
-  std::vector<size_t> topk = index_.TopKTables(source, config_.top_k);
+  std::vector<size_t> topk = catalog_.TopKTables(source, config_.top_k);
   std::unordered_set<size_t> topk_set(topk.begin(), topk.end());
 
   // --- Per-column containment search (Algorithm 3 lines 4-8) --------------
-  std::vector<std::unordered_set<ValueId>> src_values(source.num_cols());
+  // Source columns as sorted distinct sets; lake-side stats come from the
+  // shared catalog, so overlap is one postings merge per source column.
+  std::vector<std::vector<ValueId>> src_values(source.num_cols());
   for (size_t c = 0; c < source.num_cols(); ++c) {
-    src_values[c] = DistinctColumnValues(source, c);
+    src_values[c] = SortedDistinctValues(source, c);
   }
 
   std::vector<MatchPair> pairs;
@@ -67,8 +65,7 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
   std::vector<std::map<size_t, MatchPair>> best_by_col(source.num_cols());
   for (size_t c = 0; c < source.num_cols(); ++c) {
     if (src_values[c].empty()) continue;
-    auto counts = index_.OverlapCounts(src_values[c]);
-    for (const auto& [ref, count] : counts) {
+    for (const auto& [ref, count] : catalog_.OverlapCounts(src_values[c])) {
       if (topk_set.count(ref.table) == 0) continue;
       double overlap = static_cast<double>(count) /
                        static_cast<double>(src_values[c].size());
@@ -85,7 +82,6 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
   // --- Diversified per-table scores (Algorithm 4) --------------------------
   std::unordered_map<size_t, double> table_score_sum;
   std::unordered_map<size_t, size_t> table_score_cnt;
-  std::vector<std::unordered_set<ValueId>> col_value_cache;
   for (size_t c = 0; c < source.num_cols(); ++c) {
     if (best_by_col[c].empty()) continue;
     std::vector<MatchPair> ranked;
@@ -96,19 +92,16 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
                 return a.table < b.table;
               });
     if (config_.diversify) {
-      // Materialize each ranked column's distinct value set once.
-      col_value_cache.clear();
-      col_value_cache.reserve(ranked.size());
+      // The catalog's immutable sorted sets back the diversification
+      // directly — no per-query copies.
       std::vector<DiversifyInput> input;
       input.reserve(ranked.size());
       for (const auto& p : ranked) {
-        col_value_cache.push_back(ToSet(index_.ColumnValues(
-            ColumnRef{static_cast<uint32_t>(p.table),
-                      static_cast<uint32_t>(p.cand_col)})));
-      }
-      for (size_t i = 0; i < ranked.size(); ++i) {
-        input.push_back(DiversifyInput{ranked[i].table, ranked[i].overlap,
-                                       &col_value_cache[i]});
+        input.push_back(DiversifyInput{
+            p.table, p.overlap,
+            &catalog_.SortedValues(
+                ColumnRef{static_cast<uint32_t>(p.table),
+                          static_cast<uint32_t>(p.cand_col)})});
       }
       for (const auto& [tbl, score] : DiversifyCandidateColumns(input)) {
         table_score_sum[tbl] += score;
@@ -175,7 +168,9 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
       for (size_t r = 0; r < lake_table.num_rows(); ++r) {
         if (aligned[r]) continue;
         ValueId v = lake_table.cell(r, cand_col);
-        if (v != kNull && src_values[src_col].count(v) > 0) aligned[r] = true;
+        if (v != kNull && SortedContains(src_values[src_col], v)) {
+          aligned[r] = true;
+        }
       }
     }
     size_t aligned_rows = static_cast<size_t>(
@@ -186,13 +181,15 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
     // (Algorithm 3 lines 11-14); drop mappings that do not.
     std::map<size_t, size_t> verified;
     for (const auto& [src_col, cand_col] : assign.cols) {
-      std::unordered_set<ValueId> within;
+      std::vector<ValueId> within;
       for (size_t r = 0; r < lake_table.num_rows(); ++r) {
         if (!aligned[r]) continue;
         ValueId v = lake_table.cell(r, cand_col);
-        if (v != kNull) within.insert(v);
+        if (v != kNull) within.push_back(v);
       }
-      size_t inter = SetIntersectionSize(within, src_values[src_col]);
+      std::sort(within.begin(), within.end());
+      within.erase(std::unique(within.begin(), within.end()), within.end());
+      size_t inter = SortedIntersectionSize(within, src_values[src_col]);
       double overlap = src_values[src_col].empty()
                            ? 0.0
                            : static_cast<double>(inter) /
@@ -246,8 +243,10 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
         for (size_t sc = 0; sc < source.num_cols(); ++sc) {
           if (source.IsKeyColumn(sc) || src_values[sc].empty()) continue;
           for (size_t cc = 0; cc < lake_table.num_cols(); ++cc) {
-            auto cvals = DistinctColumnValues(lake_table, cc);
-            size_t inter = SetIntersectionSize(cvals, src_values[sc]);
+            const std::vector<ValueId>& cvals = catalog_.SortedValues(
+                ColumnRef{static_cast<uint32_t>(tbl),
+                          static_cast<uint32_t>(cc)});
+            size_t inter = SortedIntersectionSize(cvals, src_values[sc]);
             double containment =
                 static_cast<double>(inter) /
                 static_cast<double>(src_values[sc].size());
@@ -319,25 +318,28 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
   // mapped columns are often numerically contained in another's even
   // though its remaining columns carry unique data.
   {
-    // Cache distinct value sets of every column.
-    std::vector<std::vector<std::unordered_set<ValueId>>> valsets(
-        candidates.size());
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      const Table& t = candidates[i].table;
-      valsets[i].resize(t.num_cols());
-      for (size_t c = 0; c < t.num_cols(); ++c) {
-        valsets[i][c] = DistinctColumnValues(t, c);
-      }
-    }
+    // Candidates are still row-identical clones of their lake tables
+    // (renames happen below), so the catalog's sorted sets serve as the
+    // per-column value sets and containment is a linear std::includes.
+    auto col_values = [&](const Candidate& cand,
+                          size_t c) -> const std::vector<ValueId>& {
+      return catalog_.SortedValues(
+          ColumnRef{static_cast<uint32_t>(cand.lake_index),
+                    static_cast<uint32_t>(c)});
+    };
     std::vector<bool> drop(candidates.size(), false);
     auto contained_in = [&](size_t a, size_t b) {
-      for (const auto& vals_a : valsets[a]) {
+      const Candidate& ca = candidates[a];
+      const Candidate& cb = candidates[b];
+      for (size_t ac = 0; ac < ca.table.num_cols(); ++ac) {
+        const std::vector<ValueId>& vals_a = col_values(ca, ac);
         if (vals_a.empty()) continue;
         bool covered = false;
-        for (const auto& vals_b : valsets[b]) {
+        for (size_t bc = 0; bc < cb.table.num_cols(); ++bc) {
+          const std::vector<ValueId>& vals_b = col_values(cb, bc);
           if (vals_b.size() < vals_a.size()) continue;
-          size_t inter = SetIntersectionSize(vals_a, vals_b);
-          if (inter == vals_a.size()) {
+          if (std::includes(vals_b.begin(), vals_b.end(), vals_a.begin(),
+                            vals_a.end())) {
             covered = true;
             break;
           }

@@ -60,24 +60,27 @@ struct Candidate {
 class Discovery {
  public:
   Discovery(const InvertedIndex& index, DiscoveryConfig config)
-      : index_(index), config_(config) {}
+      : catalog_(index.catalog()), config_(std::move(config)) {}
+  Discovery(const ColumnStatsCatalog& catalog, DiscoveryConfig config)
+      : catalog_(catalog), config_(std::move(config)) {}
 
   /// Runs Algorithm 3 end to end. `source` must have key columns declared.
   /// Candidates are returned in descending score order.
   Result<std::vector<Candidate>> FindCandidates(const Table& source) const;
 
  private:
-  const InvertedIndex& index_;
+  const ColumnStatsCatalog& catalog_;
   DiscoveryConfig config_;
 };
 
 /// Diversified ranking of candidate columns for one source column
-/// (Algorithm 4). Input pairs are (id, source-overlap, value set); output
-/// is ids with diversified scores, descending. Exposed for tests.
+/// (Algorithm 4). Input tuples are (id, source-overlap, sorted value
+/// set); output is ids with diversified scores, descending. Exposed for
+/// tests.
 struct DiversifyInput {
   size_t id;
   double source_overlap;
-  const std::unordered_set<ValueId>* values;
+  const std::vector<ValueId>* values;  // sorted ascending, deduplicated
 };
 std::vector<std::pair<size_t, double>> DiversifyCandidateColumns(
     std::vector<DiversifyInput> ranked_by_overlap);

@@ -1,0 +1,169 @@
+#include "src/engine/column_stats_catalog.h"
+
+#include <algorithm>
+
+namespace gent {
+
+std::vector<ValueId> SortedDistinctValues(const Table& t, size_t c) {
+  const ValueDictionary& dict = *t.dict();
+  std::vector<ValueId> vals;
+  vals.reserve(t.num_rows());
+  for (ValueId v : t.column(c)) {
+    if (v != kNull && !dict.IsLabeledNull(v)) vals.push_back(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  return vals;
+}
+
+size_t SortedIntersectionSize(const std::vector<ValueId>& a,
+                              const std::vector<ValueId>& b) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+ColumnStatsCatalog::ColumnStatsCatalog(const DataLake& lake) : lake_(lake) {
+  // Dense column id space: tables laid out consecutively.
+  table_offsets_.reserve(lake.size());
+  for (size_t t = 0; t < lake.size(); ++t) {
+    table_offsets_.push_back(static_cast<uint32_t>(col_refs_.size()));
+    for (size_t c = 0; c < lake.table(t).num_cols(); ++c) {
+      col_refs_.push_back(
+          ColumnRef{static_cast<uint32_t>(t), static_cast<uint32_t>(c)});
+    }
+  }
+
+  // Per-column sorted distinct sets (nulls excluded).
+  sorted_values_.resize(col_refs_.size());
+  size_t total_postings = 0;
+  for (size_t id = 0; id < col_refs_.size(); ++id) {
+    const ColumnRef ref = col_refs_[id];
+    sorted_values_[id] =
+        SortedDistinctValues(lake.table(ref.table), ref.column);
+    total_postings += sorted_values_[id].size();
+  }
+
+  // CSR postings, sorted by (value, dense column id). Appending column
+  // ids in ascending order and stable-sorting by value keeps each
+  // posting list ascending by column id.
+  std::vector<std::pair<ValueId, uint32_t>> pairs;
+  pairs.reserve(total_postings);
+  for (size_t id = 0; id < sorted_values_.size(); ++id) {
+    for (ValueId v : sorted_values_[id]) {
+      pairs.emplace_back(v, static_cast<uint32_t>(id));
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  post_cols_.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i == 0 || pairs[i].first != pairs[i - 1].first) {
+      post_values_.push_back(pairs[i].first);
+      post_offsets_.push_back(static_cast<uint32_t>(i));
+    }
+    post_cols_.push_back(pairs[i].second);
+  }
+  post_offsets_.push_back(static_cast<uint32_t>(pairs.size()));
+}
+
+std::vector<ColumnStatsCatalog::Overlap> ColumnStatsCatalog::OverlapCounts(
+    const std::vector<ValueId>& sorted_query) const {
+  // Merge the query against the postings' value spine, galloping over
+  // gaps (query sets are tiny relative to the lake's value universe).
+  std::vector<uint32_t> counts(num_columns(), 0);
+  std::vector<uint32_t> touched;
+  size_t i = 0, j = 0;
+  while (i < sorted_query.size() && j < post_values_.size()) {
+    if (sorted_query[i] < post_values_[j]) {
+      ++i;
+    } else if (post_values_[j] < sorted_query[i]) {
+      j = static_cast<size_t>(
+          std::lower_bound(post_values_.begin() +
+                               static_cast<ptrdiff_t>(j),
+                           post_values_.end(), sorted_query[i]) -
+          post_values_.begin());
+    } else {
+      for (uint32_t p = post_offsets_[j]; p < post_offsets_[j + 1]; ++p) {
+        uint32_t col = post_cols_[p];
+        if (counts[col]++ == 0) touched.push_back(col);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  std::vector<Overlap> out;
+  out.reserve(touched.size());
+  for (uint32_t col : touched) {
+    out.push_back(Overlap{col_refs_[col], counts[col]});
+  }
+  return out;
+}
+
+std::vector<size_t> ColumnStatsCatalog::TopKTables(const Table& query,
+                                                   size_t k) const {
+  // Distinct non-null query values across all columns.
+  std::vector<ValueId> qvalues;
+  for (size_t c = 0; c < query.num_cols(); ++c) {
+    for (ValueId v : query.column(c)) {
+      if (v != kNull) qvalues.push_back(v);
+    }
+  }
+  std::sort(qvalues.begin(), qvalues.end());
+  qvalues.erase(std::unique(qvalues.begin(), qvalues.end()), qvalues.end());
+
+  // Count distinct shared values per table (a value hitting multiple
+  // columns of one table counts once; posting lists are ascending by
+  // dense column id, hence grouped by table).
+  std::vector<size_t> per_table(lake_.size(), 0);
+  std::vector<uint32_t> seen_tables;
+  size_t i = 0, j = 0;
+  while (i < qvalues.size() && j < post_values_.size()) {
+    if (qvalues[i] < post_values_[j]) {
+      ++i;
+    } else if (post_values_[j] < qvalues[i]) {
+      j = static_cast<size_t>(
+          std::lower_bound(post_values_.begin() +
+                               static_cast<ptrdiff_t>(j),
+                           post_values_.end(), qvalues[i]) -
+          post_values_.begin());
+    } else {
+      uint32_t last_table = UINT32_MAX;
+      for (uint32_t p = post_offsets_[j]; p < post_offsets_[j + 1]; ++p) {
+        uint32_t table = col_refs_[post_cols_[p]].table;
+        if (table != last_table) {
+          if (per_table[table]++ == 0) seen_tables.push_back(table);
+          last_table = table;
+        }
+      }
+      ++i;
+      ++j;
+    }
+  }
+
+  std::vector<std::pair<size_t, size_t>> ranked;
+  ranked.reserve(seen_tables.size());
+  for (uint32_t t : seen_tables) ranked.emplace_back(t, per_table[t]);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  std::vector<size_t> out;
+  out.reserve(std::min(k, ranked.size()));
+  for (size_t r = 0; r < ranked.size() && r < k; ++r) {
+    out.push_back(ranked[r].first);
+  }
+  return out;
+}
+
+}  // namespace gent

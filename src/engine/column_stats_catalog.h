@@ -1,0 +1,123 @@
+// Shared, immutable per-lake column statistics (the engine layer's
+// read-only backbone; DESIGN.md §5).
+//
+// A ColumnStatsCatalog is built exactly once per data lake and owns the
+// three structures every candidate-retrieval query needs:
+//
+//   1. the sorted distinct value set of every lake column (nulls and
+//      labeled nulls excluded),
+//   2. per-column cardinalities derived from those sets, and
+//   3. a CSR-layout postings index mapping each distinct lake value to
+//      the dense ids of the columns containing it.
+//
+// Because the catalog is immutable after construction, any number of
+// threads may query it concurrently without synchronization — this is
+// the contract GenT::ReclaimBatch builds on. Overlap computation is
+// merge-based throughout: queries arrive as sorted, deduplicated
+// ValueId vectors and are intersected against the sorted postings /
+// value sets with linear merges instead of hash probing, so hot scans
+// touch memory sequentially and never build per-query hash sets for
+// lake columns.
+
+#ifndef GENT_ENGINE_COLUMN_STATS_CATALOG_H_
+#define GENT_ENGINE_COLUMN_STATS_CATALOG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/lake/data_lake.h"
+
+namespace gent {
+
+/// A (table, column) coordinate in the lake.
+struct ColumnRef {
+  uint32_t table = 0;
+  uint32_t column = 0;
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+};
+
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& c) const {
+    return (static_cast<uint64_t>(c.table) << 32) | c.column;
+  }
+};
+
+class ColumnStatsCatalog {
+ public:
+  /// Builds stats for every column of every table in `lake`. The catalog
+  /// holds a reference; the lake must outlive it.
+  explicit ColumnStatsCatalog(const DataLake& lake);
+
+  const DataLake& lake() const { return lake_; }
+
+  /// Total number of columns across all lake tables (dense id space).
+  size_t num_columns() const { return col_refs_.size(); }
+
+  /// Dense column id of `ref` (tables laid out consecutively).
+  uint32_t ColumnIdOf(ColumnRef ref) const {
+    return table_offsets_[ref.table] + ref.column;
+  }
+  ColumnRef RefOf(uint32_t col_id) const { return col_refs_[col_id]; }
+
+  /// Sorted distinct values of one lake column (ascending, null-free).
+  const std::vector<ValueId>& SortedValues(ColumnRef ref) const {
+    return sorted_values_[ColumnIdOf(ref)];
+  }
+
+  /// Distinct non-null count of one lake column.
+  size_t Cardinality(ColumnRef ref) const {
+    return sorted_values_[ColumnIdOf(ref)].size();
+  }
+
+  /// One column's overlap with a query value set.
+  struct Overlap {
+    ColumnRef ref;
+    uint32_t count = 0;
+  };
+
+  /// For a sorted, deduplicated, null-free query value set: the number of
+  /// query values present in each lake column sharing at least one value.
+  /// Results are ordered by dense column id (deterministic).
+  std::vector<Overlap> OverlapCounts(
+      const std::vector<ValueId>& sorted_query) const;
+
+  /// Top-k lake tables ranked by distinct shared values with the whole
+  /// query table (count descending, table index ascending on ties).
+  std::vector<size_t> TopKTables(const Table& query, size_t k) const;
+
+ private:
+  const DataLake& lake_;
+  std::vector<uint32_t> table_offsets_;  // table -> first dense col id
+  std::vector<ColumnRef> col_refs_;      // dense col id -> (table, column)
+  std::vector<std::vector<ValueId>> sorted_values_;  // by dense col id
+
+  // Postings in CSR layout: post_values_ is the sorted set of all
+  // distinct lake values; list i spans post_cols_[post_offsets_[i] ..
+  // post_offsets_[i+1]) and holds dense column ids in ascending order.
+  std::vector<ValueId> post_values_;
+  std::vector<uint32_t> post_offsets_;
+  std::vector<uint32_t> post_cols_;
+};
+
+/// Sorted distinct values of column `c` of `t`, excluding kNull and
+/// labeled nulls (a lake of integration outputs would otherwise carry
+/// pathological posting lists of label values).
+std::vector<ValueId> SortedDistinctValues(const Table& t, size_t c);
+
+/// |a ∩ b| for sorted, deduplicated vectors (linear merge).
+size_t SortedIntersectionSize(const std::vector<ValueId>& a,
+                              const std::vector<ValueId>& b);
+
+/// Membership in a sorted vector.
+inline bool SortedContains(const std::vector<ValueId>& sorted, ValueId v) {
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+  return it != sorted.end() && *it == v;
+}
+
+}  // namespace gent
+
+#endif  // GENT_ENGINE_COLUMN_STATS_CATALOG_H_

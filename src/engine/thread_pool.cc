@@ -1,0 +1,85 @@
+#include "src/engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace gent {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this]() { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+size_t ThreadPool::ResolveThreads(size_t requested, size_t cap) {
+  if (requested != 0) return std::max<size_t>(1, requested);
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::max<size_t>(1, std::min(cap, hw));
+}
+
+void ParallelFor(size_t threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  threads = std::min(std::max<size_t>(1, threads), n);
+  if (threads == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  ThreadPool pool(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    pool.Submit([&]() {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace gent

@@ -1,0 +1,64 @@
+// A small fixed-size worker pool for the engine layer.
+//
+// Workers are spawned once and fed through a mutex-guarded queue;
+// Wait() blocks until every submitted task has finished, so one pool
+// can serve several batch phases back to back. Used by
+// GenT::ReclaimBatch to run per-source reclamations concurrently
+// against the shared read-only ColumnStatsCatalog.
+
+#ifndef GENT_ENGINE_THREAD_POOL_H_
+#define GENT_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gent {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  /// Worker count for a requested thread count: 0 picks the hardware
+  /// concurrency, capped at `cap`.
+  static size_t ResolveThreads(size_t requested, size_t cap = 8);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, n), sharded over `threads` workers via
+/// an internal pool (serial when threads <= 1). Blocks until done.
+void ParallelFor(size_t threads, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace gent
+
+#endif  // GENT_ENGINE_THREAD_POOL_H_

@@ -1,53 +1,24 @@
 #include "src/gent/bulk.h"
 
-#include <atomic>
-#include <thread>
-
 namespace gent {
 
 std::vector<BulkOutcome> BulkReclaim(const DataLake& lake,
                                      const std::vector<Table>& sources,
                                      const GenTConfig& config,
                                      const BulkOptions& options) {
-  std::vector<BulkOutcome> outcomes;
-  outcomes.reserve(sources.size());
-  for (size_t i = 0; i < sources.size(); ++i) {
-    outcomes.emplace_back(Status::Internal("not run"));
-  }
-  if (sources.empty()) return outcomes;
-
-  size_t threads = options.threads;
-  if (threads == 0) {
-    threads = std::min<size_t>(8, std::thread::hardware_concurrency());
-    if (threads == 0) threads = 1;
-  }
-  threads = std::min(threads, sources.size());
-
-  // One index build, shared by all workers (GenT::Reclaim is const and
-  // the dictionary is internally synchronized).
+  // One catalog build, shared by all workers.
   GenT gent(lake, config);
 
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    for (size_t i = next.fetch_add(1); i < sources.size();
-         i = next.fetch_add(1)) {
-      OpLimits limits =
-          options.timeout_seconds > 0
-              ? OpLimits::WithTimeout(options.timeout_seconds)
-              : OpLimits();
-      limits.MaxRows(options.max_rows);
-      outcomes[i] = BulkOutcome(gent.Reclaim(sources[i], limits));
-    }
-  };
+  BatchOptions batch;
+  batch.num_threads = options.threads;
+  batch.timeout_seconds = options.timeout_seconds;
+  batch.max_rows = options.max_rows;
 
-  if (threads == 1) {
-    worker();
-    return outcomes;
+  std::vector<BulkOutcome> outcomes;
+  outcomes.reserve(sources.size());
+  for (auto& result : gent.ReclaimBatch(sources, batch)) {
+    outcomes.emplace_back(std::move(result));
   }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
   return outcomes;
 }
 

@@ -3,17 +3,17 @@
 // The paper's evaluation reclaims 26+ sources per benchmark and up to
 // 515 sources in the T2D experiment (§VI-D), each independently. The
 // per-source pipeline is single-threaded (as in the paper's runtime
-// measurements); BulkReclaim shards sources across a small worker pool
-// while sharing the one expensive structure — the lake's inverted
-// index — across all workers.
+// measurements); BulkReclaim builds one GenT (one ColumnStatsCatalog)
+// and delegates to GenT::ReclaimBatch, which shards sources across a
+// worker pool while every worker reads the same immutable catalog.
 //
 // Thread-safety contract: GenT::Reclaim is const and touches only
-// immutable state (lake, index, config) plus the shared
+// immutable state (lake, catalog, config) plus the shared
 // ValueDictionary, which is internally synchronized (see
 // src/value/dictionary.h) — integration mutates it when creating
 // labeled nulls. Results are returned in input order regardless of
-// completion order, and a failed source carries its Status instead of
-// poisoning the batch.
+// completion order (bit-identical to a serial run; see gent.h), and a
+// failed source carries its Status instead of poisoning the batch.
 
 #ifndef GENT_GENT_BULK_H_
 #define GENT_GENT_BULK_H_

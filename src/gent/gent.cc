@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/engine/thread_pool.h"
+
 namespace gent {
 
 namespace {
@@ -15,9 +17,15 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 GenT::GenT(const DataLake& lake, GenTConfig config)
-    : lake_(lake),
-      config_(config),
-      index_(std::make_unique<InvertedIndex>(lake)) {}
+    : config_(std::move(config)),
+      catalog_(std::make_shared<ColumnStatsCatalog>(lake)),
+      index_(catalog_) {}
+
+GenT::GenT(std::shared_ptr<const ColumnStatsCatalog> catalog,
+           GenTConfig config)
+    : config_(std::move(config)),
+      catalog_(std::move(catalog)),
+      index_(catalog_) {}
 
 Result<ReclamationResult> GenT::Reclaim(const Table& source) const {
   return Reclaim(source, config_.integration.limits);
@@ -25,10 +33,16 @@ Result<ReclamationResult> GenT::Reclaim(const Table& source) const {
 
 Result<ReclamationResult> GenT::Reclaim(const Table& source,
                                         const OpLimits& limits) const {
+  return Reclaim(source, limits, config_.discovery);
+}
+
+Result<ReclamationResult> GenT::Reclaim(
+    const Table& source, const OpLimits& limits,
+    const DiscoveryConfig& discovery_config) const {
   auto t0 = std::chrono::steady_clock::now();
 
   // --- Table Discovery (paper §V-A) ---------------------------------------
-  Discovery discovery(*index_, config_.discovery);
+  Discovery discovery(*catalog_, discovery_config);
   GENT_ASSIGN_OR_RETURN(auto candidates, discovery.FindCandidates(source));
   GENT_ASSIGN_OR_RETURN(auto expanded, Expand(source, candidates, limits));
   double discovery_s = SecondsSince(t0);
@@ -69,6 +83,42 @@ Result<ReclamationResult> GenT::Reclaim(const Table& source,
   result.traversal_seconds = traversal_s;
   result.integration_seconds = integration_s;
   return result;
+}
+
+std::vector<Result<ReclamationResult>> GenT::ReclaimBatch(
+    const std::vector<Table>& sources, const BatchOptions& options) const {
+  std::vector<Result<ReclamationResult>> results;
+  results.reserve(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    results.emplace_back(Status::Internal("not run"));
+  }
+  if (sources.empty()) return results;
+
+  size_t threads =
+      std::min(ThreadPool::ResolveThreads(options.num_threads),
+               sources.size());
+
+  auto reclaim_one = [&](size_t i) {
+    OpLimits limits = options.timeout_seconds > 0
+                          ? OpLimits::WithTimeout(options.timeout_seconds)
+                          : OpLimits();
+    if (options.max_rows > 0) limits.MaxRows(options.max_rows);
+    DiscoveryConfig discovery = config_.discovery;
+    if (options.exclude_source_name) {
+      discovery.exclude_table = sources[i].name();
+    }
+    results[i] = Reclaim(sources[i], limits, discovery);
+  };
+
+  ParallelFor(threads, sources.size(), reclaim_one);
+  return results;
+}
+
+std::vector<Result<ReclamationResult>> GenT::ReclaimBatch(
+    const std::vector<Table>& sources, size_t num_threads) const {
+  BatchOptions options;
+  options.num_threads = num_threads;
+  return ReclaimBatch(sources, options);
 }
 
 }  // namespace gent

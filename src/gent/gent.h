@@ -8,9 +8,21 @@
 //
 // Usage:
 //   DataLake lake;                       // register tables...
-//   GenT gent(lake);                     // builds the value index once
+//   GenT gent(lake);                     // builds the stats catalog once
 //   auto result = gent.Reclaim(source);  // per-source reclamation
 //   double eis = EisScore(source, result->reclaimed).value();
+//
+// Batch usage (one shared immutable catalog, a pool of workers):
+//   auto results = gent.ReclaimBatch(sources, /*num_threads=*/4);
+//
+// ReclaimBatch is deterministic: every per-source pipeline reads only
+// the immutable catalog/config (the shared dictionary is only appended
+// to, and labeled nulls never reach outputs), so results are
+// bit-identical to running Reclaim serially in input order. One caveat:
+// a per-source wall-clock budget (BatchOptions::timeout_seconds) is
+// inherently scheduling-dependent — under contention a deadline can
+// fire that would not fire serially. Use row budgets (max_rows) where
+// strict reproducibility matters; see DESIGN.md §5.2.
 
 #ifndef GENT_GENT_GENT_H_
 #define GENT_GENT_GENT_H_
@@ -20,6 +32,7 @@
 #include <vector>
 
 #include "src/discovery/discovery.h"
+#include "src/engine/column_stats_catalog.h"
 #include "src/integration/integrator.h"
 #include "src/lake/data_lake.h"
 #include "src/lake/inverted_index.h"
@@ -57,11 +70,31 @@ struct ReclamationResult {
   explicit ReclamationResult(Table r) : reclaimed(std::move(r)) {}
 };
 
+/// Options for ReclaimBatch.
+struct BatchOptions {
+  /// Worker threads. 0 = hardware concurrency, capped at 8.
+  size_t num_threads = 0;
+  /// Per-source wall-clock budget, seconds (0 = unlimited). The budget
+  /// starts when the source's reclamation starts, not when the batch
+  /// does.
+  double timeout_seconds = 0.0;
+  /// Per-source intermediate row budget (0 = unlimited).
+  uint64_t max_rows = 0;
+  /// Leave-one-out protocols (e.g. T2D Gold): exclude the lake table
+  /// whose name equals the source's name from its own candidacy.
+  bool exclude_source_name = false;
+};
+
 class GenT {
  public:
-  /// Builds the inverted index over `lake` (shared across Reclaim calls).
-  /// The lake must outlive this object.
+  /// Builds the column-stats catalog over `lake` (shared across Reclaim
+  /// calls and worker threads). The lake must outlive this object.
   explicit GenT(const DataLake& lake, GenTConfig config = {});
+
+  /// Shares a prebuilt catalog (no per-instance rebuild). The catalog's
+  /// lake must outlive this object.
+  explicit GenT(std::shared_ptr<const ColumnStatsCatalog> catalog,
+                GenTConfig config = {});
 
   /// Reclaims one source table (must declare a key).
   Result<ReclamationResult> Reclaim(const Table& source) const;
@@ -72,13 +105,32 @@ class GenT {
   Result<ReclamationResult> Reclaim(const Table& source,
                                     const OpLimits& limits) const;
 
-  const InvertedIndex& index() const { return *index_; }
+  /// Reclaim with per-call limits and discovery config (leave-one-out
+  /// protocols swap the exclusion per source while sharing the catalog).
+  Result<ReclamationResult> Reclaim(const Table& source,
+                                    const OpLimits& limits,
+                                    const DiscoveryConfig& discovery) const;
+
+  /// Reclaims every source concurrently against the shared read-only
+  /// catalog. results[i] corresponds to sources[i], and is bit-identical
+  /// to what serial Reclaim calls in input order produce.
+  std::vector<Result<ReclamationResult>> ReclaimBatch(
+      const std::vector<Table>& sources,
+      const BatchOptions& options = {}) const;
+  std::vector<Result<ReclamationResult>> ReclaimBatch(
+      const std::vector<Table>& sources, size_t num_threads) const;
+
+  const InvertedIndex& index() const { return index_; }
+  const ColumnStatsCatalog& catalog() const { return *catalog_; }
+  const std::shared_ptr<const ColumnStatsCatalog>& shared_catalog() const {
+    return catalog_;
+  }
   const GenTConfig& config() const { return config_; }
 
  private:
-  const DataLake& lake_;
   GenTConfig config_;
-  std::unique_ptr<InvertedIndex> index_;
+  std::shared_ptr<const ColumnStatsCatalog> catalog_;
+  InvertedIndex index_;  // thin view over catalog_, kept for callers
 };
 
 }  // namespace gent

@@ -5,6 +5,10 @@
 namespace gent {
 
 Status DataLake::AddTable(Table table) {
+  // Every table must share the lake's dictionary: cross-table ValueId
+  // comparability is the invariant the whole retrieval stack (catalog,
+  // postings, overlap merges) is built on. Enforced in every build
+  // (not an NDEBUG-dependent assert): callers get a clean error.
   if (table.dict() != dict_) {
     return Status::InvalidArgument("table uses a foreign dictionary: " +
                                    table.name());

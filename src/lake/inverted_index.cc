@@ -1,14 +1,13 @@
 #include "src/lake/inverted_index.h"
 
-#include <algorithm>
-
 namespace gent {
 
 std::unordered_set<ValueId> DistinctColumnValues(const Table& t, size_t c) {
+  const ValueDictionary& dict = *t.dict();
   std::unordered_set<ValueId> vals;
   vals.reserve(t.num_rows());
   for (ValueId v : t.column(c)) {
-    if (v != kNull) vals.insert(v);
+    if (v != kNull && !dict.IsLabeledNull(v)) vals.insert(v);
   }
   return vals;
 }
@@ -22,71 +21,13 @@ size_t SetIntersectionSize(const std::unordered_set<ValueId>& a,
   return n;
 }
 
-InvertedIndex::InvertedIndex(const DataLake& lake) : lake_(lake) {
-  for (size_t t = 0; t < lake.size(); ++t) {
-    const Table& table = lake.table(t);
-    for (size_t c = 0; c < table.num_cols(); ++c) {
-      ColumnRef ref{static_cast<uint32_t>(t), static_cast<uint32_t>(c)};
-      auto distinct = DistinctColumnValues(table, c);
-      auto& vals = column_values_[ref];
-      vals.assign(distinct.begin(), distinct.end());
-      for (ValueId v : vals) postings_[v].push_back(ref);
-    }
-  }
-}
-
 std::unordered_map<ColumnRef, uint32_t, ColumnRefHash>
-InvertedIndex::OverlapCounts(const std::unordered_set<ValueId>& values) const {
+InvertedIndex::OverlapCounts(const std::vector<ValueId>& sorted_values) const {
   std::unordered_map<ColumnRef, uint32_t, ColumnRefHash> counts;
-  for (ValueId v : values) {
-    auto it = postings_.find(v);
-    if (it == postings_.end()) continue;
-    for (const ColumnRef& ref : it->second) ++counts[ref];
+  for (const auto& overlap : catalog_->OverlapCounts(sorted_values)) {
+    counts.emplace(overlap.ref, overlap.count);
   }
   return counts;
-}
-
-std::vector<size_t> InvertedIndex::TopKTables(const Table& query,
-                                              size_t k) const {
-  // Distinct query values across all columns.
-  std::unordered_set<ValueId> qvalues;
-  for (size_t c = 0; c < query.num_cols(); ++c) {
-    for (ValueId v : query.column(c)) {
-      if (v != kNull) qvalues.insert(v);
-    }
-  }
-  // Count distinct shared values per table (a value hitting multiple
-  // columns of one table counts once).
-  std::unordered_map<size_t, size_t> per_table;
-  for (ValueId v : qvalues) {
-    auto it = postings_.find(v);
-    if (it == postings_.end()) continue;
-    size_t last_table = SIZE_MAX;
-    for (const ColumnRef& ref : it->second) {
-      if (ref.table != last_table) {
-        ++per_table[ref.table];
-        last_table = ref.table;
-      }
-    }
-  }
-  std::vector<std::pair<size_t, size_t>> ranked(per_table.begin(),
-                                                per_table.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;  // deterministic tie-break
-  });
-  std::vector<size_t> out;
-  out.reserve(std::min(k, ranked.size()));
-  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
-    out.push_back(ranked[i].first);
-  }
-  return out;
-}
-
-const std::vector<ValueId>& InvertedIndex::ColumnValues(ColumnRef ref) const {
-  static const std::vector<ValueId> kEmpty;
-  auto it = column_values_.find(ref);
-  return it == column_values_.end() ? kEmpty : it->second;
 }
 
 }  // namespace gent

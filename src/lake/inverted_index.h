@@ -5,65 +5,70 @@
 // JOSIE-style exact set-containment index in the paper (§V-A1): given a
 // source column's value set, it returns every lake column's overlap count
 // in one merged postings scan, without touching non-matching tables.
+//
+// Since the engine refactor (DESIGN.md §5) this class is a thin view
+// over a shared immutable ColumnStatsCatalog: sorted distinct sets,
+// cardinalities, and CSR postings are built once per lake and queried
+// with linear merges — no per-query hash sets for lake columns. Several
+// InvertedIndex instances (and any number of threads) can share one
+// catalog.
 
 #ifndef GENT_LAKE_INVERTED_INDEX_H_
 #define GENT_LAKE_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/engine/column_stats_catalog.h"
 #include "src/lake/data_lake.h"
 
 namespace gent {
 
-/// A (table, column) coordinate in the lake.
-struct ColumnRef {
-  uint32_t table = 0;
-  uint32_t column = 0;
-
-  bool operator==(const ColumnRef& o) const {
-    return table == o.table && column == o.column;
-  }
-};
-
-struct ColumnRefHash {
-  size_t operator()(const ColumnRef& c) const {
-    return (static_cast<uint64_t>(c.table) << 32) | c.column;
-  }
-};
-
 class InvertedIndex {
  public:
-  /// Builds postings for every cell of every table in `lake`.
+  /// Builds a fresh catalog for every cell of every table in `lake`.
   /// The index holds a reference; the lake must outlive it.
-  explicit InvertedIndex(const DataLake& lake);
+  explicit InvertedIndex(const DataLake& lake)
+      : catalog_(std::make_shared<ColumnStatsCatalog>(lake)) {}
 
-  /// For a query value set, the number of distinct query values present in
-  /// each lake column that shares at least one value.
+  /// Wraps an existing shared catalog (no rebuild).
+  explicit InvertedIndex(std::shared_ptr<const ColumnStatsCatalog> catalog)
+      : catalog_(std::move(catalog)) {}
+
+  /// For a sorted, deduplicated query value set, the number of query
+  /// values present in each lake column that shares at least one value.
   std::unordered_map<ColumnRef, uint32_t, ColumnRefHash> OverlapCounts(
-      const std::unordered_set<ValueId>& values) const;
+      const std::vector<ValueId>& sorted_values) const;
 
   /// Top-k lake tables ranked by total distinct source values shared
   /// across all columns of the whole query table (the recall stage that
   /// stands in for Starmie's dense retrieval; see DESIGN.md §3.4).
-  std::vector<size_t> TopKTables(const Table& query, size_t k) const;
+  std::vector<size_t> TopKTables(const Table& query, size_t k) const {
+    return catalog_->TopKTables(query, k);
+  }
 
-  /// Distinct value set of one lake column.
-  const std::vector<ValueId>& ColumnValues(ColumnRef ref) const;
+  /// Distinct value set of one lake column, ascending.
+  const std::vector<ValueId>& ColumnValues(ColumnRef ref) const {
+    return catalog_->SortedValues(ref);
+  }
 
-  const DataLake& lake() const { return lake_; }
+  const DataLake& lake() const { return catalog_->lake(); }
+
+  const ColumnStatsCatalog& catalog() const { return *catalog_; }
+  const std::shared_ptr<const ColumnStatsCatalog>& shared_catalog() const {
+    return catalog_;
+  }
 
  private:
-  const DataLake& lake_;
-  std::unordered_map<ValueId, std::vector<ColumnRef>> postings_;
-  // Distinct values per column, for overlap verification.
-  std::unordered_map<ColumnRef, std::vector<ValueId>, ColumnRefHash>
-      column_values_;
+  std::shared_ptr<const ColumnStatsCatalog> catalog_;
 };
 
-/// Distinct non-null values of column `c` of `t`.
+/// Distinct non-null values of column `c` of `t` (hash-set form, used
+/// where callers intersect ad-hoc row subsets; lake columns go through
+/// ColumnStatsCatalog::SortedValues instead).
 std::unordered_set<ValueId> DistinctColumnValues(const Table& t, size_t c);
 
 /// |a ∩ b| for id sets.

@@ -144,4 +144,13 @@ std::string Table::ToString(size_t max_rows) const {
   return out;
 }
 
+bool TablesBitIdentical(const Table& a, const Table& b) {
+  if (a.column_names() != b.column_names()) return false;
+  if (a.num_rows() != b.num_rows()) return false;
+  for (size_t c = 0; c < a.num_cols(); ++c) {
+    if (a.column(c) != b.column(c)) return false;
+  }
+  return true;
+}
+
 }  // namespace gent

@@ -129,6 +129,12 @@ class Table {
   std::vector<size_t> key_columns_;
 };
 
+/// True if `a` and `b` carry the same column names in the same order and
+/// identical cells in identical row order (table names may differ). This
+/// is the "bit-identical" predicate of the ReclaimBatch determinism
+/// contract (see src/gent/gent.h).
+bool TablesBitIdentical(const Table& a, const Table& b);
+
 }  // namespace gent
 
 #endif  // GENT_TABLE_TABLE_H_

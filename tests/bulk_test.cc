@@ -12,6 +12,7 @@
 #include "src/benchgen/benchmarks.h"
 #include "src/metrics/similarity.h"
 #include "src/table/table_builder.h"
+#include "src/util/random.h"
 
 namespace gent {
 namespace {
@@ -122,6 +123,109 @@ TEST(BulkReclaimTest, TpTrSmallSubsetUnderParallelism) {
   size_t ok = 0;
   for (auto& outcome : outcomes) ok += outcome.result.ok();
   EXPECT_GE(ok, 5u) << "parallel TP-TR reclamations failed";
+}
+
+// --- GenT::ReclaimBatch (engine worker pool + shared catalog) --------------
+
+TEST(ReclaimBatchTest, FourThreadsBitIdenticalToSerialLoop) {
+  BulkFixture fx = MakeFixture(10);
+  GenT gent(*fx.lake);
+
+  // The reference: plain serial Reclaim calls in input order.
+  std::vector<Result<ReclamationResult>> serial;
+  for (const Table& source : fx.sources) {
+    serial.push_back(gent.Reclaim(source));
+  }
+
+  BatchOptions options;
+  options.num_threads = 4;
+  auto batch = gent.ReclaimBatch(fx.sources, options);
+
+  ASSERT_EQ(batch.size(), serial.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(batch[i].ok(), serial[i].ok()) << "source " << i;
+    if (!batch[i].ok()) continue;
+    EXPECT_TRUE(TablesBitIdentical(batch[i]->reclaimed, serial[i]->reclaimed))
+        << "source " << i;
+    EXPECT_EQ(batch[i]->originating_names, serial[i]->originating_names);
+    EXPECT_DOUBLE_EQ(batch[i]->predicted_eis, serial[i]->predicted_eis);
+  }
+}
+
+TEST(ReclaimBatchTest, RepeatedParallelRunsAreBitIdentical) {
+  // Sources generated through forked Rng substreams: each worker-ordering
+  // of the batch must reproduce the same tables bit for bit.
+  Rng rng(4242);
+  BulkFixture fx;
+  fx.lake = std::make_unique<DataLake>();
+  const DictionaryPtr& dict = fx.lake->dict();
+  for (size_t s = 0; s < 8; ++s) {
+    Rng sub = rng.Fork();  // per-source substream
+    const std::string tag = "r" + std::to_string(s) + "_";
+    TableBuilder sb(dict, "source" + std::to_string(s));
+    sb.Columns({"k", "a"});
+    std::vector<std::vector<std::string>> rows;
+    for (size_t r = 0; r < 8; ++r) {
+      rows.push_back({tag + sub.AlphaNum(6), tag + sub.AlphaNum(6)});
+      sb.Row(rows.back());
+    }
+    fx.sources.push_back(sb.Key({"k"}).Build());
+    TableBuilder f(dict, tag + "frag");
+    f.Columns({"k", "a"});
+    for (const auto& row : rows) f.Row(row);
+    (void)fx.lake->AddTable(f.Build());
+  }
+  GenT gent(*fx.lake);
+  BatchOptions options;
+  options.num_threads = 4;
+  auto first = gent.ReclaimBatch(fx.sources, options);
+  auto second = gent.ReclaimBatch(fx.sources, options);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i].ok()) << first[i].status().ToString();
+    ASSERT_TRUE(second[i].ok());
+    EXPECT_TRUE(TablesBitIdentical(first[i]->reclaimed, second[i]->reclaimed))
+        << "source " << i;
+  }
+}
+
+TEST(ReclaimBatchTest, ExcludeSourceNameLeavesOneOut) {
+  BulkFixture fx = MakeFixture(2);
+  // Register the sources themselves as lake tables (same names): without
+  // leave-one-out each source would reclaim trivially from itself.
+  for (const Table& source : fx.sources) {
+    Table copy = source.Clone();
+    (void)fx.lake->AddTable(std::move(copy));
+  }
+  GenT gent(*fx.lake);
+  BatchOptions options;
+  options.num_threads = 2;
+  options.exclude_source_name = true;
+  auto results = gent.ReclaimBatch(fx.sources, options);
+  ASSERT_EQ(results.size(), fx.sources.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    for (const auto& name : results[i]->originating_names) {
+      EXPECT_NE(name, fx.sources[i].name()) << "source " << i;
+    }
+    // Fragments still reconstruct the source exactly.
+    EXPECT_DOUBLE_EQ(
+        EisScore(fx.sources[i], results[i]->reclaimed).value(), 1.0);
+  }
+}
+
+TEST(ReclaimBatchTest, SharedCatalogAcrossGenTInstances) {
+  BulkFixture fx = MakeFixture(3);
+  auto catalog = std::make_shared<ColumnStatsCatalog>(*fx.lake);
+  GenT a(catalog), b(catalog);
+  auto ra = a.ReclaimBatch(fx.sources, size_t{2});
+  auto rb = b.ReclaimBatch(fx.sources, size_t{1});
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_TRUE(ra[i].ok());
+    ASSERT_TRUE(rb[i].ok());
+    EXPECT_TRUE(TablesBitIdentical(ra[i]->reclaimed, rb[i]->reclaimed));
+  }
 }
 
 TEST(DictionaryConcurrencyTest, ParallelInternsAreConsistent) {

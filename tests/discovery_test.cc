@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "paper_fixtures.h"
@@ -79,9 +81,10 @@ class IndexTest : public ::testing::Test {
 
 TEST_F(IndexTest, OverlapCountsFindMatchingColumns) {
   InvertedIndex index(lake_);
-  std::unordered_set<ValueId> names{lake_.dict()->Lookup("Smith"),
-                                    lake_.dict()->Lookup("Brown"),
-                                    lake_.dict()->Lookup("Wang")};
+  std::vector<ValueId> names{lake_.dict()->Lookup("Smith"),
+                             lake_.dict()->Lookup("Brown"),
+                             lake_.dict()->Lookup("Wang")};
+  std::sort(names.begin(), names.end());
   auto counts = index.OverlapCounts(names);
   // Name columns of A (col 1), B (col 0), C (col 0), D (col 0).
   EXPECT_EQ(counts[(ColumnRef{0, 1})], 3u);
@@ -126,9 +129,9 @@ TEST_F(IndexTest, SetIntersectionSize) {
 // --- Diversification (Algorithm 4) ---------------------------------------------
 
 TEST(DiversifyTest, PenalizesOverlapWithPreviousCandidate) {
-  std::unordered_set<ValueId> v1{1, 2, 3, 4};
-  std::unordered_set<ValueId> v2{1, 2, 3, 4};  // duplicate of v1
-  std::unordered_set<ValueId> v3{7, 8, 9, 10}; // disjoint
+  std::vector<ValueId> v1{1, 2, 3, 4};
+  std::vector<ValueId> v2{1, 2, 3, 4};  // duplicate of v1
+  std::vector<ValueId> v3{7, 8, 9, 10}; // disjoint
   std::vector<DiversifyInput> ranked{
       {0, 1.0, &v1},
       {1, 1.0, &v2},   // same overlap, but duplicates v1 → penalized
@@ -145,7 +148,7 @@ TEST(DiversifyTest, PenalizesOverlapWithPreviousCandidate) {
 }
 
 TEST(DiversifyTest, SingleCandidateKeepsScore) {
-  std::unordered_set<ValueId> v{1};
+  std::vector<ValueId> v{1};
   auto scored = DiversifyCandidateColumns({{5, 0.7, &v}});
   ASSERT_EQ(scored.size(), 1u);
   EXPECT_EQ(scored[0].first, 5u);

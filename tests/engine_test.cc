@@ -1,0 +1,234 @@
+// Tests for the engine layer: ColumnStatsCatalog (merge-based overlap
+// agreeing with the legacy hash-set path) and ThreadPool.
+
+#include "src/engine/column_stats_catalog.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/benchgen/benchmarks.h"
+#include "src/engine/thread_pool.h"
+#include "src/lake/inverted_index.h"
+#include "src/table/table_builder.h"
+#include "src/util/random.h"
+
+namespace gent {
+namespace {
+
+// --- SortedDistinctValues / SortedIntersectionSize -------------------------
+
+TEST(SortedDistinctValuesTest, SortsDedupsAndSkipsNulls) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "t")
+                .Columns({"a"})
+                .Row({"z"})
+                .Row({""})
+                .Row({"m"})
+                .Row({"z"})
+                .Row({"a"})
+                .Build();
+  auto vals = SortedDistinctValues(t, 0);
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+  for (ValueId v : vals) EXPECT_NE(v, kNull);
+}
+
+TEST(SortedDistinctValuesTest, SkipsLabeledNulls) {
+  auto dict = MakeDictionary();
+  Table t = TableBuilder(dict, "t").Columns({"a"}).Row({"x"}).Build();
+  t.AddRow({dict->CreateLabeledNull()});
+  EXPECT_EQ(SortedDistinctValues(t, 0).size(), 1u);
+  EXPECT_EQ(DistinctColumnValues(t, 0).size(), 1u);
+}
+
+TEST(SortedIntersectionSizeTest, MatchesHashSetPath) {
+  std::vector<ValueId> a{1, 2, 3, 7, 9};
+  std::vector<ValueId> b{2, 3, 4, 5, 9, 11};
+  EXPECT_EQ(SortedIntersectionSize(a, b), 3u);
+  EXPECT_EQ(SortedIntersectionSize(b, a), 3u);
+  EXPECT_EQ(SortedIntersectionSize(a, {}), 0u);
+  std::unordered_set<ValueId> ha(a.begin(), a.end()), hb(b.begin(), b.end());
+  EXPECT_EQ(SortedIntersectionSize(a, b), SetIntersectionSize(ha, hb));
+}
+
+TEST(SortedContainsTest, Basics) {
+  std::vector<ValueId> v{2, 4, 6};
+  EXPECT_TRUE(SortedContains(v, 2));
+  EXPECT_TRUE(SortedContains(v, 6));
+  EXPECT_FALSE(SortedContains(v, 1));
+  EXPECT_FALSE(SortedContains(v, 7));
+  EXPECT_FALSE(SortedContains({}, 1));
+}
+
+// --- ColumnStatsCatalog vs. the legacy hash-set path -----------------------
+
+// Reference overlap counts computed the pre-engine way: per-query hash
+// sets probed against per-column hash sets.
+std::unordered_map<ColumnRef, uint32_t, ColumnRefHash> HashOverlapCounts(
+    const DataLake& lake, const std::unordered_set<ValueId>& query) {
+  std::unordered_map<ColumnRef, uint32_t, ColumnRefHash> counts;
+  for (size_t t = 0; t < lake.size(); ++t) {
+    for (size_t c = 0; c < lake.table(t).num_cols(); ++c) {
+      auto vals = DistinctColumnValues(lake.table(t), c);
+      size_t n = SetIntersectionSize(vals, query);
+      if (n > 0) {
+        counts[ColumnRef{static_cast<uint32_t>(t),
+                         static_cast<uint32_t>(c)}] =
+            static_cast<uint32_t>(n);
+      }
+    }
+  }
+  return counts;
+}
+
+class CatalogParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bench = MakeTpTrBenchmark("parity", TpTrSmallConfig());
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = std::make_unique<TpTrBenchmark>(std::move(bench).value());
+  }
+  std::unique_ptr<TpTrBenchmark> bench_;
+};
+
+TEST_F(CatalogParityTest, SortedValuesMatchHashSetsOnBenchgenLake) {
+  const DataLake& lake = *bench_->lake;
+  ColumnStatsCatalog catalog(lake);
+  ASSERT_GT(catalog.num_columns(), 0u);
+  for (size_t t = 0; t < lake.size(); ++t) {
+    for (size_t c = 0; c < lake.table(t).num_cols(); ++c) {
+      ColumnRef ref{static_cast<uint32_t>(t), static_cast<uint32_t>(c)};
+      const auto& sorted = catalog.SortedValues(ref);
+      EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+      auto hashed = DistinctColumnValues(lake.table(t), c);
+      EXPECT_EQ(sorted.size(), hashed.size());
+      EXPECT_EQ(catalog.Cardinality(ref), hashed.size());
+      for (ValueId v : sorted) EXPECT_EQ(hashed.count(v), 1u);
+    }
+  }
+}
+
+TEST_F(CatalogParityTest, OverlapCountsMatchHashSetPath) {
+  const DataLake& lake = *bench_->lake;
+  ColumnStatsCatalog catalog(lake);
+  // Query with every source column of the benchmark's first few sources.
+  size_t queries = 0;
+  for (size_t s = 0; s < bench_->sources.size() && s < 4; ++s) {
+    const Table& source = bench_->sources[s].source;
+    for (size_t c = 0; c < source.num_cols(); ++c) {
+      auto sorted_query = SortedDistinctValues(source, c);
+      if (sorted_query.empty()) continue;
+      ++queries;
+      std::unordered_set<ValueId> hash_query(sorted_query.begin(),
+                                             sorted_query.end());
+      auto expected = HashOverlapCounts(lake, hash_query);
+      auto got = catalog.OverlapCounts(sorted_query);
+      ASSERT_EQ(got.size(), expected.size()) << "source " << s << " col " << c;
+      for (const auto& overlap : got) {
+        auto it = expected.find(overlap.ref);
+        ASSERT_NE(it, expected.end());
+        EXPECT_EQ(overlap.count, it->second);
+      }
+    }
+  }
+  EXPECT_GT(queries, 0u);
+}
+
+TEST_F(CatalogParityTest, OverlapResultsAreOrderedByDenseColumnId) {
+  ColumnStatsCatalog catalog(*bench_->lake);
+  auto query = SortedDistinctValues(bench_->sources[0].source, 0);
+  ASSERT_FALSE(query.empty());
+  auto got = catalog.OverlapCounts(query);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LT(catalog.ColumnIdOf(got[i - 1].ref),
+              catalog.ColumnIdOf(got[i].ref));
+  }
+}
+
+TEST_F(CatalogParityTest, TopKTablesMatchesInvertedIndexView) {
+  ColumnStatsCatalog catalog(*bench_->lake);
+  InvertedIndex index(*bench_->lake);
+  for (size_t s = 0; s < bench_->sources.size() && s < 4; ++s) {
+    const Table& source = bench_->sources[s].source;
+    EXPECT_EQ(catalog.TopKTables(source, 8), index.TopKTables(source, 8));
+  }
+}
+
+TEST(ColumnStatsCatalogTest, DenseIdsRoundTrip) {
+  DataLake lake;
+  (void)lake.AddTable(TableBuilder(lake.dict(), "a")
+                          .Columns({"x", "y"})
+                          .Row({"1", "2"})
+                          .Build());
+  (void)lake.AddTable(
+      TableBuilder(lake.dict(), "b").Columns({"z"}).Row({"3"}).Build());
+  ColumnStatsCatalog catalog(lake);
+  ASSERT_EQ(catalog.num_columns(), 3u);
+  for (uint32_t id = 0; id < catalog.num_columns(); ++id) {
+    EXPECT_EQ(catalog.ColumnIdOf(catalog.RefOf(id)), id);
+  }
+}
+
+TEST(ColumnStatsCatalogTest, NullsNeverEnterPostings) {
+  DataLake lake;
+  // A column that is mostly null would otherwise produce a pathological
+  // posting list for kNull dominating every overlap scan.
+  (void)lake.AddTable(TableBuilder(lake.dict(), "sparse")
+                          .Columns({"a"})
+                          .Row({""})
+                          .Row({""})
+                          .Row({"v"})
+                          .Build());
+  ColumnStatsCatalog catalog(lake);
+  ColumnRef ref{0, 0};
+  EXPECT_EQ(catalog.Cardinality(ref), 1u);
+  // Querying for null must find nothing.
+  EXPECT_TRUE(catalog.OverlapCounts({kNull}).empty());
+}
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool is reusable after Wait().
+  pool.Submit([&counter]() { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(3), 3u);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
+  EXPECT_LE(ThreadPool::ResolveThreads(0), 8u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    ParallelFor(threads, hits.size(),
+                [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " @" << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp) {
+  ParallelFor(4, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+}  // namespace
+}  // namespace gent
