@@ -67,19 +67,29 @@ void ParallelFor(size_t threads, size_t n,
   if (n == 0) return;
   threads = std::min(std::max<size_t>(1, threads), n);
   if (threads == 1) {
+    ParallelFor(nullptr, n, fn);
+    return;
+  }
+  ThreadPool pool(threads);
+  ParallelFor(&pool, n, fn);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   std::atomic<size_t> next{0};
-  ThreadPool pool(threads);
-  for (size_t t = 0; t < threads; ++t) {
-    pool.Submit([&]() {
+  size_t shards = std::min(pool->num_threads(), n);
+  for (size_t t = 0; t < shards; ++t) {
+    pool->Submit([&next, n, &fn]() {
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
         fn(i);
       }
     });
   }
-  pool.Wait();
+  pool->Wait();
 }
 
 }  // namespace gent

@@ -59,6 +59,13 @@ class ThreadPool {
 void ParallelFor(size_t threads, size_t n,
                  const std::function<void(size_t)>& fn);
 
+/// Same, on a caller-owned pool (serial when `pool` is null). Work is
+/// handed out through an atomic counter; callers that write only to
+/// their own index stay deterministic under any schedule. The pool can
+/// be reused across many calls (e.g. every round of a traversal).
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
 }  // namespace gent
 
 #endif  // GENT_ENGINE_THREAD_POOL_H_

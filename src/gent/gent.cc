@@ -39,6 +39,13 @@ Result<ReclamationResult> GenT::Reclaim(const Table& source,
 Result<ReclamationResult> GenT::Reclaim(
     const Table& source, const OpLimits& limits,
     const DiscoveryConfig& discovery_config) const {
+  return Reclaim(source, limits, discovery_config, config_.traversal);
+}
+
+Result<ReclamationResult> GenT::Reclaim(
+    const Table& source, const OpLimits& limits,
+    const DiscoveryConfig& discovery_config,
+    const TraversalOptions& traversal_options) const {
   auto t0 = std::chrono::steady_clock::now();
 
   // --- Table Discovery (paper §V-A) ---------------------------------------
@@ -56,7 +63,7 @@ Result<ReclamationResult> GenT::Reclaim(
   } else {
     GENT_ASSIGN_OR_RETURN(
         auto traversal,
-        MatrixTraversal(source, expanded.tables, config_.traversal));
+        MatrixTraversal(source, expanded.tables, traversal_options));
     predicted = traversal.final_score;
     originating.reserve(traversal.selected.size());
     for (size_t i : traversal.selected) {
@@ -98,6 +105,12 @@ std::vector<Result<ReclamationResult>> GenT::ReclaimBatch(
       std::min(ThreadPool::ResolveThreads(options.num_threads),
                sources.size());
 
+  // Batch workers already saturate the pool; intra-traversal parallelism
+  // on top would oversubscribe, so pin it to serial (thread count never
+  // affects results).
+  TraversalOptions traversal = config_.traversal;
+  if (threads > 1) traversal.num_threads = 1;
+
   auto reclaim_one = [&](size_t i) {
     OpLimits limits = options.timeout_seconds > 0
                           ? OpLimits::WithTimeout(options.timeout_seconds)
@@ -107,7 +120,7 @@ std::vector<Result<ReclamationResult>> GenT::ReclaimBatch(
     if (options.exclude_source_name) {
       discovery.exclude_table = sources[i].name();
     }
-    results[i] = Reclaim(sources[i], limits, discovery);
+    results[i] = Reclaim(sources[i], limits, discovery, traversal);
   };
 
   ParallelFor(threads, sources.size(), reclaim_one);

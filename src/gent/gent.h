@@ -111,6 +111,15 @@ class GenT {
                                     const OpLimits& limits,
                                     const DiscoveryConfig& discovery) const;
 
+  /// Reclaim with per-call traversal options too: batch workers pin the
+  /// intra-traversal thread count to 1 so concurrent reclamations never
+  /// oversubscribe the machine, while a solo Reclaim fans its matrix
+  /// traversal out over the pool (TraversalOptions::num_threads).
+  Result<ReclamationResult> Reclaim(const Table& source,
+                                    const OpLimits& limits,
+                                    const DiscoveryConfig& discovery,
+                                    const TraversalOptions& traversal) const;
+
   /// Reclaims every source concurrently against the shared read-only
   /// catalog. results[i] corresponds to sources[i], and is bit-identical
   /// to what serial Reclaim calls in input order produce.

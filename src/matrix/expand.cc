@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
-#include <set>
 #include <unordered_map>
 
 #include "src/matrix/alignment_matrix.h"
@@ -132,11 +131,16 @@ Result<ExpandResult> Expand(const Table& source,
   OpLimits join_limits = limits;
   join_limits.MaxRows(std::min<uint64_t>(limits.max_rows(), 200000));
 
-  // Column value sets, once per candidate.
+  // Column value sets and canonical (sorted) schemas, once per candidate
+  // — schema-family comparisons are then plain vector equality.
   std::vector<ColumnSets> sets;
   sets.reserve(n);
+  std::vector<std::vector<std::string>> sorted_schemas;
+  sorted_schemas.reserve(n);
   for (const auto& c : candidates) {
     sets.push_back(ComputeColumnSets(c.table));
+    sorted_schemas.push_back(c.table.column_names());
+    std::sort(sorted_schemas.back().begin(), sorted_schemas.back().end());
   }
 
   // Join graph: value-overlap edges with their best column pair.
@@ -342,23 +346,16 @@ Result<ExpandResult> Expand(const Table& source,
               [](const Edge* a, const Edge* b) {
                 return a->pair.weight > b->pair.weight;
               });
-    auto same_schema = [&](size_t a, size_t b) {
-      const auto& ca = candidates[a].table.column_names();
-      const auto& cb = candidates[b].table.column_names();
-      return std::set<std::string>(ca.begin(), ca.end()) ==
-             std::set<std::string>(cb.begin(), cb.end());
-    };
-    std::vector<std::set<std::string>> used_hop_schemas;
+    std::vector<const std::vector<std::string>*> used_hop_schemas;
     for (size_t k = 0;
          k < neighbors.size() && paths.size() < kMaxAlternativePaths; ++k) {
       size_t hop = neighbors[k]->to;
-      if (same_schema(i, hop)) continue;  // sibling variant: useless hop
-      const auto& cols = candidates[hop].table.column_names();
-      std::set<std::string> schema(cols.begin(), cols.end());
+      const std::vector<std::string>& schema = sorted_schemas[hop];
+      if (schema == sorted_schemas[i]) continue;  // sibling variant: useless hop
       bool seen = false;
-      for (const auto& u : used_hop_schemas) seen = seen || u == schema;
+      for (const auto* u : used_hop_schemas) seen = seen || *u == schema;
       if (seen) continue;  // one forced path per neighbor family
-      used_hop_schemas.push_back(std::move(schema));
+      used_hop_schemas.push_back(&schema);
       add_path(best_path(i, hop));
     }
     if (paths.empty()) {

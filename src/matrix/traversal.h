@@ -6,6 +6,16 @@
 // combined matrix has the highest simulated EIS; stop when no candidate
 // improves the score. The tables chosen are the originating tables fed to
 // Table Integration (Algorithm 2).
+//
+// The implementation scores incrementally: the combined matrix keeps a
+// per-source-row best-alternative cache, and evaluating a candidate only
+// re-folds the rows where that candidate actually has aligned tuples (its
+// support) — every other row reuses the cache. Candidate fold results are
+// themselves cached across rounds and invalidated only when the merged
+// candidate's support overlaps theirs. Per-round candidate scans and
+// matrix initialization fan out over a ThreadPool (see TraversalOptions);
+// selection reduces in candidate-index order with ties to the lowest
+// index, so results are bit-identical at any thread count.
 
 #ifndef GENT_MATRIX_TRAVERSAL_H_
 #define GENT_MATRIX_TRAVERSAL_H_
@@ -21,8 +31,14 @@ namespace gent {
 struct TraversalOptions {
   MatrixOptions matrix;  // three-valued vs binary encoding
   /// Backward pass removing selected tables that became redundant
-  /// (off = ablation of the pruning refinement).
+  /// (off = ablation of the pruning refinement). Reuses the incremental
+  /// scorer: each drop is a per-row re-fold, not a matrix rebuild.
   bool prune_redundant = true;
+  /// Worker threads for matrix initialization and the per-round
+  /// candidate scan. 0 = hardware concurrency (capped at 8); 1 = serial.
+  /// Tiny inputs stay serial regardless — spinning a pool costs more
+  /// than the scan. Thread count never changes results.
+  size_t num_threads = 0;
 };
 
 struct TraversalResult {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
 
 namespace gent {
 
@@ -58,12 +57,14 @@ Result<Table> InnerUnion(const Table& left, const Table& right) {
 }
 
 std::vector<Table> InnerUnionBySchema(const std::vector<Table>& tables) {
-  // Group key: sorted column-name set.
-  std::map<std::set<std::string>, std::vector<size_t>> groups;
+  // Group key: sorted column-name vector, built once per table (same
+  // lexicographic ordering a set-of-names key gives, no per-comparison
+  // tree allocations).
+  std::map<std::vector<std::string>, std::vector<size_t>> groups;
   for (size_t i = 0; i < tables.size(); ++i) {
-    std::set<std::string> schema(tables[i].column_names().begin(),
-                                 tables[i].column_names().end());
-    groups[schema].push_back(i);
+    std::vector<std::string> schema(tables[i].column_names());
+    std::sort(schema.begin(), schema.end());
+    groups[std::move(schema)].push_back(i);
   }
   std::vector<Table> out;
   out.reserve(groups.size());

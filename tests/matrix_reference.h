@@ -1,0 +1,251 @@
+// Reference int8 semantics of the alignment-matrix layer — the exact
+// pre-bit-packing implementation, kept verbatim as the oracle for the
+// randomized parity tests (tests/matrix_parity_test.cc) and as the
+// recorded baseline for bench_microops' traversal section. NOT part of
+// the library: the production path is the bit-plane encoding in
+// src/matrix/alignment_matrix.{h,cc}.
+
+#ifndef GENT_TESTS_MATRIX_REFERENCE_H_
+#define GENT_TESTS_MATRIX_REFERENCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/matrix/alignment_matrix.h"
+#include "src/matrix/traversal.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace gent::ref {
+
+using RefTruthRow = std::vector<int8_t>;
+
+class RefAlignmentMatrix {
+ public:
+  explicit RefAlignmentMatrix(size_t num_source_rows)
+      : rows_(num_source_rows) {}
+
+  size_t num_source_rows() const { return rows_.size(); }
+
+  const std::vector<RefTruthRow>& alternatives(size_t src_row) const {
+    return rows_[src_row];
+  }
+  std::vector<RefTruthRow>& mutable_alternatives(size_t src_row) {
+    return rows_[src_row];
+  }
+
+  void Add(size_t src_row, RefTruthRow row) {
+    rows_[src_row].push_back(std::move(row));
+  }
+
+  size_t TotalAlternatives() const {
+    size_t n = 0;
+    for (const auto& alts : rows_) n += alts.size();
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<RefTruthRow>> rows_;
+};
+
+inline Result<RefAlignmentMatrix> RefInitializeMatrix(
+    const Table& source, const Table& candidate,
+    const MatrixOptions& options = {}) {
+  if (!source.has_key()) {
+    return Status::InvalidArgument("source has no key");
+  }
+  std::vector<size_t> cand_col(source.num_cols(), SIZE_MAX);
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    auto idx = candidate.ColumnIndex(source.column_name(c));
+    if (idx.has_value()) cand_col[c] = *idx;
+  }
+  for (size_t kc : source.key_columns()) {
+    if (cand_col[kc] == SIZE_MAX) {
+      return Status::InvalidArgument(
+          candidate.name() + " does not cover source key column " +
+          source.column_name(kc) + "; run Expand() first");
+    }
+  }
+
+  KeyIndex source_keys = source.BuildKeyIndex();
+  RefAlignmentMatrix m(source.num_rows());
+
+  KeyTuple key(source.key_columns().size());
+  for (size_t r = 0; r < candidate.num_rows(); ++r) {
+    bool null_key = false;
+    for (size_t i = 0; i < source.key_columns().size(); ++i) {
+      key[i] = candidate.cell(r, cand_col[source.key_columns()[i]]);
+      null_key |= key[i] == kNull;
+    }
+    if (null_key) continue;
+    auto it = source_keys.find(key);
+    if (it == source_keys.end()) continue;
+    for (size_t src_row : it->second) {
+      RefTruthRow row(source.num_cols());
+      for (size_t c = 0; c < source.num_cols(); ++c) {
+        ValueId sv = source.cell(src_row, c);
+        ValueId cv = cand_col[c] == SIZE_MAX ? kNull
+                                             : candidate.cell(r, cand_col[c]);
+        int8_t truth;
+        if (sv == cv) {
+          truth = 1;
+        } else if (sv != kNull && cv == kNull) {
+          truth = 0;
+        } else {
+          truth = options.three_valued ? int8_t{-1} : int8_t{0};
+        }
+        row[c] = truth;
+      }
+      m.Add(src_row, std::move(row));
+    }
+  }
+  return m;
+}
+
+inline bool RefCombineRows(const RefTruthRow& a, const RefTruthRow& b,
+                           RefTruthRow* merged) {
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (a[j] != 0 && b[j] != 0 && a[j] != b[j]) return false;
+  }
+  merged->resize(a.size());
+  for (size_t j = 0; j < a.size(); ++j) {
+    (*merged)[j] = std::max(a[j], b[j]);
+  }
+  return true;
+}
+
+inline RefAlignmentMatrix RefCombineMatrices(const RefAlignmentMatrix& a,
+                                             const RefAlignmentMatrix& b) {
+  RefAlignmentMatrix out(a.num_source_rows());
+  RefTruthRow merged;
+  for (size_t i = 0; i < a.num_source_rows(); ++i) {
+    std::vector<RefTruthRow> result = a.alternatives(i);
+    for (const RefTruthRow& rb : b.alternatives(i)) {
+      bool absorbed = false;
+      for (auto& ra : result) {
+        if (RefCombineRows(ra, rb, &merged)) {
+          ra = merged;
+          absorbed = true;
+          break;
+        }
+      }
+      if (!absorbed) result.push_back(rb);
+    }
+    out.mutable_alternatives(i) = std::move(result);
+  }
+  return out;
+}
+
+inline double RefEvaluateMatrixSimilarity(const RefAlignmentMatrix& m,
+                                          const Table& source) {
+  std::vector<size_t> nonkey;
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    if (!source.IsKeyColumn(c)) nonkey.push_back(c);
+  }
+  const double n = static_cast<double>(nonkey.size());
+  if (source.num_rows() == 0) return 0.0;
+
+  double total = 0.0;
+  for (size_t i = 0; i < m.num_source_rows(); ++i) {
+    double best = 0.0;
+    for (const RefTruthRow& alt : m.alternatives(i)) {
+      double alpha = 0, delta = 0;
+      for (size_t c : nonkey) {
+        if (alt[c] > 0) alpha += 1;
+        if (alt[c] < 0) delta += 1;
+      }
+      double e = n == 0 ? 1.0 : (alpha - delta) / n;
+      best = std::max(best, 0.5 * (1.0 + e));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(source.num_rows());
+}
+
+/// The pre-rewrite MatrixTraversal: full CombineMatrices + full
+/// re-evaluation per candidate per round, serial, combined matrices
+/// rebuilt from scratch per pruning drop. Bit-for-bit the seed
+/// algorithm; the new implementation must match its outputs exactly.
+inline Result<TraversalResult> RefMatrixTraversal(
+    const Table& source, const std::vector<Table>& tables,
+    const TraversalOptions& options = {}) {
+  TraversalResult result;
+  if (tables.empty()) return result;
+
+  std::vector<RefAlignmentMatrix> matrices;
+  matrices.reserve(tables.size());
+  for (const auto& t : tables) {
+    GENT_ASSIGN_OR_RETURN(auto m,
+                          RefInitializeMatrix(source, t, options.matrix));
+    matrices.push_back(std::move(m));
+  }
+
+  size_t start = 0;
+  double best_start = -1.0;
+  for (size_t i = 0; i < matrices.size(); ++i) {
+    double s = RefEvaluateMatrixSimilarity(matrices[i], source);
+    if (s > best_start) {
+      best_start = s;
+      start = i;
+    }
+  }
+  result.selected.push_back(start);
+  double most_correct = best_start;
+
+  std::vector<bool> in_set(tables.size(), false);
+  in_set[start] = true;
+  RefAlignmentMatrix combined = matrices[start];
+
+  while (result.selected.size() < tables.size()) {
+    double prev_correct = most_correct;
+    size_t next_table = SIZE_MAX;
+    RefAlignmentMatrix best_combined(0);
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (in_set[i]) continue;
+      RefAlignmentMatrix merged = RefCombineMatrices(combined, matrices[i]);
+      double score = RefEvaluateMatrixSimilarity(merged, source);
+      if (score > most_correct) {
+        most_correct = score;
+        next_table = i;
+        best_combined = std::move(merged);
+      }
+    }
+    if (most_correct <= prev_correct || next_table == SIZE_MAX) {
+      break;
+    }
+    in_set[next_table] = true;
+    result.selected.push_back(next_table);
+    combined = std::move(best_combined);
+  }
+
+  if (options.prune_redundant && result.selected.size() > 1) {
+    bool pruned = true;
+    while (pruned && result.selected.size() > 1) {
+      pruned = false;
+      for (size_t drop = result.selected.size(); drop-- > 0;) {
+        RefAlignmentMatrix without(source.num_rows());
+        bool first = true;
+        for (size_t k = 0; k < result.selected.size(); ++k) {
+          if (k == drop) continue;
+          const RefAlignmentMatrix& m = matrices[result.selected[k]];
+          without = first ? m : RefCombineMatrices(without, m);
+          first = false;
+        }
+        if (RefEvaluateMatrixSimilarity(without, source) >=
+            most_correct - 1e-12) {
+          result.selected.erase(result.selected.begin() +
+                                static_cast<ptrdiff_t>(drop));
+          pruned = true;
+          break;
+        }
+      }
+    }
+  }
+  result.final_score = most_correct;
+  return result;
+}
+
+}  // namespace gent::ref
+
+#endif  // GENT_TESTS_MATRIX_REFERENCE_H_

@@ -39,19 +39,19 @@ TEST_F(MatrixTest, InitializeMatrixForTableA) {
   ASSERT_EQ(m->num_source_rows(), 3u);
   // One aligned alternative per source row.
   for (size_t i = 0; i < 3; ++i) {
-    ASSERT_EQ(m->alternatives(i).size(), 1u) << "row " << i;
+    ASSERT_EQ(m->num_alternatives(i), 1u) << "row " << i;
   }
   // Fig. 5 matrix A: row0 = [1 1 0 0 1] over (ID,Name,Age,Gender,Edu) —
   // but the paper treats missing-column gender for Smith (source ⊥) as 1
   // in its drawing for table A's first row? Eq. 4: S=⊥, T=⊥ (absent) ⇒ 1.
-  const TruthRow& r0 = m->alternatives(0)[0];
+  TruthRow r0 = m->Unpack(0, 0);
   EXPECT_EQ(r0[0], 1);  // ID matches
   EXPECT_EQ(r0[1], 1);  // Name matches
   EXPECT_EQ(r0[2], 0);  // Age: source 27, table lacks column ⇒ nullified
   EXPECT_EQ(r0[3], 1);  // Gender: source ⊥ == absent ⊥
   EXPECT_EQ(r0[4], 1);  // Education matches
   // Row 1: Brown's education is null in A but Masters in source ⇒ 0.
-  const TruthRow& r1 = m->alternatives(1)[0];
+  TruthRow r1 = m->Unpack(1, 0);
   EXPECT_EQ(r1[4], 0);
 }
 
@@ -62,11 +62,11 @@ TEST_F(MatrixTest, InitializeMatrixMarksContradictions) {
   ASSERT_TRUE(m.ok());
   // Smith: source Gender ⊥, C says Male ⇒ -1 (erroneous w.r.t. source).
   auto gender = 3u;
-  EXPECT_EQ(m->alternatives(0)[0][gender], -1);
+  EXPECT_EQ(m->alternative(0, 0).truth(gender), -1);
   // Brown: Male == Male ⇒ 1.
-  EXPECT_EQ(m->alternatives(1)[0][gender], 1);
+  EXPECT_EQ(m->alternative(1, 0).truth(gender), 1);
   // Wang: Female vs Male ⇒ -1.
-  EXPECT_EQ(m->alternatives(2)[0][gender], -1);
+  EXPECT_EQ(m->alternative(2, 0).truth(gender), -1);
 }
 
 TEST_F(MatrixTest, TwoValuedAblationCollapsesErrors) {
@@ -75,7 +75,7 @@ TEST_F(MatrixTest, TwoValuedAblationCollapsesErrors) {
   binary.three_valued = false;
   auto m = InitializeMatrix(source, WithKey(PaperTableC(dict_)), binary);
   ASSERT_TRUE(m.ok());
-  EXPECT_EQ(m->alternatives(2)[0][3], 0);  // -1 becomes 0
+  EXPECT_EQ(m->alternative(2, 0).truth(3), 0);  // -1 becomes 0
 }
 
 TEST_F(MatrixTest, InitializeRequiresKeyCoverage) {
@@ -144,7 +144,7 @@ TEST_F(MatrixTest, CombineMatricesAccumulatesValues) {
   EXPECT_GT(sab, sa);  // B adds the Age values
   // No contradictions between A and B: still one alternative per row.
   for (size_t i = 0; i < 3; ++i) {
-    EXPECT_EQ(combined.alternatives(i).size(), 1u);
+    EXPECT_EQ(combined.num_alternatives(i), 1u);
   }
 }
 
@@ -157,14 +157,14 @@ TEST_F(MatrixTest, CombineMatricesSplitsOnContradictions) {
   AlignmentMatrix combined = CombineMatrices(*ma, *mc);
   // Smith's row: A has +1 at Gender (⊥==⊥), C has -1 ⇒ rows stay apart
   // (Example 10: "we find a (1) and (¬1) ... keep both tuples").
-  EXPECT_EQ(combined.alternatives(0).size(), 2u);
+  EXPECT_EQ(combined.num_alternatives(0), 2u);
 }
 
 // --- evaluateSimilarity ----------------------------------------------------------
 
 TEST_F(MatrixTest, EvaluateEmptyMatrixIsZero) {
   Table source = PaperSource(dict_);
-  AlignmentMatrix empty(source.num_rows());
+  AlignmentMatrix empty(source.num_rows(), source.num_cols());
   EXPECT_DOUBLE_EQ(EvaluateMatrixSimilarity(empty, source), 0.0);
 }
 
@@ -177,7 +177,7 @@ TEST_F(MatrixTest, EvaluatePerfectMatrixIsOne) {
 
 TEST_F(MatrixTest, EvaluateTakesBestAlternative) {
   Table source = PaperSource(dict_);
-  AlignmentMatrix m(source.num_rows());
+  AlignmentMatrix m(source.num_rows(), source.num_cols());
   m.Add(0, TruthRow{1, 0, 0, 0, 0});   // weak: E = (0−0)/4 → 0.5
   m.Add(0, TruthRow{1, 1, 1, 1, 1});   // perfect → 1.0
   EXPECT_NEAR(EvaluateMatrixSimilarity(m, source), 1.0 / 3.0, 1e-9);
