@@ -1,0 +1,165 @@
+// ReclaimService discovery-cache benchmark (fig. 8 companion).
+//
+// Runs the same source set through one resident ReclaimService twice —
+// a cold pass (every source misses the discovery cache) and a warm pass
+// (every source hits) — verifies the two passes are bit-identical (the
+// service determinism contract), and reports per-source latency and the
+// warm/cold speedup. Results are written to BENCH_service_cache.json
+// (machine-readable; uploaded as a CI artifact to record the cache's
+// perf trajectory over time).
+//
+// Environment knobs: GENT_SOURCES (default 8), GENT_REPEATS (default 3,
+// min-of-reps per pass), GENT_NOISE (default 0 distractor tables).
+
+#include "bench/bench_common.h"
+#include "src/engine/reclaim_service.h"
+
+using namespace gent;
+using namespace gent::bench;
+
+namespace {
+
+struct PassTiming {
+  double total_s = 0.0;
+  std::vector<double> per_source_s;
+};
+
+// One pass over the sources; bypass toggles the discovery cache.
+PassTiming RunPass(const ReclaimService& service,
+                   const std::vector<Table>& sources, bool bypass,
+                   std::vector<Result<ReclamationResult>>* out) {
+  ReclaimRequest request;
+  request.lake = "lake";
+  request.max_rows = 2'000'000;  // row budget: deterministic, no deadline
+  request.bypass_cache = bypass;
+  PassTiming timing;
+  out->clear();
+  auto pass_start = std::chrono::steady_clock::now();
+  for (const Table& source : sources) {
+    auto t0 = std::chrono::steady_clock::now();
+    out->push_back(service.Reclaim(source, request));
+    timing.per_source_s.push_back(Seconds(t0));
+  }
+  timing.total_s = Seconds(pass_start);
+  return timing;
+}
+
+double MinTotal(const std::vector<PassTiming>& reps) {
+  double best = reps.empty() ? 0.0 : reps[0].total_s;
+  for (const PassTiming& r : reps) best = std::min(best, r.total_s);
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const size_t max_sources = EnvSize("GENT_SOURCES", 8);
+  const size_t repeats = std::max<size_t>(1, EnvSize("GENT_REPEATS", 3));
+  const size_t noise = EnvSize("GENT_NOISE", 0);
+
+  auto bench = MakeTpTrBenchmark("TP-TR Small", TpTrSmallConfig());
+  if (!bench.ok()) {
+    std::fprintf(stderr, "benchmark generation failed: %s\n",
+                 bench.status().ToString().c_str());
+    return 1;
+  }
+  if (noise > 0) {
+    auto embedded = EmbedInNoiseLake(*bench, noise, 99);
+    if (embedded.ok()) bench = std::move(embedded);
+  }
+
+  std::vector<Table> sources;
+  for (size_t i = 0; i < bench->sources.size() && i < max_sources; ++i) {
+    sources.push_back(bench->sources[i].source.Clone());
+  }
+
+  ServiceOptions options;
+  options.dict = bench->lake->dict();
+  options.cache_capacity = 2 * sources.size() + 16;
+  ReclaimService service(options);
+  if (Status s = service.AddLakeView("lake", *bench->lake); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Cold reps bypass the cache (every rep pays full discovery); one
+  // priming pass fills the cache; warm reps then hit on every source.
+  std::vector<Result<ReclamationResult>> reference, warmed;
+  std::vector<PassTiming> cold_reps, warm_reps;
+  for (size_t r = 0; r < repeats; ++r) {
+    cold_reps.push_back(RunPass(service, sources, /*bypass=*/true,
+                                &reference));
+  }
+  (void)RunPass(service, sources, /*bypass=*/false, &warmed);  // prime
+  for (size_t r = 0; r < repeats; ++r) {
+    warm_reps.push_back(RunPass(service, sources, /*bypass=*/false,
+                                &warmed));
+  }
+
+  // The determinism contract: warm results bit-identical to cold.
+  bool identical = reference.size() == warmed.size();
+  for (size_t i = 0; identical && i < reference.size(); ++i) {
+    if (reference[i].ok() != warmed[i].ok()) {
+      identical = false;
+    } else if (reference[i].ok()) {
+      identical = TablesBitIdentical(reference[i]->reclaimed,
+                                     warmed[i]->reclaimed) &&
+                  reference[i]->originating_names ==
+                      warmed[i]->originating_names;
+    }
+  }
+
+  const double cold_s = MinTotal(cold_reps);
+  const double warm_s = MinTotal(warm_reps);
+  const double speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
+  const auto stats = service.cache_stats();
+  const size_t n = sources.size();
+  std::printf("=== ReclaimService discovery cache (%s, %zu sources, "
+              "min of %zu reps) ===\n",
+              bench->name.c_str(), n, repeats);
+  std::printf("cold pass (cache bypassed): %8.3fs  (%7.2f ms/source)\n",
+              cold_s, n ? 1e3 * cold_s / static_cast<double>(n) : 0.0);
+  std::printf("warm pass (cache hits):     %8.3fs  (%7.2f ms/source)\n",
+              warm_s, n ? 1e3 * warm_s / static_cast<double>(n) : 0.0);
+  std::printf("warm/cold speedup:          %8.2fx\n", speedup);
+  std::printf("cache: %llu hits, %llu misses, %zu entries\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses), stats.entries);
+  std::printf("warm results bit-identical to cold: %s\n",
+              identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen("BENCH_service_cache.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_service_cache.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"service_cache\",\n");
+  std::fprintf(f, "  \"benchmark\": \"%s\",\n", bench->name.c_str());
+  std::fprintf(f, "  \"sources\": %zu,\n  \"repeats\": %zu,\n", n, repeats);
+  std::fprintf(f, "  \"cold_seconds\": %.6f,\n  \"warm_seconds\": %.6f,\n",
+               cold_s, warm_s);
+  std::fprintf(f,
+               "  \"cold_ms_per_source\": %.3f,\n"
+               "  \"warm_ms_per_source\": %.3f,\n",
+               n ? 1e3 * cold_s / static_cast<double>(n) : 0.0,
+               n ? 1e3 * warm_s / static_cast<double>(n) : 0.0);
+  std::fprintf(f, "  \"warm_cold_speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"cache_hits\": %llu,\n  \"cache_misses\": %llu,\n",
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses));
+  std::fprintf(f, "  \"bit_identical\": %s,\n", identical ? "true" : "false");
+  std::fprintf(f, "  \"per_source_cold_s\": [");
+  const PassTiming& cold_last = cold_reps.back();
+  for (size_t i = 0; i < cold_last.per_source_s.size(); ++i) {
+    std::fprintf(f, "%s%.6f", i ? ", " : "", cold_last.per_source_s[i]);
+  }
+  std::fprintf(f, "],\n  \"per_source_warm_s\": [");
+  const PassTiming& warm_last = warm_reps.back();
+  for (size_t i = 0; i < warm_last.per_source_s.size(); ++i) {
+    std::fprintf(f, "%s%.6f", i ? ", " : "", warm_last.per_source_s[i]);
+  }
+  std::fprintf(f, "]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_service_cache.json\n");
+  return identical ? 0 : 1;
+}

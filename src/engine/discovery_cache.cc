@@ -1,0 +1,153 @@
+#include "src/engine/discovery_cache.h"
+
+#include <cstring>
+
+namespace gent {
+
+namespace {
+
+// splitmix64 finalizer: the per-word mixer for both fingerprint halves.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Streaming 64-bit hash; two instances with distinct seeds form the
+// 128-bit fingerprint.
+class Hasher {
+ public:
+  explicit Hasher(uint64_t seed) : h_(Mix64(seed)) {}
+
+  void U64(uint64_t v) { h_ = Mix64(h_ ^ v); }
+  void Bytes(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    uint64_t word = 0;
+    size_t full = n / 8;
+    for (size_t i = 0; i < full; ++i) {
+      std::memcpy(&word, p + i * 8, 8);
+      U64(word);
+    }
+    word = 0;
+    if (n % 8 != 0) {
+      std::memcpy(&word, p + full * 8, n % 8);
+      U64(word);
+    }
+    U64(n);  // length-prefix so "ab","c" != "a","bc"
+  }
+  void Str(const std::string& s) { Bytes(s.data(), s.size()); }
+  void Double(double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    U64(bits);
+  }
+
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_;
+};
+
+void HashSource(Hasher& h, const Table& source,
+                const DiscoveryConfig& config, uint64_t max_rows,
+                uint64_t route_tag) {
+  h.U64(route_tag);
+  // Row budget: Expand consults it, and it shapes results
+  // deterministically (unlike wall-clock deadlines, which stay out of
+  // the key).
+  h.U64(max_rows);
+  // Discovery config: every field that changes discovery's output.
+  h.Double(config.tau);
+  h.U64(config.top_k);
+  h.U64(config.diversify ? 1 : 0);
+  h.Str(config.exclude_table);
+  // Schema.
+  h.U64(source.num_cols());
+  for (const std::string& name : source.column_names()) h.Str(name);
+  h.U64(source.key_columns().size());
+  for (size_t k : source.key_columns()) h.U64(k);
+  // Full column contents: discovery aligns rows (key indexes, value
+  // agreement), so the fingerprint must cover cell sequences, not just
+  // distinct sets.
+  h.U64(source.num_rows());
+  for (size_t c = 0; c < source.num_cols(); ++c) {
+    const auto& col = source.column(c);
+    h.Bytes(col.data(), col.size() * sizeof(ValueId));
+  }
+}
+
+}  // namespace
+
+SourceFingerprint FingerprintSource(const Table& source,
+                                    const DiscoveryConfig& config,
+                                    uint64_t max_rows, uint64_t route_tag) {
+  Hasher hi(0x67656e745f686900ULL);  // distinct seeds per half
+  Hasher lo(0x67656e745f6c6f00ULL);
+  HashSource(hi, source, config, max_rows, route_tag);
+  HashSource(lo, source, config, max_rows, route_tag);
+  return SourceFingerprint{hi.value(), lo.value()};
+}
+
+std::optional<std::vector<Table>> DiscoveryCache::Lookup(
+    const SourceFingerprint& key) {
+  std::shared_ptr<const std::vector<Table>> hit;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    hit = it->second->tables;
+  }
+  // Clone outside the lock: table copies are the expensive part.
+  std::vector<Table> out;
+  out.reserve(hit->size());
+  for (const Table& t : *hit) out.push_back(t.Clone());
+  return out;
+}
+
+void DiscoveryCache::Insert(const SourceFingerprint& key,
+                            const std::vector<Table>& tables) {
+  if (capacity_ == 0) return;
+  auto copy = std::make_shared<std::vector<Table>>();
+  copy->reserve(tables.size());
+  for (const Table& t : tables) copy->push_back(t.Clone());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->tables = std::move(copy);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, std::move(copy)});
+  index_[key] = lru_.begin();
+}
+
+DiscoveryCache::Stats DiscoveryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void DiscoveryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace gent

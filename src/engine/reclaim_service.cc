@@ -1,0 +1,244 @@
+#include "src/engine/reclaim_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/lake/snapshot.h"
+
+namespace gent {
+
+namespace {
+
+/// Route tag for "all shards" requests (shard indices tag single-shard
+/// routes; the two id spaces must not collide).
+constexpr uint64_t kFanOutRoute = ~0ULL;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+Table TranslateToDictionary(const Table& source, const DictionaryPtr& dict) {
+  Table out(source.name(), dict);
+  for (const std::string& name : source.column_names()) {
+    (void)out.AddColumn(name);
+  }
+  const DictionaryPtr& src_dict = source.dict();
+  std::vector<ValueId> row(source.num_cols());
+  for (size_t r = 0; r < source.num_rows(); ++r) {
+    for (size_t c = 0; c < source.num_cols(); ++c) {
+      ValueId v = source.cell(r, c);
+      row[c] = (v == kNull || src_dict->IsLabeledNull(v))
+                   ? kNull
+                   : dict->Intern(src_dict->StringOf(v));
+    }
+    out.AddRow(row);
+  }
+  if (source.has_key()) (void)out.SetKeyColumns(source.key_columns());
+  return out;
+}
+
+ReclaimService::ReclaimService(ServiceOptions options)
+    : options_(std::move(options)),
+      dict_(options_.dict != nullptr ? options_.dict : MakeDictionary()),
+      cache_(options_.cache_capacity),
+      pool_(std::make_unique<ThreadPool>(
+          ThreadPool::ResolveThreads(options_.num_threads))) {}
+
+Status ReclaimService::RegisterShard(const std::string& name,
+                                     std::unique_ptr<DataLake> owned,
+                                     const DataLake* borrowed) {
+  if (name.empty()) {
+    return Status::InvalidArgument(
+        "shard name must be non-empty (\"\" routes to all shards)");
+  }
+  if (shard_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("shard '" + name + "' already registered");
+  }
+  const DataLake* lake = owned != nullptr ? owned.get() : borrowed;
+  if (lake->dict() != dict_) {
+    return Status::InvalidArgument(
+        "shard '" + name +
+        "' must use the service dictionary (value ids must be comparable "
+        "across shards)");
+  }
+  Shard shard;
+  shard.name = name;
+  shard.owned = std::move(owned);
+  shard.lake = lake;
+  // The one catalog build this shard will ever do.
+  shard.gent = std::make_unique<GenT>(*lake, options_.config);
+  shard_by_name_[name] = shards_.size();
+  shards_.push_back(std::move(shard));
+  return Status::OK();
+}
+
+Status ReclaimService::AddLake(const std::string& name, DataLake lake) {
+  return RegisterShard(name, std::make_unique<DataLake>(std::move(lake)),
+                       nullptr);
+}
+
+Status ReclaimService::AddLakeView(const std::string& name,
+                                   const DataLake& lake) {
+  return RegisterShard(name, nullptr, &lake);
+}
+
+Status ReclaimService::AddLakeFromSnapshot(const std::string& name,
+                                           const std::string& path) {
+  auto lake = std::make_unique<DataLake>(dict_);
+  GENT_RETURN_IF_ERROR(LoadSnapshot(*lake, path));
+  return RegisterShard(name, std::move(lake), nullptr);
+}
+
+Status ReclaimService::AddLakeFromDirectory(const std::string& name,
+                                            const std::string& dir) {
+  auto lake = std::make_unique<DataLake>(dict_);
+  GENT_RETURN_IF_ERROR(lake->LoadDirectory(dir));
+  return RegisterShard(name, std::move(lake), nullptr);
+}
+
+std::vector<std::string> ReclaimService::lake_names() const {
+  std::vector<std::string> names;
+  names.reserve(shards_.size());
+  for (const Shard& s : shards_) names.push_back(s.name);
+  return names;
+}
+
+Result<const DataLake*> ReclaimService::lake(const std::string& name) const {
+  auto it = shard_by_name_.find(name);
+  if (it == shard_by_name_.end()) {
+    return Status::NotFound("no shard named '" + name + "'");
+  }
+  return shards_[it->second].lake;
+}
+
+Result<ReclamationResult> ReclaimService::ReclaimImpl(
+    const Table& source, const ReclaimRequest& request,
+    const TraversalOptions& traversal) const {
+  if (shards_.empty()) {
+    return Status::InvalidArgument("service has no lakes registered");
+  }
+  std::vector<size_t> targets;
+  if (request.lake.empty()) {
+    targets.resize(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) targets[i] = i;
+  } else {
+    auto it = shard_by_name_.find(request.lake);
+    if (it == shard_by_name_.end()) {
+      return Status::NotFound("no shard named '" + request.lake + "'");
+    }
+    targets.push_back(it->second);
+  }
+
+  OpLimits limits = request.timeout_seconds > 0
+                        ? OpLimits::WithTimeout(request.timeout_seconds)
+                        : OpLimits();
+  if (request.max_rows > 0) limits.MaxRows(request.max_rows);
+  DiscoveryConfig discovery = options_.config.discovery;
+  if (request.exclude_source_name) discovery.exclude_table = source.name();
+
+  // Downstream of discovery the pipeline reads only the tables and
+  // config, never a catalog, so the first target's pipeline object
+  // serves every route (all shards share options_.config).
+  const GenT& pipeline = *shards_[targets[0]].gent;
+  const uint64_t route_tag =
+      targets.size() == 1 ? targets[0] : kFanOutRoute;
+  const bool use_cache =
+      !request.bypass_cache && options_.cache_capacity > 0;
+  // A wall-clock deadline can truncate expansion mid-join (dropped
+  // paths, no error); caching such a set under the deadline-free key
+  // would poison every later request. Deadline-carrying requests may
+  // hit entries (a full replay under budget is strictly better) but
+  // never populate them.
+  const bool populate_cache = use_cache && request.timeout_seconds <= 0;
+  SourceFingerprint key;
+  if (use_cache) {
+    key = FingerprintSource(source, discovery, request.max_rows, route_tag);
+    auto t0 = std::chrono::steady_clock::now();
+    if (auto hit = cache_.Lookup(key)) {
+      // Replay the cached expanded tables: the recall, Set Similarity,
+      // and expansion stages are skipped entirely, and the result is
+      // bit-identical to the cold path that populated the entry.
+      return pipeline.ReclaimFromExpanded(source, std::move(*hit), limits,
+                                          traversal, SecondsSince(t0));
+    }
+  }
+
+  // Cold path: discover per shard, merge candidate lists by score, then
+  // expand. Each shard's list is already sorted (score desc, lake index
+  // asc); the stable sort keeps shard order and within-shard order on
+  // ties, so the merged order — and with it every downstream result —
+  // is deterministic.
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<Candidate> merged;
+  for (size_t shard : targets) {
+    GENT_ASSIGN_OR_RETURN(
+        auto candidates,
+        shards_[shard].gent->DiscoverCandidates(source, discovery));
+    merged.reserve(merged.size() + candidates.size());
+    for (auto& c : candidates) merged.push_back(std::move(c));
+  }
+  if (targets.size() > 1) {
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.score > b.score;
+                     });
+  }
+  GENT_ASSIGN_OR_RETURN(auto expanded, Expand(source, merged, limits));
+  if (populate_cache) cache_.Insert(key, expanded.tables);
+  return pipeline.ReclaimFromExpanded(source, std::move(expanded.tables),
+                                      limits, traversal, SecondsSince(t0));
+}
+
+Result<ReclamationResult> ReclaimService::Reclaim(
+    const Table& source, const ReclaimRequest& request) const {
+  if (source.dict() != dict_) {
+    return ReclaimImpl(TranslateToDictionary(source, dict_), request,
+                       options_.config.traversal);
+  }
+  return ReclaimImpl(source, request, options_.config.traversal);
+}
+
+std::vector<Result<ReclamationResult>> ReclaimService::ReclaimBatch(
+    const std::vector<Table>& sources, const ReclaimRequest& request) const {
+  std::vector<Result<ReclamationResult>> results;
+  results.reserve(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    results.emplace_back(Status::Internal("not run"));
+  }
+  if (sources.empty()) return results;
+
+  // Foreign-dictionary sources are re-interned serially, in input
+  // order, before any worker runs: new values get schedule-independent
+  // ids.
+  std::vector<Table> translated;
+  translated.reserve(sources.size());  // pointer stability for admitted
+  std::vector<const Table*> admitted(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i].dict() != dict_) {
+      translated.push_back(TranslateToDictionary(sources[i], dict_));
+      admitted[i] = &translated.back();
+    } else {
+      admitted[i] = &sources[i];
+    }
+  }
+
+  // Batch workers saturate the resident pool; intra-traversal
+  // parallelism on top would oversubscribe (thread count never affects
+  // results). A 1-source batch keeps it: only one worker runs, so the
+  // traversal may use the machine.
+  TraversalOptions traversal = options_.config.traversal;
+  if (pool_->num_threads() > 1 && sources.size() > 1) {
+    traversal.num_threads = 1;
+  }
+
+  ParallelFor(pool_.get(), sources.size(), [&](size_t i) {
+    results[i] = ReclaimImpl(*admitted[i], request, traversal);
+  });
+  return results;
+}
+
+}  // namespace gent

@@ -1,0 +1,172 @@
+// ReclaimService: a resident, multi-lake reclamation server (DESIGN.md
+// §5.5).
+//
+// The per-call objects (GenT, BulkReclaim) build a ColumnStatsCatalog,
+// answer, and throw everything away. A service that reclaims sources
+// continuously — the paper's workloads run 26–515 sources per lake, a
+// production deployment runs them forever — wants the opposite shape:
+//
+//   * several data lakes registered once, each behind its own catalog
+//     shard built exactly once (optionally warm-started from a binary
+//     snapshot or a CSV directory),
+//   * per-request routing: a request names its lake, or fans out across
+//     every shard and merges the discovered candidates by score,
+//   * a bounded per-source discovery cache (src/engine/discovery_cache)
+//     so repeated sources skip the recall, Set Similarity, and
+//     expansion stages entirely — the cache stores the expanded
+//     candidate tables, the whole pre-traversal product,
+//   * one resident ThreadPool serving batch traffic.
+//
+// Every shard shares one ValueDictionary (fixed at construction), so
+// value ids stay comparable across lakes — the precondition for
+// cross-shard candidate merging. Sources arriving with a foreign
+// dictionary are re-interned at admission.
+//
+// Determinism contract (same as GenT::ReclaimBatch): for a fixed
+// service (shards, config), the result of a request is bit-identical
+// regardless of thread count, concurrent load, routing history, and
+// cache state — a cache hit replays exactly the candidate set discovery
+// would produce (the fingerprint covers everything discovery reads),
+// and the downstream pipeline is deterministic in its inputs. Reclaim
+// for a single-shard route is bit-identical to GenT::Reclaim on that
+// lake. Only wall-clock budgets (ReclaimRequest::timeout_seconds) are
+// scheduling-dependent, exactly as in ReclaimBatch.
+//
+// Thread safety: registration (AddLake*) is NOT thread-safe and must
+// finish before serving starts; Reclaim/ReclaimBatch/cache_stats are
+// safe to call concurrently from any number of threads.
+
+#ifndef GENT_ENGINE_RECLAIM_SERVICE_H_
+#define GENT_ENGINE_RECLAIM_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/discovery_cache.h"
+#include "src/engine/thread_pool.h"
+#include "src/gent/gent.h"
+
+namespace gent {
+
+struct ServiceOptions {
+  /// Pipeline configuration shared by every shard. For heavy concurrent
+  /// Reclaim traffic set config.traversal.num_threads = 1 (callers
+  /// already provide the parallelism); ReclaimBatch pins it regardless.
+  GenTConfig config;
+  /// Resident pool threads serving ReclaimBatch. 0 = hardware
+  /// concurrency (no cap — thread count never changes results).
+  size_t num_threads = 0;
+  /// Discovery-cache capacity in expanded candidate sets (0 disables
+  /// caching). Each entry holds one source's expanded tables for one
+  /// route, so this is the memory knob.
+  size_t cache_capacity = 256;
+  /// Shared dictionary for all shards (null = a fresh one). Lakes added
+  /// with AddLake/AddLakeView must use exactly this dictionary.
+  DictionaryPtr dict;
+};
+
+/// Per-request options.
+struct ReclaimRequest {
+  /// Route to the shard with this name; empty = fan out across every
+  /// shard and merge candidates by score.
+  std::string lake;
+  /// Per-source wall-clock budget, seconds (0 = unlimited). The only
+  /// scheduling-dependent knob; use max_rows where strict
+  /// reproducibility matters. Deadline-carrying requests may hit the
+  /// discovery cache but never populate it (a deadline can silently
+  /// truncate expansion; see discovery_cache.h).
+  double timeout_seconds = 0.0;
+  /// Per-source intermediate row budget (0 = unlimited).
+  uint64_t max_rows = 0;
+  /// Leave-one-out protocols: exclude the lake table named like the
+  /// source from its own candidacy.
+  bool exclude_source_name = false;
+  /// Skip the discovery cache for this request (parity testing,
+  /// debugging). Results are bit-identical either way.
+  bool bypass_cache = false;
+};
+
+class ReclaimService {
+ public:
+  explicit ReclaimService(ServiceOptions options = {});
+
+  ReclaimService(const ReclaimService&) = delete;
+  ReclaimService& operator=(const ReclaimService&) = delete;
+
+  const DictionaryPtr& dict() const { return dict_; }
+
+  // --- Shard registration (build phase; not thread-safe) ----------------
+
+  /// Registers an owned lake as shard `name` and builds its catalog.
+  /// The lake must use dict(); shard names must be unique.
+  Status AddLake(const std::string& name, DataLake lake);
+
+  /// Registers a borrowed lake (must outlive the service). Same
+  /// dictionary and uniqueness rules as AddLake.
+  Status AddLakeView(const std::string& name, const DataLake& lake);
+
+  /// Builds a shard from a binary snapshot (src/lake/snapshot) — the
+  /// warm-start path: one sequential read, no CSV parsing.
+  Status AddLakeFromSnapshot(const std::string& name,
+                             const std::string& path);
+
+  /// Builds a shard from a directory of CSVs.
+  Status AddLakeFromDirectory(const std::string& name,
+                              const std::string& dir);
+
+  size_t num_lakes() const { return shards_.size(); }
+  std::vector<std::string> lake_names() const;
+  /// The lake behind shard `name` (NotFound if absent).
+  Result<const DataLake*> lake(const std::string& name) const;
+
+  // --- Serving (thread-safe) --------------------------------------------
+
+  /// Reclaims one source. Runs in the caller's thread (a server's
+  /// request handler); any number of callers may be in flight at once.
+  Result<ReclamationResult> Reclaim(const Table& source,
+                                    const ReclaimRequest& request = {}) const;
+
+  /// Reclaims every source over the resident pool. results[i]
+  /// corresponds to sources[i] and is bit-identical to serial Reclaim
+  /// calls in input order.
+  std::vector<Result<ReclamationResult>> ReclaimBatch(
+      const std::vector<Table>& sources,
+      const ReclaimRequest& request = {}) const;
+
+  DiscoveryCache::Stats cache_stats() const { return cache_.stats(); }
+  size_t num_threads() const { return pool_->num_threads(); }
+
+ private:
+  struct Shard {
+    std::string name;
+    std::unique_ptr<DataLake> owned;  // null for AddLakeView shards
+    const DataLake* lake = nullptr;
+    std::unique_ptr<GenT> gent;       // shard catalog lives inside
+  };
+
+  Status RegisterShard(const std::string& name,
+                       std::unique_ptr<DataLake> owned,
+                       const DataLake* borrowed);
+
+  Result<ReclamationResult> ReclaimImpl(
+      const Table& source, const ReclaimRequest& request,
+      const TraversalOptions& traversal) const;
+
+  ServiceOptions options_;
+  DictionaryPtr dict_;
+  std::vector<Shard> shards_;
+  std::unordered_map<std::string, size_t> shard_by_name_;
+  mutable DiscoveryCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Re-interns `source` into `dict` (labeled nulls become plain nulls).
+/// Used at service admission when a source arrives with a foreign
+/// dictionary.
+Table TranslateToDictionary(const Table& source, const DictionaryPtr& dict);
+
+}  // namespace gent
+
+#endif  // GENT_ENGINE_RECLAIM_SERVICE_H_

@@ -55,11 +55,10 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-size_t ThreadPool::ResolveThreads(size_t requested, size_t cap) {
+size_t ThreadPool::ResolveThreads(size_t requested) {
   if (requested != 0) return std::max<size_t>(1, requested);
   size_t hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  return std::max<size_t>(1, std::min(cap, hw));
+  return std::max<size_t>(1, hw);
 }
 
 void ParallelFor(size_t threads, size_t n,

@@ -39,8 +39,9 @@ class ThreadPool {
   void Wait();
 
   /// Worker count for a requested thread count: 0 picks the hardware
-  /// concurrency, capped at `cap`.
-  static size_t ResolveThreads(size_t requested, size_t cap = 8);
+  /// concurrency (uncapped — a 32-core host gets 32 workers; thread
+  /// count never changes results anywhere in the engine).
+  static size_t ResolveThreads(size_t requested);
 
  private:
   void WorkerLoop();

@@ -1,22 +1,34 @@
 #include "src/gent/bulk.h"
 
+#include "src/engine/reclaim_service.h"
+
 namespace gent {
 
 std::vector<BulkOutcome> BulkReclaim(const DataLake& lake,
                                      const std::vector<Table>& sources,
                                      const GenTConfig& config,
                                      const BulkOptions& options) {
-  // One catalog build, shared by all workers.
-  GenT gent(lake, config);
-
-  BatchOptions batch;
-  batch.num_threads = options.threads;
-  batch.timeout_seconds = options.timeout_seconds;
-  batch.max_rows = options.max_rows;
+  // A one-shot, single-shard ReclaimService: one catalog build shared
+  // by all workers, plus the discovery cache (repeated sources in a
+  // bulk run skip discovery; results are bit-identical either way).
+  ServiceOptions service_options;
+  service_options.config = config;
+  service_options.num_threads = options.threads;
+  service_options.dict = lake.dict();
+  ReclaimService service(service_options);
 
   std::vector<BulkOutcome> outcomes;
   outcomes.reserve(sources.size());
-  for (auto& result : gent.ReclaimBatch(sources, batch)) {
+  if (Status s = service.AddLakeView("lake", lake); !s.ok()) {
+    for (size_t i = 0; i < sources.size(); ++i) outcomes.emplace_back(s);
+    return outcomes;
+  }
+
+  ReclaimRequest request;
+  request.timeout_seconds = options.timeout_seconds;
+  request.max_rows = options.max_rows;
+
+  for (auto& result : service.ReclaimBatch(sources, request)) {
     outcomes.emplace_back(std::move(result));
   }
   return outcomes;

@@ -3,9 +3,12 @@
 // The paper's evaluation reclaims 26+ sources per benchmark and up to
 // 515 sources in the T2D experiment (§VI-D), each independently. The
 // per-source pipeline is single-threaded (as in the paper's runtime
-// measurements); BulkReclaim builds one GenT (one ColumnStatsCatalog)
-// and delegates to GenT::ReclaimBatch, which shards sources across a
-// worker pool while every worker reads the same immutable catalog.
+// measurements); BulkReclaim spins up a one-shot, single-shard
+// ReclaimService (src/engine/reclaim_service.h) over the lake — one
+// ColumnStatsCatalog build shared by all workers, a discovery cache for
+// repeated sources — and delegates to its ReclaimBatch. Long-lived
+// callers should hold a ReclaimService directly and keep the catalog
+// and cache resident across calls.
 //
 // Thread-safety contract: GenT::Reclaim is const and touches only
 // immutable state (lake, catalog, config) plus the shared
@@ -26,7 +29,8 @@
 namespace gent {
 
 struct BulkOptions {
-  /// Worker threads. 0 = hardware concurrency, capped at 8.
+  /// Worker threads. 0 = hardware concurrency (uncapped). Thread count
+  /// never changes results — only wall-clock time.
   size_t threads = 0;
   /// Per-source wall-clock budget, seconds (0 = unlimited).
   double timeout_seconds = 0.0;

@@ -47,27 +47,49 @@ Result<ReclamationResult> GenT::Reclaim(
     const DiscoveryConfig& discovery_config,
     const TraversalOptions& traversal_options) const {
   auto t0 = std::chrono::steady_clock::now();
+  GENT_ASSIGN_OR_RETURN(auto candidates,
+                        DiscoverCandidates(source, discovery_config));
+  return ReclaimFromCandidates(source, candidates, limits, traversal_options,
+                               SecondsSince(t0));
+}
 
+Result<std::vector<Candidate>> GenT::DiscoverCandidates(
+    const Table& source, const DiscoveryConfig& discovery_config) const {
   // --- Table Discovery (paper §V-A) ---------------------------------------
   Discovery discovery(*catalog_, discovery_config);
-  GENT_ASSIGN_OR_RETURN(auto candidates, discovery.FindCandidates(source));
+  return discovery.FindCandidates(source);
+}
+
+Result<ReclamationResult> GenT::ReclaimFromCandidates(
+    const Table& source, const std::vector<Candidate>& candidates,
+    const OpLimits& limits, const TraversalOptions& traversal_options,
+    double discovery_seconds) const {
+  auto t0 = std::chrono::steady_clock::now();
   GENT_ASSIGN_OR_RETURN(auto expanded, Expand(source, candidates, limits));
-  double discovery_s = SecondsSince(t0);
+  return ReclaimFromExpanded(source, std::move(expanded.tables), limits,
+                             traversal_options,
+                             discovery_seconds + SecondsSince(t0));
+}
+
+Result<ReclamationResult> GenT::ReclaimFromExpanded(
+    const Table& source, std::vector<Table> tables, const OpLimits& limits,
+    const TraversalOptions& traversal_options,
+    double discovery_seconds) const {
+  double discovery_s = discovery_seconds;
 
   // --- Matrix Traversal (Algorithm 1) -------------------------------------
   auto t1 = std::chrono::steady_clock::now();
   std::vector<Table> originating;
   double predicted = 0.0;
   if (config_.skip_traversal) {
-    originating = std::move(expanded.tables);
+    originating = std::move(tables);
   } else {
-    GENT_ASSIGN_OR_RETURN(
-        auto traversal,
-        MatrixTraversal(source, expanded.tables, traversal_options));
+    GENT_ASSIGN_OR_RETURN(auto traversal,
+                          MatrixTraversal(source, tables, traversal_options));
     predicted = traversal.final_score;
     originating.reserve(traversal.selected.size());
     for (size_t i : traversal.selected) {
-      originating.push_back(expanded.tables[i].Clone());
+      originating.push_back(tables[i].Clone());
     }
   }
   double traversal_s = SecondsSince(t1);

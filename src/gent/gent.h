@@ -72,7 +72,8 @@ struct ReclamationResult {
 
 /// Options for ReclaimBatch.
 struct BatchOptions {
-  /// Worker threads. 0 = hardware concurrency, capped at 8.
+  /// Worker threads. 0 = hardware concurrency (uncapped). Thread count
+  /// never changes results — only wall-clock time.
   size_t num_threads = 0;
   /// Per-source wall-clock budget, seconds (0 = unlimited). The budget
   /// starts when the source's reclamation starts, not when the batch
@@ -119,6 +120,36 @@ class GenT {
                                     const OpLimits& limits,
                                     const DiscoveryConfig& discovery,
                                     const TraversalOptions& traversal) const;
+
+  /// The discovery stage alone (recall + Set Similarity +
+  /// diversification + schema matching). Exposed as a seam so
+  /// ReclaimService can cache its result per source fingerprint and so
+  /// cross-lake fan-out can merge candidate sets before the rest of the
+  /// pipeline runs.
+  Result<std::vector<Candidate>> DiscoverCandidates(
+      const Table& source, const DiscoveryConfig& discovery) const;
+
+  /// The pipeline downstream of discovery (Expand → Matrix Traversal →
+  /// Integration). Reads only `source`, `candidates`, and config — never
+  /// the catalog — so candidates may come from this instance's
+  /// discovery, a cache replay, or a merge across several catalogs.
+  /// `discovery_seconds` is carried into the result's phase timings.
+  /// Reclaim(source, limits, discovery, traversal) is exactly
+  /// DiscoverCandidates + ReclaimFromCandidates.
+  Result<ReclamationResult> ReclaimFromCandidates(
+      const Table& source, const std::vector<Candidate>& candidates,
+      const OpLimits& limits, const TraversalOptions& traversal,
+      double discovery_seconds = 0.0) const;
+
+  /// The pipeline downstream of expansion (Matrix Traversal →
+  /// Integration), for callers that already hold the expanded,
+  /// key-covering candidate tables — ReclaimService replays them from
+  /// its discovery cache. Deterministic in (source, tables, config):
+  /// bit-identical to running the full pipeline whose expansion
+  /// produced `tables`.
+  Result<ReclamationResult> ReclaimFromExpanded(
+      const Table& source, std::vector<Table> tables, const OpLimits& limits,
+      const TraversalOptions& traversal, double discovery_seconds = 0.0) const;
 
   /// Reclaims every source concurrently against the shared read-only
   /// catalog. results[i] corresponds to sources[i], and is bit-identical

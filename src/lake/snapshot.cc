@@ -25,6 +25,19 @@ class Writer {
   }
   bool ok() const { return file_ != nullptr && !failed_; }
 
+  /// Flushes buffered data and closes the file, folding fflush/fclose
+  /// failures into ok(). stdio buffers writes, so a full disk often
+  /// surfaces only here — a snapshot is not durable until Close()
+  /// succeeds, and SaveSnapshot must check it.
+  bool Close() {
+    if (file_ != nullptr) {
+      failed_ |= std::fflush(file_) != 0;
+      failed_ |= std::fclose(file_) != 0;
+      file_ = nullptr;
+    }
+    return !failed_;
+  }
+
   void Bytes(const void* data, size_t n) {
     if (!ok()) return;
     failed_ |= std::fwrite(data, 1, n, file_) != n;
@@ -50,6 +63,17 @@ class Reader {
   }
   bool open() const { return file_ != nullptr; }
   bool ok() const { return file_ != nullptr && !failed_; }
+
+  /// True when every byte has been consumed. Trailing bytes after the
+  /// last section mean the file is not a well-formed snapshot (a
+  /// concatenation accident or corruption) and must be rejected.
+  bool AtEof() {
+    if (!ok()) return false;
+    const int c = std::fgetc(file_);
+    if (c == EOF) return true;
+    std::ungetc(c, file_);
+    return false;
+  }
 
   void Bytes(void* data, size_t n) {
     if (!ok()) return;
@@ -119,6 +143,12 @@ Status SaveSnapshot(const DataLake& lake, const std::string& path) {
     }
   }
   if (!w.ok()) return Status::IOError("short write to '" + path + "'");
+  // The final flush/close can fail where every fwrite "succeeded" (ENOSPC
+  // on a full disk surfaces when stdio's buffer drains); an unchecked
+  // fclose would report a truncated snapshot as written.
+  if (!w.Close()) {
+    return Status::IOError("flush/close failed for '" + path + "'");
+  }
   return Status::OK();
 }
 
@@ -149,6 +179,11 @@ Status LoadSnapshot(DataLake& lake, const std::string& path) {
 
   const uint64_t table_count = r.U64();
   if (!r.ok()) return Status::IOError("truncated snapshot: no table count");
+  // Tables are staged and only registered once the whole file — through
+  // its final byte — has validated, so a corrupt tail cannot leave the
+  // lake half-loaded.
+  std::vector<Table> staged;
+  staged.reserve(table_count < (1u << 20) ? table_count : 0);
   for (uint64_t i = 0; i < table_count; ++i) {
     const std::string name = r.String();
     const uint32_t cols = r.U32();
@@ -181,6 +216,13 @@ Status LoadSnapshot(DataLake& lake, const std::string& path) {
     if (!keys.empty()) {
       GENT_RETURN_IF_ERROR(t.SetKeyColumns(keys));
     }
+    staged.push_back(std::move(t));
+  }
+  if (!r.AtEof()) {
+    return Status::IOError(
+        "'" + path + "' has trailing bytes after the last snapshot section");
+  }
+  for (Table& t : staged) {
     GENT_RETURN_IF_ERROR(lake.AddTable(std::move(t)));
   }
   return Status::OK();

@@ -31,14 +31,18 @@
 namespace gent {
 
 /// Writes `lake` to `path`, overwriting. Fails with InvalidArgument if a
-/// labeled null is present, IOError on filesystem trouble.
+/// labeled null is present, IOError on filesystem trouble — including a
+/// failed final flush/close, so a snapshot truncated by a full disk
+/// never reports success.
 Status SaveSnapshot(const DataLake& lake, const std::string& path);
 
 /// Appends every table of the snapshot at `path` into `lake`,
 /// re-interning values into lake.dict(). Fails with IOError on a
-/// missing/short file, InvalidArgument on bad magic or a version from
-/// the future, AlreadyExists on a table-name collision (the lake is left
-/// with the tables added so far in that case).
+/// missing/short file or trailing bytes after the last section,
+/// InvalidArgument on bad magic or a version from the future,
+/// AlreadyExists on a table-name collision. Tables are registered only
+/// after the whole file validates (a collision can still leave the lake
+/// with the tables added before it).
 Status LoadSnapshot(DataLake& lake, const std::string& path);
 
 }  // namespace gent

@@ -35,7 +35,7 @@ struct TraversalOptions {
   /// scorer: each drop is a per-row re-fold, not a matrix rebuild.
   bool prune_redundant = true;
   /// Worker threads for matrix initialization and the per-round
-  /// candidate scan. 0 = hardware concurrency (capped at 8); 1 = serial.
+  /// candidate scan. 0 = hardware concurrency (uncapped); 1 = serial.
   /// Tiny inputs stay serial regardless — spinning a pool costs more
   /// than the scan. Thread count never changes results.
   size_t num_threads = 0;

@@ -59,7 +59,14 @@ Result<std::vector<std::vector<std::string>>> ParseRecords(
         any_field = true;
         break;
       case '\r':
-        break;  // tolerate CRLF
+        // CRLF: the '\n' that follows ends the record. A bare CR
+        // (CR-only line endings, old Mac exports) ends it here —
+        // dropping it instead would silently glue two records' fields
+        // together. CRs *inside* values survive round-trips because the
+        // writer always quotes them (NeedsQuoting) and the quoted
+        // branch above preserves them verbatim.
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;
+        [[fallthrough]];
       case '\n':
         if (any_field || !field.empty() || !record.empty()) {
           record.push_back(std::move(field));

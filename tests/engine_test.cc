@@ -211,7 +211,10 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
 TEST(ThreadPoolTest, ResolveThreads) {
   EXPECT_EQ(ThreadPool::ResolveThreads(3), 3u);
   EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
-  EXPECT_LE(ThreadPool::ResolveThreads(0), 8u);
+  // 0 = the machine's full hardware concurrency — no hidden cap (a
+  // 32-core host must get 32 batch workers, not 8).
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw > 0) EXPECT_EQ(ThreadPool::ResolveThreads(0), hw);
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
