@@ -46,6 +46,7 @@
 #include "src/semantic/value_map.h"
 #include "src/table/table_builder.h"
 #include "src/util/random.h"
+#include "tests/expand_reference.h"
 #include "tests/matrix_reference.h"
 
 #ifdef GENT_HAVE_GBENCH
@@ -320,6 +321,154 @@ int RunMatrixSection() {
   return all_identical ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Expand section: catalog-backed ExpandEngine vs the reference expansion.
+// ---------------------------------------------------------------------------
+
+// One cold expansion stage (join-graph build + key-covering joins) per
+// source of a TP-TR benchmark: discovery runs once (untimed), then the
+// expansion itself — ExpandEngine vs tests/expand_reference.h, the exact
+// pre-engine implementation — with outputs compared bit-for-bit.
+// `engine_ms` is single-threaded (the algorithmic win the acceptance
+// bar measures); `engine_mt_ms` adds the pool fan-out on top.
+struct ExpandRun {
+  std::string benchmark;
+  size_t sources = 0;
+  size_t candidates = 0;  // total candidates entering expansion
+  size_t tables = 0;      // total key-covering tables produced
+  double baseline_ms = 0;  // reference implementation, total
+  double engine_ms = 0;    // ExpandEngine, num_threads = 1, total
+  double engine_mt_ms = 0;  // ExpandEngine, num_threads = 0 (hardware)
+  bool identical = true;
+  double Speedup() const {
+    return engine_ms > 0 ? baseline_ms / engine_ms : 0.0;
+  }
+  double MtSpeedup() const {
+    return engine_mt_ms > 0 ? baseline_ms / engine_mt_ms : 0.0;
+  }
+};
+
+bool ExpandResultsIdentical(const ExpandResult& a, const ExpandResult& b) {
+  if (a.num_expanded != b.num_expanded || a.num_dropped != b.num_dropped ||
+      a.tables.size() != b.tables.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.tables.size(); ++i) {
+    if (a.tables[i].name() != b.tables[i].name() ||
+        !TablesBitIdentical(a.tables[i], b.tables[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ExpandRun RunExpandBench(const std::string& label, const TpTrConfig& config,
+                         size_t max_sources, size_t reps) {
+  ExpandRun run;
+  run.benchmark = label;
+  auto bench = MakeTpTrBenchmark(label, config);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "[microops] %s: benchmark build failed: %s\n",
+                 label.c_str(), bench.status().ToString().c_str());
+    run.identical = false;
+    return run;
+  }
+  ColumnStatsCatalog catalog(*bench->lake);
+  Discovery discovery(catalog, DiscoveryConfig{});
+
+  std::vector<const Table*> sources;
+  std::vector<std::vector<Candidate>> candidate_sets;
+  size_t limit = std::min(max_sources, bench->sources.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const Table& source = bench->sources[i].source;
+    auto candidates = discovery.FindCandidates(source);
+    if (!candidates.ok()) continue;
+    sources.push_back(&source);
+    run.candidates += candidates->size();
+    candidate_sets.push_back(std::move(*candidates));
+  }
+  run.sources = sources.size();
+
+  ExpandOptions serial;
+  serial.num_threads = 1;
+  ExpandOptions pooled;
+  pooled.num_threads = 0;
+  const size_t n_reps = std::max<size_t>(1, reps);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    double best_base = 0.0, best_engine = 0.0, best_mt = 0.0;
+    for (size_t rep = 0; rep < n_reps; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      auto want = ref::RefExpand(*sources[i], candidate_sets[i]);
+      double base = SecondsSince(t0) * 1e3;
+      t0 = std::chrono::steady_clock::now();
+      auto got = Expand(*sources[i], candidate_sets[i], OpLimits{}, serial);
+      double engine = SecondsSince(t0) * 1e3;
+      t0 = std::chrono::steady_clock::now();
+      auto got_mt = Expand(*sources[i], candidate_sets[i], OpLimits{}, pooled);
+      double mt = SecondsSince(t0) * 1e3;
+      if (rep == 0 || base < best_base) best_base = base;
+      if (rep == 0 || engine < best_engine) best_engine = engine;
+      if (rep == 0 || mt < best_mt) best_mt = mt;
+      if (!want.ok() || !got.ok() || !got_mt.ok() ||
+          !ExpandResultsIdentical(*want, *got) ||
+          !ExpandResultsIdentical(*want, *got_mt)) {
+        run.identical = false;
+      }
+      if (rep == 0) run.tables += want.ok() ? want->tables.size() : 0;
+    }
+    run.baseline_ms += best_base;
+    run.engine_ms += best_engine;
+    run.engine_mt_ms += best_mt;
+  }
+  return run;
+}
+
+int RunExpandSection() {
+  const size_t max_sources = EnvSizeOr("GENT_MICRO_SOURCES", 4);
+  const size_t reps = EnvSizeOr("GENT_MICRO_REPS", 3);
+
+  std::printf("\n=== cold expansion stage (catalog-backed vs reference) ===\n");
+  std::vector<ExpandRun> runs;
+  runs.push_back(RunExpandBench("TP-TR Small", TpTrSmallConfig(),
+                                max_sources, reps * 2));
+  runs.push_back(
+      RunExpandBench("TP-TR Med", TpTrMedConfig(), max_sources, reps));
+  bool all_identical = true;
+  for (const auto& r : runs) {
+    std::printf(
+        "%-12s sources %2zu  cands %3zu  engine %9.2f ms  (pooled %9.2f ms)"
+        "  baseline %9.2f ms  speedup %5.1fx (%5.1fx)  identical %s\n",
+        r.benchmark.c_str(), r.sources, r.candidates, r.engine_ms,
+        r.engine_mt_ms, r.baseline_ms, r.Speedup(), r.MtSpeedup(),
+        r.identical ? "yes" : "NO");
+    all_identical &= r.identical;
+  }
+
+  std::FILE* f = std::fopen("BENCH_expand.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[microops] cannot write BENCH_expand.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"expand\",\n  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ExpandRun& r = runs[i];
+    std::fprintf(f,
+                 "    {\"benchmark\": \"%s\", \"sources\": %zu, "
+                 "\"candidates\": %zu, \"tables\": %zu, "
+                 "\"baseline_ms\": %.3f, \"optimized_ms\": %.3f, "
+                 "\"optimized_pooled_ms\": %.3f, \"speedup\": %.2f, "
+                 "\"pooled_speedup\": %.2f, \"identical\": %s}%s\n",
+                 r.benchmark.c_str(), r.sources, r.candidates, r.tables,
+                 r.baseline_ms, r.engine_ms, r.engine_mt_ms, r.Speedup(),
+                 r.MtSpeedup(), r.identical ? "true" : "false",
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_expand.json\n");
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace gent
 
@@ -519,6 +668,7 @@ BENCHMARK(BM_FuzzyValueMapApply)->Arg(100)->Arg(1000);
 
 int main(int argc, char** argv) {
   int rc = gent::RunMatrixSection();
+  rc |= gent::RunExpandSection();
 #ifdef GENT_HAVE_GBENCH
   bool run_gbench = std::getenv("GENT_RUN_GBENCH") != nullptr;
   for (int i = 1; i < argc; ++i) {

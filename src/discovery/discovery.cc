@@ -161,6 +161,9 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
     }
     Candidate cand(lake_table.Clone());
     cand.lake_index = tbl;
+    // The clone is row-identical to the lake table (only column renames
+    // follow), so the shared catalog's stats remain exact for it.
+    cand.stats = &catalog_;
 
     // Aligned tuples: rows sharing at least one mapped value with S.
     std::vector<bool> aligned(lake_table.num_rows(), false);

@@ -53,6 +53,15 @@ struct Candidate {
   double score = 0.0;
   /// True if every source key column is mapped.
   bool covers_key = false;
+  /// Catalog whose (lake_index, column) stats back this candidate, or
+  /// null for ad-hoc candidates (tests, synthetic tables). Discovery
+  /// sets it: `table` is a row-identical clone of the lake table
+  /// (column renames only), so the catalog's sorted distinct sets and
+  /// cardinalities ARE this table's per-column value sets, and
+  /// ExpandEngine borrows them instead of recomputing. The catalog must
+  /// outlive the candidate; results are bit-identical with or without
+  /// it (null just means the one-pass sorted-set fallback).
+  const ColumnStatsCatalog* stats = nullptr;
 
   explicit Candidate(Table t) : table(std::move(t)) {}
 };

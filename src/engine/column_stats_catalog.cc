@@ -5,19 +5,62 @@
 namespace gent {
 
 std::vector<ValueId> SortedDistinctValues(const Table& t, size_t c) {
-  const ValueDictionary& dict = *t.dict();
+  const std::vector<ValueId>& col = t.column(c);
   std::vector<ValueId> vals;
-  vals.reserve(t.num_rows());
-  for (ValueId v : t.column(c)) {
-    if (v != kNull && !dict.IsLabeledNull(v)) vals.push_back(v);
+  const size_t universe = t.dict()->size();  // ids always index the dict
+  if (col.size() >= 4096 && col.size() * 16 >= universe) {
+    // Dense column (e.g. a joined intermediate's 200k-row key column):
+    // mark ids in a bitmap and scan it — O(rows + universe/64), and the
+    // scan emits ascending order directly, replacing the O(n log n)
+    // sort that dominated set rebuilds during expansion.
+    std::vector<uint64_t> bits((universe + 63) / 64, 0);
+    for (ValueId v : col) {
+      if (v != kNull) bits[v >> 6] |= uint64_t{1} << (v & 63);
+    }
+    for (size_t w = 0; w < bits.size(); ++w) {
+      uint64_t word = bits[w];
+      while (word != 0) {
+        unsigned b = static_cast<unsigned>(__builtin_ctzll(word));
+        word &= word - 1;
+        vals.push_back(static_cast<ValueId>((w << 6) | b));
+      }
+    }
+  } else {
+    vals.reserve(col.size());
+    for (ValueId v : col) {
+      if (v != kNull) vals.push_back(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
   }
-  std::sort(vals.begin(), vals.end());
-  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  // Labeled nulls are filtered after dedup: one lock acquisition over
+  // the distinct values instead of a per-cell IsLabeledNull (which took
+  // the dictionary's shared lock once per cell — it was the dominant
+  // cost of set rebuilds on joined intermediates).
+  t.dict()->RemoveLabeledNulls(&vals);
   return vals;
 }
 
 size_t SortedIntersectionSize(const std::vector<ValueId>& a,
                               const std::vector<ValueId>& b) {
+  if (a.size() > b.size()) return SortedIntersectionSize(b, a);
+  // Skewed pairs (a tiny query set against a huge lake column) gallop:
+  // each small-side value advances a lower_bound over the remaining big
+  // side, O(|a| log |b|) instead of O(|a| + |b|). The crossover keeps
+  // balanced pairs on the cache-friendly linear merge.
+  if (a.size() * 16 < b.size()) {
+    size_t n = 0;
+    auto it = b.begin();
+    for (ValueId v : a) {
+      it = std::lower_bound(it, b.end(), v);
+      if (it == b.end()) break;
+      if (*it == v) {
+        ++n;
+        ++it;
+      }
+    }
+    return n;
+  }
   size_t i = 0, j = 0, n = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] < b[j]) {

@@ -68,6 +68,15 @@ class ColumnStatsCatalog {
     return sorted_values_[ColumnIdOf(ref)];
   }
 
+  /// Sorted-set handle by (table, column) index — what ExpandEngine
+  /// borrows for candidates that are untouched lake tables, so the
+  /// join-graph build recomputes nothing. The reference stays valid for
+  /// the catalog's lifetime.
+  const std::vector<ValueId>& SortedValuesOf(size_t table,
+                                             size_t column) const {
+    return sorted_values_[table_offsets_[table] + column];
+  }
+
   /// Distinct non-null count of one lake column.
   size_t Cardinality(ColumnRef ref) const {
     return sorted_values_[ColumnIdOf(ref)].size();
@@ -108,7 +117,11 @@ class ColumnStatsCatalog {
 /// pathological posting lists of label values).
 std::vector<ValueId> SortedDistinctValues(const Table& t, size_t c);
 
-/// |a ∩ b| for sorted, deduplicated vectors (linear merge).
+/// |a ∩ b| for sorted, deduplicated vectors — the merge-intersect helper
+/// shared by discovery, diversification, and ExpandEngine. Balanced
+/// inputs run a linear merge; heavily skewed pairs gallop the smaller
+/// side over the larger with advancing binary searches. Argument order
+/// never matters.
 size_t SortedIntersectionSize(const std::vector<ValueId>& a,
                               const std::vector<ValueId>& b);
 

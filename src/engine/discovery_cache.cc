@@ -2,17 +2,14 @@
 
 #include <cstring>
 
+#include "src/util/hash.h"
+
 namespace gent {
 
 namespace {
 
 // splitmix64 finalizer: the per-word mixer for both fingerprint halves.
-inline uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+inline uint64_t Mix64(uint64_t x) { return SplitMix64(x); }
 
 // Streaming 64-bit hash; two instances with distinct seeds form the
 // 128-bit fingerprint.

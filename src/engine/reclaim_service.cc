@@ -117,7 +117,7 @@ Result<const DataLake*> ReclaimService::lake(const std::string& name) const {
 
 Result<ReclamationResult> ReclaimService::ReclaimImpl(
     const Table& source, const ReclaimRequest& request,
-    const TraversalOptions& traversal) const {
+    const TraversalOptions& traversal, const ExpandOptions& expand) const {
   if (shards_.empty()) {
     return Status::InvalidArgument("service has no lakes registered");
   }
@@ -187,7 +187,8 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
                        return a.score > b.score;
                      });
   }
-  GENT_ASSIGN_OR_RETURN(auto expanded, Expand(source, merged, limits));
+  GENT_ASSIGN_OR_RETURN(auto expanded,
+                        Expand(source, merged, limits, expand));
   if (populate_cache) cache_.Insert(key, expanded.tables);
   return pipeline.ReclaimFromExpanded(source, std::move(expanded.tables),
                                       limits, traversal, SecondsSince(t0));
@@ -197,9 +198,10 @@ Result<ReclamationResult> ReclaimService::Reclaim(
     const Table& source, const ReclaimRequest& request) const {
   if (source.dict() != dict_) {
     return ReclaimImpl(TranslateToDictionary(source, dict_), request,
-                       options_.config.traversal);
+                       options_.config.traversal, options_.config.expand);
   }
-  return ReclaimImpl(source, request, options_.config.traversal);
+  return ReclaimImpl(source, request, options_.config.traversal,
+                     options_.config.expand);
 }
 
 std::vector<Result<ReclamationResult>> ReclaimService::ReclaimBatch(
@@ -226,17 +228,19 @@ std::vector<Result<ReclamationResult>> ReclaimService::ReclaimBatch(
     }
   }
 
-  // Batch workers saturate the resident pool; intra-traversal
-  // parallelism on top would oversubscribe (thread count never affects
-  // results). A 1-source batch keeps it: only one worker runs, so the
-  // traversal may use the machine.
+  // Batch workers saturate the resident pool; intra-traversal and
+  // intra-expansion parallelism on top would oversubscribe (thread
+  // count never affects results). A 1-source batch keeps both: only one
+  // worker runs, so the pipeline may use the machine.
   TraversalOptions traversal = options_.config.traversal;
+  ExpandOptions expand = options_.config.expand;
   if (pool_->num_threads() > 1 && sources.size() > 1) {
     traversal.num_threads = 1;
+    expand.num_threads = 1;
   }
 
   ParallelFor(pool_.get(), sources.size(), [&](size_t i) {
-    results[i] = ReclaimImpl(*admitted[i], request, traversal);
+    results[i] = ReclaimImpl(*admitted[i], request, traversal, expand);
   });
   return results;
 }

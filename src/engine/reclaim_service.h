@@ -52,8 +52,9 @@ namespace gent {
 
 struct ServiceOptions {
   /// Pipeline configuration shared by every shard. For heavy concurrent
-  /// Reclaim traffic set config.traversal.num_threads = 1 (callers
-  /// already provide the parallelism); ReclaimBatch pins it regardless.
+  /// Reclaim traffic set config.traversal.num_threads and
+  /// config.expand.num_threads to 1 (callers already provide the
+  /// parallelism); ReclaimBatch pins both regardless.
   GenTConfig config;
   /// Resident pool threads serving ReclaimBatch. 0 = hardware
   /// concurrency (no cap — thread count never changes results).
@@ -152,7 +153,7 @@ class ReclaimService {
 
   Result<ReclamationResult> ReclaimImpl(
       const Table& source, const ReclaimRequest& request,
-      const TraversalOptions& traversal) const;
+      const TraversalOptions& traversal, const ExpandOptions& expand) const;
 
   ServiceOptions options_;
   DictionaryPtr dict_;

@@ -46,11 +46,20 @@ Result<ReclamationResult> GenT::Reclaim(
     const Table& source, const OpLimits& limits,
     const DiscoveryConfig& discovery_config,
     const TraversalOptions& traversal_options) const {
+  return Reclaim(source, limits, discovery_config, traversal_options,
+                 config_.expand);
+}
+
+Result<ReclamationResult> GenT::Reclaim(
+    const Table& source, const OpLimits& limits,
+    const DiscoveryConfig& discovery_config,
+    const TraversalOptions& traversal_options,
+    const ExpandOptions& expand_options) const {
   auto t0 = std::chrono::steady_clock::now();
   GENT_ASSIGN_OR_RETURN(auto candidates,
                         DiscoverCandidates(source, discovery_config));
   return ReclaimFromCandidates(source, candidates, limits, traversal_options,
-                               SecondsSince(t0));
+                               expand_options, SecondsSince(t0));
 }
 
 Result<std::vector<Candidate>> GenT::DiscoverCandidates(
@@ -64,8 +73,17 @@ Result<ReclamationResult> GenT::ReclaimFromCandidates(
     const Table& source, const std::vector<Candidate>& candidates,
     const OpLimits& limits, const TraversalOptions& traversal_options,
     double discovery_seconds) const {
+  return ReclaimFromCandidates(source, candidates, limits, traversal_options,
+                               config_.expand, discovery_seconds);
+}
+
+Result<ReclamationResult> GenT::ReclaimFromCandidates(
+    const Table& source, const std::vector<Candidate>& candidates,
+    const OpLimits& limits, const TraversalOptions& traversal_options,
+    const ExpandOptions& expand_options, double discovery_seconds) const {
   auto t0 = std::chrono::steady_clock::now();
-  GENT_ASSIGN_OR_RETURN(auto expanded, Expand(source, candidates, limits));
+  GENT_ASSIGN_OR_RETURN(auto expanded,
+                        Expand(source, candidates, limits, expand_options));
   return ReclaimFromExpanded(source, std::move(expanded.tables), limits,
                              traversal_options,
                              discovery_seconds + SecondsSince(t0));
@@ -127,11 +145,15 @@ std::vector<Result<ReclamationResult>> GenT::ReclaimBatch(
       std::min(ThreadPool::ResolveThreads(options.num_threads),
                sources.size());
 
-  // Batch workers already saturate the pool; intra-traversal parallelism
-  // on top would oversubscribe, so pin it to serial (thread count never
-  // affects results).
+  // Batch workers already saturate the pool; intra-traversal and
+  // intra-expansion parallelism on top would oversubscribe, so pin both
+  // to serial (thread count never affects results).
   TraversalOptions traversal = config_.traversal;
-  if (threads > 1) traversal.num_threads = 1;
+  ExpandOptions expand = config_.expand;
+  if (threads > 1) {
+    traversal.num_threads = 1;
+    expand.num_threads = 1;
+  }
 
   auto reclaim_one = [&](size_t i) {
     OpLimits limits = options.timeout_seconds > 0
@@ -142,7 +164,7 @@ std::vector<Result<ReclamationResult>> GenT::ReclaimBatch(
     if (options.exclude_source_name) {
       discovery.exclude_table = sources[i].name();
     }
-    results[i] = Reclaim(sources[i], limits, discovery, traversal);
+    results[i] = Reclaim(sources[i], limits, discovery, traversal, expand);
   };
 
   ParallelFor(threads, sources.size(), reclaim_one);

@@ -44,6 +44,7 @@ namespace gent {
 
 struct GenTConfig {
   DiscoveryConfig discovery;
+  ExpandOptions expand;
   TraversalOptions traversal;
   IntegrationOptions integration;
   /// Ablation: bypass matrix traversal and integrate every candidate
@@ -121,6 +122,16 @@ class GenT {
                                     const DiscoveryConfig& discovery,
                                     const TraversalOptions& traversal) const;
 
+  /// Reclaim with per-call expansion options too: batch workers pin
+  /// ExpandOptions::num_threads to 1 (the pool is already saturated),
+  /// while a solo Reclaim fans the join-graph build and path
+  /// materialization out. Thread count never changes results.
+  Result<ReclamationResult> Reclaim(const Table& source,
+                                    const OpLimits& limits,
+                                    const DiscoveryConfig& discovery,
+                                    const TraversalOptions& traversal,
+                                    const ExpandOptions& expand) const;
+
   /// The discovery stage alone (recall + Set Similarity +
   /// diversification + schema matching). Exposed as a seam so
   /// ReclaimService can cache its result per source fingerprint and so
@@ -140,6 +151,13 @@ class GenT {
       const Table& source, const std::vector<Candidate>& candidates,
       const OpLimits& limits, const TraversalOptions& traversal,
       double discovery_seconds = 0.0) const;
+
+  /// Same, with explicit expansion options (the no-expand overload uses
+  /// the construction-time config).
+  Result<ReclamationResult> ReclaimFromCandidates(
+      const Table& source, const std::vector<Candidate>& candidates,
+      const OpLimits& limits, const TraversalOptions& traversal,
+      const ExpandOptions& expand, double discovery_seconds = 0.0) const;
 
   /// The pipeline downstream of expansion (Matrix Traversal →
   /// Integration), for callers that already hold the expanded,

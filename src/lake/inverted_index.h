@@ -71,7 +71,11 @@ class InvertedIndex {
 /// ColumnStatsCatalog::SortedValues instead).
 std::unordered_set<ValueId> DistinctColumnValues(const Table& t, size_t c);
 
-/// |a ∩ b| for id sets.
+/// |a ∩ b| for id sets. Guaranteed to probe the smaller set into the
+/// larger regardless of argument order (2–10× on skewed pairs), so
+/// non-catalog callers (baselines, ad-hoc row subsets) never need to
+/// order their arguments. Lake-column intersections should use the
+/// catalog's sorted sets + SortedIntersectionSize instead.
 size_t SetIntersectionSize(const std::unordered_set<ValueId>& a,
                            const std::unordered_set<ValueId>& b);
 

@@ -37,6 +37,7 @@
 
 #include "src/discovery/discovery.h"
 #include "src/table/table.h"
+#include "src/util/hash.h"
 #include "src/util/status.h"
 
 namespace gent {
@@ -184,12 +185,7 @@ class SourceKeyLookup {
  private:
   static constexpr uint64_t kEmptySlot = ~uint64_t{0};
 
-  static uint64_t Mix(uint64_t x) {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-  }
+  static uint64_t Mix(uint64_t x) { return SplitMix64(x); }
 
   uint64_t TupleHash(const ValueId* tuple) const {
     uint64_t h = 0x9e3779b97f4a7c15ULL;

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "src/engine/column_stats_catalog.h"
+#include "src/engine/thread_pool.h"
 #include "src/matrix/alignment_matrix.h"
 #include "src/ops/join.h"
 #include "src/ops/unary.h"
@@ -26,15 +30,63 @@ struct JoinPair {
   size_t inter = 0;
 };
 
-// Distinct value sets per column, computed once per candidate.
-using ColumnSets = std::vector<std::unordered_set<ValueId>>;
+// Distinct value sets per column as sorted, deduplicated id vectors.
+// Views either borrow the shared catalog's immutable sets (untouched
+// lake candidates: zero recomputation, zero copies) or point into
+// `owned` (ad-hoc candidates and joined intermediates: one one-pass
+// sort-unique build, no hash sets). Move-safe: moving the outer vectors
+// keeps the inner heap buffers, so views survive container moves.
+struct ColumnSets {
+  std::vector<std::vector<ValueId>> owned;
+  std::vector<const std::vector<ValueId>*> views;
 
-ColumnSets ComputeColumnSets(const Table& t) {
-  ColumnSets sets(t.num_cols());
+  // Move-only: `views` may point into `owned`, so a copy's views would
+  // alias the source object's storage and dangle with it. Moves are
+  // safe — the outer vectors' heap buffers (and with them the inner
+  // vector objects views point at) survive the move.
+  ColumnSets() = default;
+  ColumnSets(const ColumnSets&) = delete;
+  ColumnSets& operator=(const ColumnSets&) = delete;
+  ColumnSets(ColumnSets&&) = default;
+  ColumnSets& operator=(ColumnSets&&) = default;
+
+  size_t size() const { return views.size(); }
+  const std::vector<ValueId>& col(size_t c) const { return *views[c]; }
+};
+
+ColumnSets SetsFromTable(const Table& t) {
+  ColumnSets s;
+  s.owned.resize(t.num_cols());
   for (size_t c = 0; c < t.num_cols(); ++c) {
-    sets[c] = DistinctColumnValues(t, c);
+    s.owned[c] = SortedDistinctValues(t, c);
   }
-  return sets;
+  s.views.reserve(s.owned.size());
+  for (const auto& v : s.owned) s.views.push_back(&v);
+  return s;
+}
+
+ColumnSets SetsFromCatalog(const ColumnStatsCatalog& catalog,
+                           size_t lake_index, size_t num_cols) {
+  ColumnSets s;
+  s.views.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    s.views.push_back(&catalog.SortedValuesOf(lake_index, c));
+  }
+  return s;
+}
+
+// True when the candidate's per-column stats can be served straight from
+// its catalog: discovery produces row-identical clones (renames only),
+// so the shape check is a cheap guard against hand-built candidates
+// whose rows diverged from the lake table they claim to be.
+bool CatalogBacked(const Candidate& cand) {
+  if (cand.stats == nullptr) return false;
+  const DataLake& lake = cand.stats->lake();
+  if (cand.lake_index >= lake.size()) return false;
+  const Table& lt = lake.table(cand.lake_index);
+  return lt.dict() == cand.table.dict() &&
+         lt.num_cols() == cand.table.num_cols() &&
+         lt.num_rows() == cand.table.num_rows();
 }
 
 // Best joinable pair between tables a and b, or nullopt when no pair is
@@ -46,32 +98,54 @@ ColumnSets ComputeColumnSets(const Table& t) {
 //     "as close to functional as possible" (Algorithm 5). A low-keyness
 //     pair (e.g. a 25-value nation id over 400 rows) is a many-to-many
 //     join that attaches rows to unrelated keys.
+// Before intersecting, each pair is screened by the upper bound
+// min(|Va|,|Vb|)/max(|Va|,|Vb|) × keyness: since |Va ∩ Vb| ≤ min, the
+// bound dominates the true weight (division and multiplication by a
+// shared non-negative operand are monotone in IEEE), so a sub-threshold
+// bound skips the merge without changing any outcome. Ties on (weight,
+// intersection) break to the smallest (a_col, b_col) — the documented
+// edge-choice contract in expand.h.
 std::optional<JoinPair> BestJoinPair(const ColumnSets& a, size_t rows_a,
                                      const ColumnSets& b, size_t rows_b,
                                      double threshold) {
   std::optional<JoinPair> best;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].empty()) continue;
+    const std::vector<ValueId>& va = a.col(i);
+    if (va.empty()) continue;
+    const double keyness_a =
+        rows_a == 0 ? 0.0
+                    : static_cast<double>(va.size()) /
+                          static_cast<double>(rows_a);
     for (size_t j = 0; j < b.size(); ++j) {
-      if (b[j].empty()) continue;
-      size_t inter = SetIntersectionSize(a[i], b[j]);
-      if (inter == 0) continue;
-      double containment =
-          static_cast<double>(inter) /
-          static_cast<double>(std::max(a[i].size(), b[j].size()));
+      const std::vector<ValueId>& vb = b.col(j);
+      if (vb.empty()) continue;
       double keyness = std::max(
-          rows_a == 0 ? 0.0
-                      : static_cast<double>(a[i].size()) /
-                            static_cast<double>(rows_a),
-          rows_b == 0 ? 0.0
-                      : static_cast<double>(b[j].size()) /
-                            static_cast<double>(rows_b));
+          keyness_a, rows_b == 0 ? 0.0
+                                 : static_cast<double>(vb.size()) /
+                                       static_cast<double>(rows_b));
+      double max_size =
+          static_cast<double>(std::max(va.size(), vb.size()));
+      double bound =
+          static_cast<double>(std::min(va.size(), vb.size())) / max_size *
+          keyness;
+      if (bound < threshold) continue;
+      size_t inter = SortedIntersectionSize(va, vb);
+      if (inter == 0) continue;
+      double containment = static_cast<double>(inter) / max_size;
       double w = containment * keyness;
       if (w < threshold) continue;
-      if (!best || w > best->weight ||
-          (w == best->weight && inter > best->inter)) {
-        best = JoinPair{i, j, w, inter};
+      bool better;
+      if (!best) {
+        better = true;
+      } else if (w != best->weight) {
+        better = w > best->weight;
+      } else if (inter != best->inter) {
+        better = inter > best->inter;
+      } else {
+        better = std::make_pair(i, j) <
+                 std::make_pair(best->a_col, best->b_col);
       }
+      if (better) best = JoinPair{i, j, w, inter};
     }
   }
   return best;
@@ -83,12 +157,13 @@ std::optional<JoinPair> BestJoinPair(const ColumnSets& a, size_t rows_a,
 // `preserve_right` keep the RIGHT column (the expansion-start candidate's
 // data) and move the left's aside — the left (hop) table's same-named
 // column is usually a spurious mapping over an overlapping domain.
-Result<Table> JoinOnPair(const Table& left, const Table& right,
-                         size_t left_col, size_t right_col,
+// Inputs are taken by value: both are single-use locals of the
+// expansion loop, so renaming in place saves two full table copies per
+// hop (the reference implementation clones instead — same cells, same
+// result).
+Result<Table> JoinOnPair(Table l, Table r, size_t left_col, size_t right_col,
                          const std::unordered_set<std::string>& preserve_right,
                          const OpLimits& limits) {
-  Table l = left.Clone();
-  Table r = right.Clone();
   for (size_t c = 0; c < r.num_cols(); ++c) {
     if (c == right_col) continue;
     const std::string& name = r.column_name(c);
@@ -119,7 +194,8 @@ Result<Table> JoinOnPair(const Table& left, const Table& right,
 
 Result<ExpandResult> Expand(const Table& source,
                             const std::vector<Candidate>& candidates,
-                            const OpLimits& limits) {
+                            const OpLimits& limits,
+                            const ExpandOptions& options) {
   constexpr double kJoinThreshold = 0.3;
   const size_t n = candidates.size();
   ExpandResult result;
@@ -131,37 +207,88 @@ Result<ExpandResult> Expand(const Table& source,
   OpLimits join_limits = limits;
   join_limits.MaxRows(std::min<uint64_t>(limits.max_rows(), 200000));
 
-  // Column value sets and canonical (sorted) schemas, once per candidate
-  // — schema-family comparisons are then plain vector equality.
-  std::vector<ColumnSets> sets;
-  sets.reserve(n);
-  std::vector<std::vector<std::string>> sorted_schemas;
-  sorted_schemas.reserve(n);
-  for (const auto& c : candidates) {
-    sets.push_back(ComputeColumnSets(c.table));
-    sorted_schemas.push_back(c.table.column_names());
-    std::sort(sorted_schemas.back().begin(), sorted_schemas.back().end());
-  }
+  const bool debug = getenv("GENT_DEBUG_EXPAND") != nullptr;
 
-  // Join graph: value-overlap edges with their best column pair.
+  // One pool serves all three parallel phases. Every phase writes only
+  // to its own index slot and reduces in candidate-index order, so
+  // thread count never changes results. Debug forces serial so the
+  // trace on stderr stays in candidate order.
+  size_t threads =
+      debug ? 1 : std::min(ThreadPool::ResolveThreads(options.num_threads), n);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && n >= 4) pool = std::make_unique<ThreadPool>(threads);
+
+  // Column value sets and canonical (sorted) schemas, once per candidate
+  // — catalog-backed candidates borrow the shared sorted sets, the rest
+  // get a one-pass sorted build; schema-family comparisons are then
+  // plain vector equality.
+  std::vector<ColumnSets> sets(n);
+  std::vector<std::vector<std::string>> sorted_schemas(n);
+  ParallelFor(pool.get(), n, [&](size_t i) {
+    const Candidate& c = candidates[i];
+    sets[i] = CatalogBacked(c)
+                  ? SetsFromCatalog(*c.stats, c.lake_index, c.table.num_cols())
+                  : SetsFromTable(c.table);
+    sorted_schemas[i] = c.table.column_names();
+    std::sort(sorted_schemas[i].begin(), sorted_schemas[i].end());
+  });
+
+  // Join graph: value-overlap edges with their best column pair. The
+  // pairwise scan shards by the lower candidate index; the reduction
+  // below rebuilds the adjacency lists in exactly the serial insertion
+  // order.
   struct Edge {
     size_t to;
     JoinPair pair;  // pair.a_col indexes the *from* table
   };
-  std::vector<std::vector<Edge>> adj(n);
-  for (size_t i = 0; i < n; ++i) {
+  std::vector<std::vector<Edge>> forward(n);
+  ParallelFor(pool.get(), n, [&](size_t i) {
     for (size_t j = i + 1; j < n; ++j) {
       auto pair =
           BestJoinPair(sets[i], candidates[i].table.num_rows(), sets[j],
                        candidates[j].table.num_rows(), kJoinThreshold);
       if (!pair) continue;
-      adj[i].push_back(Edge{j, *pair});
-      adj[j].push_back(Edge{i, JoinPair{pair->b_col, pair->a_col,
-                                        pair->weight, pair->inter}});
+      forward[i].push_back(Edge{j, *pair});
+    }
+  });
+  std::vector<std::vector<Edge>> adj(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const Edge& e : forward[i]) {
+      adj[i].push_back(e);
+      adj[e.to].push_back(Edge{i, JoinPair{e.pair.b_col, e.pair.a_col,
+                                           e.pair.weight, e.pair.inter}});
     }
   }
 
-  if (getenv("GENT_DEBUG_EXPAND")) {
+  // Hop-family unions, once per candidate: the inner-union of a hop
+  // table with its same-schema siblings depends only on the hop (an
+  // ascending fold; InnerUnion rejects every other schema), so
+  // expansion paths share one precomputed copy instead of refolding the
+  // family per (start, hop) pair. The lone exception — the start
+  // candidate itself belongs to the hop's family and must be excluded —
+  // refolds in build_expansion. Only potentially reachable hops get a
+  // union: paths need a keyless start AND a key-covering end to exist
+  // at all, and an edgeless candidate appears on no path.
+  bool any_keyless = false, any_covers = false;
+  for (const Candidate& c : candidates) {
+    any_keyless |= !c.covers_key;
+    any_covers |= c.covers_key;
+  }
+  std::vector<std::optional<Table>> family_union(n);
+  if (any_keyless && any_covers) {
+    ParallelFor(pool.get(), n, [&](size_t i) {
+      if (adj[i].empty()) return;
+      Table t = candidates[i].table.Clone();
+      for (size_t other = 0; other < n; ++other) {
+        if (other == i) continue;
+        auto unioned = InnerUnion(t, candidates[other].table);
+        if (unioned.ok()) t = std::move(unioned).value();
+      }
+      family_union[i] = std::move(t);
+    });
+  }
+
+  if (debug) {
     for (size_t i = 0; i < n; ++i) {
       fprintf(stderr, "[edges] %s:", candidates[i].table.name().c_str());
       for (const Edge& e : adj[i]) {
@@ -211,28 +338,36 @@ Result<ExpandResult> Expand(const Table& source,
     return path;
   };
 
-  const bool debug = getenv("GENT_DEBUG_EXPAND") != nullptr;
-
   // Materializes one expansion along `path`; nullopt = unusable.
+  // Intermediates are not lake tables, so their sets fall back to the
+  // one-pass sorted build.
   auto build_expansion = [&](size_t ci, const std::vector<size_t>& path)
       -> std::optional<Table> {
     const Candidate& cand = candidates[ci];
     Table joined = candidates[path[0]].table.Clone();
-    ColumnSets joined_sets = sets[path[0]];
+    ColumnSets local_sets;
+    const ColumnSets* joined_sets = &sets[path[0]];
     for (size_t p = 1; p < path.size(); ++p) {
       size_t next = path[p];
-      auto pair = BestJoinPair(joined_sets, joined.num_rows(), sets[next],
+      auto pair = BestJoinPair(*joined_sets, joined.num_rows(), sets[next],
                                candidates[next].table.num_rows(),
                                kJoinThreshold);
       if (!pair) return std::nullopt;
       // Join against the inner-union of the hop table's schema family: a
       // single lake table may be missing join-key values (nulls) that a
-      // sibling variant supplies.
-      Table hop_table = candidates[next].table.Clone();
-      for (size_t other = 0; other < n; ++other) {
-        if (other == next || other == ci) continue;
-        auto unioned = InnerUnion(hop_table, candidates[other].table);
-        if (unioned.ok()) hop_table = std::move(unioned).value();
+      // sibling variant supplies. The start candidate's own rows never
+      // join back into its expansion, so it is excluded from the family
+      // — when it isn't part of it anyway, the precomputed union serves.
+      Table hop_table("", source.dict());
+      if (sorted_schemas[ci] != sorted_schemas[next]) {
+        hop_table = family_union[next]->Clone();
+      } else {
+        hop_table = candidates[next].table.Clone();
+        for (size_t other = 0; other < n; ++other) {
+          if (other == next || other == ci) continue;
+          auto unioned = InnerUnion(hop_table, candidates[other].table);
+          if (unioned.ok()) hop_table = std::move(unioned).value();
+        }
       }
       if (debug) {
         fprintf(stderr, "[hop] %s: %s ~ %s (w=%.2f)\n",
@@ -245,11 +380,17 @@ Result<ExpandResult> Expand(const Table& source,
       // source key columns of the path's end table -- survive the rename.
       std::unordered_set<std::string> preserve(
           cand.table.column_names().begin(), cand.table.column_names().end());
-      auto j = JoinOnPair(hop_table, joined, pair->b_col, pair->a_col,
-                          preserve, join_limits);
+      auto j = JoinOnPair(std::move(hop_table), std::move(joined),
+                          pair->b_col, pair->a_col, preserve, join_limits);
       if (!j.ok()) return std::nullopt;
       joined = std::move(j).value();
-      joined_sets = ComputeColumnSets(joined);
+      // The intermediate's column sets feed only the NEXT hop's pair
+      // search; on the last hop (the overwhelmingly common 2-node path)
+      // the rebuild is dead work and skipped.
+      if (p + 1 < path.size()) {
+        local_sets = SetsFromTable(joined);
+        joined_sets = &local_sets;
+      }
     }
     if (joined.num_rows() == 0) return std::nullopt;
     for (size_t kc : source.key_columns()) {
@@ -319,11 +460,27 @@ Result<ExpandResult> Expand(const Table& source,
     return joined;
   };
 
-  for (size_t i = 0; i < n; ++i) {
+  // One key lookup serves every path's scoring matrix (the source is
+  // fixed for the whole expansion).
+  SourceKeyLookup source_keys(source);
+
+  // Expands one candidate end to end: path enumeration, materialization,
+  // and simulated-EIS scoring. Reads only immutable per-run state
+  // (candidates, sets, adj, family unions, key lookup) and the shared
+  // dictionary (never appended to by join/union/project), so candidates
+  // expand concurrently with bit-identical outcomes.
+  struct Slot {
+    std::optional<Table> table;
+    bool expanded = false;
+    bool dropped = false;
+  };
+  std::vector<Slot> slots(n);
+  ParallelFor(pool.get(), n, [&](size_t i) {
     const Candidate& cand = candidates[i];
+    Slot& slot = slots[i];
     if (cand.covers_key) {
-      result.tables.push_back(cand.table.Clone());
-      continue;
+      slot.table = cand.table.Clone();
+      return;
     }
     // Alternative paths: the globally best path plus paths forced through
     // the strongest schema-distinct neighbors. Value statistics cannot
@@ -362,8 +519,8 @@ Result<ExpandResult> Expand(const Table& source,
       if (debug) {
         fprintf(stderr, "[drop] %s: no path\n", cand.table.name().c_str());
       }
-      ++result.num_dropped;
-      continue;
+      slot.dropped = true;
+      return;
     }
 
     std::optional<Table> best_table;
@@ -378,7 +535,8 @@ Result<ExpandResult> Expand(const Table& source,
       }
       auto expansion = build_expansion(i, path);
       if (!expansion.has_value()) continue;
-      auto matrix = InitializeMatrix(source, *expansion, MatrixOptions{});
+      auto matrix =
+          InitializeMatrix(source, *expansion, MatrixOptions{}, source_keys);
       if (!matrix.ok()) continue;
       double score = EvaluateMatrixSimilarity(*matrix, source);
       if (debug) {
@@ -395,11 +553,23 @@ Result<ExpandResult> Expand(const Table& source,
         fprintf(stderr, "[drop] %s: all paths failed\n",
                 cand.table.name().c_str());
       }
-      ++result.num_dropped;
-      continue;
+      slot.dropped = true;
+      return;
     }
-    result.tables.push_back(std::move(*best_table));
-    ++result.num_expanded;
+    slot.table = std::move(best_table);
+    slot.expanded = true;
+  });
+
+  // Deterministic reduction: candidate-index order, exactly the serial
+  // emission order.
+  for (size_t i = 0; i < n; ++i) {
+    Slot& slot = slots[i];
+    if (slot.table.has_value()) {
+      result.tables.push_back(std::move(*slot.table));
+      result.num_expanded += slot.expanded;
+    } else if (slot.dropped) {
+      ++result.num_dropped;
+    }
   }
   return result;
 }

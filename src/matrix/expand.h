@@ -2,6 +2,23 @@
 // source key are joined — along a maximum-weight path in the candidate
 // join graph — with candidates that do, so that every table entering
 // matrix traversal can align its tuples to source rows by key.
+//
+// The implementation is the catalog-aware ExpandEngine (DESIGN.md §5.6):
+// candidates that are untouched lake tables borrow their sorted distinct
+// sets and cardinalities from the shared ColumnStatsCatalog
+// (Candidate::stats; zero recomputation), pair containment runs as a
+// merge-intersection over sorted id vectors with a cheap upper-bound
+// prune (min(|Va|,|Vb|)/max(|Va|,|Vb|) × keyness < threshold skips the
+// intersection — exact-safe, the bound dominates the true weight), and
+// the per-candidate set builds, the pairwise edge scan, and the
+// per-candidate path materialization fan out over a thread pool with an
+// index-ordered reduction. Results are bit-identical to the serial
+// reference (tests/expand_reference.h) at any thread count.
+//
+// Edge-choice contract: the best join pair between two tables maximizes
+// (weight, intersection size) and breaks remaining ties by the smallest
+// (a_col, b_col) column-index pair — explicitly deterministic, never an
+// artifact of scan order.
 
 #ifndef GENT_MATRIX_EXPAND_H_
 #define GENT_MATRIX_EXPAND_H_
@@ -25,12 +42,24 @@ struct ExpandResult {
   size_t num_dropped = 0;
 };
 
+struct ExpandOptions {
+  /// Worker threads for the per-candidate sorted-set builds, the
+  /// pairwise join-graph edge scan, and the per-candidate path
+  /// materialization. 0 = hardware concurrency (uncapped); 1 = serial.
+  /// Tiny candidate sets stay serial regardless — spinning a pool costs
+  /// more than the scan. Thread count never changes results (per-slot
+  /// writes, reduced in candidate-index order). GENT_DEBUG_EXPAND
+  /// forces serial so the trace interleaves deterministically.
+  size_t num_threads = 0;
+};
+
 /// Joins key-less candidates toward key-covering ones. Edge weights are
 /// the value overlap of the joinable (shared-name) columns; the DFS keeps
 /// the maximum-weight path per start node (Algorithm 5).
 Result<ExpandResult> Expand(const Table& source,
                             const std::vector<Candidate>& candidates,
-                            const OpLimits& limits = {});
+                            const OpLimits& limits = {},
+                            const ExpandOptions& options = {});
 
 }  // namespace gent
 

@@ -1,12 +1,134 @@
 #include "src/ops/join.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstdint>
 #include <unordered_set>
 
 #include "src/ops/unary.h"
+#include "src/util/hash.h"
 
 namespace gent {
+
+namespace {
+
+// Flat ~1/8-load open-addressing build side for the natural join (same
+// recipe as SourceKeyLookup in src/matrix/alignment_matrix.h): right
+// rows are grouped by join key into a contiguous CSR arena, and the
+// probe loop reads the key columns column-major through raw pointers.
+// A single shared column embeds the key value in the slot; composite
+// keys embed a 32-bit hash tag and confirm against a representative
+// row's column data. Null join values are rejected at build time
+// (null-rejecting, as in SQL). Rows stay ascending within each key
+// group, so the join's output row order is exactly what the old
+// unordered_map build side produced.
+class JoinKeyTable {
+ public:
+  JoinKeyTable(const Table& right, const std::vector<size_t>& rshared)
+      : num_key_cols_(rshared.size()) {
+    for (size_t rc : rshared) key_cols_.push_back(right.column(rc).data());
+    const size_t n = right.num_rows();
+    size_t cap = 16;
+    while (cap < 8 * n) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, kEmptySlot);
+    const bool single = num_key_cols_ == 1;
+    // Pass 1: discover distinct keys, count rows per key.
+    std::vector<uint32_t> counts;
+    std::vector<uint32_t> row_entry(n, UINT32_MAX);
+    std::vector<ValueId> tuple(num_key_cols_);
+    for (size_t r = 0; r < n; ++r) {
+      bool null_key = false;
+      for (size_t i = 0; i < num_key_cols_; ++i) {
+        tuple[i] = key_cols_[i][r];
+        null_key |= tuple[i] == kNull;
+      }
+      if (null_key) continue;
+      const uint64_t hash = single ? Mix(tuple[0]) : TupleHash(tuple.data());
+      const uint64_t hi = single ? tuple[0] : hash >> 32;
+      uint64_t slot = hash & mask_;
+      while (true) {
+        uint64_t e = slots_[slot];
+        if (e == kEmptySlot) {
+          e = (hi << 32) | counts.size();
+          slots_[slot] = e;
+          counts.push_back(0);
+          entry_row_.push_back(static_cast<uint32_t>(r));
+        }
+        if ((e >> 32) == hi) {
+          uint32_t ent = static_cast<uint32_t>(e);
+          if (single || TupleEquals(ent, tuple.data())) {
+            ++counts[ent];
+            row_entry[r] = ent;
+            break;
+          }
+        }
+        slot = (slot + 1) & mask_;
+      }
+    }
+    // Pass 2: group rows by entry in the arena, ascending within each.
+    entry_start_.resize(counts.size() + 1, 0);
+    for (size_t e = 0; e < counts.size(); ++e) {
+      entry_start_[e + 1] = entry_start_[e] + counts[e];
+    }
+    rows_.resize(entry_start_.back());
+    std::vector<uint32_t> fill(entry_start_.begin(), entry_start_.end() - 1);
+    for (size_t r = 0; r < n; ++r) {
+      if (row_entry[r] != UINT32_MAX) {
+        rows_[fill[row_entry[r]]++] = static_cast<uint32_t>(r);
+      }
+    }
+  }
+
+  /// Right rows whose join key equals `tuple[0..num_key_cols)`,
+  /// ascending. {nullptr, 0} when none. `tuple` must be null-free.
+  std::pair<const uint32_t*, size_t> Find(const ValueId* tuple) const {
+    const bool single = num_key_cols_ == 1;
+    const uint64_t hash = single ? Mix(tuple[0]) : TupleHash(tuple);
+    const uint64_t hi = single ? tuple[0] : hash >> 32;
+    uint64_t slot = hash & mask_;
+    while (true) {
+      uint64_t e = slots_[slot];
+      if (e == kEmptySlot) return {nullptr, 0};
+      if ((e >> 32) == hi) {
+        uint32_t ent = static_cast<uint32_t>(e);
+        if (single || TupleEquals(ent, tuple)) {
+          return {rows_.data() + entry_start_[ent],
+                  entry_start_[ent + 1] - entry_start_[ent]};
+        }
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+ private:
+  static constexpr uint64_t kEmptySlot = ~uint64_t{0};
+
+  static uint64_t Mix(uint64_t x) { return SplitMix64(x); }
+
+  uint64_t TupleHash(const ValueId* tuple) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (size_t i = 0; i < num_key_cols_; ++i) h = Mix(h ^ tuple[i]);
+    return h;
+  }
+
+  bool TupleEquals(uint32_t entry, const ValueId* tuple) const {
+    const uint32_t row = entry_row_[entry];
+    for (size_t i = 0; i < num_key_cols_; ++i) {
+      if (key_cols_[i][row] != tuple[i]) return false;
+    }
+    return true;
+  }
+
+  size_t num_key_cols_ = 0;
+  uint64_t mask_ = 0;
+  std::vector<uint64_t> slots_;        // (key|tag)<<32 | entry
+  std::vector<uint32_t> entry_start_;  // entry → range in rows_ (+sentinel)
+  std::vector<uint32_t> rows_;         // right rows, grouped by entry
+  std::vector<uint32_t> entry_row_;    // entry → representative right row
+  std::vector<const ValueId*> key_cols_;  // right join-key columns
+};
+
+}  // namespace
 
 std::vector<std::string> SharedColumns(const Table& left,
                                        const Table& right) {
@@ -69,62 +191,81 @@ Result<Table> NaturalJoin(const Table& left, const Table& right,
     GENT_RETURN_IF_ERROR(out.AddColumn(right.column_name(rc)));
   }
 
-  // Hash the right side on its shared-column key (null-rejecting).
-  std::unordered_map<KeyTuple, std::vector<size_t>, KeyTupleHash> rindex;
-  rindex.reserve(right.num_rows());
-  KeyTuple key(shared.size());
-  auto key_of = [&](const Table& t, const std::vector<size_t>& cols,
-                    size_t r) -> bool {
-    for (size_t i = 0; i < cols.size(); ++i) {
-      key[i] = t.cell(r, cols[i]);
-      if (key[i] == kNull) return false;
-    }
-    return true;
-  };
-  for (size_t r = 0; r < right.num_rows(); ++r) {
-    if (key_of(right, rshared, r)) rindex[key].push_back(r);
-  }
+  // Flat open-addressing build side over the right rows' shared-column
+  // key; the probe loop walks the left key columns column-major.
+  JoinKeyTable rindex(right, rshared);
+  std::vector<const ValueId*> lkey;
+  lkey.reserve(lshared.size());
+  for (size_t lc : lshared) lkey.push_back(left.column(lc).data());
 
+  // Pass 1: match lists. Each output row is a (left row, right row)
+  // pair with SIZE_MAX / -1 marking the preserved-only side. The limit
+  // check runs at exactly the points (and counts) the row-at-a-time
+  // emitter checked.
+  std::vector<size_t> lrows;
+  std::vector<ptrdiff_t> rrows;
   std::vector<bool> right_matched(right.num_rows(), false);
-  std::vector<ValueId> row(out.num_cols());
-  auto emit = [&](size_t lr, ptrdiff_t rr) {
-    for (size_t lc = 0; lc < left.num_cols(); ++lc) {
-      row[lc] = lr == SIZE_MAX ? kNull : left.cell(lr, lc);
-    }
-    // Right-preserved rows must still fill the shared columns.
-    if (lr == SIZE_MAX && rr >= 0) {
-      for (size_t i = 0; i < lshared.size(); ++i) {
-        row[lshared[i]] = right.cell(static_cast<size_t>(rr), rshared[i]);
-      }
-    }
-    for (size_t i = 0; i < rextra.size(); ++i) {
-      row[left.num_cols() + i] =
-          rr < 0 ? kNull : right.cell(static_cast<size_t>(rr), rextra[i]);
-    }
-    out.AddRow(row);
-  };
-
+  std::vector<ValueId> tuple(lshared.size());
   for (size_t lr = 0; lr < left.num_rows(); ++lr) {
-    GENT_RETURN_IF_ERROR(limits.Check(out.num_rows()));
+    GENT_RETURN_IF_ERROR(limits.Check(lrows.size()));
     bool matched = false;
-    if (key_of(left, lshared, lr)) {
-      auto it = rindex.find(key);
-      if (it != rindex.end()) {
-        for (size_t rr : it->second) {
-          emit(lr, static_cast<ptrdiff_t>(rr));
-          right_matched[rr] = true;
-          matched = true;
-        }
+    bool null_key = false;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      tuple[i] = lkey[i][lr];
+      null_key |= tuple[i] == kNull;
+    }
+    if (!null_key) {
+      auto [rows, count] = rindex.Find(tuple.data());
+      for (size_t k = 0; k < count; ++k) {
+        lrows.push_back(lr);
+        rrows.push_back(static_cast<ptrdiff_t>(rows[k]));
+        right_matched[rows[k]] = true;
+        matched = true;
       }
     }
     if (!matched && kind != JoinKind::kInner) {
-      emit(lr, -1);  // preserve left tuple
+      lrows.push_back(lr);  // preserve left tuple
+      rrows.push_back(-1);
     }
   }
   if (kind == JoinKind::kFullOuter) {
     for (size_t rr = 0; rr < right.num_rows(); ++rr) {
-      GENT_RETURN_IF_ERROR(limits.Check(out.num_rows()));
-      if (!right_matched[rr]) emit(SIZE_MAX, static_cast<ptrdiff_t>(rr));
+      GENT_RETURN_IF_ERROR(limits.Check(lrows.size()));
+      if (!right_matched[rr]) {
+        lrows.push_back(SIZE_MAX);
+        rrows.push_back(static_cast<ptrdiff_t>(rr));
+      }
+    }
+  }
+
+  // Pass 2: column-major fill — each output column is one contiguous
+  // gather, no per-row vector churn. Right-preserved rows must still
+  // fill the shared columns from the right side.
+  std::vector<ptrdiff_t> shared_of_left(left.num_cols(), -1);
+  for (size_t i = 0; i < lshared.size(); ++i) {
+    shared_of_left[lshared[i]] = static_cast<ptrdiff_t>(rshared[i]);
+  }
+  const size_t m = lrows.size();
+  for (size_t lc = 0; lc < left.num_cols(); ++lc) {
+    std::vector<ValueId>& col = out.mutable_column(lc);
+    col.resize(m);
+    const ValueId* src = left.column(lc).data();
+    const ptrdiff_t rs = shared_of_left[lc];
+    const ValueId* rsrc = rs < 0 ? nullptr : right.column(rs).data();
+    for (size_t i = 0; i < m; ++i) {
+      if (lrows[i] != SIZE_MAX) {
+        col[i] = src[lrows[i]];
+      } else {
+        col[i] = rsrc != nullptr && rrows[i] >= 0 ? rsrc[rrows[i]] : kNull;
+      }
+    }
+  }
+  for (size_t x = 0; x < rextra.size(); ++x) {
+    std::vector<ValueId>& col = out.mutable_column(left.num_cols() + x);
+    col.resize(m);
+    const ValueId* src = right.column(rextra[x]).data();
+    for (size_t i = 0; i < m; ++i) {
+      col[i] = rrows[i] < 0 ? kNull : src[rrows[i]];
     }
   }
   return out;

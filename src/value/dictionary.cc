@@ -1,5 +1,6 @@
 #include "src/value/dictionary.h"
 
+#include <algorithm>
 #include <cassert>
 #include <mutex>
 
@@ -54,6 +55,16 @@ ValueId ValueDictionary::CreateLabeledNull() {
 bool ValueDictionary::IsLabeledNull(ValueId id) const {
   std::shared_lock lock(mutex_);
   return labeled_nulls_.count(id) > 0;
+}
+
+void ValueDictionary::RemoveLabeledNulls(std::vector<ValueId>* ids) const {
+  std::shared_lock lock(mutex_);
+  if (labeled_nulls_.empty()) return;
+  ids->erase(std::remove_if(ids->begin(), ids->end(),
+                            [this](ValueId v) {
+                              return labeled_nulls_.count(v) > 0;
+                            }),
+             ids->end());
 }
 
 size_t ValueDictionary::size() const {

@@ -56,6 +56,60 @@ TEST(SortedIntersectionSizeTest, MatchesHashSetPath) {
   EXPECT_EQ(SortedIntersectionSize(a, b), SetIntersectionSize(ha, hb));
 }
 
+TEST(SortedIntersectionSizeTest, GallopingSkewPathIsExactAndSymmetric) {
+  // Skewed enough to take the galloping path (small·16 < big) in one
+  // argument order and the merge in neither/both — counts and symmetry
+  // must hold regardless.
+  std::vector<ValueId> big;
+  for (ValueId v = 1; v <= 4000; ++v) {
+    if (v % 3 != 0) big.push_back(v);
+  }
+  std::vector<ValueId> small{3, 5, 6, 1000, 2998, 2999, 4000, 4001};
+  size_t want = 0;
+  for (ValueId v : small) {
+    want += std::binary_search(big.begin(), big.end(), v);
+  }
+  EXPECT_EQ(SortedIntersectionSize(small, big), want);
+  EXPECT_EQ(SortedIntersectionSize(big, small), want);
+  EXPECT_EQ(SortedIntersectionSize(big, big), big.size());
+  EXPECT_EQ(SortedIntersectionSize({}, big), 0u);
+}
+
+TEST(SetIntersectionSizeTest, SkewedPairsAreSymmetric) {
+  // The hash fallback guarantees the smaller set is probed into the
+  // larger whichever way it is called (inverted_index.h contract);
+  // counts must be identical in both orders.
+  std::unordered_set<ValueId> small{5, 50, 500, 5000};
+  std::unordered_set<ValueId> big;
+  for (ValueId v = 1; v <= 2000; ++v) big.insert(v);
+  EXPECT_EQ(SetIntersectionSize(small, big), 3u);
+  EXPECT_EQ(SetIntersectionSize(big, small), 3u);
+}
+
+TEST(SortedDistinctValuesTest, BitmapAndSortPathsAgree) {
+  // A column wide enough to take the dense bitmap path must produce
+  // exactly what the sort path produces on the same data.
+  auto dict = MakeDictionary();
+  Table t("t", dict);
+  ASSERT_TRUE(t.AddColumn("c").ok());
+  Rng rng(77);
+  std::vector<ValueId> cells;
+  for (size_t i = 0; i < 8192; ++i) {
+    ValueId v = rng.Bernoulli(0.05)
+                    ? kNull
+                    : dict->Intern("v" + std::to_string(rng.Index(900)));
+    cells.push_back(v);
+    t.AddRow({v});
+  }
+  std::vector<ValueId> want;
+  for (ValueId v : cells) {
+    if (v != kNull) want.push_back(v);
+  }
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+  EXPECT_EQ(SortedDistinctValues(t, 0), want);
+}
+
 TEST(SortedContainsTest, Basics) {
   std::vector<ValueId> v{2, 4, 6};
   EXPECT_TRUE(SortedContains(v, 2));

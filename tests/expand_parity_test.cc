@@ -1,0 +1,323 @@
+// Randomized parity: the catalog-aware parallel ExpandEngine
+// (src/matrix/expand.cc) must reproduce the reference expansion
+// (tests/expand_reference.h — the pre-engine implementation, kept
+// verbatim as the oracle) EXACTLY: same expanded tables (names, schemas,
+// cells, row order — bit-identical), same expansion/drop counts, at any
+// thread count, on both the catalog-backed path (candidates straight
+// from Discovery, Candidate::stats set) and the sorted-set fallback
+// (hand-built candidates, stats null), including empty-column and
+// all-null edge cases.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expand_reference.h"
+#include "src/discovery/discovery.h"
+#include "src/engine/column_stats_catalog.h"
+#include "src/lake/data_lake.h"
+#include "src/matrix/expand.h"
+#include "src/table/table_builder.h"
+#include "src/util/random.h"
+
+namespace gent {
+namespace {
+
+bool SameExpansion(const ExpandResult& want, const ExpandResult& got,
+                   std::string* why) {
+  if (want.num_expanded != got.num_expanded) {
+    *why = "num_expanded diverges";
+    return false;
+  }
+  if (want.num_dropped != got.num_dropped) {
+    *why = "num_dropped diverges";
+    return false;
+  }
+  if (want.tables.size() != got.tables.size()) {
+    *why = "table counts diverge";
+    return false;
+  }
+  for (size_t i = 0; i < want.tables.size(); ++i) {
+    if (want.tables[i].name() != got.tables[i].name()) {
+      *why = "table " + std::to_string(i) + " names diverge: " +
+             want.tables[i].name() + " vs " + got.tables[i].name();
+      return false;
+    }
+    if (!TablesBitIdentical(want.tables[i], got.tables[i])) {
+      *why = "table " + want.tables[i].name() + " cells diverge";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Runs the engine at 1/2/8 threads against the oracle.
+void ExpectParity(const Table& source, const std::vector<Candidate>& cands,
+                  const std::string& label) {
+  auto want = ref::RefExpand(source, cands);
+  ASSERT_TRUE(want.ok()) << label << ": " << want.status().ToString();
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ExpandOptions options;
+    options.num_threads = threads;
+    auto got = Expand(source, cands, OpLimits{}, options);
+    ASSERT_TRUE(got.ok()) << label << " threads=" << threads << ": "
+                          << got.status().ToString();
+    std::string why;
+    EXPECT_TRUE(SameExpansion(*want, *got, &why))
+        << label << " threads=" << threads << ": " << why;
+  }
+}
+
+// A seeded lake with the join structure expansion exercises: a keyed hub
+// (source key + foreign refs), keyless attribute tables reachable over
+// the refs, sibling variants with null holes, low-keyness decoys, noise
+// tables, and (sometimes) all-null columns or tables.
+struct SeededLake {
+  DictionaryPtr dict = MakeDictionary();
+  Table source{"source", dict};
+  DataLake lake{dict};
+};
+
+void BuildLake(SeededLake* out, Rng& rng) {
+  const size_t rows = 8 + rng.Index(24);
+  const size_t attrs = 1 + rng.Index(3);
+
+  std::vector<std::string> source_cols = {"id"};
+  for (size_t a = 0; a < attrs; ++a) {
+    source_cols.push_back("attr" + std::to_string(a));
+  }
+  TableBuilder sb(out->dict, "source");
+  sb.Columns(source_cols);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row = {"id" + std::to_string(r)};
+    for (size_t a = 0; a < attrs; ++a) {
+      row.push_back(rng.Bernoulli(0.08)
+                        ? ""
+                        : "a" + std::to_string(a) + "_" + std::to_string(r));
+    }
+    sb.Row(row);
+  }
+  out->source = sb.Key({"id"}).Build();
+
+  // Keyed hub: id + ref (a near-unique FK into the attribute tables).
+  TableBuilder hub(out->dict, "hub");
+  hub.Columns({"id", "ref"});
+  for (size_t r = 0; r < rows; ++r) {
+    hub.Row({"id" + std::to_string(r),
+             rng.Bernoulli(0.1) ? "" : "r" + std::to_string(r)});
+  }
+  ASSERT_TRUE(out->lake.AddTable(hub.Build()).ok());
+
+  // Keyless attribute table(s) reachable over ref, carrying the source
+  // attr values. A sibling variant gets complementary null holes.
+  const int variants = rng.Bernoulli(0.6) ? 2 : 1;
+  for (int variant = 0; variant < variants; ++variant) {
+    TableBuilder ab(out->dict, variant == 0 ? "attrs" : "attrs_v2");
+    std::vector<std::string> cols = {"ref"};
+    for (size_t a = 0; a < attrs; ++a) {
+      cols.push_back("attr" + std::to_string(a));
+    }
+    ab.Columns(cols);
+    for (size_t r = 0; r < rows; ++r) {
+      bool hole = ((r % 2 == 0) == (variant == 0)) && rng.Bernoulli(0.5);
+      std::vector<std::string> row = {hole ? "" : "r" + std::to_string(r)};
+      for (size_t a = 0; a < attrs; ++a) {
+        row.push_back(rng.Bernoulli(0.1)
+                          ? ""
+                          : "a" + std::to_string(a) + "_" +
+                                std::to_string(r));
+      }
+      ab.Row(row);
+    }
+    ASSERT_TRUE(out->lake.AddTable(ab.Build()).ok());
+  }
+
+  // Low-keyness decoy: covers the key but shares only a 2-value column.
+  if (rng.Bernoulli(0.7)) {
+    TableBuilder db(out->dict, "decoy");
+    db.Columns({"id", "category"});
+    for (size_t r = 0; r < rows; ++r) {
+      db.Row({"id" + std::to_string(r), r % 2 == 0 ? "even" : "odd"});
+    }
+    ASSERT_TRUE(out->lake.AddTable(db.Build()).ok());
+  }
+
+  // Edge cases: an all-null column, sometimes an entirely null table.
+  if (rng.Bernoulli(0.6)) {
+    TableBuilder nb(out->dict, "nully");
+    nb.Columns({"ref", "void"});
+    for (size_t r = 0; r < rows; ++r) {
+      nb.Row({rng.Bernoulli(0.8) ? "r" + std::to_string(r) : "", ""});
+    }
+    ASSERT_TRUE(out->lake.AddTable(nb.Build()).ok());
+  }
+  if (rng.Bernoulli(0.3)) {
+    TableBuilder vb(out->dict, "void_table");
+    vb.Columns({"v1", "v2"});
+    for (size_t r = 0; r < 4; ++r) vb.Row({"", ""});
+    ASSERT_TRUE(out->lake.AddTable(vb.Build()).ok());
+  }
+
+  // Unrelated noise.
+  size_t noise = rng.Index(3);
+  for (size_t t = 0; t < noise; ++t) {
+    TableBuilder tb(out->dict, "noise" + std::to_string(t));
+    tb.Columns({"x", "y"});
+    for (size_t r = 0; r < 6; ++r) {
+      tb.Row({rng.AlphaNum(6), rng.AlphaNum(6)});
+    }
+    ASSERT_TRUE(out->lake.AddTable(tb.Build()).ok());
+  }
+}
+
+class ParitySweep : public ::testing::TestWithParam<int> {};
+
+// Candidates straight from Discovery over a seeded lake: the engine's
+// catalog-backed path (Candidate::stats set) must match the oracle at
+// every thread count.
+TEST_P(ParitySweep, DiscoveryBackedExpansionMatchesReference) {
+  for (int trial = 0; trial < 3; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Rng rng(GetParam() * 104729 + trial * 31 + 7);
+    SeededLake seeded;
+    BuildLake(&seeded, rng);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    ColumnStatsCatalog catalog(seeded.lake);
+    Discovery discovery(catalog, DiscoveryConfig{});
+    auto candidates = discovery.FindCandidates(seeded.source);
+    ASSERT_TRUE(candidates.ok());
+    for (const Candidate& c : *candidates) {
+      EXPECT_EQ(c.stats, &catalog);  // discovery wires the catalog in
+    }
+    ExpectParity(seeded.source, *candidates,
+                 "catalog trial " + std::to_string(trial));
+  }
+}
+
+// The same lakes with hand-built candidates (stats = null): the
+// sorted-set fallback path must agree with the oracle too.
+TEST_P(ParitySweep, FallbackExpansionMatchesReference) {
+  for (int trial = 0; trial < 3; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Rng rng(GetParam() * 84631 + trial * 17 + 3);
+    SeededLake seeded;
+    BuildLake(&seeded, rng);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Candidates cloned straight off the lake: the keyed hub/decoy cover
+    // the key (their id column carries the source key values), the rest
+    // do not. No catalog attached anywhere.
+    std::vector<Candidate> candidates;
+    for (size_t t = 0; t < seeded.lake.size(); ++t) {
+      Candidate c(seeded.lake.table(t).Clone());
+      c.lake_index = t;
+      c.covers_key = c.table.HasColumn("id");
+      candidates.push_back(std::move(c));
+    }
+    ExpectParity(seeded.source, candidates,
+                 "fallback trial " + std::to_string(trial));
+  }
+}
+
+// Mixed: catalog-backed and ad-hoc candidates in one expansion (as a
+// cross-shard merge would produce) — the per-candidate choice of stats
+// source must not change results.
+TEST_P(ParitySweep, MixedStatsSourcesMatchReference) {
+  Rng rng(GetParam() * 65537 + 11);
+  SeededLake seeded;
+  BuildLake(&seeded, rng);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  ColumnStatsCatalog catalog(seeded.lake);
+  Discovery discovery(catalog, DiscoveryConfig{});
+  auto candidates = discovery.FindCandidates(seeded.source);
+  ASSERT_TRUE(candidates.ok());
+  // Strip the catalog from every other candidate.
+  for (size_t i = 0; i < candidates->size(); i += 2) {
+    (*candidates)[i].stats = nullptr;
+  }
+  ExpectParity(seeded.source, *candidates, "mixed");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParitySweep, ::testing::Range(0, 4));
+
+TEST(ExpandParityEdge, EmptyCandidateList) {
+  auto dict = MakeDictionary();
+  Table source = TableBuilder(dict, "s")
+                     .Columns({"id", "v"})
+                     .Row({"a", "1"})
+                     .Key({"id"})
+                     .Build();
+  ExpectParity(source, {}, "empty");
+}
+
+TEST(ExpandParityEdge, AllNullAndEmptyColumns) {
+  auto dict = MakeDictionary();
+  Table source = TableBuilder(dict, "s")
+                     .Columns({"id", "v"})
+                     .Row({"a", "1"})
+                     .Row({"b", "2"})
+                     .Row({"c", ""})
+                     .Key({"id"})
+                     .Build();
+  std::vector<Candidate> candidates;
+  {
+    // Key-covering candidate with an all-null extra column.
+    Candidate c(TableBuilder(dict, "keyed")
+                    .Columns({"id", "v", "hollow"})
+                    .Row({"a", "1", ""})
+                    .Row({"b", "2", ""})
+                    .Row({"c", "3", ""})
+                    .Build());
+    c.covers_key = true;
+    candidates.push_back(std::move(c));
+  }
+  {
+    // Keyless candidate whose only joinable column is all-null: no
+    // edge, must be dropped identically by both implementations.
+    Candidate c(TableBuilder(dict, "island")
+                    .Columns({"id#raw", "w"})
+                    .Row({"", "x"})
+                    .Row({"", "y"})
+                    .Build());
+    c.covers_key = false;
+    candidates.push_back(std::move(c));
+  }
+  ExpectParity(source, candidates, "all-null");
+}
+
+// A stats pointer whose lake table no longer matches the candidate's
+// shape must be ignored (fallback), not trusted.
+TEST(ExpandParityEdge, StaleStatsShapeFallsBack) {
+  auto dict = MakeDictionary();
+  Table source = TableBuilder(dict, "s")
+                     .Columns({"id", "v"})
+                     .Row({"a", "1"})
+                     .Row({"b", "2"})
+                     .Key({"id"})
+                     .Build();
+  DataLake lake(dict);
+  ASSERT_TRUE(lake.AddTable(TableBuilder(dict, "tiny")
+                                .Columns({"z"})
+                                .Row({"q"})
+                                .Build())
+                  .ok());
+  ColumnStatsCatalog catalog(lake);
+  // Candidate claims lake index 0 but has a different shape entirely.
+  Candidate c(TableBuilder(dict, "keyed")
+                  .Columns({"id", "v"})
+                  .Row({"a", "1"})
+                  .Row({"b", "2"})
+                  .Build());
+  c.covers_key = true;
+  c.lake_index = 0;
+  c.stats = &catalog;
+  std::vector<Candidate> candidates;
+  candidates.push_back(std::move(c));
+  ExpectParity(source, candidates, "stale-stats");
+}
+
+}  // namespace
+}  // namespace gent
