@@ -4,9 +4,12 @@
 // a cold pass (every source misses the discovery cache) and a warm pass
 // (every source hits) — verifies the two passes are bit-identical (the
 // service determinism contract), and reports per-source latency and the
-// warm/cold speedup. Results are written to BENCH_service_cache.json
-// (machine-readable; uploaded as a CI artifact to record the cache's
-// perf trajectory over time).
+// warm/cold speedup. A final pass submits the same sources through the
+// async admission queue (SubmitReclaim) and verifies the tickets
+// resolve bit-identically too. Results are written to
+// BENCH_service_cache.json (machine-readable; uploaded as a CI artifact
+// to record the cache's perf trajectory over time; schema in
+// bench/README.md).
 //
 // Environment knobs: GENT_SOURCES (default 8), GENT_REPEATS (default 3,
 // min-of-reps per pass), GENT_NOISE (default 0 distractor tables).
@@ -96,6 +99,39 @@ int main() {
                                 &warmed));
   }
 
+  // Async admission pass: the same sources through SubmitReclaim (warm
+  // cache — this measures queue + scheduling overhead on top of the
+  // warm path, min over repeats).
+  double async_s = 0.0;
+  bool async_identical = true;
+  {
+    ReclaimRequest request;
+    request.lake = "lake";
+    request.max_rows = 2'000'000;
+    for (size_t r = 0; r < repeats; ++r) {
+      auto t0 = std::chrono::steady_clock::now();
+      std::vector<ReclaimTicket> tickets;
+      tickets.reserve(sources.size());
+      for (const Table& source : sources) {
+        auto ticket = service.SubmitReclaim(source.Clone(), request);
+        if (!ticket.ok()) {
+          async_identical = false;
+          break;
+        }
+        tickets.push_back(std::move(*ticket));
+      }
+      for (size_t i = 0; i < tickets.size(); ++i) {
+        const auto& got = tickets[i].Wait();
+        if (!got.ok() || !reference[i].ok() ||
+            !TablesBitIdentical(got->reclaimed, reference[i]->reclaimed)) {
+          async_identical = false;
+        }
+      }
+      double elapsed = Seconds(t0);
+      if (r == 0 || elapsed < async_s) async_s = elapsed;
+    }
+  }
+
   // The determinism contract: warm results bit-identical to cold.
   bool identical = reference.size() == warmed.size();
   for (size_t i = 0; identical && i < reference.size(); ++i) {
@@ -122,6 +158,10 @@ int main() {
   std::printf("warm pass (cache hits):     %8.3fs  (%7.2f ms/source)\n",
               warm_s, n ? 1e3 * warm_s / static_cast<double>(n) : 0.0);
   std::printf("warm/cold speedup:          %8.2fx\n", speedup);
+  std::printf("async pass (admission q.):  %8.3fs  (%7.2f ms/source, "
+              "identical %s)\n",
+              async_s, n ? 1e3 * async_s / static_cast<double>(n) : 0.0,
+              async_identical ? "yes" : "NO");
   std::printf("cache: %llu hits, %llu misses, %zu entries\n",
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.misses), stats.entries);
@@ -144,6 +184,11 @@ int main() {
                n ? 1e3 * cold_s / static_cast<double>(n) : 0.0,
                n ? 1e3 * warm_s / static_cast<double>(n) : 0.0);
   std::fprintf(f, "  \"warm_cold_speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"async_seconds\": %.6f,\n", async_s);
+  std::fprintf(f, "  \"async_ms_per_source\": %.3f,\n",
+               n ? 1e3 * async_s / static_cast<double>(n) : 0.0);
+  std::fprintf(f, "  \"async_bit_identical\": %s,\n",
+               async_identical ? "true" : "false");
   std::fprintf(f, "  \"cache_hits\": %llu,\n  \"cache_misses\": %llu,\n",
                static_cast<unsigned long long>(stats.hits),
                static_cast<unsigned long long>(stats.misses));
@@ -161,5 +206,5 @@ int main() {
   std::fprintf(f, "]\n}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_service_cache.json\n");
-  return identical ? 0 : 1;
+  return identical && async_identical ? 0 : 1;
 }

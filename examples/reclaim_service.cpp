@@ -2,11 +2,13 @@
 //
 // Batch tools (BulkReclaim) rebuild the column-stats catalog per run. A
 // service that answers reclamation requests continuously keeps the
-// expensive state resident instead: several lakes registered once as
-// catalog shards, a bounded per-source discovery cache, and one worker
-// pool. This example registers two shards, routes requests to a named
-// lake, fans a request out across all shards, and shows the discovery
-// cache absorbing repeated sources.
+// expensive state resident instead: several lakes registered as catalog
+// shards, a bounded per-source discovery cache, and one worker pool.
+// This example registers two shards, routes requests to a named lake,
+// fans a request out across all shards (with and without the stats
+// prefilter), shows the discovery cache absorbing repeated sources,
+// submits work through the async admission queue, and removes a shard
+// while the service keeps serving.
 //
 //   $ ./build/reclaim_service
 
@@ -101,5 +103,51 @@ int main() {
   auto fanned = service.Reclaim(tp->sources[0].source, fan_out);
   std::printf("fan-out across all shards: %s\n",
               fanned.ok() ? "ok" : fanned.status().ToString().c_str());
-  return stats.hits > 0 && fanned.ok() ? 0 : 1;
+
+  // Stats-prefiltered fan-out: shards sharing no value with the source
+  // (here, "web" for a TP-TR source) are skipped before discovery runs.
+  // Results are bit-identical to the plain fan-out.
+  ReclaimRequest prefiltered = fan_out;
+  prefiltered.policy = RoutingPolicy::kStatsPrefilter;
+  auto pruned = service.Reclaim(tp->sources[0].source, prefiltered);
+  auto routing = service.routing_stats();
+  std::printf("stats-prefilter route: %s (%llu shards pruned so far)\n",
+              pruned.ok() ? "ok" : pruned.status().ToString().c_str(),
+              static_cast<unsigned long long>(routing.shards_pruned));
+
+  // Async admission: submit every source, collect tickets, wait. The
+  // admission queue is bounded (ServiceOptions::admission_capacity);
+  // each ticket's result is bit-identical to a synchronous Reclaim.
+  std::vector<ReclaimTicket> tickets;
+  for (const SourceSpec& spec : tp->sources) {
+    auto ticket = service.SubmitReclaim(spec.source.Clone(), to_tp);
+    if (ticket.ok()) tickets.push_back(std::move(*ticket));
+  }
+  size_t async_ok = 0;
+  for (auto& ticket : tickets) {
+    if (ticket.Wait().ok()) ++async_ok;
+  }
+  std::printf("async admission: %zu/%zu tickets resolved ok\n", async_ok,
+              tickets.size());
+
+  // Runtime shard lifecycle: retire "web" while the service keeps
+  // serving. In-flight requests pinned to the old registry epoch drain
+  // on it; new requests no longer see the shard.
+  const uint64_t epoch_before = service.registry_epoch();
+  if (Status s = service.RemoveLake("web"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto after = service.Reclaim(tp->sources[0].source, to_tp);
+  std::printf("removed shard 'web' (epoch %llu -> %llu), %zu shard(s) left, "
+              "serving: %s\n",
+              static_cast<unsigned long long>(epoch_before),
+              static_cast<unsigned long long>(service.registry_epoch()),
+              service.num_lakes(),
+              after.ok() ? "ok" : after.status().ToString().c_str());
+
+  return stats.hits > 0 && fanned.ok() && pruned.ok() && after.ok() &&
+                 async_ok == tickets.size()
+             ? 0
+             : 1;
 }

@@ -153,17 +153,43 @@ std::vector<ColumnStatsCatalog::Overlap> ColumnStatsCatalog::OverlapCounts(
   return out;
 }
 
-std::vector<size_t> ColumnStatsCatalog::TopKTables(const Table& query,
-                                                   size_t k) const {
-  // Distinct non-null query values across all columns.
-  std::vector<ValueId> qvalues;
-  for (size_t c = 0; c < query.num_cols(); ++c) {
-    for (ValueId v : query.column(c)) {
-      if (v != kNull) qvalues.push_back(v);
+bool ColumnStatsCatalog::SharesAnyValue(
+    const std::vector<ValueId>& sorted_query) const {
+  // Same spine walk as OverlapCounts, but stopping at the first shared
+  // value — the routing prefilter only needs existence, and overlapping
+  // shards (the common case) usually match within a few steps.
+  size_t i = 0, j = 0;
+  while (i < sorted_query.size() && j < post_values_.size()) {
+    if (sorted_query[i] < post_values_[j]) {
+      ++i;
+    } else if (post_values_[j] < sorted_query[i]) {
+      j = static_cast<size_t>(
+          std::lower_bound(post_values_.begin() +
+                               static_cast<ptrdiff_t>(j),
+                           post_values_.end(), sorted_query[i]) -
+          post_values_.begin());
+    } else {
+      return true;
     }
   }
-  std::sort(qvalues.begin(), qvalues.end());
-  qvalues.erase(std::unique(qvalues.begin(), qvalues.end()), qvalues.end());
+  return false;
+}
+
+std::vector<ValueId> SortedQueryValues(const Table& query) {
+  std::vector<ValueId> values;
+  for (size_t c = 0; c < query.num_cols(); ++c) {
+    for (ValueId v : query.column(c)) {
+      if (v != kNull) values.push_back(v);
+    }
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+std::vector<size_t> ColumnStatsCatalog::TopKTables(const Table& query,
+                                                   size_t k) const {
+  const std::vector<ValueId> qvalues = SortedQueryValues(query);
 
   // Count distinct shared values per table (a value hitting multiple
   // columns of one table counts once; posting lists are ascending by

@@ -12,12 +12,20 @@
 //
 // Because the catalog is immutable after construction, any number of
 // threads may query it concurrently without synchronization — this is
-// the contract GenT::ReclaimBatch builds on. Overlap computation is
-// merge-based throughout: queries arrive as sorted, deduplicated
-// ValueId vectors and are intersected against the sorted postings /
-// value sets with linear merges instead of hash probing, so hot scans
-// touch memory sequentially and never build per-query hash sets for
-// lake columns.
+// the contract GenT::ReclaimBatch and ReclaimService build on (a
+// ReclaimService shard is exactly one catalog plus its lake; runtime
+// shard replacement swaps whole catalogs, never mutates one). Overlap
+// computation is merge-based throughout: queries arrive as sorted,
+// deduplicated ValueId vectors and are intersected against the sorted
+// postings / value sets with linear merges instead of hash probing, so
+// hot scans touch memory sequentially and never build per-query hash
+// sets for lake columns.
+//
+// Thread-safety and determinism summary (details per method): every
+// public method is const, reads only state frozen at construction, and
+// is safe to call concurrently from any number of threads; every
+// method's result is a pure function of (lake content, arguments) —
+// no iteration order, scheduling, or hashing leaks into any output.
 
 #ifndef GENT_ENGINE_COLUMN_STATS_CATALOG_H_
 #define GENT_ENGINE_COLUMN_STATS_CATALOG_H_
@@ -90,13 +98,26 @@ class ColumnStatsCatalog {
 
   /// For a sorted, deduplicated, null-free query value set: the number of
   /// query values present in each lake column sharing at least one value.
-  /// Results are ordered by dense column id (deterministic).
+  /// Results are ordered by dense column id (deterministic). Thread-safe
+  /// (immutable state only).
   std::vector<Overlap> OverlapCounts(
       const std::vector<ValueId>& sorted_query) const;
 
   /// Top-k lake tables ranked by distinct shared values with the whole
-  /// query table (count descending, table index ascending on ties).
+  /// query table (count descending, table index ascending on ties);
+  /// tables sharing no value are never returned. Thread-safe;
+  /// deterministic in (lake, query, k).
   std::vector<size_t> TopKTables(const Table& query, size_t k) const;
+
+  /// True if any `sorted_query` value (sorted, deduplicated, null-free)
+  /// occurs anywhere in the lake — a postings-spine merge that returns
+  /// at the first shared value, no per-column work. False means
+  /// discovery on this lake can produce no candidate for that query set
+  /// (the recall stage ranks by shared values and forwards only tables
+  /// sharing at least one), which is the invariant ReclaimService's
+  /// stats-prefilter route relies on to skip whole shards without
+  /// changing results. Thread-safe; deterministic in (lake, query).
+  bool SharesAnyValue(const std::vector<ValueId>& sorted_query) const;
 
  private:
   const DataLake& lake_;
@@ -116,6 +137,13 @@ class ColumnStatsCatalog {
 /// labeled nulls (a lake of integration outputs would otherwise carry
 /// pathological posting lists of label values).
 std::vector<ValueId> SortedDistinctValues(const Table& t, size_t c);
+
+/// Sorted distinct non-null values across ALL columns of `query` — the
+/// whole-table query set. This is the one construction shared by the
+/// recall stage (TopKTables) and ReclaimService's stats-prefilter
+/// route; the prefilter is result-preserving precisely because both
+/// build the query set identically, so neither may drift alone.
+std::vector<ValueId> SortedQueryValues(const Table& query);
 
 /// |a ∩ b| for sorted, deduplicated vectors — the merge-intersect helper
 /// shared by discovery, diversification, and ExpandEngine. Balanced

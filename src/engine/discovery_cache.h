@@ -30,6 +30,23 @@
 // Fingerprints are compared in full; a collision would need two
 // distinct sources agreeing on both 64-bit halves.
 //
+// Route tags and the shard registry epoch. With runtime shard mutation
+// (ReclaimService §5.6: AddLake/RemoveLake/ReloadLake while serving),
+// "the shard the request was routed to" is no longer a stable index:
+// the table set behind a name can be replaced wholesale. Route tags are
+// therefore built from *shard uids* — unique per registration, never
+// reused, reassigned on reload — via FoldRouteTags below: a named route
+// tags the shard's own uid, a fan-out route folds every uid of the
+// pinned registry snapshot, and a stats-prefiltered route folds the
+// selected subset's uids. Consequences: (a) reloading or re-adding a
+// shard under an old name can never hit entries cached against the old
+// content (the uid differs — this is the cache-epoch invalidation the
+// lifecycle tests lock in); (b) registry mutations invalidate exactly
+// the routes whose shard set changed — named routes to untouched shards
+// keep hitting across any number of epochs; (c) entries for retired
+// uids become unreachable and age out by LRU (capacity bounds them, so
+// no explicit purge is needed).
+//
 // Eviction is LRU over a fixed entry capacity. Entries are immutable
 // and shared: a hit copies a shared_ptr under the lock and deep-clones
 // the tables outside it, so the lock is never held across table copies.
@@ -46,8 +63,23 @@
 #include <vector>
 
 #include "src/discovery/discovery.h"
+#include "src/util/hash.h"
 
 namespace gent {
+
+/// Folds an ordered set of shard uids into a route tag (order-sensitive
+/// splitmix chain). Callers pass the uids in registry order so the same
+/// shard set always folds to the same tag. A one-element set folds to
+/// the uid itself: a named route, a fan-out over a one-shard registry,
+/// and a prefilter that selected one shard all produce identical
+/// results, so they deliberately share cache entries. Deterministic, no
+/// global state.
+inline uint64_t FoldRouteTags(const std::vector<uint64_t>& shard_uids) {
+  if (shard_uids.size() == 1) return shard_uids[0];
+  uint64_t tag = 0x67656e745f726f75ULL;  // "gent_rou"
+  for (uint64_t uid : shard_uids) tag = SplitMix64(tag ^ uid);
+  return tag;
+}
 
 /// 128-bit cache key; equality is exact (both halves).
 struct SourceFingerprint {
@@ -87,11 +119,17 @@ class DiscoveryCache {
 
   /// Deep clones of the cached expanded tables, or nullopt on a miss.
   /// Clones are safe to hand to the (mutation-happy) downstream
-  /// pipeline; the cached originals are never exposed.
+  /// pipeline; the cached originals are never exposed. Thread-safe; the
+  /// internal lock is never held across table copies. A hit is
+  /// deterministic in the key: it replays exactly the tables Insert
+  /// stored under that fingerprint.
   std::optional<std::vector<Table>> Lookup(const SourceFingerprint& key);
 
   /// Caches a deep copy of `tables`, evicting the least recently used
   /// entry when full. Inserting an existing key refreshes it.
+  /// Thread-safe; concurrent inserts under one key keep whichever lands
+  /// last (they carry identical tables by the fingerprint contract, so
+  /// the race is benign).
   void Insert(const SourceFingerprint& key, const std::vector<Table>& tables);
 
   struct Stats {
@@ -101,8 +139,11 @@ class DiscoveryCache {
     size_t entries = 0;
     size_t capacity = 0;
   };
+  /// Point-in-time counters. Thread-safe; values are mutually
+  /// consistent (read under one lock acquisition).
   Stats stats() const;
 
+  /// Drops every entry (counters are kept). Thread-safe.
   void Clear();
 
  private:

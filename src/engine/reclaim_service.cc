@@ -2,16 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <utility>
 
 #include "src/lake/snapshot.h"
 
 namespace gent {
 
 namespace {
-
-/// Route tag for "all shards" requests (shard indices tag single-shard
-/// routes; the two id spaces must not collide).
-constexpr uint64_t kFanOutRoute = ~0ULL;
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -41,12 +39,63 @@ Table TranslateToDictionary(const Table& source, const DictionaryPtr& dict) {
   return out;
 }
 
+// --- ReclaimTicket ----------------------------------------------------------
+
+struct ReclaimTicket::SharedState {
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  bool cancelled = false;  // set by Cancel() before execution starts
+  bool started = false;    // set by the worker when the pipeline begins
+  std::optional<Result<ReclamationResult>> result;
+};
+
+const Result<ReclamationResult>& ReclaimTicket::Wait() const {
+  SharedState& s = *state_;
+  std::unique_lock<std::mutex> lock(s.mutex);
+  s.ready_cv.wait(lock, [&s]() { return s.result.has_value(); });
+  return *s.result;
+}
+
+bool ReclaimTicket::ready() const {
+  SharedState& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.result.has_value();
+}
+
+bool ReclaimTicket::Cancel() const {
+  if (state_ == nullptr) return false;
+  SharedState& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.started || s.result.has_value()) return false;
+  s.cancelled = true;  // idempotent: repeat Cancels also report success
+  return true;
+}
+
+// --- Registry lifecycle -----------------------------------------------------
+
 ReclaimService::ReclaimService(ServiceOptions options)
     : options_(std::move(options)),
       dict_(options_.dict != nullptr ? options_.dict : MakeDictionary()),
+      registry_(std::make_shared<RegistrySnapshot>()),
       cache_(options_.cache_capacity),
       pool_(std::make_unique<ThreadPool>(
           ThreadPool::ResolveThreads(options_.num_threads))) {}
+
+ReclaimService::~ReclaimService() = default;
+
+ReclaimService::RegistryPtr ReclaimService::Pin() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return registry_;
+}
+
+void ReclaimService::PublishLocked(std::shared_ptr<RegistrySnapshot> next) {
+  next->epoch = registry_->epoch + 1;
+  std::vector<uint64_t> uids;
+  uids.reserve(next->shards.size());
+  for (const auto& s : next->shards) uids.push_back(s->uid);
+  next->fanout_tag = FoldRouteTags(uids);
+  registry_ = std::move(next);
+}
 
 Status ReclaimService::RegisterShard(const std::string& name,
                                      std::unique_ptr<DataLake> owned,
@@ -55,9 +104,6 @@ Status ReclaimService::RegisterShard(const std::string& name,
     return Status::InvalidArgument(
         "shard name must be non-empty (\"\" routes to all shards)");
   }
-  if (shard_by_name_.count(name) > 0) {
-    return Status::AlreadyExists("shard '" + name + "' already registered");
-  }
   const DataLake* lake = owned != nullptr ? owned.get() : borrowed;
   if (lake->dict() != dict_) {
     return Status::InvalidArgument(
@@ -65,14 +111,32 @@ Status ReclaimService::RegisterShard(const std::string& name,
         "' must use the service dictionary (value ids must be comparable "
         "across shards)");
   }
-  Shard shard;
-  shard.name = name;
-  shard.owned = std::move(owned);
-  shard.lake = lake;
-  // The one catalog build this shard will ever do.
-  shard.gent = std::make_unique<GenT>(*lake, options_.config);
-  shard_by_name_[name] = shards_.size();
-  shards_.push_back(std::move(shard));
+  // Fail fast on an obvious duplicate before paying for the catalog
+  // build; the authoritative check re-runs under the lock below.
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (registry_->by_name.count(name) > 0) {
+      return Status::AlreadyExists("shard '" + name + "' already registered");
+    }
+  }
+
+  auto shard = std::make_shared<Shard>();
+  shard->name = name;
+  shard->owned = std::move(owned);
+  shard->lake = lake;
+  // The one catalog build this registration will ever do — outside the
+  // registry lock, so serving is never blocked on it.
+  shard->gent = std::make_unique<GenT>(*lake, options_.config);
+
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (registry_->by_name.count(name) > 0) {
+    return Status::AlreadyExists("shard '" + name + "' already registered");
+  }
+  shard->uid = next_shard_uid_++;
+  auto next = std::make_shared<RegistrySnapshot>(*registry_);
+  next->by_name[name] = next->shards.size();
+  next->shards.push_back(std::move(shard));
+  PublishLocked(std::move(next));
   return Status::OK();
 }
 
@@ -100,37 +164,146 @@ Status ReclaimService::AddLakeFromDirectory(const std::string& name,
   return RegisterShard(name, std::move(lake), nullptr);
 }
 
+Status ReclaimService::RemoveLake(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = registry_->by_name.find(name);
+  if (it == registry_->by_name.end()) {
+    return Status::NotFound("no shard named '" + name + "'");
+  }
+  const size_t index = it->second;
+  auto next = std::make_shared<RegistrySnapshot>();
+  next->shards.reserve(registry_->shards.size() - 1);
+  for (size_t i = 0; i < registry_->shards.size(); ++i) {
+    if (i == index) continue;
+    next->by_name[registry_->shards[i]->name] = next->shards.size();
+    next->shards.push_back(registry_->shards[i]);
+  }
+  // The removed shard's handle lives on inside every pinned snapshot;
+  // the last draining request releases it.
+  PublishLocked(std::move(next));
+  return Status::OK();
+}
+
+Status ReclaimService::ReloadLakeFromSnapshot(const std::string& name,
+                                              const std::string& path) {
+  // Expensive work first, outside the lock: if the snapshot is corrupt
+  // the old shard keeps serving untouched.
+  auto lake = std::make_unique<DataLake>(dict_);
+  GENT_RETURN_IF_ERROR(LoadSnapshot(*lake, path));
+  auto shard = std::make_shared<Shard>();
+  shard->name = name;
+  shard->lake = lake.get();
+  shard->gent = std::make_unique<GenT>(*lake, options_.config);
+  shard->owned = std::move(lake);
+
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = registry_->by_name.find(name);
+  if (it == registry_->by_name.end()) {
+    return Status::NotFound("no shard named '" + name + "'");
+  }
+  shard->uid = next_shard_uid_++;  // new uid: old cache entries dead
+  auto next = std::make_shared<RegistrySnapshot>(*registry_);
+  next->shards[it->second] = std::move(shard);
+  PublishLocked(std::move(next));
+  return Status::OK();
+}
+
+// --- Registry observation ---------------------------------------------------
+
+size_t ReclaimService::num_lakes() const { return Pin()->shards.size(); }
+
 std::vector<std::string> ReclaimService::lake_names() const {
+  RegistryPtr registry = Pin();
   std::vector<std::string> names;
-  names.reserve(shards_.size());
-  for (const Shard& s : shards_) names.push_back(s.name);
+  names.reserve(registry->shards.size());
+  for (const auto& s : registry->shards) names.push_back(s->name);
   return names;
 }
 
 Result<const DataLake*> ReclaimService::lake(const std::string& name) const {
-  auto it = shard_by_name_.find(name);
-  if (it == shard_by_name_.end()) {
+  RegistryPtr registry = Pin();
+  auto it = registry->by_name.find(name);
+  if (it == registry->by_name.end()) {
     return Status::NotFound("no shard named '" + name + "'");
   }
-  return shards_[it->second].lake;
+  return registry->shards[it->second]->lake;
 }
+
+uint64_t ReclaimService::registry_epoch() const { return Pin()->epoch; }
+
+// --- Serving ----------------------------------------------------------------
 
 Result<ReclamationResult> ReclaimService::ReclaimImpl(
     const Table& source, const ReclaimRequest& request,
-    const TraversalOptions& traversal, const ExpandOptions& expand) const {
-  if (shards_.empty()) {
-    return Status::InvalidArgument("service has no lakes registered");
+    const RegistrySnapshot& registry, const TraversalOptions& traversal,
+    const ExpandOptions& expand) const {
+  if (registry.shards.empty()) {
+    return Status::InvalidArgument(
+        "service has no lakes registered (at the pinned registry epoch)");
   }
+  requests_routed_.fetch_add(1, std::memory_order_relaxed);
+
+  // Resolve the routing policy to a target shard set and a route tag
+  // (see discovery_cache.h for the tag contract: uids, not indices).
+  RoutingPolicy policy = request.policy;
+  if (policy == RoutingPolicy::kAuto) {
+    policy = request.lake.empty() ? RoutingPolicy::kFanOutAll
+                                  : RoutingPolicy::kNamedShard;
+  }
+  if (policy == RoutingPolicy::kNamedShard && request.lake.empty()) {
+    return Status::InvalidArgument("kNamedShard requires a shard name");
+  }
+  if (policy != RoutingPolicy::kNamedShard && !request.lake.empty()) {
+    return Status::InvalidArgument(
+        "a fan-out policy conflicts with a named shard ('" + request.lake +
+        "')");
+  }
+
   std::vector<size_t> targets;
-  if (request.lake.empty()) {
-    targets.resize(shards_.size());
-    for (size_t i = 0; i < shards_.size(); ++i) targets[i] = i;
-  } else {
-    auto it = shard_by_name_.find(request.lake);
-    if (it == shard_by_name_.end()) {
-      return Status::NotFound("no shard named '" + request.lake + "'");
+  uint64_t route_tag = 0;
+  switch (policy) {
+    case RoutingPolicy::kNamedShard: {
+      auto it = registry.by_name.find(request.lake);
+      if (it == registry.by_name.end()) {
+        return Status::NotFound("no shard named '" + request.lake + "'");
+      }
+      targets.push_back(it->second);
+      route_tag = registry.shards[it->second]->uid;
+      break;
     }
-    targets.push_back(it->second);
+    case RoutingPolicy::kFanOutAll: {
+      targets.resize(registry.shards.size());
+      for (size_t i = 0; i < registry.shards.size(); ++i) targets[i] = i;
+      route_tag = registry.fanout_tag;
+      break;
+    }
+    case RoutingPolicy::kStatsPrefilter: {
+      // Skip shards the source shares no value with: recall ranks lake
+      // tables by shared distinct values and forwards only tables
+      // sharing at least one, so a zero-overlap shard cannot produce a
+      // candidate — dropping it is free and result-preserving.
+      // SortedQueryValues is the exact construction recall (TopKTables)
+      // uses, so !SharesAnyValue ⇒ recall forwards nothing from the
+      // shard.
+      const std::vector<ValueId> query = SortedQueryValues(source);
+      std::vector<uint64_t> selected_uids;
+      for (size_t i = 0; i < registry.shards.size(); ++i) {
+        if (registry.shards[i]->gent->catalog().SharesAnyValue(query)) {
+          targets.push_back(i);
+          selected_uids.push_back(registry.shards[i]->uid);
+        } else {
+          shards_pruned_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Folding the surviving subset makes the tag coincide with the
+      // fan-out tag exactly when nothing was pruned — those routes
+      // share cache entries, which is correct because their results
+      // are identical.
+      route_tag = FoldRouteTags(selected_uids);
+      break;
+    }
+    case RoutingPolicy::kAuto:
+      return Status::Internal("unresolved routing policy");
   }
 
   OpLimits limits = request.timeout_seconds > 0
@@ -140,12 +313,15 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
   DiscoveryConfig discovery = options_.config.discovery;
   if (request.exclude_source_name) discovery.exclude_table = source.name();
 
-  // Downstream of discovery the pipeline reads only the tables and
-  // config, never a catalog, so the first target's pipeline object
-  // serves every route (all shards share options_.config).
-  const GenT& pipeline = *shards_[targets[0]].gent;
-  const uint64_t route_tag =
-      targets.size() == 1 ? targets[0] : kFanOutRoute;
+  // Downstream of expansion the pipeline reads only the expanded tables
+  // and config (candidates' Candidate::stats pointers reference their
+  // own shard's catalog, which the pinned snapshot keeps alive), so any
+  // shard's pipeline object can run it — all shards share
+  // options_.config. An empty target set (prefilter pruned everything)
+  // still runs the downstream pipeline with zero candidates, exactly
+  // what fanning out over only zero-overlap shards would produce.
+  const GenT& pipeline =
+      *registry.shards[targets.empty() ? 0 : targets[0]]->gent;
   const bool use_cache =
       !request.bypass_cache && options_.cache_capacity > 0;
   // A wall-clock deadline can truncate expansion mid-join (dropped
@@ -177,7 +353,7 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
   for (size_t shard : targets) {
     GENT_ASSIGN_OR_RETURN(
         auto candidates,
-        shards_[shard].gent->DiscoverCandidates(source, discovery));
+        registry.shards[shard]->gent->DiscoverCandidates(source, discovery));
     merged.reserve(merged.size() + candidates.size());
     for (auto& c : candidates) merged.push_back(std::move(c));
   }
@@ -196,11 +372,13 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
 
 Result<ReclamationResult> ReclaimService::Reclaim(
     const Table& source, const ReclaimRequest& request) const {
+  RegistryPtr registry = Pin();
   if (source.dict() != dict_) {
     return ReclaimImpl(TranslateToDictionary(source, dict_), request,
-                       options_.config.traversal, options_.config.expand);
+                       *registry, options_.config.traversal,
+                       options_.config.expand);
   }
-  return ReclaimImpl(source, request, options_.config.traversal,
+  return ReclaimImpl(source, request, *registry, options_.config.traversal,
                      options_.config.expand);
 }
 
@@ -212,6 +390,11 @@ std::vector<Result<ReclamationResult>> ReclaimService::ReclaimBatch(
     results.emplace_back(Status::Internal("not run"));
   }
   if (sources.empty()) return results;
+
+  // One snapshot for the whole batch: a concurrent shard mutation
+  // affects every source of the batch or none, and results stay
+  // bit-identical to serial Reclaim calls against the same snapshot.
+  RegistryPtr registry = Pin();
 
   // Foreign-dictionary sources are re-interned serially, in input
   // order, before any worker runs: new values get schedule-independent
@@ -240,9 +423,104 @@ std::vector<Result<ReclamationResult>> ReclaimService::ReclaimBatch(
   }
 
   ParallelFor(pool_.get(), sources.size(), [&](size_t i) {
-    results[i] = ReclaimImpl(*admitted[i], request, traversal, expand);
+    results[i] =
+        ReclaimImpl(*admitted[i], request, *registry, traversal, expand);
   });
   return results;
+}
+
+Result<ReclaimTicket> ReclaimService::SubmitReclaim(
+    Table source, const ReclaimRequest& request) const {
+  const size_t capacity = options_.admission_capacity;
+  {
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    if (capacity > 0 && admission_queued_ >= capacity) {
+      if (options_.admission_policy == AdmissionPolicy::kReject) {
+        ++admission_rejected_;
+        return Status::ResourceExhausted(
+            "admission queue full (capacity " + std::to_string(capacity) +
+            ")");
+      }
+      admission_space_.wait(
+          lock, [this, capacity]() { return admission_queued_ < capacity; });
+    }
+    ++admission_queued_;
+  }
+
+  // Admission work happens in the submitter's thread: pin the registry,
+  // re-intern a foreign-dictionary source. From here on the request is
+  // fully self-contained.
+  RegistryPtr registry = Pin();
+  auto admitted = std::make_shared<const Table>(
+      source.dict() != dict_ ? TranslateToDictionary(source, dict_)
+                             : std::move(source));
+  // Async requests share the pool with each other and with batches;
+  // intra-pipeline parallelism on top would oversubscribe.
+  TraversalOptions traversal = options_.config.traversal;
+  ExpandOptions expand = options_.config.expand;
+  if (pool_->num_threads() > 1) {
+    traversal.num_threads = 1;
+    expand.num_threads = 1;
+  }
+
+  ReclaimTicket ticket;
+  ticket.state_ = std::make_shared<ReclaimTicket::SharedState>();
+  std::shared_ptr<ReclaimTicket::SharedState> state = ticket.state_;
+  pool_->Submit([this, state, registry, admitted, request, traversal,
+                 expand]() {
+    {
+      // The request leaves the admission queue when execution starts.
+      std::lock_guard<std::mutex> lock(admission_mutex_);
+      --admission_queued_;
+    }
+    admission_space_.notify_one();
+
+    bool cancelled = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (state->cancelled) {
+        cancelled = true;
+      } else {
+        state->started = true;  // Cancel() returns false from here on
+      }
+    }
+    Result<ReclamationResult> result =
+        cancelled ? Result<ReclamationResult>(Status::Cancelled(
+                        "cancelled before execution started"))
+                  : ReclaimImpl(*admitted, request, *registry, traversal,
+                                expand);
+    if (cancelled) {
+      admission_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->result = std::move(result);
+    }
+    state->ready_cv.notify_all();
+  });
+  return ticket;
+}
+
+// --- Introspection ----------------------------------------------------------
+
+ReclaimService::AdmissionStats ReclaimService::admission_stats() const {
+  AdmissionStats stats;
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    stats.queued = admission_queued_;
+    stats.rejected = admission_rejected_;
+  }
+  stats.capacity = options_.admission_capacity;
+  stats.cancelled = admission_cancelled_.load(std::memory_order_relaxed);
+  stats.pool_backlog = pool_->queue_depth();
+  return stats;
+}
+
+ReclaimService::RoutingStats ReclaimService::routing_stats() const {
+  RoutingStats stats;
+  stats.requests = requests_routed_.load(std::memory_order_relaxed);
+  stats.shards_pruned = shards_pruned_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace gent

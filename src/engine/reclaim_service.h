@@ -1,45 +1,78 @@
 // ReclaimService: a resident, multi-lake reclamation server (DESIGN.md
-// §5.5).
+// §5.5–§5.6).
 //
 // The per-call objects (GenT, BulkReclaim) build a ColumnStatsCatalog,
 // answer, and throw everything away. A service that reclaims sources
 // continuously — the paper's workloads run 26–515 sources per lake, a
 // production deployment runs them forever — wants the opposite shape:
 //
-//   * several data lakes registered once, each behind its own catalog
-//     shard built exactly once (optionally warm-started from a binary
-//     snapshot or a CSV directory),
-//   * per-request routing: a request names its lake, or fans out across
-//     every shard and merges the discovered candidates by score,
+//   * several data lakes registered as catalog shards, each built
+//     exactly once per registration (optionally warm-started from a
+//     binary snapshot or a CSV directory), and mutable at runtime:
+//     AddLake*/RemoveLake/ReloadLakeFromSnapshot run concurrently with
+//     in-flight requests (see "shard registry" below),
+//   * per-request routing: a request names its shard, fans out across
+//     every shard, or lets a stats prefilter skip shards that share no
+//     value with the source (RoutingPolicy),
 //   * a bounded per-source discovery cache (src/engine/discovery_cache)
 //     so repeated sources skip the recall, Set Similarity, and
 //     expansion stages entirely — the cache stores the expanded
 //     candidate tables, the whole pre-traversal product,
-//   * one resident ThreadPool serving batch traffic.
+//   * one resident ThreadPool serving batch and async traffic, behind
+//     a bounded admission queue (SubmitReclaim).
 //
 // Every shard shares one ValueDictionary (fixed at construction), so
 // value ids stay comparable across lakes — the precondition for
 // cross-shard candidate merging. Sources arriving with a foreign
 // dictionary are re-interned at admission.
 //
-// Determinism contract (same as GenT::ReclaimBatch): for a fixed
-// service (shards, config), the result of a request is bit-identical
-// regardless of thread count, concurrent load, routing history, and
-// cache state — a cache hit replays exactly the candidate set discovery
-// would produce (the fingerprint covers everything discovery reads),
-// and the downstream pipeline is deterministic in its inputs. Reclaim
-// for a single-shard route is bit-identical to GenT::Reclaim on that
-// lake. Only wall-clock budgets (ReclaimRequest::timeout_seconds) are
-// scheduling-dependent, exactly as in ReclaimBatch.
+// Shard registry (epoch-versioned). The shard set lives in an immutable
+// RegistrySnapshot published behind one mutex; every mutation builds a
+// new snapshot (copying shared_ptr shard handles, never shard
+// contents), bumps the epoch, and swaps the pointer. A request PINS the
+// current snapshot at admission and serves entirely from it: a batch
+// pins once for all its sources, an async ticket pins at SubmitReclaim.
+// A shard retired by RemoveLake/ReloadLakeFromSnapshot therefore stays
+// alive — catalog, lake, and all — until the last request pinned to an
+// epoch that contains it drains; only then is it destroyed. Each
+// registration gets a fresh shard uid (never reused), and discovery-
+// cache route tags are built from uids (see discovery_cache.h), so a
+// reloaded shard can never replay entries cached against its old
+// content, while untouched shards keep their warm entries across any
+// number of registry mutations.
 //
-// Thread safety: registration (AddLake*) is NOT thread-safe and must
-// finish before serving starts; Reclaim/ReclaimBatch/cache_stats are
-// safe to call concurrently from any number of threads.
+// Determinism contract: for a fixed registry snapshot (shards + config)
+// the result of a request is bit-identical regardless of thread count,
+// concurrent load, routing history, cache state, and whether it was
+// submitted synchronously or through the admission queue — a cache hit
+// replays exactly the candidate set discovery would produce, the
+// stats-prefilter route skips only shards that cannot contribute a
+// candidate, and the downstream pipeline is deterministic in its
+// inputs. Reclaim for a single-shard route is bit-identical to
+// GenT::Reclaim on that lake. Only wall-clock budgets
+// (ReclaimRequest::timeout_seconds) are scheduling-dependent, exactly
+// as in ReclaimBatch. Concurrent registry mutations choose which
+// snapshot a request pins (admission order), never what a pinned
+// snapshot answers.
+//
+// Thread safety: every public method is safe to call concurrently from
+// any number of threads, including AddLake*/RemoveLake/
+// ReloadLakeFromSnapshot against in-flight Reclaim/ReclaimBatch/
+// SubmitReclaim traffic. Mutations serialize among themselves on the
+// registry mutex; catalog builds run outside it, so registration cost
+// never blocks serving. The one lifetime rule: a lake registered with
+// AddLakeView is borrowed and must outlive its shard (i.e. remain valid
+// until RemoveLake for that name has returned AND in-flight requests
+// pinned to older epochs have drained — or until the service is
+// destroyed).
 
 #ifndef GENT_ENGINE_RECLAIM_SERVICE_H_
 #define GENT_ENGINE_RECLAIM_SERVICE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,14 +83,24 @@
 
 namespace gent {
 
+/// What SubmitReclaim does when the admission queue is full.
+enum class AdmissionPolicy {
+  /// Block the submitter until a slot frees (backpressure propagates to
+  /// the producer; submission order is preserved per submitter).
+  kBlock,
+  /// Fail fast with ResourceExhausted (the caller sheds load).
+  kReject,
+};
+
 struct ServiceOptions {
   /// Pipeline configuration shared by every shard. For heavy concurrent
   /// Reclaim traffic set config.traversal.num_threads and
   /// config.expand.num_threads to 1 (callers already provide the
-  /// parallelism); ReclaimBatch pins both regardless.
+  /// parallelism); ReclaimBatch and the async path pin both regardless.
   GenTConfig config;
-  /// Resident pool threads serving ReclaimBatch. 0 = hardware
-  /// concurrency (no cap — thread count never changes results).
+  /// Resident pool threads serving ReclaimBatch and SubmitReclaim.
+  /// 0 = hardware concurrency (no cap — thread count never changes
+  /// results).
   size_t num_threads = 0;
   /// Discovery-cache capacity in expanded candidate sets (0 disables
   /// caching). Each entry holds one source's expanded tables for one
@@ -66,13 +109,41 @@ struct ServiceOptions {
   /// Shared dictionary for all shards (null = a fresh one). Lakes added
   /// with AddLake/AddLakeView must use exactly this dictionary.
   DictionaryPtr dict;
+  /// Bound on async requests admitted but not yet started (0 =
+  /// unbounded). Together with admission_policy this is the
+  /// backpressure knob for SubmitReclaim; synchronous Reclaim/
+  /// ReclaimBatch never queue here.
+  size_t admission_capacity = 1024;
+  /// Queue-full behavior for SubmitReclaim.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kBlock;
+};
+
+/// How a request picks its catalog shard(s).
+enum class RoutingPolicy {
+  /// Back-compat default: named shard if ReclaimRequest::lake is set,
+  /// fan-out over all shards otherwise.
+  kAuto,
+  /// Route to ReclaimRequest::lake (InvalidArgument if empty, NotFound
+  /// if no such shard).
+  kNamedShard,
+  /// Discover on every shard and merge candidates by score
+  /// (ReclaimRequest::lake must be empty).
+  kFanOutAll,
+  /// Fan-out, but first consult each shard's ColumnStatsCatalog and
+  /// skip shards sharing no value with the source
+  /// (!ColumnStatsCatalog::SharesAnyValue). Such shards cannot
+  /// contribute a candidate, so results are bit-identical to
+  /// kFanOutAll; only the per-shard discovery work — and the cache
+  /// route tag, which covers exactly the surviving shard set — differ.
+  kStatsPrefilter,
 };
 
 /// Per-request options.
 struct ReclaimRequest {
-  /// Route to the shard with this name; empty = fan out across every
-  /// shard and merge candidates by score.
+  /// Route to the shard with this name; empty = fan out (see `policy`).
   std::string lake;
+  /// Shard-selection policy; kAuto preserves the pre-§5.6 behavior.
+  RoutingPolicy policy = RoutingPolicy::kAuto;
   /// Per-source wall-clock budget, seconds (0 = unlimited). The only
   /// scheduling-dependent knob; use max_rows where strict
   /// reproducibility matters. Deadline-carrying requests may hit the
@@ -89,23 +160,69 @@ struct ReclaimRequest {
   bool bypass_cache = false;
 };
 
+/// Move-only handle to an asynchronously admitted reclamation
+/// (SubmitReclaim). The ticket may outlive the service: destroying the
+/// service drains the pool first, so every outstanding ticket resolves
+/// before the service's state goes away.
+class ReclaimTicket {
+ public:
+  ReclaimTicket() = default;
+  ReclaimTicket(ReclaimTicket&&) = default;
+  ReclaimTicket& operator=(ReclaimTicket&&) = default;
+  ReclaimTicket(const ReclaimTicket&) = delete;
+  ReclaimTicket& operator=(const ReclaimTicket&) = delete;
+
+  /// False for a default-constructed (empty) ticket.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the result is ready and returns a reference to it
+  /// (valid while the ticket is alive). Thread-safe; any number of
+  /// threads may Wait on one ticket. Requires valid().
+  const Result<ReclamationResult>& Wait() const;
+
+  /// Non-blocking: true once the result is available. Requires valid().
+  bool ready() const;
+
+  /// Requests cancellation. Returns true if the request had not started
+  /// executing — it then resolves to Status::Cancelled without running
+  /// the pipeline (its admission-queue slot is reclaimed when the
+  /// scheduler reaches it). Returns false if execution already started
+  /// or finished; a running request is never interrupted. Thread-safe.
+  bool Cancel() const;
+
+ private:
+  friend class ReclaimService;
+  struct SharedState;
+  std::shared_ptr<SharedState> state_;
+};
+
 class ReclaimService {
  public:
   explicit ReclaimService(ServiceOptions options = {});
+
+  /// Joins the resident pool first: every admitted async request
+  /// resolves (run or cancelled) before shards, cache, or dictionary
+  /// are torn down.
+  ~ReclaimService();
 
   ReclaimService(const ReclaimService&) = delete;
   ReclaimService& operator=(const ReclaimService&) = delete;
 
   const DictionaryPtr& dict() const { return dict_; }
 
-  // --- Shard registration (build phase; not thread-safe) ----------------
+  // --- Shard lifecycle (thread-safe; serializable among themselves) ------
+  //
+  // All registration methods may run while the service is serving.
+  // Expensive work (CSV parse, snapshot read, catalog build) happens
+  // outside the registry lock; only the snapshot swap is serialized.
+  // Every successful mutation bumps the registry epoch by one.
 
   /// Registers an owned lake as shard `name` and builds its catalog.
   /// The lake must use dict(); shard names must be unique.
   Status AddLake(const std::string& name, DataLake lake);
 
-  /// Registers a borrowed lake (must outlive the service). Same
-  /// dictionary and uniqueness rules as AddLake.
+  /// Registers a borrowed lake (must outlive the shard; see the header
+  /// comment). Same dictionary and uniqueness rules as AddLake.
   Status AddLakeView(const std::string& name, const DataLake& lake);
 
   /// Builds a shard from a binary snapshot (src/lake/snapshot) — the
@@ -117,55 +234,157 @@ class ReclaimService {
   Status AddLakeFromDirectory(const std::string& name,
                               const std::string& dir);
 
-  size_t num_lakes() const { return shards_.size(); }
-  std::vector<std::string> lake_names() const;
-  /// The lake behind shard `name` (NotFound if absent).
-  Result<const DataLake*> lake(const std::string& name) const;
+  /// Retires shard `name` (NotFound if absent). In-flight requests that
+  /// pinned an epoch containing the shard drain on it unchanged — their
+  /// results are bit-identical to a run without the removal — and the
+  /// shard is destroyed when the last of them finishes. Requests
+  /// admitted after RemoveLake returns never see the shard.
+  Status RemoveLake(const std::string& name);
 
-  // --- Serving (thread-safe) --------------------------------------------
+  /// Replaces shard `name` (NotFound if absent) with a fresh shard
+  /// built from a binary snapshot, atomically from the point of view of
+  /// admission: a request pins either the old shard or the new one,
+  /// never a mix. The replacement gets a new shard uid, so discovery-
+  /// cache entries against the old content can never be replayed.
+  Status ReloadLakeFromSnapshot(const std::string& name,
+                                const std::string& path);
+
+  // --- Registry observation (thread-safe) --------------------------------
+
+  size_t num_lakes() const;
+  std::vector<std::string> lake_names() const;
+  /// The lake behind shard `name` (NotFound if absent). The pointer is
+  /// guaranteed only while the shard stays registered; do not hold it
+  /// across a concurrent RemoveLake/ReloadLakeFromSnapshot of `name`.
+  Result<const DataLake*> lake(const std::string& name) const;
+  /// Monotone counter, +1 per successful shard mutation. Two equal
+  /// epochs imply the identical shard set (same uids, same order).
+  uint64_t registry_epoch() const;
+
+  // --- Serving (thread-safe) ----------------------------------------------
 
   /// Reclaims one source. Runs in the caller's thread (a server's
   /// request handler); any number of callers may be in flight at once.
+  /// Pins the registry snapshot current at entry.
   Result<ReclamationResult> Reclaim(const Table& source,
                                     const ReclaimRequest& request = {}) const;
 
   /// Reclaims every source over the resident pool. results[i]
   /// corresponds to sources[i] and is bit-identical to serial Reclaim
-  /// calls in input order.
+  /// calls in input order. The whole batch pins ONE registry snapshot
+  /// at entry, so a concurrent shard mutation affects either every
+  /// source of the batch or none. The wait is group-scoped: concurrent
+  /// batches or async traffic in the same pool never extend it.
   std::vector<Result<ReclamationResult>> ReclaimBatch(
       const std::vector<Table>& sources,
       const ReclaimRequest& request = {}) const;
 
+  /// Async admission: translates the source (if foreign-dictionary),
+  /// pins the current registry snapshot, and enqueues the reclamation
+  /// on the resident pool behind the bounded admission queue. Returns a
+  /// ticket immediately (kBlock may first wait for a queue slot; kReject
+  /// returns ResourceExhausted instead). Execution starts in submission
+  /// order (FIFO pool queue); completion order depends on scheduling,
+  /// but each ticket's RESULT is bit-identical to a synchronous
+  /// Reclaim(source, request) against the pinned snapshot. The async
+  /// path pins intra-pipeline parallelism to 1 (it optimizes
+  /// throughput; use Reclaim for latency-sensitive lone requests).
+  Result<ReclaimTicket> SubmitReclaim(Table source,
+                                      const ReclaimRequest& request = {}) const;
+
+  // --- Introspection (thread-safe) ----------------------------------------
+
   DiscoveryCache::Stats cache_stats() const { return cache_.stats(); }
   size_t num_threads() const { return pool_->num_threads(); }
+
+  struct AdmissionStats {
+    /// Async requests admitted but not yet started.
+    size_t queued = 0;
+    /// Admission-queue capacity (0 = unbounded).
+    size_t capacity = 0;
+    /// SubmitReclaim calls rejected with ResourceExhausted so far.
+    uint64_t rejected = 0;
+    /// Tickets that resolved to Cancelled before running.
+    uint64_t cancelled = 0;
+    /// Tasks sitting in the resident pool's queue right now — async
+    /// requests plus batch shards (ThreadPool::queue_depth; stale the
+    /// moment it is read).
+    size_t pool_backlog = 0;
+  };
+  AdmissionStats admission_stats() const;
+
+  struct RoutingStats {
+    /// Requests routed so far (any policy).
+    uint64_t requests = 0;
+    /// Shards skipped by kStatsPrefilter (zero value overlap).
+    uint64_t shards_pruned = 0;
+  };
+  RoutingStats routing_stats() const;
 
  private:
   struct Shard {
     std::string name;
+    uint64_t uid = 0;                 // unique per registration, never reused
     std::unique_ptr<DataLake> owned;  // null for AddLakeView shards
     const DataLake* lake = nullptr;
     std::unique_ptr<GenT> gent;       // shard catalog lives inside
   };
 
+  /// Immutable once published; mutations swap whole snapshots.
+  struct RegistrySnapshot {
+    uint64_t epoch = 0;
+    uint64_t fanout_tag = 0;  // FoldRouteTags over all shard uids
+    std::vector<std::shared_ptr<const Shard>> shards;
+    std::unordered_map<std::string, size_t> by_name;
+  };
+  using RegistryPtr = std::shared_ptr<const RegistrySnapshot>;
+
+  /// Copies the current snapshot pointer (the pin operation).
+  RegistryPtr Pin() const;
+
+  /// Builds shard state outside the lock, then swaps in a snapshot with
+  /// it appended. Used by all four AddLake* flavors.
   Status RegisterShard(const std::string& name,
                        std::unique_ptr<DataLake> owned,
                        const DataLake* borrowed);
 
+  /// Shared tail of RegisterShard/ReloadLakeFromSnapshot: publishes
+  /// `next` as the new snapshot under the registry mutex.
+  void PublishLocked(std::shared_ptr<RegistrySnapshot> next);
+
   Result<ReclamationResult> ReclaimImpl(
       const Table& source, const ReclaimRequest& request,
-      const TraversalOptions& traversal, const ExpandOptions& expand) const;
+      const RegistrySnapshot& registry, const TraversalOptions& traversal,
+      const ExpandOptions& expand) const;
 
   ServiceOptions options_;
   DictionaryPtr dict_;
-  std::vector<Shard> shards_;
-  std::unordered_map<std::string, size_t> shard_by_name_;
+
+  mutable std::mutex registry_mutex_;  // guards registry_ swap + uid counter
+  RegistryPtr registry_;
+  uint64_t next_shard_uid_ = 1;
+
   mutable DiscoveryCache cache_;
+
+  mutable std::mutex admission_mutex_;
+  mutable std::condition_variable admission_space_;
+  mutable size_t admission_queued_ = 0;
+  mutable uint64_t admission_rejected_ = 0;
+  mutable std::atomic<uint64_t> admission_cancelled_{0};
+
+  mutable std::atomic<uint64_t> requests_routed_{0};
+  mutable std::atomic<uint64_t> shards_pruned_{0};
+
+  // Declared last: destroyed first, draining every admitted task while
+  // the members above are still alive.
   std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Re-interns `source` into `dict` (labeled nulls become plain nulls).
 /// Used at service admission when a source arrives with a foreign
-/// dictionary.
+/// dictionary. Thread-safe (the dictionary is internally synchronized);
+/// the output's cell STRINGS are deterministic, while newly interned
+/// ids depend on interning order across concurrent callers.
 Table TranslateToDictionary(const Table& source, const DictionaryPtr& dict);
 
 }  // namespace gent

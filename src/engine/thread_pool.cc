@@ -22,11 +22,12 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(Group* group, std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), group});
     ++in_flight_;
+    if (group != nullptr) ++group->outstanding_;
   }
   work_available_.notify_one();
 }
@@ -36,9 +37,19 @@ void ThreadPool::Wait() {
   work_done_.wait(lock, [this]() { return in_flight_ == 0; });
 }
 
+void ThreadPool::Wait(Group* group) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [group]() { return group->outstanding_ == 0; });
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -47,10 +58,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    task.fn();
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) work_done_.notify_all();
+      --in_flight_;
+      if (task.group != nullptr) --task.group->outstanding_;
+      // One condvar serves both wait flavors; completions are rare
+      // relative to task bodies, so the broadcast is cheap.
+      if (in_flight_ == 0 || task.group != nullptr) {
+        work_done_.notify_all();
+      }
     }
   }
 }
@@ -81,14 +98,15 @@ void ParallelFor(ThreadPool* pool, size_t n,
   }
   std::atomic<size_t> next{0};
   size_t shards = std::min(pool->num_threads(), n);
+  ThreadPool::Group group;
   for (size_t t = 0; t < shards; ++t) {
-    pool->Submit([&next, n, &fn]() {
+    pool->Submit(&group, [&next, n, &fn]() {
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
         fn(i);
       }
     });
   }
-  pool->Wait();
+  pool->Wait(&group);
 }
 
 }  // namespace gent

@@ -14,6 +14,7 @@ std::vector<BulkOutcome> BulkReclaim(const DataLake& lake,
   ServiceOptions service_options;
   service_options.config = config;
   service_options.num_threads = options.threads;
+  service_options.cache_capacity = options.cache_capacity;
   service_options.dict = lake.dict();
   ReclaimService service(service_options);
 

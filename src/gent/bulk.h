@@ -36,6 +36,10 @@ struct BulkOptions {
   double timeout_seconds = 0.0;
   /// Per-source intermediate row budget.
   uint64_t max_rows = 2'000'000;
+  /// Discovery-cache entries for the run's one-shot service (0 disables
+  /// caching; only repeated sources in one bulk run benefit). Plumbed to
+  /// ServiceOptions::cache_capacity.
+  size_t cache_capacity = 256;
 };
 
 /// Outcome of one source in a bulk run.

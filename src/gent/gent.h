@@ -141,11 +141,14 @@ class GenT {
       const Table& source, const DiscoveryConfig& discovery) const;
 
   /// The pipeline downstream of discovery (Expand → Matrix Traversal →
-  /// Integration). Reads only `source`, `candidates`, and config — never
-  /// the catalog — so candidates may come from this instance's
-  /// discovery, a cache replay, or a merge across several catalogs.
-  /// `discovery_seconds` is carried into the result's phase timings.
-  /// Reclaim(source, limits, discovery, traversal) is exactly
+  /// Integration). Reads `source`, `candidates`, and config — plus each
+  /// candidate's own Candidate::stats catalog (set by the discovery
+  /// that produced it; null falls back to a one-pass rebuild), never
+  /// THIS instance's catalog — so candidates may come from this
+  /// instance's discovery, a cache replay, or a merge across several
+  /// catalog shards, provided every non-null stats pointer outlives the
+  /// call. `discovery_seconds` is carried into the result's phase
+  /// timings. Reclaim(source, limits, discovery, traversal) is exactly
   /// DiscoverCandidates + ReclaimFromCandidates.
   Result<ReclamationResult> ReclaimFromCandidates(
       const Table& source, const std::vector<Candidate>& candidates,

@@ -3,7 +3,7 @@
 // join graph — with candidates that do, so that every table entering
 // matrix traversal can align its tuples to source rows by key.
 //
-// The implementation is the catalog-aware ExpandEngine (DESIGN.md §5.6):
+// The implementation is the catalog-aware ExpandEngine (DESIGN.md §5.7):
 // candidates that are untouched lake tables borrow their sorted distinct
 // sets and cardinalities from the shared ColumnStatsCatalog
 // (Candidate::stats; zero recomputation), pair containment runs as a

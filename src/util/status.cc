@@ -20,6 +20,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Timeout";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -27,6 +27,8 @@ enum class StatusCode {
   kIOError,
   kTimeout,
   kInternal,
+  kResourceExhausted,
+  kCancelled,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -65,6 +67,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -245,6 +245,29 @@ TEST(ColumnStatsCatalogTest, NullsNeverEnterPostings) {
   EXPECT_TRUE(catalog.OverlapCounts({kNull}).empty());
 }
 
+TEST(ColumnStatsCatalogTest, SharesAnyValueProbesTheWholeLake) {
+  DataLake lake;
+  (void)lake.AddTable(TableBuilder(lake.dict(), "a")
+                          .Columns({"x", "y"})
+                          .Row({"p", "q"})
+                          .Build());
+  (void)lake.AddTable(
+      TableBuilder(lake.dict(), "b").Columns({"z"}).Row({"r"}).Build());
+  ColumnStatsCatalog catalog(lake);
+  auto sorted = [&](std::vector<std::string> strs) {
+    std::vector<ValueId> ids;
+    for (const auto& s : strs) ids.push_back(lake.dict()->Intern(s));
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  // A value from any table hits; any number of misses alone do not.
+  EXPECT_TRUE(catalog.SharesAnyValue(sorted({"q"})));
+  EXPECT_TRUE(catalog.SharesAnyValue(sorted({"r"})));
+  EXPECT_TRUE(catalog.SharesAnyValue(sorted({"nope", "r", "also-nope"})));
+  EXPECT_FALSE(catalog.SharesAnyValue(sorted({"nope", "also-nope"})));
+  EXPECT_FALSE(catalog.SharesAnyValue({}));
+}
+
 // --- ThreadPool -------------------------------------------------------------
 
 TEST(ThreadPoolTest, RunsEverySubmittedTask) {
@@ -285,6 +308,26 @@ TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
 
 TEST(ParallelForTest, EmptyRangeIsANoOp) {
   ParallelFor(4, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, GroupWaitIsScopedToItsOwnTasks) {
+  // Wait(&group) must return once the group's tasks are done even while
+  // unrelated tasks keep the pool busy — the property that decouples
+  // ReclaimBatch waits from async admission traffic.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> group_done{0};
+  pool.Submit([&release]() {  // untracked long-runner
+    while (!release.load()) std::this_thread::yield();
+  });
+  ThreadPool::Group group;
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(&group, [&group_done]() { group_done.fetch_add(1); });
+  }
+  pool.Wait(&group);
+  EXPECT_EQ(group_done.load(), 8);  // all group tasks done...
+  release.store(true);              // ...while the long-runner still held
+  pool.Wait();                      // a worker; pool-wide wait still works
 }
 
 }  // namespace

@@ -1,0 +1,541 @@
+// Runtime shard lifecycle + async admission tests for ReclaimService
+// (DESIGN.md §5.6): epoch-pinned registry snapshots under concurrent
+// mutation, removed-shard drain correctness, cache-epoch invalidation
+// on reload, routing policies, and the SubmitReclaim admission queue
+// (ordering, backpressure, cancellation). The add/remove-while-serving
+// hammer runs under ThreadSanitizer in CI.
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/reclaim_service.h"
+#include "src/lake/snapshot.h"
+#include "src/metrics/similarity.h"
+#include "src/table/table_builder.h"
+
+namespace gent {
+namespace {
+
+// Fixture: same vertical-fragment scheme as reclaim_service_test.
+// Source s splits into frag_a (k,a) and frag_b (k,b); a "paired" lake
+// holds both fragments of its sources.
+
+std::vector<std::vector<std::string>> SourceRows(size_t s,
+                                                 const std::string& salt = "") {
+  const std::string tag = "s" + std::to_string(s) + salt + "_";
+  std::vector<std::vector<std::string>> rows;
+  for (size_t r = 0; r < 10; ++r) {
+    rows.push_back({tag + "k" + std::to_string(r),
+                    tag + "a" + std::to_string(r),
+                    tag + "b" + std::to_string(r)});
+  }
+  return rows;
+}
+
+Table MakeSource(const DictionaryPtr& dict, size_t s,
+                 const std::string& salt = "") {
+  TableBuilder sb(dict, "source" + std::to_string(s));
+  sb.Columns({"k", "a", "b"});
+  for (const auto& row : SourceRows(s, salt)) sb.Row(row);
+  return sb.Key({"k"}).Build();
+}
+
+// A lake holding both fragments for each source index in [begin, end).
+DataLake MakePairedLake(const DictionaryPtr& dict, size_t begin, size_t end,
+                        const std::string& salt = "") {
+  DataLake lake(dict);
+  for (size_t s = begin; s < end; ++s) {
+    const std::string tag = "s" + std::to_string(s) + salt + "_";
+    const auto rows = SourceRows(s, salt);
+    TableBuilder fa(dict, tag + "frag_a");
+    fa.Columns({"k", "a"});
+    for (const auto& row : rows) fa.Row({row[0], row[1]});
+    (void)lake.AddTable(fa.Build());
+    TableBuilder fb(dict, tag + "frag_b");
+    fb.Columns({"k", "b"});
+    for (const auto& row : rows) fb.Row({row[0], row[2]});
+    (void)lake.AddTable(fb.Build());
+  }
+  return lake;
+}
+
+void ExpectSameReclamation(const Result<ReclamationResult>& a,
+                           const Result<ReclamationResult>& b,
+                           const std::string& context) {
+  ASSERT_EQ(a.ok(), b.ok()) << context << ": " << a.status().ToString()
+                            << " vs " << b.status().ToString();
+  if (!a.ok()) {
+    EXPECT_EQ(a.status().code(), b.status().code()) << context;
+    return;
+  }
+  EXPECT_TRUE(TablesBitIdentical(a->reclaimed, b->reclaimed)) << context;
+  EXPECT_EQ(a->originating_names, b->originating_names) << context;
+  EXPECT_DOUBLE_EQ(a->predicted_eis, b->predicted_eis) << context;
+}
+
+std::string TempPath(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() /
+          (stem + "_" + std::to_string(::getpid()) + ".snap"))
+      .string();
+}
+
+// --- Runtime mutation: epochs, drain, reload --------------------------------
+
+TEST(ServiceLifecycleTest, EpochAdvancesPerMutationAndNamesTrackIt) {
+  auto dict = MakeDictionary();
+  DataLake alpha = MakePairedLake(dict, 0, 2);
+  DataLake beta = MakePairedLake(dict, 2, 4);
+
+  ServiceOptions options;
+  options.dict = dict;
+  ReclaimService service(std::move(options));
+  EXPECT_EQ(service.registry_epoch(), 0u);
+
+  ASSERT_TRUE(service.AddLakeView("alpha", alpha).ok());
+  EXPECT_EQ(service.registry_epoch(), 1u);
+  ASSERT_TRUE(service.AddLakeView("beta", beta).ok());
+  EXPECT_EQ(service.registry_epoch(), 2u);
+  EXPECT_EQ(service.lake_names(),
+            (std::vector<std::string>{"alpha", "beta"}));
+
+  ASSERT_TRUE(service.RemoveLake("alpha").ok());
+  EXPECT_EQ(service.registry_epoch(), 3u);
+  EXPECT_EQ(service.lake_names(), std::vector<std::string>{"beta"});
+  EXPECT_EQ(service.lake("alpha").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.RemoveLake("alpha").code(), StatusCode::kNotFound);
+
+  // A name can be re-registered after removal (fresh uid, fresh shard).
+  ASSERT_TRUE(service.AddLakeView("alpha", alpha).ok());
+  EXPECT_EQ(service.registry_epoch(), 4u);
+  EXPECT_EQ(service.num_lakes(), 2u);
+}
+
+TEST(ServiceLifecycleTest, RemoveDuringConcurrentBatchDrainsOnOldEpoch) {
+  auto dict = MakeDictionary();
+  DataLake alpha = MakePairedLake(dict, 0, 3);
+  DataLake beta = MakePairedLake(dict, 3, 6);
+
+  ServiceOptions options;
+  options.dict = dict;
+  options.num_threads = 4;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLakeView("alpha", alpha).ok());
+  ASSERT_TRUE(service.AddLakeView("beta", beta).ok());
+
+  std::vector<Table> sources;
+  for (size_t s = 0; s < 6; ++s) sources.push_back(MakeSource(dict, s));
+
+  // Reference: the same batch with no concurrent mutation.
+  ReclaimRequest fan_out;
+  auto reference = service.ReclaimBatch(sources, fan_out);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_TRUE(reference[i].ok())
+        << "reference source " << i << ": " << reference[i].status().ToString();
+  }
+
+  // Hammer: run the identical batch over and over while another thread
+  // keeps removing and re-adding shard "beta". Every batch pinned a
+  // snapshot at admission; whichever it pinned, "alpha"-only and
+  // "alpha+beta" runs are the only possible outcomes, and each is
+  // deterministic. Batches that saw beta must match the reference
+  // exactly (they drained on their pinned epoch even while the shard
+  // was retired under them).
+  auto alpha_only = [&] {
+    ServiceOptions o;
+    o.dict = dict;
+    ReclaimService solo(std::move(o));
+    EXPECT_TRUE(solo.AddLakeView("alpha", alpha).ok());
+    return solo.ReclaimBatch(sources, fan_out);
+  }();
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&]() {
+    while (!stop.load()) {
+      ASSERT_TRUE(service.RemoveLake("beta").ok());
+      ASSERT_TRUE(service.AddLakeView("beta", beta).ok());
+    }
+  });
+
+  for (int iter = 0; iter < 8; ++iter) {
+    auto batch = service.ReclaimBatch(sources, fan_out);
+    ASSERT_EQ(batch.size(), sources.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const bool saw_beta =
+          batch[i].ok() &&
+          TablesBitIdentical(batch[i]->reclaimed, reference[i]->reclaimed);
+      const auto& want = saw_beta ? reference[i] : alpha_only[i];
+      ExpectSameReclamation(batch[i], want,
+                            "iter " + std::to_string(iter) + " source " +
+                                std::to_string(i));
+    }
+  }
+  stop.store(true);
+  mutator.join();
+
+  // After the dust settles the shard set is alpha+beta again.
+  auto final_batch = service.ReclaimBatch(sources, fan_out);
+  for (size_t i = 0; i < final_batch.size(); ++i) {
+    ExpectSameReclamation(final_batch[i], reference[i], "post-hammer");
+  }
+}
+
+TEST(ServiceLifecycleTest, AddRemoveWhileServingHammer) {
+  // N writer threads mutating churn shards × M reader threads serving
+  // requests routed to a stable shard. Readers must never crash, error,
+  // or observe anything but the stable shard's deterministic answer;
+  // TSan (CI) checks the synchronization underneath.
+  auto dict = MakeDictionary();
+  DataLake stable = MakePairedLake(dict, 0, 4);
+  DataLake churn_a = MakePairedLake(dict, 4, 6);
+  DataLake churn_b = MakePairedLake(dict, 6, 8);
+
+  ServiceOptions options;
+  options.dict = dict;
+  options.num_threads = 2;  // leave cores for the reader/writer threads
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLakeView("stable", stable).ok());
+
+  std::vector<Table> sources;
+  for (size_t s = 0; s < 4; ++s) sources.push_back(MakeSource(dict, s));
+
+  ReclaimRequest to_stable;
+  to_stable.lake = "stable";
+  std::vector<Result<ReclamationResult>> reference;
+  for (const Table& source : sources) {
+    reference.push_back(service.Reclaim(source, to_stable));
+    ASSERT_TRUE(reference.back().ok());
+  }
+
+  constexpr size_t kWriters = 2;
+  constexpr size_t kReaders = 4;
+  constexpr size_t kIters = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w]() {
+      const std::string name = "churn" + std::to_string(w);
+      const DataLake& lake = w % 2 == 0 ? churn_a : churn_b;
+      while (!stop.load()) {
+        if (!service.AddLakeView(name, lake).ok()) continue;
+        (void)service.RemoveLake(name);
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r]() {
+      for (size_t iter = 0; iter < kIters; ++iter) {
+        for (size_t s = 0; s < sources.size(); ++s) {
+          size_t i = (s + r) % sources.size();
+          auto got = service.Reclaim(sources[i], to_stable);
+          const auto& want = reference[i];
+          bool same =
+              got.ok() &&
+              TablesBitIdentical(got->reclaimed, want->reclaimed) &&
+              got->originating_names == want->originating_names;
+          if (!same) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(service.lake("stable").status().code(), StatusCode::kOk);
+}
+
+TEST(ServiceLifecycleTest, ReloadInvalidatesCacheEpochForThatShardOnly) {
+  auto dict = MakeDictionary();
+  DataLake v1 = MakePairedLake(dict, 0, 2);          // holds source 0, 1
+  DataLake other = MakePairedLake(dict, 2, 4);       // holds source 2, 3
+  DataLake v2 = MakePairedLake(dict, 0, 1);          // drops source 1
+  const std::string snap_v2 = TempPath("gent_reload_v2");
+  ASSERT_TRUE(SaveSnapshot(v2, snap_v2).ok());
+
+  ServiceOptions options;
+  options.dict = dict;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLakeView("hot", v1).ok());
+  ASSERT_TRUE(service.AddLakeView("other", other).ok());
+
+  Table source1 = MakeSource(dict, 1);
+  Table source2 = MakeSource(dict, 2);
+  ReclaimRequest to_hot;
+  to_hot.lake = "hot";
+  ReclaimRequest to_other;
+  to_other.lake = "other";
+
+  // Warm both shards' cache entries.
+  auto v1_answer = service.Reclaim(source1, to_hot);
+  ASSERT_TRUE(v1_answer.ok());
+  EXPECT_DOUBLE_EQ(EisScore(source1, v1_answer->reclaimed).value(), 1.0);
+  auto other_cold = service.Reclaim(source2, to_other);
+  ASSERT_TRUE(other_cold.ok());
+  const auto warm_before = service.cache_stats();
+
+  // Reload "hot" with content that can no longer reclaim source 1. A
+  // stale cache hit would replay v1's candidate tables and still
+  // reclaim perfectly — the whole point of uid-keyed route tags is
+  // that it cannot.
+  ASSERT_TRUE(service.ReloadLakeFromSnapshot("hot", snap_v2).ok());
+  auto v2_answer = service.Reclaim(source1, to_hot);
+  ASSERT_TRUE(v2_answer.ok());
+  EXPECT_LT(EisScore(source1, v2_answer->reclaimed).value(), 1.0);
+
+  // The untouched shard's entry survived the reload: same request hits.
+  auto other_warm = service.Reclaim(source2, to_other);
+  ExpectSameReclamation(other_warm, other_cold, "untouched shard");
+  EXPECT_GT(service.cache_stats().hits, warm_before.hits);
+
+  // Reloading an unknown name is NotFound and leaves the epoch alone.
+  const uint64_t epoch = service.registry_epoch();
+  EXPECT_EQ(service.ReloadLakeFromSnapshot("nope", snap_v2).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.registry_epoch(), epoch);
+  std::filesystem::remove(snap_v2);
+}
+
+// --- Routing policies --------------------------------------------------------
+
+TEST(ServiceLifecycleTest, StatsPrefilterMatchesFanOutAndPrunes) {
+  auto dict = MakeDictionary();
+  DataLake relevant = MakePairedLake(dict, 0, 3);
+  // A shard with entirely disjoint content: zero value overlap with
+  // sources 0-2, so the prefilter must skip it.
+  DataLake disjoint = MakePairedLake(dict, 50, 55);
+
+  ServiceOptions options;
+  options.dict = dict;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLakeView("relevant", relevant).ok());
+  ASSERT_TRUE(service.AddLakeView("disjoint", disjoint).ok());
+
+  ReclaimRequest fan_out;
+  fan_out.policy = RoutingPolicy::kFanOutAll;
+  fan_out.bypass_cache = true;
+  ReclaimRequest prefilter;
+  prefilter.policy = RoutingPolicy::kStatsPrefilter;
+  prefilter.bypass_cache = true;
+
+  for (size_t s = 0; s < 3; ++s) {
+    Table source = MakeSource(dict, s);
+    auto full = service.Reclaim(source, fan_out);
+    auto pruned = service.Reclaim(source, prefilter);
+    ExpectSameReclamation(pruned, full, "source " + std::to_string(s));
+    ASSERT_TRUE(pruned.ok());
+    EXPECT_DOUBLE_EQ(EisScore(source, pruned->reclaimed).value(), 1.0);
+  }
+  auto stats = service.routing_stats();
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.shards_pruned, 3u);  // "disjoint" skipped per request
+
+  // Policy/lake conflicts are rejected up front.
+  ReclaimRequest bad_named;
+  bad_named.policy = RoutingPolicy::kNamedShard;
+  EXPECT_EQ(service.Reclaim(MakeSource(dict, 0), bad_named).status().code(),
+            StatusCode::kInvalidArgument);
+  ReclaimRequest bad_fan;
+  bad_fan.policy = RoutingPolicy::kFanOutAll;
+  bad_fan.lake = "relevant";
+  EXPECT_EQ(service.Reclaim(MakeSource(dict, 0), bad_fan).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceLifecycleTest, PrefilterSharesCacheEntriesWithFanOutWhenNoPrune) {
+  auto dict = MakeDictionary();
+  DataLake lake = MakePairedLake(dict, 0, 2);
+  ServiceOptions options;
+  options.dict = dict;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLakeView("lake", lake).ok());
+
+  Table source = MakeSource(dict, 0);
+  ReclaimRequest fan_out;  // kAuto with empty lake = fan-out-all
+  (void)service.Reclaim(source, fan_out);
+  EXPECT_EQ(service.cache_stats().misses, 1u);
+
+  // Every shard overlaps, so the prefilter selects the full set and its
+  // route tag coincides with the fan-out tag: warm hit, same entry.
+  ReclaimRequest prefilter;
+  prefilter.policy = RoutingPolicy::kStatsPrefilter;
+  (void)service.Reclaim(source, prefilter);
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+  EXPECT_EQ(service.cache_stats().misses, 1u);
+
+  // On a one-shard registry a single-element fold IS the shard uid, so
+  // the named route shares the same entry too (identical results).
+  ReclaimRequest named;
+  named.lake = "lake";
+  (void)service.Reclaim(source, named);
+  EXPECT_EQ(service.cache_stats().hits, 2u);
+  EXPECT_EQ(service.cache_stats().misses, 1u);
+}
+
+// --- Async admission ---------------------------------------------------------
+
+TEST(ServiceLifecycleTest, SubmitReclaimMatchesSynchronousReclaim) {
+  auto dict = MakeDictionary();
+  DataLake lake = MakePairedLake(dict, 0, 4);
+  ServiceOptions options;
+  options.dict = dict;
+  options.num_threads = 2;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLakeView("lake", lake).ok());
+
+  std::vector<Table> sources;
+  for (size_t s = 0; s < 4; ++s) sources.push_back(MakeSource(dict, s));
+
+  ReclaimRequest request;
+  request.lake = "lake";
+  request.bypass_cache = true;  // async must match cold sync, not a hit
+  std::vector<Result<ReclamationResult>> want;
+  for (const Table& source : sources) {
+    want.push_back(service.Reclaim(source, request));
+  }
+
+  std::vector<ReclaimTicket> tickets;
+  for (const Table& source : sources) {
+    auto ticket = service.SubmitReclaim(source.Clone(), request);
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    ASSERT_TRUE(ticket->valid());
+    tickets.push_back(std::move(*ticket));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    ExpectSameReclamation(tickets[i].Wait(), want[i],
+                          "ticket " + std::to_string(i));
+    EXPECT_TRUE(tickets[i].ready());
+  }
+  EXPECT_EQ(service.admission_stats().queued, 0u);
+}
+
+TEST(ServiceLifecycleTest, AdmissionQueueRejectsWhenFull) {
+  auto dict = MakeDictionary();
+  DataLake lake = MakePairedLake(dict, 0, 2);
+  ServiceOptions options;
+  options.dict = dict;
+  options.num_threads = 1;  // one worker: easy to saturate
+  options.admission_capacity = 1;
+  options.admission_policy = AdmissionPolicy::kReject;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLakeView("lake", lake).ok());
+
+  ReclaimRequest request;
+  request.lake = "lake";
+  // Flood the one-slot queue; at least one submission must be shed with
+  // ResourceExhausted (the worker can't drain 16 pipelines instantly),
+  // and everything admitted must complete correctly.
+  std::vector<ReclaimTicket> admitted;
+  uint64_t rejected = 0;
+  for (int i = 0; i < 16; ++i) {
+    auto ticket = service.SubmitReclaim(MakeSource(dict, 0), request);
+    if (ticket.ok()) {
+      admitted.push_back(std::move(*ticket));
+    } else {
+      EXPECT_EQ(ticket.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(service.admission_stats().rejected, rejected);
+  ASSERT_FALSE(admitted.empty());
+  for (auto& ticket : admitted) {
+    EXPECT_TRUE(ticket.Wait().ok()) << ticket.Wait().status().ToString();
+  }
+}
+
+TEST(ServiceLifecycleTest, BlockingAdmissionEventuallyAdmitsEverything) {
+  auto dict = MakeDictionary();
+  DataLake lake = MakePairedLake(dict, 0, 2);
+  ServiceOptions options;
+  options.dict = dict;
+  options.num_threads = 1;
+  options.admission_capacity = 2;
+  options.admission_policy = AdmissionPolicy::kBlock;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLakeView("lake", lake).ok());
+
+  ReclaimRequest request;
+  request.lake = "lake";
+  std::vector<ReclaimTicket> tickets;
+  for (int i = 0; i < 8; ++i) {  // 4x the queue bound: submitters block
+    auto ticket = service.SubmitReclaim(MakeSource(dict, i % 2), request);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(*ticket));
+  }
+  for (auto& ticket : tickets) EXPECT_TRUE(ticket.Wait().ok());
+  EXPECT_EQ(service.admission_stats().rejected, 0u);
+}
+
+TEST(ServiceLifecycleTest, CancelBeforeStartResolvesToCancelled) {
+  auto dict = MakeDictionary();
+  DataLake lake = MakePairedLake(dict, 0, 2);
+  ServiceOptions options;
+  options.dict = dict;
+  options.num_threads = 1;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLakeView("lake", lake).ok());
+
+  ReclaimRequest request;
+  request.lake = "lake";
+  // Occupy the lone worker with a stream of work, then cancel requests
+  // parked behind it. Some cancels land before their request starts
+  // (those must resolve to kCancelled without running); cancels that
+  // lose the race return false and the request completes normally.
+  std::vector<ReclaimTicket> stream;
+  for (int i = 0; i < 6; ++i) {
+    auto t = service.SubmitReclaim(MakeSource(dict, 0), request);
+    ASSERT_TRUE(t.ok());
+    stream.push_back(std::move(*t));
+  }
+  auto victim = service.SubmitReclaim(MakeSource(dict, 1), request);
+  ASSERT_TRUE(victim.ok());
+  const bool cancelled = victim->Cancel();
+  const auto& result = victim->Wait();
+  if (cancelled) {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+    EXPECT_GE(service.admission_stats().cancelled, 1u);
+  } else {
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  // Too late to cancel once resolved.
+  EXPECT_FALSE(victim->Cancel());
+  for (auto& t : stream) EXPECT_TRUE(t.Wait().ok());
+}
+
+TEST(ServiceLifecycleTest, AsyncPinsSnapshotAtSubmission) {
+  auto dict = MakeDictionary();
+  DataLake alpha = MakePairedLake(dict, 0, 2);
+  DataLake ballast = MakePairedLake(dict, 10, 12);  // keeps registry non-empty
+  ServiceOptions options;
+  options.dict = dict;
+  options.num_threads = 1;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLakeView("alpha", alpha).ok());
+  ASSERT_TRUE(service.AddLakeView("ballast", ballast).ok());
+
+  ReclaimRequest to_alpha;
+  to_alpha.lake = "alpha";
+  Table source = MakeSource(dict, 0);
+  auto want = service.Reclaim(source, to_alpha);
+  ASSERT_TRUE(want.ok());
+
+  // Submit, then immediately remove the shard. The ticket pinned the
+  // pre-removal snapshot at SubmitReclaim, so it must still answer from
+  // "alpha" — while a post-removal synchronous request must not.
+  auto ticket = service.SubmitReclaim(source.Clone(), to_alpha);
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(service.RemoveLake("alpha").ok());
+  ExpectSameReclamation(ticket->Wait(), want, "pinned async request");
+  EXPECT_EQ(service.Reclaim(source, to_alpha).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gent
