@@ -29,6 +29,8 @@
 #include "src/metrics/divergence.h"
 #include "src/metrics/precision_recall.h"
 #include "src/metrics/similarity.h"
+#include "src/util/cpu_features.h"
+#include "src/util/simd.h"
 
 namespace gent::bench {
 
@@ -40,6 +42,22 @@ inline size_t EnvSize(const char* name, size_t fallback) {
 inline double EnvDouble(const char* name, double fallback) {
   const char* v = std::getenv(name);
   return v == nullptr ? fallback : std::atof(v);
+}
+
+/// Stamps the host CPU feature set and the SIMD dispatch level the run
+/// used into `f` as one `"cpu": {...},` line (caller places it right
+/// after the opening brace). Numbers measured at different dispatch
+/// levels are not comparable, so every BENCH_*.json records which
+/// kernel set produced it (bench/README.md).
+inline void WriteCpuMetadataJson(std::FILE* f) {
+  const CpuFeatures& cpu = DetectCpuFeatures();
+  std::fprintf(f,
+               "  \"cpu\": {\"popcnt\": %s, \"avx2\": %s, \"bmi2\": %s, "
+               "\"dispatch\": \"%s\", \"force_scalar\": %s},\n",
+               cpu.popcnt ? "true" : "false", cpu.avx2 ? "true" : "false",
+               cpu.bmi2 ? "true" : "false",
+               DispatchLevelName(simd::ActiveDispatchLevel()),
+               ForceScalarRequested() ? "true" : "false");
 }
 
 inline double Seconds(std::chrono::steady_clock::time_point start) {

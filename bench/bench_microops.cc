@@ -1,6 +1,12 @@
 // Micro-benchmarks for the hot operators underneath Gen-T.
 //
-// Two layers:
+// Three layers:
+//
+//  0. The simd section: raw dispatched kernels (src/util/simd.h) vs the
+//     scalar parity oracle — plane popcount/score widths, balanced
+//     sorted-set intersections, and the gallop-vs-merge skew sweep that
+//     tunes kGallopSkewRatio. Emitted into BENCH_microops.json under
+//     "simd_kernels" / "gallop".
 //
 //  1. The matrix section (always built, runs by default): times the
 //     bit-packed alignment-matrix kernels — initialize / combine /
@@ -20,6 +26,7 @@
 //   GENT_MICRO_SOURCES  sources per traversal benchmark (default 4)
 //   GENT_MICRO_REPS     repetitions of the kernel loops (default 3)
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -28,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/benchgen/benchmarks.h"
 #include "src/benchgen/tpch.h"
 #include "src/discovery/discovery.h"
@@ -251,6 +259,187 @@ TraversalRun RunTraversalBench(const std::string& label,
   return run;
 }
 
+// ---------------------------------------------------------------------------
+// SIMD kernel section: dispatched kernels vs the scalar parity oracle.
+// ---------------------------------------------------------------------------
+
+// Times the raw kernel tables (src/util/simd.h) head to head — scalar
+// oracle vs whatever level the dispatcher selected — bypassing the
+// inline small-size fast paths so each row isolates one kernel at one
+// shape. The "gallop" sweep times the dispatched block merge against
+// the galloping lower_bound walk at growing size skew; its crossover is
+// what kGallopSkewRatio (column_stats_catalog.h) encodes.
+
+struct SimdTiming {
+  size_t n = 0;  // words (plane kernels) or elements per side (intersect)
+  double scalar_ns = 0.0;  // per call
+  double active_ns = 0.0;
+  double Speedup() const {
+    return active_ns > 0 ? scalar_ns / active_ns : 0.0;
+  }
+};
+
+struct GallopPoint {
+  size_t skew = 0;  // |big| / |small|
+  double merge_ns = 0.0;         // dispatched block merge, per call
+  double scalar_merge_ns = 0.0;  // scalar linear merge, per call
+  double gallop_ns = 0.0;        // galloping lower_bound walk, per call
+};
+
+struct SimdSection {
+  std::vector<SimdTiming> popcount, score, intersect;
+  std::vector<GallopPoint> gallop;
+};
+
+// Sorted strictly-increasing ids with average step `gap` (>= 1).
+std::vector<uint32_t> MakeSortedIds(Rng* rng, size_t n, uint32_t gap) {
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  uint32_t x = 0;
+  for (size_t i = 0; i < n; ++i) {
+    x += 1 + static_cast<uint32_t>(rng->Index(2 * gap - 1));
+    v.push_back(x);
+  }
+  return v;
+}
+
+// The skewed-pair strategy of SortedIntersectionSize, verbatim.
+size_t GallopIntersectSize(const std::vector<uint32_t>& a,
+                           const std::vector<uint32_t>& b) {
+  size_t n = 0;
+  auto it = b.begin();
+  for (uint32_t v : a) {
+    it = std::lower_bound(it, b.end(), v);
+    if (it == b.end()) break;
+    if (*it == v) {
+      ++n;
+      ++it;
+    }
+  }
+  return n;
+}
+
+SimdSection RunSimdSection() {
+  const size_t reps = EnvSizeOr("GENT_MICRO_REPS", 3);
+  SimdSection out;
+  const simd::Kernels* scalar = simd::KernelsForLevel(DispatchLevel::kScalar);
+  const simd::Kernels* active =
+      simd::KernelsForLevel(simd::ActiveDispatchLevel());
+  const size_t sweeps = std::max<size_t>(3, reps);
+  volatile uint64_t sink = 0;
+  auto time_ns = [&](size_t iters, auto&& body) {
+    double best = 0.0;
+    for (size_t s = 0; s < sweeps; ++s) {
+      auto t0 = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < iters; ++i) body();
+      double ns = SecondsSince(t0) * 1e9 / static_cast<double>(iters);
+      if (s == 0 || ns < best) best = ns;
+    }
+    return best;
+  };
+
+  Rng rng(1234);
+  std::printf("\n=== simd kernels (%s dispatch vs scalar oracle) ===\n",
+              DispatchLevelName(simd::ActiveDispatchLevel()));
+
+  // Bit-plane kernels across plane widths (one word = 64 columns).
+  std::printf("%-14s %8s %12s %12s %8s\n", "kernel", "words", "scalar_ns",
+              "active_ns", "speedup");
+  for (size_t words : {1u, 2u, 4u, 8u, 16u, 64u, 256u}) {
+    std::vector<uint64_t> a(words), b(words), m(words);
+    for (size_t i = 0; i < words; ++i) {
+      a[i] = rng.Next();
+      b[i] = rng.Next();
+      m[i] = rng.Next();
+    }
+    const size_t iters = std::max<size_t>(64, (size_t{1} << 20) / words);
+    SimdTiming pc;
+    pc.n = words;
+    pc.scalar_ns =
+        time_ns(iters, [&] { sink += scalar->popcount_words(a.data(), words); });
+    pc.active_ns =
+        time_ns(iters, [&] { sink += active->popcount_words(a.data(), words); });
+    out.popcount.push_back(pc);
+    std::printf("%-14s %8zu %12.2f %12.2f %7.2fx\n", "popcount", words,
+                pc.scalar_ns, pc.active_ns, pc.Speedup());
+    SimdTiming sc;
+    sc.n = words;
+    sc.scalar_ns = time_ns(iters, [&] {
+      uint64_t alpha = 0, delta = 0;
+      scalar->score_planes(a.data(), b.data(), m.data(), words, &alpha,
+                           &delta);
+      sink += alpha + delta;
+    });
+    sc.active_ns = time_ns(iters, [&] {
+      uint64_t alpha = 0, delta = 0;
+      active->score_planes(a.data(), b.data(), m.data(), words, &alpha,
+                           &delta);
+      sink += alpha + delta;
+    });
+    out.score.push_back(sc);
+    std::printf("%-14s %8zu %12.2f %12.2f %7.2fx\n", "score_planes", words,
+                sc.scalar_ns, sc.active_ns, sc.Speedup());
+  }
+
+  // Balanced sorted-set intersections (equal sizes, similar density).
+  for (size_t n : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    std::vector<uint32_t> a = MakeSortedIds(&rng, n, 2);
+    std::vector<uint32_t> b = MakeSortedIds(&rng, n, 2);
+    const size_t iters = std::max<size_t>(4, (size_t{1} << 21) / n);
+    SimdTiming t;
+    t.n = n;
+    t.scalar_ns = time_ns(iters, [&] {
+      sink += scalar->intersect_size(a.data(), n, b.data(), n);
+    });
+    t.active_ns = time_ns(iters, [&] {
+      sink += active->intersect_size(a.data(), n, b.data(), n);
+    });
+    out.intersect.push_back(t);
+    std::printf("%-14s %8zu %12.2f %12.2f %7.2fx\n", "intersect", n,
+                t.scalar_ns, t.active_ns, t.Speedup());
+  }
+
+  // Gallop crossover: fixed big side, small side shrinking by skew.
+  // Small-side values spread over the same range so matches occur.
+  const size_t big_n = size_t{1} << 18;
+  std::vector<uint32_t> big = MakeSortedIds(&rng, big_n, 2);
+  std::printf("%-14s %8s %12s %14s %12s\n", "gallop sweep", "skew",
+              "merge_ns", "scalar_mrg_ns", "gallop_ns");
+  for (size_t skew : {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const size_t small_n = big_n / skew;
+    std::vector<uint32_t> small =
+        MakeSortedIds(&rng, small_n, static_cast<uint32_t>(2 * skew));
+    GallopPoint p;
+    p.skew = skew;
+    p.merge_ns = time_ns(8, [&] {
+      sink += active->intersect_size(small.data(), small_n, big.data(), big_n);
+    });
+    p.scalar_merge_ns = time_ns(4, [&] {
+      sink += scalar->intersect_size(small.data(), small_n, big.data(), big_n);
+    });
+    p.gallop_ns = time_ns(32, [&] { sink += GallopIntersectSize(small, big); });
+    out.gallop.push_back(p);
+    std::printf("%-14s %8zu %12.2f %14.2f %12.2f  (%s wins)\n", "", skew,
+                p.merge_ns, p.scalar_merge_ns, p.gallop_ns,
+                p.gallop_ns < p.merge_ns ? "gallop" : "merge");
+  }
+  (void)sink;
+  return out;
+}
+
+void PrintSimdTimingJson(std::FILE* f, const char* key, const char* n_key,
+                         const std::vector<SimdTiming>& rows) {
+  std::fprintf(f, "    \"%s\": [", key);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "%s\n      {\"%s\": %zu, \"scalar_ns\": %.2f, "
+                 "\"active_ns\": %.2f, \"speedup\": %.2f}",
+                 i ? "," : "", n_key, rows[i].n, rows[i].scalar_ns,
+                 rows[i].active_ns, rows[i].Speedup());
+  }
+  std::fprintf(f, "\n    ]");
+}
+
 void PrintKernelJson(std::FILE* f, const char* key, const KernelTiming& k) {
   std::fprintf(f,
                "    \"%s\": {\"packed_ms\": %.6f, \"baseline_ms\": %.6f, "
@@ -258,7 +447,7 @@ void PrintKernelJson(std::FILE* f, const char* key, const KernelTiming& k) {
                key, k.packed_ms, k.baseline_ms, k.Speedup(), k.iterations);
 }
 
-int RunMatrixSection() {
+int RunMatrixSection(const SimdSection& simd_section) {
   const size_t max_sources = EnvSizeOr("GENT_MICRO_SOURCES", 4);
   const size_t reps = EnvSizeOr("GENT_MICRO_REPS", 3);
 
@@ -294,6 +483,24 @@ int RunMatrixSection() {
     return 1;
   }
   std::fprintf(f, "{\n  \"bench\": \"microops\",\n");
+  bench::WriteCpuMetadataJson(f);
+  std::fprintf(f, "  \"simd_kernels\": {\n");
+  PrintSimdTimingJson(f, "popcount_words", "words", simd_section.popcount);
+  std::fprintf(f, ",\n");
+  PrintSimdTimingJson(f, "score_planes", "words", simd_section.score);
+  std::fprintf(f, ",\n");
+  PrintSimdTimingJson(f, "intersect_balanced", "size", simd_section.intersect);
+  std::fprintf(f, "\n  },\n");
+  std::fprintf(f, "  \"gallop\": [");
+  for (size_t i = 0; i < simd_section.gallop.size(); ++i) {
+    const GallopPoint& p = simd_section.gallop[i];
+    std::fprintf(f,
+                 "%s\n    {\"skew\": %zu, \"merge_ns\": %.2f, "
+                 "\"scalar_merge_ns\": %.2f, \"gallop_ns\": %.2f}",
+                 i ? "," : "", p.skew, p.merge_ns, p.scalar_merge_ns,
+                 p.gallop_ns);
+  }
+  std::fprintf(f, "\n  ],\n");
   std::fprintf(f, "  \"matrix\": {\n");
   std::fprintf(f, "    \"rows\": %zu, \"cols\": %zu,\n", kernels.rows,
                kernels.cols);
@@ -449,7 +656,9 @@ int RunExpandSection() {
     std::fprintf(stderr, "[microops] cannot write BENCH_expand.json\n");
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"expand\",\n  \"runs\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"expand\",\n");
+  bench::WriteCpuMetadataJson(f);
+  std::fprintf(f, "  \"runs\": [\n");
   for (size_t i = 0; i < runs.size(); ++i) {
     const ExpandRun& r = runs[i];
     std::fprintf(f,
@@ -667,7 +876,8 @@ BENCHMARK(BM_FuzzyValueMapApply)->Arg(100)->Arg(1000);
 #endif  // GENT_HAVE_GBENCH
 
 int main(int argc, char** argv) {
-  int rc = gent::RunMatrixSection();
+  gent::SimdSection simd_section = gent::RunSimdSection();
+  int rc = gent::RunMatrixSection(simd_section);
   rc |= gent::RunExpandSection();
 #ifdef GENT_HAVE_GBENCH
   bool run_gbench = std::getenv("GENT_RUN_GBENCH") != nullptr;

@@ -174,6 +174,7 @@ int main() {
     return 1;
   }
   std::fprintf(f, "{\n  \"bench\": \"service_cache\",\n");
+  WriteCpuMetadataJson(f);
   std::fprintf(f, "  \"benchmark\": \"%s\",\n", bench->name.c_str());
   std::fprintf(f, "  \"sources\": %zu,\n  \"repeats\": %zu,\n", n, repeats);
   std::fprintf(f, "  \"cold_seconds\": %.6f,\n  \"warm_seconds\": %.6f,\n",

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/simd.h"
+
 namespace gent {
 
 std::vector<ValueId> SortedDistinctValues(const Table& t, size_t c) {
@@ -12,15 +14,19 @@ std::vector<ValueId> SortedDistinctValues(const Table& t, size_t c) {
     // Dense column (e.g. a joined intermediate's 200k-row key column):
     // mark ids in a bitmap and scan it — O(rows + universe/64), and the
     // scan emits ascending order directly, replacing the O(n log n)
-    // sort that dominated set rebuilds during expansion.
+    // sort that dominated set rebuilds during expansion. The dispatched
+    // popcount kernel sizes the output exactly, so the emit loop never
+    // reallocates.
     std::vector<uint64_t> bits((universe + 63) / 64, 0);
     for (ValueId v : col) {
       if (v != kNull) bits[v >> 6] |= uint64_t{1} << (v & 63);
     }
+    vals.reserve(
+        static_cast<size_t>(simd::PopcountWords(bits.data(), bits.size())));
     for (size_t w = 0; w < bits.size(); ++w) {
       uint64_t word = bits[w];
       while (word != 0) {
-        unsigned b = static_cast<unsigned>(__builtin_ctzll(word));
+        unsigned b = static_cast<unsigned>(CountTrailingZeros64(word));
         word &= word - 1;
         vals.push_back(static_cast<ValueId>((w << 6) | b));
       }
@@ -46,9 +52,14 @@ size_t SortedIntersectionSize(const std::vector<ValueId>& a,
   if (a.size() > b.size()) return SortedIntersectionSize(b, a);
   // Skewed pairs (a tiny query set against a huge lake column) gallop:
   // each small-side value advances a lower_bound over the remaining big
-  // side, O(|a| log |b|) instead of O(|a| + |b|). The crossover keeps
-  // balanced pairs on the cache-friendly linear merge.
-  if (a.size() * 16 < b.size()) {
+  // side, O(|a| log |b|) instead of O(|a| + |b|). Balanced pairs run
+  // the dispatched block merge (AVX2 shuffle intersection when the CPU
+  // has it, the classic linear merge on the scalar level); both sides
+  // compute the same exact count, so the crossover is perf-only — and
+  // it belongs to the merge implementation, so the active kernel table
+  // carries it (the AVX2 merge stays ahead of galloping to ~4x higher
+  // skew than the scalar merge; see Kernels::gallop_skew_ratio).
+  if (a.size() * simd::ActiveKernels().gallop_skew_ratio < b.size()) {
     size_t n = 0;
     auto it = b.begin();
     for (ValueId v : a) {
@@ -61,19 +72,7 @@ size_t SortedIntersectionSize(const std::vector<ValueId>& a,
     }
     return n;
   }
-  size_t i = 0, j = 0, n = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      ++n;
-      ++i;
-      ++j;
-    }
-  }
-  return n;
+  return simd::SortedIntersectSize(a.data(), a.size(), b.data(), b.size());
 }
 
 ColumnStatsCatalog::ColumnStatsCatalog(const DataLake& lake) : lake_(lake) {
@@ -119,12 +118,23 @@ ColumnStatsCatalog::ColumnStatsCatalog(const DataLake& lake) : lake_(lake) {
   post_offsets_.push_back(static_cast<uint32_t>(pairs.size()));
 }
 
-std::vector<ColumnStatsCatalog::Overlap> ColumnStatsCatalog::OverlapCounts(
-    const std::vector<ValueId>& sorted_query) const {
-  // Merge the query against the postings' value spine, galloping over
-  // gaps (query sets are tiny relative to the lake's value universe).
-  std::vector<uint32_t> counts(num_columns(), 0);
-  std::vector<uint32_t> touched;
+void ColumnStatsCatalog::MatchedSpineIndices(
+    const std::vector<ValueId>& sorted_query,
+    std::vector<uint32_t>* out) const {
+  out->clear();
+  if (sorted_query.empty() || post_values_.empty()) return;
+  if (sorted_query.size() * kSpineMergeRatio >= post_values_.size()) {
+    // Dense query: one dispatched block intersection over the whole
+    // spine (the per-pair merge the kAvx2 level vectorizes).
+    out->resize(std::min(sorted_query.size(), post_values_.size()));
+    size_t n = simd::SortedIntersectIndices(
+        sorted_query.data(), sorted_query.size(), post_values_.data(),
+        post_values_.size(), out->data());
+    out->resize(n);
+    return;
+  }
+  // Sparse query: walk the spine, galloping over gaps with lower_bound
+  // (query sets are tiny relative to the lake's value universe).
   size_t i = 0, j = 0;
   while (i < sorted_query.size() && j < post_values_.size()) {
     if (sorted_query[i] < post_values_[j]) {
@@ -136,12 +146,23 @@ std::vector<ColumnStatsCatalog::Overlap> ColumnStatsCatalog::OverlapCounts(
                            post_values_.end(), sorted_query[i]) -
           post_values_.begin());
     } else {
-      for (uint32_t p = post_offsets_[j]; p < post_offsets_[j + 1]; ++p) {
-        uint32_t col = post_cols_[p];
-        if (counts[col]++ == 0) touched.push_back(col);
-      }
+      out->push_back(static_cast<uint32_t>(j));
       ++i;
       ++j;
+    }
+  }
+}
+
+std::vector<ColumnStatsCatalog::Overlap> ColumnStatsCatalog::OverlapCounts(
+    const std::vector<ValueId>& sorted_query) const {
+  std::vector<uint32_t> matched;
+  MatchedSpineIndices(sorted_query, &matched);
+  std::vector<uint32_t> counts(num_columns(), 0);
+  std::vector<uint32_t> touched;
+  for (uint32_t j : matched) {
+    for (uint32_t p = post_offsets_[j]; p < post_offsets_[j + 1]; ++p) {
+      uint32_t col = post_cols_[p];
+      if (counts[col]++ == 0) touched.push_back(col);
     }
   }
   std::sort(touched.begin(), touched.end());
@@ -194,29 +215,18 @@ std::vector<size_t> ColumnStatsCatalog::TopKTables(const Table& query,
   // Count distinct shared values per table (a value hitting multiple
   // columns of one table counts once; posting lists are ascending by
   // dense column id, hence grouped by table).
+  std::vector<uint32_t> matched;
+  MatchedSpineIndices(qvalues, &matched);
   std::vector<size_t> per_table(lake_.size(), 0);
   std::vector<uint32_t> seen_tables;
-  size_t i = 0, j = 0;
-  while (i < qvalues.size() && j < post_values_.size()) {
-    if (qvalues[i] < post_values_[j]) {
-      ++i;
-    } else if (post_values_[j] < qvalues[i]) {
-      j = static_cast<size_t>(
-          std::lower_bound(post_values_.begin() +
-                               static_cast<ptrdiff_t>(j),
-                           post_values_.end(), qvalues[i]) -
-          post_values_.begin());
-    } else {
-      uint32_t last_table = UINT32_MAX;
-      for (uint32_t p = post_offsets_[j]; p < post_offsets_[j + 1]; ++p) {
-        uint32_t table = col_refs_[post_cols_[p]].table;
-        if (table != last_table) {
-          if (per_table[table]++ == 0) seen_tables.push_back(table);
-          last_table = table;
-        }
+  for (uint32_t j : matched) {
+    uint32_t last_table = UINT32_MAX;
+    for (uint32_t p = post_offsets_[j]; p < post_offsets_[j + 1]; ++p) {
+      uint32_t table = col_refs_[post_cols_[p]].table;
+      if (table != last_table) {
+        if (per_table[table]++ == 0) seen_tables.push_back(table);
+        last_table = table;
       }
-      ++i;
-      ++j;
     }
   }
 

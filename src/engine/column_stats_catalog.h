@@ -120,6 +120,23 @@ class ColumnStatsCatalog {
   bool SharesAnyValue(const std::vector<ValueId>& sorted_query) const;
 
  private:
+  /// Spine positions (indices into post_values_) of the values shared
+  /// between `sorted_query` and the postings spine, ascending. Dense
+  /// queries (≥ 1/kSpineMergeRatio of the spine) run the dispatched
+  /// block intersection; sparse ones keep the galloping spine walk.
+  /// Both emit the identical index sequence — strategy is perf-only.
+  void MatchedSpineIndices(const std::vector<ValueId>& sorted_query,
+                           std::vector<uint32_t>* out) const;
+
+  /// Query-to-spine density bound for MatchedSpineIndices: block-merge
+  /// when |query| · kSpineMergeRatio ≥ |spine|. Below that the merge
+  /// streams mostly-unmatched spine values that the galloping walk
+  /// skips in O(log gap) (the BENCH_microops "gallop" sweep shows the
+  /// same crossover shape as Kernels::gallop_skew_ratio; 8 is
+  /// conservative because spine misses also pay posting-list cache
+  /// pulls on the walk side).
+  static constexpr size_t kSpineMergeRatio = 8;
+
   const DataLake& lake_;
   std::vector<uint32_t> table_offsets_;  // table -> first dense col id
   std::vector<ColumnRef> col_refs_;      // dense col id -> (table, column)
@@ -147,9 +164,12 @@ std::vector<ValueId> SortedQueryValues(const Table& query);
 
 /// |a ∩ b| for sorted, deduplicated vectors — the merge-intersect helper
 /// shared by discovery, diversification, and ExpandEngine. Balanced
-/// inputs run a linear merge; heavily skewed pairs gallop the smaller
-/// side over the larger with advancing binary searches. Argument order
-/// never matters.
+/// inputs run the dispatched block merge (src/util/simd.h); pairs more
+/// skewed than the active kernel table's gallop_skew_ratio (32 scalar,
+/// 128 AVX2 — each merge implementation carries its own measured
+/// crossover, see Kernels::gallop_skew_ratio) gallop the smaller side
+/// over the larger with advancing binary searches. Argument order never
+/// matters.
 size_t SortedIntersectionSize(const std::vector<ValueId>& a,
                               const std::vector<ValueId>& b);
 

@@ -5,21 +5,6 @@
 
 namespace gent {
 
-namespace {
-
-// Any position where one row says +1 and the other −1?
-inline bool PlanesContradict(const uint64_t* a_pos, const uint64_t* a_neg,
-                             const uint64_t* b_pos, const uint64_t* b_neg,
-                             size_t words) {
-  uint64_t conflict = 0;
-  for (size_t w = 0; w < words; ++w) {
-    conflict |= (a_pos[w] & b_neg[w]) | (a_neg[w] & b_pos[w]);
-  }
-  return conflict != 0;
-}
-
-}  // namespace
-
 size_t AlignmentMatrix::TotalAlternatives() const {
   size_t n = 0;
   for (const auto& alts : rows_) n += alts.size();
@@ -58,11 +43,8 @@ void AlignmentMatrix::AbsorbRowFrom(const AlignmentMatrix& other,
     bool absorbed = false;
     for (size_t j = 0; j < rows_[src_row].size(); ++j) {
       auto [pos, neg] = mutable_alternative(src_row, j);
-      if (PlanesContradict(pos, neg, rb.pos, rb.neg, words)) continue;
-      for (size_t w = 0; w < words; ++w) {
-        pos[w] |= rb.pos[w];
-        neg[w] &= rb.neg[w];
-      }
+      if (simd::PlanesConflict(pos, neg, rb.pos, rb.neg, words)) continue;
+      simd::MergePlanes(pos, neg, rb.pos, rb.neg, pos, neg, words);
       absorbed = true;
       break;
     }
@@ -233,13 +215,10 @@ Result<AlignmentMatrix> InitializeMatrix(const Table& source,
 bool CombineRows(const uint64_t* a_pos, const uint64_t* a_neg,
                  const uint64_t* b_pos, const uint64_t* b_neg,
                  uint64_t* out_pos, uint64_t* out_neg, size_t words) {
-  if (PlanesContradict(a_pos, a_neg, b_pos, b_neg, words)) return false;
+  if (simd::PlanesConflict(a_pos, a_neg, b_pos, b_neg, words)) return false;
   // Cellwise max over {−1, 0, +1}: +1 wins over anything non-conflicting
   // (pos OR), −1 survives only where both sides say −1 (neg AND).
-  for (size_t w = 0; w < words; ++w) {
-    out_pos[w] = a_pos[w] | b_pos[w];
-    out_neg[w] = a_neg[w] & b_neg[w];
-  }
+  simd::MergePlanes(a_pos, a_neg, b_pos, b_neg, out_pos, out_neg, words);
   return true;
 }
 

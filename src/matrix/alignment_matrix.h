@@ -38,6 +38,7 @@
 #include "src/discovery/discovery.h"
 #include "src/table/table.h"
 #include "src/util/hash.h"
+#include "src/util/simd.h"
 #include "src/util/status.h"
 
 namespace gent {
@@ -264,15 +265,17 @@ class RowScorer {
   const uint64_t* nonkey_mask() const { return mask_.data(); }
   size_t words() const { return mask_.size(); }
 
-  /// 0.5·(1 + (α−δ)/n) of one packed alternative.
+  /// 0.5·(1 + (α−δ)/n) of one packed alternative. The α/δ popcounts go
+  /// through the dispatched fused AND+popcount kernel (simd.h); every
+  /// dispatch level yields the same exact integers, so the score is
+  /// bit-identical to the scalar build.
   double AltScore(const uint64_t* pos, const uint64_t* neg) const {
     if (n_zero_) return 1.0;
-    int64_t alpha = 0, delta = 0;
-    for (size_t w = 0; w < mask_.size(); ++w) {
-      alpha += __builtin_popcountll(pos[w] & mask_[w]);
-      delta += __builtin_popcountll(neg[w] & mask_[w]);
-    }
-    return 0.5 * (1.0 + static_cast<double>(alpha - delta) / n_);
+    uint64_t alpha = 0, delta = 0;
+    simd::ScorePlanes(pos, neg, mask_.data(), mask_.size(), &alpha, &delta);
+    return 0.5 * (1.0 + (static_cast<double>(alpha) -
+                         static_cast<double>(delta)) /
+                            n_);
   }
 
   /// Best alternative score of `src_row` (0 when the row has none).

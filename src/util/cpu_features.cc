@@ -1,0 +1,59 @@
+#include "src/util/cpu_features.h"
+
+#include <cstdlib>
+
+namespace gent {
+
+namespace {
+
+CpuFeatures Probe() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports also verifies OS support for the AVX state
+  // (XGETBV), so a true here means the instructions are actually usable.
+  f.popcnt = __builtin_cpu_supports("popcnt");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.bmi2 = __builtin_cpu_supports("bmi2");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+const char* DispatchLevelName(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return "scalar";
+    case DispatchLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ForceScalarRequested() {
+  static const bool forced = [] {
+    const char* v = std::getenv("GENT_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+  }();
+  return forced;
+}
+
+DispatchLevel MaxDispatchLevel() {
+  if (ForceScalarRequested()) return DispatchLevel::kScalar;
+  const CpuFeatures& f = DetectCpuFeatures();
+  // kAvx2 kernels use AVX2 shuffles, BMI2, and hardware POPCNT; the
+  // feature probe only reports them on x86 builds whose compiler can
+  // also emit them (per-function target attributes), so feature
+  // presence implies the kernels were compiled in.
+  if (f.avx2 && f.bmi2 && f.popcnt) return DispatchLevel::kAvx2;
+  return DispatchLevel::kScalar;
+}
+
+}  // namespace gent

@@ -1,0 +1,49 @@
+// Runtime CPU-feature detection for the SIMD kernel layer (simd.h).
+//
+// Detection runs once per process and is cached; everything here is a
+// pure read afterwards, safe from any thread. The detected feature set
+// decides the highest kernel *dispatch level* the process may select —
+// kernels themselves live in src/util/simd.{h,cc} + simd_avx2.cc, and
+// every level is bit-identical to the scalar oracle (the parity
+// contract, DESIGN.md §5.8).
+//
+// Environment override: GENT_FORCE_SCALAR set to any non-empty value
+// other than "0" pins the process to DispatchLevel::kScalar regardless
+// of hardware. CI runs the full test suite both ways.
+
+#ifndef GENT_UTIL_CPU_FEATURES_H_
+#define GENT_UTIL_CPU_FEATURES_H_
+
+namespace gent {
+
+/// The x86 features the kernel layer cares about. All false on non-x86
+/// builds (and with compilers lacking __builtin_cpu_supports).
+struct CpuFeatures {
+  bool popcnt = false;
+  bool avx2 = false;
+  bool bmi2 = false;
+};
+
+/// Detected once (first call), then cached. Thread-safe.
+const CpuFeatures& DetectCpuFeatures();
+
+/// Kernel dispatch levels, ordered: a higher level's ISA strictly
+/// contains the lower's. kAvx2 requires AVX2 + BMI2 + POPCNT (the
+/// kernels use all three; BMI-era hardware has them together).
+enum class DispatchLevel { kScalar = 0, kAvx2 = 1 };
+
+/// Stable lowercase name for logs and BENCH_*.json metadata.
+const char* DispatchLevelName(DispatchLevel level);
+
+/// True when GENT_FORCE_SCALAR is set (non-empty, not "0"). Read once
+/// and cached, like the feature probe.
+bool ForceScalarRequested();
+
+/// Highest level this build + CPU + environment supports: kScalar when
+/// GENT_FORCE_SCALAR is set or the hardware lacks the kAvx2 feature
+/// set, kAvx2 otherwise (on builds whose compiler can emit it).
+DispatchLevel MaxDispatchLevel();
+
+}  // namespace gent
+
+#endif  // GENT_UTIL_CPU_FEATURES_H_

@@ -1,0 +1,156 @@
+// Scalar kernels (the parity oracle) and dispatch-table resolution.
+//
+// The scalar implementations below are the specification every other
+// dispatch level must match bit-for-bit; they are deliberately the
+// plain loops the engine ran before the kernel layer existed, compiled
+// with the project's baseline flags (no -mpopcnt / -mavx2), so the
+// recorded speedups in BENCH_microops.json measure exactly what the
+// hardware dispatch buys over the portable build.
+
+#include "src/util/simd.h"
+
+#include <atomic>
+
+namespace gent {
+namespace simd {
+namespace {
+
+uint64_t ScalarPopcountWords(const uint64_t* w, size_t words) {
+  uint64_t n = 0;
+  for (size_t i = 0; i < words; ++i) n += Popcount64(w[i]);
+  return n;
+}
+
+uint64_t ScalarAndPopcount(const uint64_t* a, const uint64_t* b,
+                           size_t words) {
+  uint64_t n = 0;
+  for (size_t i = 0; i < words; ++i) n += Popcount64(a[i] & b[i]);
+  return n;
+}
+
+void ScalarScorePlanes(const uint64_t* pos, const uint64_t* neg,
+                       const uint64_t* mask, size_t words, uint64_t* alpha,
+                       uint64_t* delta) {
+  uint64_t a = 0, d = 0;
+  for (size_t w = 0; w < words; ++w) {
+    a += static_cast<uint64_t>(Popcount64(pos[w] & mask[w]));
+    d += static_cast<uint64_t>(Popcount64(neg[w] & mask[w]));
+  }
+  *alpha = a;
+  *delta = d;
+}
+
+bool ScalarPlanesConflict(const uint64_t* a_pos, const uint64_t* a_neg,
+                          const uint64_t* b_pos, const uint64_t* b_neg,
+                          size_t words) {
+  uint64_t conflict = 0;
+  for (size_t w = 0; w < words; ++w) {
+    conflict |= (a_pos[w] & b_neg[w]) | (a_neg[w] & b_pos[w]);
+  }
+  return conflict != 0;
+}
+
+void ScalarMergePlanes(const uint64_t* a_pos, const uint64_t* a_neg,
+                       const uint64_t* b_pos, const uint64_t* b_neg,
+                       uint64_t* out_pos, uint64_t* out_neg, size_t words) {
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t p = a_pos[w] | b_pos[w];
+    uint64_t n = a_neg[w] & b_neg[w];
+    out_pos[w] = p;
+    out_neg[w] = n;
+  }
+}
+
+size_t ScalarIntersectSize(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+size_t ScalarIntersectIndices(const uint32_t* a, size_t na,
+                              const uint32_t* b, size_t nb,
+                              uint32_t* out_b_idx) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out_b_idx[n++] = static_cast<uint32_t>(j);
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+constexpr Kernels kScalarKernels = {
+    ScalarPopcountWords, ScalarAndPopcount,    ScalarScorePlanes,
+    ScalarPlanesConflict, ScalarMergePlanes,   ScalarIntersectSize,
+    ScalarIntersectIndices,
+    // Scalar merge vs gallop crossover: skew 32-64 on the BENCH_microops
+    // "gallop" sweep (gallop barely wins at 64, loses at 32).
+    32,
+};
+
+// Resolved lazily; the benign first-use race (several threads resolving
+// the same value) is made data-race-free by the atomic.
+std::atomic<const Kernels*> g_active{nullptr};
+std::atomic<int> g_active_level{-1};
+
+}  // namespace
+
+const Kernels* KernelsForLevel(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return &kScalarKernels;
+    case DispatchLevel::kAvx2:
+      if (MaxDispatchLevel() != DispatchLevel::kAvx2) return nullptr;
+      return internal::Avx2KernelsOrNull();
+  }
+  return nullptr;
+}
+
+const Kernels& ActiveKernels() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    DispatchLevel level = MaxDispatchLevel();
+    k = KernelsForLevel(level);
+    if (k == nullptr) {  // kAvx2 hardware but kernels not compiled in
+      level = DispatchLevel::kScalar;
+      k = &kScalarKernels;
+    }
+    g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+DispatchLevel ActiveDispatchLevel() {
+  (void)ActiveKernels();  // force resolution
+  return static_cast<DispatchLevel>(
+      g_active_level.load(std::memory_order_relaxed));
+}
+
+bool SetDispatchLevelForTesting(DispatchLevel level) {
+  const Kernels* k = KernelsForLevel(level);
+  if (k == nullptr) return false;
+  g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+}  // namespace simd
+}  // namespace gent

@@ -1,0 +1,242 @@
+// SIMD/BMI2 kernel layer behind runtime CPU-feature dispatch.
+//
+// Every merge/score inner loop the engine runs hot — fused AND+popcount
+// over bit planes, plane contradiction/merge (Eq. 5), sorted-set
+// intersection — exists here twice: a portable scalar kernel (the
+// parity oracle) and an AVX2/BMI2 kernel (simd_avx2.cc, per-function
+// target attributes, no global ISA flags). A process-wide table of
+// function pointers selects the implementation once, from
+// MaxDispatchLevel() (cpu_features.h); `GENT_FORCE_SCALAR=1` pins the
+// scalar table.
+//
+// The dispatch contract (DESIGN.md §5.8):
+//   - every kernel's result is an exact integer function of its inputs,
+//     identical at every dispatch level (tests/simd_parity_test.cc
+//     hammers scalar vs SIMD across edge shapes at every level), so
+//     dispatch can never change any engine output bit;
+//   - callers go through the inline wrappers below, which keep
+//     sub-kDispatchMinWords plane loops inline (typical tables pack all
+//     columns into one or two words — an indirect call would cost more
+//     than it saves) and hand larger inputs to the active table;
+//   - adding a kernel = scalar impl + table field + AVX2 impl + parity
+//     cases; the scalar kernel is the specification.
+
+#ifndef GENT_UTIL_SIMD_H_
+#define GENT_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/cpu_features.h"
+
+namespace gent {
+
+/// Portable population count of one 64-bit word. The single place that
+/// names the builtin, so kernel selection and portability decisions
+/// live in src/util/ (satellites of the dispatch layer use it for
+/// word-at-a-time tails and small inline loops).
+inline int Popcount64(uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  // SWAR fallback (Hacker's Delight §5-1) for compilers without the
+  // builtin.
+  x = x - ((x >> 1) & 0x5555555555555555ULL);
+  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  return static_cast<int>((x * 0x0101010101010101ULL) >> 56);
+#endif
+}
+
+/// Index of the lowest set bit. Requires x != 0.
+inline int CountTrailingZeros64(uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(x);
+#else
+  int n = 0;
+  while ((x & 1) == 0) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+namespace simd {
+
+/// One implementation of every vectorizable inner loop. Immutable after
+/// construction; the active table is selected once per process (or
+/// swapped by SetDispatchLevelForTesting) and read with relaxed atomic
+/// loads, so any thread may call through it at any time.
+struct Kernels {
+  /// Σ popcount(w[i]) over `words` words.
+  uint64_t (*popcount_words)(const uint64_t* w, size_t words);
+
+  /// Σ popcount(a[i] & b[i]) — the fused AND+popcount loop.
+  uint64_t (*and_popcount)(const uint64_t* a, const uint64_t* b,
+                           size_t words);
+
+  /// The RowScorer kernel: *alpha = Σ popcount(pos & mask),
+  /// *delta = Σ popcount(neg & mask), one fused pass over `mask`.
+  void (*score_planes)(const uint64_t* pos, const uint64_t* neg,
+                       const uint64_t* mask, size_t words, uint64_t* alpha,
+                       uint64_t* delta);
+
+  /// Eq. 5 contradiction test: any bit of
+  /// (a_pos & b_neg) | (a_neg & b_pos) set?
+  bool (*planes_conflict)(const uint64_t* a_pos, const uint64_t* a_neg,
+                          const uint64_t* b_pos, const uint64_t* b_neg,
+                          size_t words);
+
+  /// Eq. 5 merge (cellwise max): out_pos = a_pos | b_pos,
+  /// out_neg = a_neg & b_neg. Outputs may alias either input (every
+  /// implementation loads a block before storing it).
+  void (*merge_planes)(const uint64_t* a_pos, const uint64_t* a_neg,
+                       const uint64_t* b_pos, const uint64_t* b_neg,
+                       uint64_t* out_pos, uint64_t* out_neg, size_t words);
+
+  /// |a ∩ b| for sorted, strictly increasing (deduplicated) arrays.
+  size_t (*intersect_size)(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb);
+
+  /// Positions in `b` of the values of a ∩ b, ascending, written to
+  /// `out_b_idx` (capacity min(na, nb)); returns the match count. Same
+  /// sortedness precondition as intersect_size.
+  size_t (*intersect_indices)(const uint32_t* a, size_t na,
+                              const uint32_t* b, size_t nb,
+                              uint32_t* out_b_idx);
+
+  /// Size-skew ratio at which galloping the small side with advancing
+  /// binary searches beats THIS level's intersect_size merge: callers
+  /// (SortedIntersectionSize) gallop when |small| · ratio < |big|. A
+  /// property of the merge implementation, so it lives in the table —
+  /// the AVX2 block merge streams ~8 values per iteration and stays
+  /// profitable to far higher skew than the scalar merge. Tuned per
+  /// level with the BENCH_microops "gallop" sweep (bench/README.md);
+  /// perf-only, both strategies return identical counts.
+  size_t gallop_skew_ratio;
+};
+
+/// The kernel table of one dispatch level, or nullptr when that level is
+/// unavailable (not compiled in, CPU lacks the features, or
+/// GENT_FORCE_SCALAR pins the process to scalar). kScalar is always
+/// available.
+const Kernels* KernelsForLevel(DispatchLevel level);
+
+/// The process-wide active table (resolved from MaxDispatchLevel() on
+/// first use). Thread-safe.
+const Kernels& ActiveKernels();
+
+/// Level of the active table.
+DispatchLevel ActiveDispatchLevel();
+
+/// Swaps the active table (parity tests iterate every available level
+/// in one process). Returns false — and changes nothing — when `level`
+/// is unavailable. Not for production call sites: swapping while other
+/// threads run kernels is safe (atomic pointer) but makes timings and
+/// level reporting racy.
+bool SetDispatchLevelForTesting(DispatchLevel level);
+
+/// Plane loops shorter than this stay inline-scalar in the wrappers
+/// below: at 1–3 words (≤192 columns — virtually every real table) the
+/// indirect call through the table costs more than vectorization saves.
+/// Microbenchmark evidence in BENCH_microops.json "simd_kernels".
+constexpr size_t kDispatchMinWords = 4;
+
+/// Σ popcount(w[i]); dispatches at kDispatchMinWords.
+inline uint64_t PopcountWords(const uint64_t* w, size_t words) {
+  if (words < kDispatchMinWords) {
+    uint64_t n = 0;
+    for (size_t i = 0; i < words; ++i) n += Popcount64(w[i]);
+    return n;
+  }
+  return ActiveKernels().popcount_words(w, words);
+}
+
+/// Σ popcount(a[i] & b[i]); dispatches at kDispatchMinWords.
+inline uint64_t AndPopcount(const uint64_t* a, const uint64_t* b,
+                            size_t words) {
+  if (words < kDispatchMinWords) {
+    uint64_t n = 0;
+    for (size_t i = 0; i < words; ++i) n += Popcount64(a[i] & b[i]);
+    return n;
+  }
+  return ActiveKernels().and_popcount(a, b, words);
+}
+
+/// RowScorer α/δ counts; dispatches at kDispatchMinWords.
+inline void ScorePlanes(const uint64_t* pos, const uint64_t* neg,
+                        const uint64_t* mask, size_t words, uint64_t* alpha,
+                        uint64_t* delta) {
+  if (words < kDispatchMinWords) {
+    uint64_t a = 0, d = 0;
+    for (size_t w = 0; w < words; ++w) {
+      a += static_cast<uint64_t>(Popcount64(pos[w] & mask[w]));
+      d += static_cast<uint64_t>(Popcount64(neg[w] & mask[w]));
+    }
+    *alpha = a;
+    *delta = d;
+    return;
+  }
+  ActiveKernels().score_planes(pos, neg, mask, words, alpha, delta);
+}
+
+/// Eq. 5 contradiction test; dispatches at kDispatchMinWords.
+inline bool PlanesConflict(const uint64_t* a_pos, const uint64_t* a_neg,
+                           const uint64_t* b_pos, const uint64_t* b_neg,
+                           size_t words) {
+  if (words < kDispatchMinWords) {
+    uint64_t conflict = 0;
+    for (size_t w = 0; w < words; ++w) {
+      conflict |= (a_pos[w] & b_neg[w]) | (a_neg[w] & b_pos[w]);
+    }
+    return conflict != 0;
+  }
+  return ActiveKernels().planes_conflict(a_pos, a_neg, b_pos, b_neg, words);
+}
+
+/// Eq. 5 merge; outputs may alias either input. Dispatches at
+/// kDispatchMinWords.
+inline void MergePlanes(const uint64_t* a_pos, const uint64_t* a_neg,
+                        const uint64_t* b_pos, const uint64_t* b_neg,
+                        uint64_t* out_pos, uint64_t* out_neg, size_t words) {
+  if (words < kDispatchMinWords) {
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t p = a_pos[w] | b_pos[w];
+      uint64_t n = a_neg[w] & b_neg[w];
+      out_pos[w] = p;
+      out_neg[w] = n;
+    }
+    return;
+  }
+  ActiveKernels().merge_planes(a_pos, a_neg, b_pos, b_neg, out_pos, out_neg,
+                               words);
+}
+
+/// |a ∩ b| of sorted deduplicated arrays. No size threshold: the SIMD
+/// kernel falls back to a scalar tail below one 8-lane block, so short
+/// inputs cost one extra branch.
+inline size_t SortedIntersectSize(const uint32_t* a, size_t na,
+                                  const uint32_t* b, size_t nb) {
+  return ActiveKernels().intersect_size(a, na, b, nb);
+}
+
+/// Matched `b` positions of a ∩ b (ascending); returns the count.
+inline size_t SortedIntersectIndices(const uint32_t* a, size_t na,
+                                     const uint32_t* b, size_t nb,
+                                     uint32_t* out_b_idx) {
+  return ActiveKernels().intersect_indices(a, na, b, nb, out_b_idx);
+}
+
+namespace internal {
+/// The AVX2/BMI2 table, or nullptr when this build cannot emit it
+/// (non-x86, or a compiler without function target attributes).
+/// Availability of the *hardware* is the caller's problem
+/// (KernelsForLevel checks MaxDispatchLevel).
+const Kernels* Avx2KernelsOrNull();
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace gent
+
+#endif  // GENT_UTIL_SIMD_H_

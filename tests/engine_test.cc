@@ -57,9 +57,9 @@ TEST(SortedIntersectionSizeTest, MatchesHashSetPath) {
 }
 
 TEST(SortedIntersectionSizeTest, GallopingSkewPathIsExactAndSymmetric) {
-  // Skewed enough to take the galloping path (small·16 < big) in one
-  // argument order and the merge in neither/both — counts and symmetry
-  // must hold regardless.
+  // Skewed past every level's gallop_skew_ratio (8 values vs ~2700, far
+  // beyond the AVX2 table's 128), so the galloping path runs regardless
+  // of dispatch level — counts and symmetry must hold regardless.
   std::vector<ValueId> big;
   for (ValueId v = 1; v <= 4000; ++v) {
     if (v % 3 != 0) big.push_back(v);

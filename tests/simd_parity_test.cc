@@ -1,0 +1,455 @@
+// Randomized differential tests for the SIMD kernel layer
+// (src/util/simd.h): every kernel, at every dispatch level this
+// build/CPU/environment offers, against an independent naive reference
+// — plus integration parity (catalog intersections, matrix scoring)
+// across levels via SetDispatchLevelForTesting.
+//
+// Edge shapes hammered deliberately: empty inputs, 0–3 word planes
+// (below the inline-dispatch threshold), unaligned tails (words ∤ 4,
+// lengths ∤ 8), all-ones/all-zeros planes, and maximally skewed
+// intersections. Under GENT_FORCE_SCALAR=1 only the scalar level is
+// available and the suite degenerates to scalar-vs-reference — CI runs
+// it both ways.
+
+#include "src/util/simd.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/benchgen/benchmarks.h"
+#include "src/engine/column_stats_catalog.h"
+#include "src/matrix/alignment_matrix.h"
+#include "src/table/table_builder.h"
+#include "src/util/cpu_features.h"
+#include "src/util/random.h"
+
+namespace gent {
+namespace {
+
+using simd::Kernels;
+
+struct Level {
+  DispatchLevel level;
+  const Kernels* kernels;
+};
+
+std::vector<Level> AvailableLevels() {
+  std::vector<Level> levels;
+  for (DispatchLevel l : {DispatchLevel::kScalar, DispatchLevel::kAvx2}) {
+    if (const Kernels* k = simd::KernelsForLevel(l)) levels.push_back({l, k});
+  }
+  return levels;
+}
+
+// --- naive references (independent of the scalar kernels) ------------------
+
+int NaiveBitCount(uint64_t x) {
+  int n = 0;
+  for (int b = 0; b < 64; ++b) n += (x >> b) & 1;
+  return n;
+}
+
+uint64_t NaivePopcountWords(const std::vector<uint64_t>& w) {
+  uint64_t n = 0;
+  for (uint64_t x : w) n += static_cast<uint64_t>(NaiveBitCount(x));
+  return n;
+}
+
+std::vector<uint32_t> NaiveIntersectIndices(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b) {
+  std::set<uint32_t> in_a(a.begin(), a.end());
+  std::vector<uint32_t> out;
+  for (size_t j = 0; j < b.size(); ++j) {
+    if (in_a.count(b[j])) out.push_back(static_cast<uint32_t>(j));
+  }
+  return out;
+}
+
+// Sorted, strictly increasing array of `n` values with average gap
+// `gap` (gap 1 + occasional jumps keeps runs of equal-density data the
+// vector kernel sees in real sorted sets).
+std::vector<uint32_t> MakeSorted(Rng* rng, size_t n, uint32_t gap) {
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  uint32_t x = static_cast<uint32_t>(rng->Index(8));
+  for (size_t i = 0; i < n; ++i) {
+    x += 1 + static_cast<uint32_t>(rng->Index(2 * gap + 1));
+    v.push_back(x);
+  }
+  return v;
+}
+
+std::vector<uint64_t> MakeWords(Rng* rng, size_t n, int pattern) {
+  std::vector<uint64_t> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (pattern) {
+      case 0:
+        w[i] = 0;
+        break;
+      case 1:
+        w[i] = ~uint64_t{0};
+        break;
+      case 2:
+        w[i] = rng->Next();
+        break;
+      default:  // sparse
+        w[i] = rng->Next() & rng->Next() & rng->Next();
+        break;
+    }
+  }
+  return w;
+}
+
+// --- word-kernel parity ----------------------------------------------------
+
+TEST(SimdParityTest, PopcountAndFusedKernels) {
+  Rng rng(101);
+  const std::vector<size_t> word_counts = {0, 1, 2, 3, 4, 5,  6, 7,
+                                           8, 9, 11, 16, 31, 33, 100};
+  for (Level lv : AvailableLevels()) {
+    SCOPED_TRACE(DispatchLevelName(lv.level));
+    for (size_t words : word_counts) {
+      for (int pa = 0; pa < 4; ++pa) {
+        for (int pb = 0; pb < 4; ++pb) {
+          std::vector<uint64_t> a = MakeWords(&rng, words, pa);
+          std::vector<uint64_t> b = MakeWords(&rng, words, pb);
+          std::vector<uint64_t> mask = MakeWords(&rng, words, 2);
+
+          EXPECT_EQ(lv.kernels->popcount_words(a.data(), words),
+                    NaivePopcountWords(a));
+
+          std::vector<uint64_t> ab(words);
+          for (size_t i = 0; i < words; ++i) ab[i] = a[i] & b[i];
+          EXPECT_EQ(lv.kernels->and_popcount(a.data(), b.data(), words),
+                    NaivePopcountWords(ab));
+
+          uint64_t alpha = 1, delta = 1;
+          lv.kernels->score_planes(a.data(), b.data(), mask.data(), words,
+                                   &alpha, &delta);
+          std::vector<uint64_t> am(words), bm(words);
+          for (size_t i = 0; i < words; ++i) {
+            am[i] = a[i] & mask[i];
+            bm[i] = b[i] & mask[i];
+          }
+          EXPECT_EQ(alpha, NaivePopcountWords(am));
+          EXPECT_EQ(delta, NaivePopcountWords(bm));
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, ConflictAndMergeKernels) {
+  Rng rng(202);
+  const std::vector<size_t> word_counts = {0, 1, 2, 3, 4, 5, 7, 8, 9, 13, 32};
+  for (Level lv : AvailableLevels()) {
+    SCOPED_TRACE(DispatchLevelName(lv.level));
+    for (size_t words : word_counts) {
+      for (int rep = 0; rep < 24; ++rep) {
+        // Disjoint pos/neg per side, like real planes; patterns cycle
+        // through zero / dense / sparse.
+        std::vector<uint64_t> a_pos = MakeWords(&rng, words, rep % 4);
+        std::vector<uint64_t> a_neg = MakeWords(&rng, words, (rep + 1) % 4);
+        std::vector<uint64_t> b_pos = MakeWords(&rng, words, (rep + 2) % 4);
+        std::vector<uint64_t> b_neg = MakeWords(&rng, words, (rep + 3) % 4);
+        for (size_t i = 0; i < words; ++i) {
+          a_neg[i] &= ~a_pos[i];
+          b_neg[i] &= ~b_pos[i];
+        }
+
+        bool want_conflict = false;
+        for (size_t i = 0; i < words; ++i) {
+          want_conflict |=
+              ((a_pos[i] & b_neg[i]) | (a_neg[i] & b_pos[i])) != 0;
+        }
+        EXPECT_EQ(lv.kernels->planes_conflict(a_pos.data(), a_neg.data(),
+                                              b_pos.data(), b_neg.data(),
+                                              words),
+                  want_conflict);
+
+        std::vector<uint64_t> out_pos(words), out_neg(words);
+        lv.kernels->merge_planes(a_pos.data(), a_neg.data(), b_pos.data(),
+                                 b_neg.data(), out_pos.data(),
+                                 out_neg.data(), words);
+        for (size_t i = 0; i < words; ++i) {
+          EXPECT_EQ(out_pos[i], a_pos[i] | b_pos[i]);
+          EXPECT_EQ(out_neg[i], a_neg[i] & b_neg[i]);
+        }
+
+        // Aliased form (out == a), the CombineRows contract.
+        std::vector<uint64_t> alias_pos = a_pos, alias_neg = a_neg;
+        lv.kernels->merge_planes(alias_pos.data(), alias_neg.data(),
+                                 b_pos.data(), b_neg.data(),
+                                 alias_pos.data(), alias_neg.data(), words);
+        EXPECT_EQ(alias_pos, out_pos);
+        EXPECT_EQ(alias_neg, out_neg);
+      }
+    }
+  }
+}
+
+// --- intersection parity ---------------------------------------------------
+
+TEST(SimdParityTest, IntersectionKernelsRandomizedShapes) {
+  Rng rng(303);
+  const std::vector<size_t> lengths = {0, 1, 2, 3, 7, 8, 9, 15, 16, 17,
+                                       31, 64, 100, 257};
+  const std::vector<uint32_t> gaps = {1, 3, 50};
+  for (Level lv : AvailableLevels()) {
+    SCOPED_TRACE(DispatchLevelName(lv.level));
+    for (size_t na : lengths) {
+      for (size_t nb : lengths) {
+        for (uint32_t gap : gaps) {
+          std::vector<uint32_t> a = MakeSorted(&rng, na, gap);
+          std::vector<uint32_t> b = MakeSorted(&rng, nb, 1);
+          std::vector<uint32_t> want = NaiveIntersectIndices(a, b);
+
+          EXPECT_EQ(lv.kernels->intersect_size(a.data(), na, b.data(), nb),
+                    want.size());
+          std::vector<uint32_t> got(std::min(na, nb) + 1, 0xdeadbeef);
+          size_t n = lv.kernels->intersect_indices(a.data(), na, b.data(),
+                                                   nb, got.data());
+          ASSERT_EQ(n, want.size());
+          got.resize(n);
+          EXPECT_EQ(got, want);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, IntersectionEdgeShapes) {
+  Rng rng(404);
+  for (Level lv : AvailableLevels()) {
+    SCOPED_TRACE(DispatchLevelName(lv.level));
+
+    // Identical arrays: everything matches, indices are 0..n-1.
+    for (size_t n : {1u, 8u, 9u, 1000u}) {
+      std::vector<uint32_t> a = MakeSorted(&rng, n, 2);
+      EXPECT_EQ(lv.kernels->intersect_size(a.data(), n, a.data(), n), n);
+      std::vector<uint32_t> idx(n);
+      EXPECT_EQ(
+          lv.kernels->intersect_indices(a.data(), n, a.data(), n, idx.data()),
+          n);
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(idx[i], i);
+    }
+
+    // Disjoint interleaved ranges (evens vs odds).
+    std::vector<uint32_t> evens, odds;
+    for (uint32_t v = 0; v < 400; ++v) ((v & 1) ? odds : evens).push_back(v);
+    EXPECT_EQ(lv.kernels->intersect_size(evens.data(), evens.size(),
+                                         odds.data(), odds.size()),
+              0u);
+
+    // Maximal skew: one value probing a long array — present at the
+    // ends, the middle, and absent.
+    std::vector<uint32_t> big = MakeSorted(&rng, 10000, 2);
+    for (uint32_t probe :
+         {big.front(), big.back(), big[big.size() / 2],
+          big.back() + 1u}) {
+      size_t want = std::binary_search(big.begin(), big.end(), probe) ? 1 : 0;
+      EXPECT_EQ(lv.kernels->intersect_size(&probe, 1, big.data(), big.size()),
+                want);
+      EXPECT_EQ(lv.kernels->intersect_size(big.data(), big.size(), &probe, 1),
+                want);
+    }
+
+    // One side entirely below / above the other.
+    std::vector<uint32_t> low = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    std::vector<uint32_t> high = {100, 101, 102, 103, 104,
+                                  105, 106, 107, 108, 109};
+    EXPECT_EQ(lv.kernels->intersect_size(low.data(), low.size(), high.data(),
+                                         high.size()),
+              0u);
+  }
+}
+
+// --- dispatch selection ----------------------------------------------------
+
+TEST(SimdDispatchTest, LevelSelectionHonorsEnvironmentAndHardware) {
+  ASSERT_NE(simd::KernelsForLevel(DispatchLevel::kScalar), nullptr);
+  if (ForceScalarRequested()) {
+    EXPECT_EQ(MaxDispatchLevel(), DispatchLevel::kScalar);
+    EXPECT_EQ(simd::KernelsForLevel(DispatchLevel::kAvx2), nullptr);
+    EXPECT_EQ(simd::ActiveDispatchLevel(), DispatchLevel::kScalar);
+  } else {
+    const CpuFeatures& f = DetectCpuFeatures();
+    bool avx2_capable = f.avx2 && f.bmi2 && f.popcnt;
+    EXPECT_EQ(MaxDispatchLevel(), avx2_capable ? DispatchLevel::kAvx2
+                                               : DispatchLevel::kScalar);
+    EXPECT_EQ(simd::KernelsForLevel(DispatchLevel::kAvx2) != nullptr,
+              avx2_capable);
+  }
+  // The active level always resolves to an available table.
+  EXPECT_NE(simd::KernelsForLevel(simd::ActiveDispatchLevel()), nullptr);
+}
+
+// Restores the entry dispatch level when a test scope ends.
+class ScopedDispatchLevel {
+ public:
+  explicit ScopedDispatchLevel(DispatchLevel level)
+      : original_(simd::ActiveDispatchLevel()) {
+    ok_ = simd::SetDispatchLevelForTesting(level);
+  }
+  ~ScopedDispatchLevel() { simd::SetDispatchLevelForTesting(original_); }
+  bool ok() const { return ok_; }
+
+ private:
+  DispatchLevel original_;
+  bool ok_ = false;
+};
+
+TEST(SimdDispatchTest, SetDispatchLevelForTestingRejectsUnavailable) {
+  if (simd::KernelsForLevel(DispatchLevel::kAvx2) != nullptr) {
+    GTEST_SKIP() << "every level available here";
+  }
+  DispatchLevel before = simd::ActiveDispatchLevel();
+  EXPECT_FALSE(simd::SetDispatchLevelForTesting(DispatchLevel::kAvx2));
+  EXPECT_EQ(simd::ActiveDispatchLevel(), before);
+}
+
+// --- integration parity across levels --------------------------------------
+
+// The public entry points the engine actually calls must agree at every
+// level — this covers the inline small-words fast paths and the
+// dispatch plumbing that the kernel-table tests above bypass.
+TEST(SimdIntegrationParityTest, CatalogIntersectionsAgreeAcrossLevels) {
+  Rng rng(505);
+  std::vector<std::pair<std::vector<ValueId>, std::vector<ValueId>>> pairs;
+  for (size_t rep = 0; rep < 40; ++rep) {
+    size_t na = rng.Index(600);
+    size_t nb = rep % 5 == 0 ? rng.Index(8) : rng.Index(600);  // skew mix
+    pairs.emplace_back(MakeSorted(&rng, na, 2), MakeSorted(&rng, nb, 3));
+  }
+
+  std::vector<size_t> scalar_counts;
+  {
+    ScopedDispatchLevel scoped(DispatchLevel::kScalar);
+    ASSERT_TRUE(scoped.ok());
+    for (const auto& [a, b] : pairs) {
+      scalar_counts.push_back(SortedIntersectionSize(a, b));
+    }
+  }
+  for (Level lv : AvailableLevels()) {
+    ScopedDispatchLevel scoped(lv.level);
+    ASSERT_TRUE(scoped.ok());
+    SCOPED_TRACE(DispatchLevelName(lv.level));
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(SortedIntersectionSize(pairs[i].first, pairs[i].second),
+                scalar_counts[i]);
+    }
+  }
+}
+
+TEST(SimdIntegrationParityTest, OverlapCountsAndTopKAgreeAcrossLevels) {
+  auto bench = MakeTpTrBenchmark("TP-TR Small", TpTrSmallConfig());
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  ColumnStatsCatalog catalog(*bench->lake);
+  const size_t n_sources = std::min<size_t>(4, bench->sources.size());
+
+  // Per source: the dense whole-table query set (block-merge side of
+  // the spine hybrid) and a tiny slice of it (galloping side).
+  std::vector<std::vector<ValueId>> queries;
+  for (size_t i = 0; i < n_sources; ++i) {
+    std::vector<ValueId> q = SortedQueryValues(bench->sources[i].source);
+    queries.push_back(q);
+    if (q.size() > 6) {
+      queries.emplace_back(q.begin(), q.begin() + 5);
+    }
+  }
+
+  std::vector<std::vector<ColumnStatsCatalog::Overlap>> scalar_overlaps;
+  std::vector<std::vector<size_t>> scalar_topk;
+  {
+    ScopedDispatchLevel scoped(DispatchLevel::kScalar);
+    ASSERT_TRUE(scoped.ok());
+    for (const auto& q : queries) {
+      scalar_overlaps.push_back(catalog.OverlapCounts(q));
+    }
+    for (size_t i = 0; i < n_sources; ++i) {
+      scalar_topk.push_back(catalog.TopKTables(bench->sources[i].source, 10));
+    }
+  }
+
+  for (Level lv : AvailableLevels()) {
+    ScopedDispatchLevel scoped(lv.level);
+    ASSERT_TRUE(scoped.ok());
+    SCOPED_TRACE(DispatchLevelName(lv.level));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto got = catalog.OverlapCounts(queries[i]);
+      ASSERT_EQ(got.size(), scalar_overlaps[i].size());
+      for (size_t k = 0; k < got.size(); ++k) {
+        EXPECT_TRUE(got[k].ref == scalar_overlaps[i][k].ref);
+        EXPECT_EQ(got[k].count, scalar_overlaps[i][k].count);
+      }
+    }
+    for (size_t i = 0; i < n_sources; ++i) {
+      EXPECT_EQ(catalog.TopKTables(bench->sources[i].source, 10),
+                scalar_topk[i]);
+    }
+  }
+}
+
+TEST(SimdIntegrationParityTest, MatrixScoringAgreesAcrossLevels) {
+  // Wide source (200 cols = 4 words — above the inline threshold) so
+  // the dispatched plane kernels actually engage, plus a narrow one.
+  Rng rng(606);
+  for (size_t cols : {5u, 200u}) {
+    auto dict = MakeDictionary();
+    std::vector<std::string> names;
+    for (size_t c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
+    TableBuilder sb(dict, "s");
+    sb.Columns(names);
+    TableBuilder cb(dict, "cand");
+    cb.Columns(names);
+    for (size_t r = 0; r < 40; ++r) {
+      std::vector<std::string> srow, crow;
+      for (size_t c = 0; c < cols; ++c) {
+        std::string v = "v" + std::to_string(rng.Index(5));
+        srow.push_back(c == 0 ? "k" + std::to_string(r) : v);
+        // Candidate agrees, contradicts, or nulls out per cell.
+        size_t roll = rng.Index(3);
+        crow.push_back(c == 0 ? "k" + std::to_string(r % 37)
+                              : roll == 0 ? srow.back()
+                                          : roll == 1 ? "" : "x" + v);
+      }
+      sb.Row(srow);
+      cb.Row(crow);
+    }
+    Table source = sb.Build();
+    Table cand = cb.Build();
+    ASSERT_TRUE(source.SetKeyColumns({0}).ok());
+
+    double scalar_score = 0.0;
+    AlignmentMatrix scalar_combined(0, 0);
+    {
+      ScopedDispatchLevel scoped(DispatchLevel::kScalar);
+      ASSERT_TRUE(scoped.ok());
+      auto m = InitializeMatrix(source, cand);
+      ASSERT_TRUE(m.ok());
+      scalar_combined = CombineMatrices(*m, *m);
+      scalar_score = EvaluateMatrixSimilarity(scalar_combined, source);
+    }
+    for (Level lv : AvailableLevels()) {
+      ScopedDispatchLevel scoped(lv.level);
+      ASSERT_TRUE(scoped.ok());
+      SCOPED_TRACE(DispatchLevelName(lv.level));
+      auto m = InitializeMatrix(source, cand);
+      ASSERT_TRUE(m.ok());
+      AlignmentMatrix combined = CombineMatrices(*m, *m);
+      ASSERT_EQ(combined.TotalAlternatives(),
+                scalar_combined.TotalAlternatives());
+      double score = EvaluateMatrixSimilarity(combined, source);
+      EXPECT_EQ(std::memcmp(&score, &scalar_score, sizeof(double)), 0)
+          << score << " vs " << scalar_score;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gent
