@@ -1,0 +1,91 @@
+// A fixed-memory latency recorder for the tail-latency harness
+// (bench_tail.cc): an HDR-style log-linear histogram over nanosecond
+// values.
+//
+// Buckets are arranged as octaves (powers of two) split into
+// kSubBuckets linear sub-buckets each, so relative quantization error
+// is bounded by 1/kSubBuckets (~3%) at every magnitude — from
+// microsecond queue pops to multi-second pipeline runs — while the
+// whole recorder is a few KB of counters. Recording is O(1) with no
+// allocation; percentile queries scan the counter array once.
+//
+// Not thread-safe: each load-generator thread owns a Recorder and the
+// harness Merge()s them after the run (merging histograms is exact,
+// unlike merging percentiles).
+
+#ifndef GENT_BENCH_RECORDER_H_
+#define GENT_BENCH_RECORDER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace gent::bench {
+
+class Recorder {
+ public:
+  // 32 linear sub-buckets per octave: worst-case relative error
+  // 1/32 ≈ 3.1%, plenty for p99-style reporting.
+  static constexpr uint64_t kSubBits = 5;
+  static constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBits;
+  // 64 octaves cover the full uint64 range (584 years in ns).
+  static constexpr size_t kNumBuckets = 64 * kSubBuckets;
+
+  Recorder() : counts_(kNumBuckets, 0) {}
+
+  void Record(uint64_t value_ns) {
+    ++counts_[IndexOf(value_ns)];
+    ++count_;
+    if (value_ns > max_) max_ = value_ns;
+  }
+
+  void Merge(const Recorder& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+
+  /// Value at quantile q in [0,1] (q=0.99 → p99), as the representative
+  /// (lower-bound) value of the bucket holding the q·count-th sample.
+  /// 0 when empty. Exact max() is reported for q=1 territory.
+  uint64_t Percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (q >= 1.0) return max_;
+    if (q < 0.0) q = 0.0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > rank) return ValueOf(i);
+    }
+    return max_;
+  }
+
+ private:
+  static size_t IndexOf(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);  // exact octave 0
+    const uint64_t msb = 63 - static_cast<uint64_t>(__builtin_clzll(v));
+    const uint64_t octave = msb - kSubBits + 1;
+    const uint64_t sub = (v >> (octave - 1)) & (kSubBuckets - 1);
+    return static_cast<size_t>((octave << kSubBits) + sub);
+  }
+
+  static uint64_t ValueOf(size_t index) {
+    const uint64_t octave = static_cast<uint64_t>(index) >> kSubBits;
+    const uint64_t sub = static_cast<uint64_t>(index) & (kSubBuckets - 1);
+    if (octave == 0) return sub;
+    return (kSubBuckets + sub) << (octave - 1);
+  }
+
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace gent::bench
+
+#endif  // GENT_BENCH_RECORDER_H_

@@ -43,14 +43,21 @@ std::vector<std::pair<size_t, double>> DiversifyCandidateColumns(
 
 Result<std::vector<Candidate>> Discovery::FindCandidates(
     const Table& source) const {
+  return FindCandidates(source, OpLimits());
+}
+
+Result<std::vector<Candidate>> Discovery::FindCandidates(
+    const Table& source, const OpLimits& limits) const {
   if (!source.has_key()) {
     return Status::InvalidArgument("source table must declare a key");
   }
+  GENT_RETURN_IF_ERROR(limits.Interrupted());
   const DataLake& lake = catalog_.lake();
 
   // --- Recall stage -------------------------------------------------------
   std::vector<size_t> topk = catalog_.TopKTables(source, config_.top_k);
   std::unordered_set<size_t> topk_set(topk.begin(), topk.end());
+  GENT_RETURN_IF_ERROR(limits.Interrupted());
 
   // --- Per-column containment search (Algorithm 3 lines 4-8) --------------
   // Source columns as sorted distinct sets; lake-side stats come from the
@@ -64,6 +71,7 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
   // Per source column: lake table -> its best-matching column.
   std::vector<std::map<size_t, MatchPair>> best_by_col(source.num_cols());
   for (size_t c = 0; c < source.num_cols(); ++c) {
+    GENT_RETURN_IF_ERROR(limits.Interrupted());
     if (src_values[c].empty()) continue;
     for (const auto& [ref, count] : catalog_.OverlapCounts(src_values[c])) {
       if (topk_set.count(ref.table) == 0) continue;
@@ -154,6 +162,9 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
   // --- Build, verify, and rename candidates -------------------------------
   std::vector<Candidate> candidates;
   for (auto& [tbl, assign] : assignments) {
+    // Per-candidate checkpoint: verification scans whole lake tables,
+    // so this loop dominates discovery's cost on large lakes.
+    GENT_RETURN_IF_ERROR(limits.Interrupted());
     const Table& lake_table = lake.table(tbl);
     if (!config_.exclude_table.empty() &&
         lake_table.name() == config_.exclude_table) {
@@ -312,6 +323,8 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
     cand.score = cnt == 0 ? 0.0 : sum / static_cast<double>(cnt);
     candidates.push_back(std::move(cand));
   }
+
+  GENT_RETURN_IF_ERROR(limits.Interrupted());
 
   // --- Remove candidates subsumed by other candidates ---------------------
   // A is subsumed by B if *every* column of A has some column of B whose

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/lake/inverted_index.h"
+#include "src/ops/op_limits.h"
 #include "src/util/status.h"
 
 namespace gent {
@@ -76,6 +77,15 @@ class Discovery {
   /// Runs Algorithm 3 end to end. `source` must have key columns declared.
   /// Candidates are returned in descending score order.
   Result<std::vector<Candidate>> FindCandidates(const Table& source) const;
+
+  /// Same, under interruption limits: the stage polls
+  /// OpLimits::Interrupted() at its checkpoints (after recall, after the
+  /// containment scan, per candidate build, before subsumption) and
+  /// aborts with Cancelled/Timeout — never a truncated candidate list.
+  /// Row budgets (OpLimits::MaxRows) do not apply here; discovery's
+  /// cardinality is bounded by the lake itself.
+  Result<std::vector<Candidate>> FindCandidates(const Table& source,
+                                                const OpLimits& limits) const;
 
  private:
   const ColumnStatsCatalog& catalog_;

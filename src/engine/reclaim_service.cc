@@ -17,6 +17,26 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+std::chrono::steady_clock::duration DurationFromSeconds(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+// Budget for a synchronous request: timeout and end-to-end deadline
+// both start now (there is no queue wait to cover), the earlier wins.
+OpLimits LimitsFromRequest(const ReclaimRequest& request) {
+  OpLimits limits;
+  const auto now = std::chrono::steady_clock::now();
+  if (request.timeout_seconds > 0) {
+    limits.Deadline(now + DurationFromSeconds(request.timeout_seconds));
+  }
+  if (request.deadline_seconds > 0) {
+    limits.Deadline(now + DurationFromSeconds(request.deadline_seconds));
+  }
+  if (request.max_rows > 0) limits.MaxRows(request.max_rows);
+  return limits;
+}
+
 }  // namespace
 
 Table TranslateToDictionary(const Table& source, const DictionaryPtr& dict) {
@@ -44,9 +64,17 @@ Table TranslateToDictionary(const Table& source, const DictionaryPtr& dict) {
 struct ReclaimTicket::SharedState {
   std::mutex mutex;
   std::condition_variable ready_cv;
-  bool cancelled = false;  // set by Cancel() before execution starts
-  bool started = false;    // set by the worker when the pipeline begins
+  // Cancel() ran before the result was published. One-way; the
+  // publisher (ReclaimService::Publish) honors it by forcing the
+  // published status to Cancelled.
+  bool cancelled = false;
   std::optional<Result<ReclamationResult>> result;
+  // Stamped by Publish immediately before waking waiters.
+  std::chrono::steady_clock::time_point completed_at{};
+  // The OpLimits cancel token the pipeline polls at its checkpoints.
+  // Atomic (not mutex-guarded): checkpoints read it lock-free from
+  // worker threads while Cancel() stores from any thread.
+  std::atomic<bool> cancel_flag{false};
 };
 
 const Result<ReclamationResult>& ReclaimTicket::Wait() const {
@@ -56,18 +84,43 @@ const Result<ReclamationResult>& ReclaimTicket::Wait() const {
   return *s.result;
 }
 
+bool ReclaimTicket::WaitFor(std::chrono::steady_clock::duration timeout) const {
+  SharedState& s = *state_;
+  std::unique_lock<std::mutex> lock(s.mutex);
+  return s.ready_cv.wait_for(lock, timeout,
+                             [&s]() { return s.result.has_value(); });
+}
+
+bool ReclaimTicket::WaitUntil(
+    std::chrono::steady_clock::time_point deadline) const {
+  SharedState& s = *state_;
+  std::unique_lock<std::mutex> lock(s.mutex);
+  return s.ready_cv.wait_until(lock, deadline,
+                               [&s]() { return s.result.has_value(); });
+}
+
 bool ReclaimTicket::ready() const {
   SharedState& s = *state_;
   std::lock_guard<std::mutex> lock(s.mutex);
   return s.result.has_value();
 }
 
+std::chrono::steady_clock::time_point ReclaimTicket::completed_at() const {
+  SharedState& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.completed_at;
+}
+
 bool ReclaimTicket::Cancel() const {
   if (state_ == nullptr) return false;
   SharedState& s = *state_;
   std::lock_guard<std::mutex> lock(s.mutex);
-  if (s.started || s.result.has_value()) return false;
+  if (s.result.has_value()) return false;  // already resolved: too late
   s.cancelled = true;  // idempotent: repeat Cancels also report success
+  // Fire the pipeline token. Publication is serialized on s.mutex, so
+  // either the publisher already ran (result above) or it will observe
+  // s.cancelled and publish Cancelled — Cancel()==true is a guarantee.
+  s.cancel_flag.store(true, std::memory_order_release);
   return true;
 }
 
@@ -236,7 +289,7 @@ uint64_t ReclaimService::registry_epoch() const { return Pin()->epoch; }
 Result<ReclamationResult> ReclaimService::ReclaimImpl(
     const Table& source, const ReclaimRequest& request,
     const RegistrySnapshot& registry, const TraversalOptions& traversal,
-    const ExpandOptions& expand) const {
+    const ExpandOptions& expand, const OpLimits& limits) const {
   if (registry.shards.empty()) {
     return Status::InvalidArgument(
         "service has no lakes registered (at the pinned registry epoch)");
@@ -306,10 +359,6 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
       return Status::Internal("unresolved routing policy");
   }
 
-  OpLimits limits = request.timeout_seconds > 0
-                        ? OpLimits::WithTimeout(request.timeout_seconds)
-                        : OpLimits();
-  if (request.max_rows > 0) limits.MaxRows(request.max_rows);
   DiscoveryConfig discovery = options_.config.discovery;
   if (request.exclude_source_name) discovery.exclude_table = source.name();
 
@@ -324,12 +373,15 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
       *registry.shards[targets.empty() ? 0 : targets[0]]->gent;
   const bool use_cache =
       !request.bypass_cache && options_.cache_capacity > 0;
-  // A wall-clock deadline can truncate expansion mid-join (dropped
-  // paths, no error); caching such a set under the deadline-free key
-  // would poison every later request. Deadline-carrying requests may
-  // hit entries (a full replay under budget is strictly better) but
-  // never populate them.
-  const bool populate_cache = use_cache && request.timeout_seconds <= 0;
+  // A wall-clock budget (timeout or end-to-end deadline) can interrupt
+  // expansion mid-join; caching such a set under the budget-free key
+  // would poison every later request. Budget-carrying requests may hit
+  // entries (a full replay under budget is strictly better) but never
+  // populate them. A cancel token needs no such guard: cancellation
+  // surfaces as a hard error at Expand's terminal checkpoint, so a
+  // truncated set never reaches the Insert below.
+  const bool populate_cache = use_cache && request.timeout_seconds <= 0 &&
+                              request.deadline_seconds <= 0;
   SourceFingerprint key;
   if (use_cache) {
     key = FingerprintSource(source, discovery, request.max_rows, route_tag);
@@ -351,9 +403,9 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
   auto t0 = std::chrono::steady_clock::now();
   std::vector<Candidate> merged;
   for (size_t shard : targets) {
-    GENT_ASSIGN_OR_RETURN(
-        auto candidates,
-        registry.shards[shard]->gent->DiscoverCandidates(source, discovery));
+    GENT_ASSIGN_OR_RETURN(auto candidates,
+                          registry.shards[shard]->gent->DiscoverCandidates(
+                              source, discovery, limits));
     merged.reserve(merged.size() + candidates.size());
     for (auto& c : candidates) merged.push_back(std::move(c));
   }
@@ -376,10 +428,10 @@ Result<ReclamationResult> ReclaimService::Reclaim(
   if (source.dict() != dict_) {
     return ReclaimImpl(TranslateToDictionary(source, dict_), request,
                        *registry, options_.config.traversal,
-                       options_.config.expand);
+                       options_.config.expand, LimitsFromRequest(request));
   }
   return ReclaimImpl(source, request, *registry, options_.config.traversal,
-                     options_.config.expand);
+                     options_.config.expand, LimitsFromRequest(request));
 }
 
 std::vector<Result<ReclamationResult>> ReclaimService::ReclaimBatch(
@@ -423,82 +475,222 @@ std::vector<Result<ReclamationResult>> ReclaimService::ReclaimBatch(
   }
 
   ParallelFor(pool_.get(), sources.size(), [&](size_t i) {
-    results[i] =
-        ReclaimImpl(*admitted[i], request, *registry, traversal, expand);
+    // Limits built per worker invocation: each source's wall-clock
+    // budget starts when ITS reclamation starts, as in GenT::ReclaimBatch.
+    results[i] = ReclaimImpl(*admitted[i], request, *registry, traversal,
+                             expand, LimitsFromRequest(request));
   });
   return results;
 }
 
+StatusCode ReclaimService::Publish(ReclaimTicket::SharedState& state,
+                                   Result<ReclamationResult> result,
+                                   PublishContext context) const {
+  StatusCode published;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.cancelled) {
+      // Cancel() won the race: honor its guarantee and discard whatever
+      // the pipeline produced (even a completed result).
+      result = Result<ReclamationResult>(
+          Status::Cancelled("reclamation cancelled"));
+    }
+    published = result.ok() ? StatusCode::kOk : result.status().code();
+    // Counters bumped before waiters wake: a Wait() followed by
+    // admission_stats() is guaranteed to observe the increment.
+    switch (context) {
+      case PublishContext::kShed:
+        break;  // admission_shed_ counted under the admission lock
+      case PublishContext::kPreStartCancel:
+        admission_cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case PublishContext::kDeadlineInQueue:
+        if (published == StatusCode::kCancelled) {
+          // A Cancel() landed in the DOA check's race window; it still
+          // never ran, so it counts as a pre-start cancel.
+          admission_cancelled_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          admission_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      case PublishContext::kExecuted:
+        if (published == StatusCode::kCancelled) {
+          admission_cancelled_mid_flight_.fetch_add(1,
+                                                    std::memory_order_relaxed);
+        }
+        break;
+    }
+    state.result = std::move(result);
+    state.completed_at = std::chrono::steady_clock::now();
+  }
+  state.ready_cv.notify_all();
+  return published;
+}
+
 Result<ReclaimTicket> ReclaimService::SubmitReclaim(
     Table source, const ReclaimRequest& request) const {
-  const size_t capacity = options_.admission_capacity;
-  {
-    std::unique_lock<std::mutex> lock(admission_mutex_);
-    if (capacity > 0 && admission_queued_ >= capacity) {
-      if (options_.admission_policy == AdmissionPolicy::kReject) {
-        ++admission_rejected_;
-        return Status::ResourceExhausted(
-            "admission queue full (capacity " + std::to_string(capacity) +
-            ")");
-      }
-      admission_space_.wait(
-          lock, [this, capacity]() { return admission_queued_ < capacity; });
-    }
-    ++admission_queued_;
-  }
+  const auto submitted_at = std::chrono::steady_clock::now();
 
   // Admission work happens in the submitter's thread: pin the registry,
-  // re-intern a foreign-dictionary source. From here on the request is
-  // fully self-contained.
-  RegistryPtr registry = Pin();
-  auto admitted = std::make_shared<const Table>(
+  // re-intern a foreign-dictionary source. The queued entry is fully
+  // self-contained (it owns its pinned snapshot), so a shed or a pump
+  // needs nothing from the submitter.
+  Pending entry;
+  entry.state = std::make_shared<ReclaimTicket::SharedState>();
+  entry.request = request;
+  if (request.deadline_seconds > 0) {
+    entry.has_deadline = true;
+    entry.deadline =
+        submitted_at + DurationFromSeconds(request.deadline_seconds);
+  }
+  entry.registry = Pin();
+  entry.source = std::make_shared<const Table>(
       source.dict() != dict_ ? TranslateToDictionary(source, dict_)
                              : std::move(source));
   // Async requests share the pool with each other and with batches;
   // intra-pipeline parallelism on top would oversubscribe.
-  TraversalOptions traversal = options_.config.traversal;
-  ExpandOptions expand = options_.config.expand;
+  entry.traversal = options_.config.traversal;
+  entry.expand = options_.config.expand;
   if (pool_->num_threads() > 1) {
-    traversal.num_threads = 1;
-    expand.num_threads = 1;
+    entry.traversal.num_threads = 1;
+    entry.expand.num_threads = 1;
   }
 
   ReclaimTicket ticket;
-  ticket.state_ = std::make_shared<ReclaimTicket::SharedState>();
-  std::shared_ptr<ReclaimTicket::SharedState> state = ticket.state_;
-  pool_->Submit([this, state, registry, admitted, request, traversal,
-                 expand]() {
-    {
-      // The request leaves the admission queue when execution starts.
-      std::lock_guard<std::mutex> lock(admission_mutex_);
-      --admission_queued_;
-    }
-    admission_space_.notify_one();
+  ticket.state_ = entry.state;
 
-    bool cancelled = false;
-    {
-      std::lock_guard<std::mutex> lock(state->mutex);
-      if (state->cancelled) {
-        cancelled = true;
-      } else {
-        state->started = true;  // Cancel() returns false from here on
+  const size_t pri = static_cast<size_t>(request.priority);
+  const size_t capacity = options_.admission_capacity;
+  const size_t class_cap = options_.priority_capacity[pri];
+  std::shared_ptr<ReclaimTicket::SharedState> shed_victim;
+  bool need_pump = true;
+  {
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    auto total_full = [&]() {
+      return capacity > 0 && admission_queued_ >= capacity;
+    };
+    auto class_full = [&]() {
+      return class_cap > 0 && admission_queues_[pri].size() >= class_cap;
+    };
+    if (total_full() || class_full()) {
+      switch (options_.admission_policy) {
+        case AdmissionPolicy::kReject:
+          ++admission_rejected_;
+          return Status::ResourceExhausted(
+              "admission queue full (capacity " + std::to_string(capacity) +
+              ", class cap " + std::to_string(class_cap) + ")");
+        case AdmissionPolicy::kBlock:
+          admission_space_.wait(
+              lock, [&]() { return !total_full() && !class_full(); });
+          break;
+        case AdmissionPolicy::kShedOldest: {
+          // Victim: a full class sheds its own oldest (that is the only
+          // way to free a class slot); a full total sheds the oldest
+          // entry of the lowest class at or below the newcomer's.
+          size_t victim_class = kNumPriorityClasses;  // sentinel: none
+          if (class_full()) {
+            victim_class = pri;  // class_cap > 0 ⇒ queue non-empty
+          } else {
+            for (size_t p = kNumPriorityClasses; p-- > pri;) {
+              if (!admission_queues_[p].empty()) {
+                victim_class = p;
+                break;
+              }
+            }
+          }
+          if (victim_class == kNumPriorityClasses) {
+            // Everything queued outranks the newcomer: shed the
+            // newcomer itself.
+            ++admission_rejected_;
+            return Status::ResourceExhausted(
+                "admission queue full of higher-priority work");
+          }
+          shed_victim = std::move(admission_queues_[victim_class].front().state);
+          admission_queues_[victim_class].pop_front();
+          --admission_queued_;
+          ++admission_shed_;
+          // The victim's already-submitted pump task now drains the
+          // newcomer instead: queue count and outstanding pumps both
+          // stay balanced without a new Submit.
+          need_pump = false;
+          break;
+        }
       }
     }
-    Result<ReclamationResult> result =
-        cancelled ? Result<ReclamationResult>(Status::Cancelled(
-                        "cancelled before execution started"))
-                  : ReclaimImpl(*admitted, request, *registry, traversal,
-                                expand);
-    if (cancelled) {
-      admission_cancelled_.fetch_add(1, std::memory_order_relaxed);
-    }
-    {
-      std::lock_guard<std::mutex> lock(state->mutex);
-      state->result = std::move(result);
-    }
-    state->ready_cv.notify_all();
-  });
+    admission_queues_[pri].push_back(std::move(entry));
+    ++admission_queued_;
+  }
+  if (shed_victim != nullptr) {
+    (void)Publish(*shed_victim,
+                  Result<ReclamationResult>(Status::ResourceExhausted(
+                      "shed from the admission queue by newer work "
+                      "(kShedOldest)")),
+                  PublishContext::kShed);
+  }
+  if (need_pump) {
+    pool_->Submit([this]() { PumpOne(); });
+  }
   return ticket;
+}
+
+void ReclaimService::PumpOne() const {
+  Pending entry;
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    for (auto& queue : admission_queues_) {  // kHigh → kNormal → kBatch
+      if (queue.empty()) continue;
+      entry = std::move(queue.front());
+      queue.pop_front();
+      break;
+    }
+    // Invariant (outstanding pumps == queued entries) guarantees the
+    // scan above found an entry.
+    --admission_queued_;
+  }
+  admission_space_.notify_all();
+
+  // Cancelled while queued: discard without running.
+  bool pre_cancelled;
+  {
+    std::lock_guard<std::mutex> lock(entry.state->mutex);
+    pre_cancelled = entry.state->cancelled;
+  }
+  if (pre_cancelled) {
+    (void)Publish(*entry.state,
+                  Result<ReclamationResult>(Status::Cancelled(
+                      "cancelled before execution started")),
+                  PublishContext::kPreStartCancel);
+    return;
+  }
+
+  // Dead-on-arrival rejection: the end-to-end deadline expired during
+  // the queue wait, so running the pipeline could only waste the pool.
+  if (entry.has_deadline &&
+      std::chrono::steady_clock::now() > entry.deadline) {
+    (void)Publish(*entry.state,
+                  Result<ReclamationResult>(Status::Timeout(
+                      "deadline expired in the admission queue")),
+                  PublishContext::kDeadlineInQueue);
+    return;
+  }
+
+  // Execution budget: relative timeout starts now, the end-to-end
+  // deadline keeps its submission epoch, the earlier of the two wins;
+  // the ticket's cancel token makes Cancel() bite mid-flight at the
+  // next pipeline checkpoint.
+  OpLimits limits;
+  if (entry.request.timeout_seconds > 0) {
+    limits.Deadline(std::chrono::steady_clock::now() +
+                    DurationFromSeconds(entry.request.timeout_seconds));
+  }
+  if (entry.has_deadline) limits.Deadline(entry.deadline);
+  if (entry.request.max_rows > 0) limits.MaxRows(entry.request.max_rows);
+  limits.CancelToken(&entry.state->cancel_flag);
+
+  (void)Publish(*entry.state,
+                ReclaimImpl(*entry.source, entry.request, *entry.registry,
+                            entry.traversal, entry.expand, limits),
+                PublishContext::kExecuted);
 }
 
 // --- Introspection ----------------------------------------------------------
@@ -509,9 +701,17 @@ ReclaimService::AdmissionStats ReclaimService::admission_stats() const {
     std::lock_guard<std::mutex> lock(admission_mutex_);
     stats.queued = admission_queued_;
     stats.rejected = admission_rejected_;
+    stats.shed = admission_shed_;
+    for (size_t p = 0; p < kNumPriorityClasses; ++p) {
+      stats.queue_depth[p] = admission_queues_[p].size();
+    }
   }
   stats.capacity = options_.admission_capacity;
   stats.cancelled = admission_cancelled_.load(std::memory_order_relaxed);
+  stats.deadline_expired_in_queue =
+      admission_deadline_expired_.load(std::memory_order_relaxed);
+  stats.cancelled_mid_flight =
+      admission_cancelled_mid_flight_.load(std::memory_order_relaxed);
   stats.pool_backlog = pool_->queue_depth();
   return stats;
 }

@@ -19,7 +19,12 @@
 //     expansion stages entirely — the cache stores the expanded
 //     candidate tables, the whole pre-traversal product,
 //   * one resident ThreadPool serving batch and async traffic, behind
-//     a bounded admission queue (SubmitReclaim).
+//     a bounded, priority-aware admission queue (SubmitReclaim):
+//     three scheduling classes (RequestPriority) drained
+//     highest-first, per-request end-to-end deadlines with
+//     dead-on-arrival rejection, shed-oldest overload policy, and
+//     cooperative mid-flight cancellation — the deadline/priority/
+//     shedding contract is DESIGN.md §5.9.
 //
 // Every shard shares one ValueDictionary (fixed at construction), so
 // value ids stay comparable across lakes — the precondition for
@@ -69,8 +74,11 @@
 #ifndef GENT_ENGINE_RECLAIM_SERVICE_H_
 #define GENT_ENGINE_RECLAIM_SERVICE_H_
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,7 +98,25 @@ enum class AdmissionPolicy {
   kBlock,
   /// Fail fast with ResourceExhausted (the caller sheds load).
   kReject,
+  /// Admit the new request by shedding the oldest queued request of the
+  /// lowest priority class at or below the newcomer's own (its ticket
+  /// resolves ResourceExhausted). If everything queued outranks the
+  /// newcomer, the newcomer itself is rejected instead — shedding never
+  /// evicts higher-priority work (DESIGN.md §5.9).
+  kShedOldest,
 };
+
+/// Scheduling class of an async request (SubmitReclaim). Within a
+/// class the queue is FIFO; across classes the pump always runs the
+/// highest class first. Enumerator values are queue indices.
+enum class RequestPriority {
+  kHigh = 0,    // interactive traffic
+  kNormal = 1,  // default
+  kBatch = 2,   // backfill / best-effort
+};
+
+/// Number of RequestPriority classes (queue array size).
+inline constexpr size_t kNumPriorityClasses = 3;
 
 struct ServiceOptions {
   /// Pipeline configuration shared by every shard. For heavy concurrent
@@ -116,6 +142,12 @@ struct ServiceOptions {
   size_t admission_capacity = 1024;
   /// Queue-full behavior for SubmitReclaim.
   AdmissionPolicy admission_policy = AdmissionPolicy::kBlock;
+  /// Per-priority-class queue caps, indexed by RequestPriority (0 =
+  /// that class is uncapped). A full class applies admission_policy to
+  /// the newcomer's own class: kReject fails fast, kBlock waits for a
+  /// slot in the class, kShedOldest evicts the class's own oldest
+  /// entry. Caps compose with admission_capacity (both must admit).
+  std::array<size_t, kNumPriorityClasses> priority_capacity = {0, 0, 0};
 };
 
 /// How a request picks its catalog shard(s).
@@ -144,12 +176,23 @@ struct ReclaimRequest {
   std::string lake;
   /// Shard-selection policy; kAuto preserves the pre-§5.6 behavior.
   RoutingPolicy policy = RoutingPolicy::kAuto;
-  /// Per-source wall-clock budget, seconds (0 = unlimited). The only
-  /// scheduling-dependent knob; use max_rows where strict
-  /// reproducibility matters. Deadline-carrying requests may hit the
-  /// discovery cache but never populate it (a deadline can silently
-  /// truncate expansion; see discovery_cache.h).
+  /// Per-source wall-clock budget, seconds (0 = unlimited), measured
+  /// from EXECUTION start. Scheduling-dependent; use max_rows where
+  /// strict reproducibility matters. Budget-carrying requests may hit
+  /// the discovery cache but never populate it (see discovery_cache.h).
   double timeout_seconds = 0.0;
+  /// End-to-end deadline, seconds from SUBMISSION (0 = none): unlike
+  /// timeout_seconds it covers queue wait. A request whose deadline
+  /// expires while still queued resolves Timeout without running
+  /// (dead-on-arrival rejection); one that expires mid-flight aborts at
+  /// the next pipeline checkpoint (DESIGN.md §5.9). Composes with
+  /// timeout_seconds — the earlier of the two wins. Same cache rule as
+  /// timeout_seconds: may hit, never populates.
+  double deadline_seconds = 0.0;
+  /// Scheduling class for SubmitReclaim (ignored by the synchronous
+  /// paths, which never queue): the pump always starts the oldest
+  /// request of the highest queued class next.
+  RequestPriority priority = RequestPriority::kNormal;
   /// Per-source intermediate row budget (0 = unlimited).
   uint64_t max_rows = 0;
   /// Leave-one-out protocols: exclude the lake table named like the
@@ -180,14 +223,31 @@ class ReclaimTicket {
   /// threads may Wait on one ticket. Requires valid().
   const Result<ReclamationResult>& Wait() const;
 
+  /// Non-consuming readiness wait with a timeout: true once the result
+  /// is available, false if `timeout` elapsed first. The ticket is
+  /// untouched either way — callers poll as often as they like and
+  /// still Wait() for the value. Requires valid().
+  bool WaitFor(std::chrono::steady_clock::duration timeout) const;
+
+  /// Same against an absolute steady-clock deadline.
+  bool WaitUntil(std::chrono::steady_clock::time_point deadline) const;
+
   /// Non-blocking: true once the result is available. Requires valid().
   bool ready() const;
 
-  /// Requests cancellation. Returns true if the request had not started
-  /// executing — it then resolves to Status::Cancelled without running
-  /// the pipeline (its admission-queue slot is reclaimed when the
-  /// scheduler reaches it). Returns false if execution already started
-  /// or finished; a running request is never interrupted. Thread-safe.
+  /// When the ticket resolved (steady clock). Requires ready(); used by
+  /// open-loop latency harnesses so a completion timestamp needs no
+  /// dedicated waiting thread per ticket.
+  std::chrono::steady_clock::time_point completed_at() const;
+
+  /// Requests cancellation. Returns true if the ticket had not yet
+  /// resolved — the ticket is then GUARANTEED to resolve
+  /// Status::Cancelled: before execution starts the pump discards the
+  /// request outright; mid-flight the pipeline stops cooperatively at
+  /// its next checkpoint (DESIGN.md §5.9) and no partial result
+  /// escapes (a result completed in the race window is discarded).
+  /// Returns false only when the result was already published.
+  /// Idempotent and thread-safe.
   bool Cancel() const;
 
  private:
@@ -281,14 +341,19 @@ class ReclaimService {
 
   /// Async admission: translates the source (if foreign-dictionary),
   /// pins the current registry snapshot, and enqueues the reclamation
-  /// on the resident pool behind the bounded admission queue. Returns a
-  /// ticket immediately (kBlock may first wait for a queue slot; kReject
-  /// returns ResourceExhausted instead). Execution starts in submission
-  /// order (FIFO pool queue); completion order depends on scheduling,
-  /// but each ticket's RESULT is bit-identical to a synchronous
-  /// Reclaim(source, request) against the pinned snapshot. The async
-  /// path pins intra-pipeline parallelism to 1 (it optimizes
-  /// throughput; use Reclaim for latency-sensitive lone requests).
+  /// behind the bounded admission queue. Returns a ticket immediately
+  /// (kBlock may first wait for a slot; kReject returns
+  /// ResourceExhausted; kShedOldest evicts the oldest queued request of
+  /// the lowest class ≤ the newcomer's — see AdmissionPolicy).
+  /// Execution order: the pump always starts the oldest queued request
+  /// of the highest priority class next (FIFO within a class);
+  /// completion order depends on scheduling, but each ticket's RESULT
+  /// is bit-identical to a synchronous Reclaim(source, request) against
+  /// the pinned snapshot — unless its deadline expires or it is
+  /// cancelled, in which case it resolves Timeout/Cancelled with no
+  /// partial result. The async path pins intra-pipeline parallelism to
+  /// 1 (it optimizes throughput; use Reclaim for latency-sensitive
+  /// lone requests).
   Result<ReclaimTicket> SubmitReclaim(Table source,
                                       const ReclaimRequest& request = {}) const;
 
@@ -298,14 +363,28 @@ class ReclaimService {
   size_t num_threads() const { return pool_->num_threads(); }
 
   struct AdmissionStats {
-    /// Async requests admitted but not yet started.
+    /// Async requests admitted but not yet started (total across
+    /// priority classes).
     size_t queued = 0;
     /// Admission-queue capacity (0 = unbounded).
     size_t capacity = 0;
-    /// SubmitReclaim calls rejected with ResourceExhausted so far.
+    /// Current queue depth per priority class (indexed by
+    /// RequestPriority; sums to `queued`).
+    std::array<size_t, kNumPriorityClasses> queue_depth = {0, 0, 0};
+    /// SubmitReclaim calls rejected with ResourceExhausted so far
+    /// (kReject, or kShedOldest with nothing sheddable).
     uint64_t rejected = 0;
+    /// Queued tickets evicted by kShedOldest (resolved
+    /// ResourceExhausted without running).
+    uint64_t shed = 0;
+    /// Tickets whose deadline expired while queued (resolved Timeout
+    /// without running — dead-on-arrival rejection).
+    uint64_t deadline_expired_in_queue = 0;
     /// Tickets that resolved to Cancelled before running.
     uint64_t cancelled = 0;
+    /// Tickets cancelled after execution started (pipeline aborted at a
+    /// checkpoint and resolved Cancelled).
+    uint64_t cancelled_mid_flight = 0;
     /// Tasks sitting in the resident pool's queue right now — async
     /// requests plus batch shards (ThreadPool::queue_depth; stale the
     /// moment it is read).
@@ -352,10 +431,54 @@ class ReclaimService {
   /// `next` as the new snapshot under the registry mutex.
   void PublishLocked(std::shared_ptr<RegistrySnapshot> next);
 
+  /// Runs the pipeline for one admitted request. `limits` carries the
+  /// caller-built budget (timeout and/or absolute deadline, row cap,
+  /// cancel token); `request` still supplies routing/cache knobs and
+  /// the populate-cache eligibility test.
   Result<ReclamationResult> ReclaimImpl(
       const Table& source, const ReclaimRequest& request,
       const RegistrySnapshot& registry, const TraversalOptions& traversal,
-      const ExpandOptions& expand) const;
+      const ExpandOptions& expand, const OpLimits& limits) const;
+
+  /// One queued async request, self-contained (owns its pinned
+  /// snapshot). Sitting in admission_queues_ until a pump pops it or
+  /// kShedOldest evicts it.
+  struct Pending {
+    std::shared_ptr<ReclaimTicket::SharedState> state;
+    std::shared_ptr<const Table> source;
+    ReclaimRequest request;
+    RegistryPtr registry;
+    TraversalOptions traversal;
+    ExpandOptions expand;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  /// Pool task draining one admission-queue entry: pops the oldest
+  /// request of the highest non-empty class and runs (or rejects) it.
+  /// Invariant: outstanding pump tasks == queued entries, so a pump
+  /// always finds one (shedding swaps the entry under a pump, never
+  /// the count).
+  void PumpOne() const;
+
+  /// Why a result is being published — selects which admission counter
+  /// to bump (inside Publish, before waiters wake, so a Wait() +
+  /// admission_stats() sequence always observes the increment).
+  enum class PublishContext {
+    kShed,             // kShedOldest eviction (counted under the admission lock)
+    kPreStartCancel,   // pump found the ticket cancelled while queued
+    kDeadlineInQueue,  // dead-on-arrival: deadline expired while queued
+    kExecuted,         // the pipeline ran (normally or to an abort)
+  };
+
+  /// Publishes `result` to a ticket (stamping completed_at, waking
+  /// waiters). A Cancel() that won the race forces the published status
+  /// to Cancelled — a completed-but-unpublished result is discarded —
+  /// so Cancel()==true always implies a Cancelled resolution. Returns
+  /// the status code actually published.
+  StatusCode Publish(ReclaimTicket::SharedState& state,
+                     Result<ReclamationResult> result,
+                     PublishContext context) const;
 
   ServiceOptions options_;
   DictionaryPtr dict_;
@@ -368,9 +491,14 @@ class ReclaimService {
 
   mutable std::mutex admission_mutex_;
   mutable std::condition_variable admission_space_;
-  mutable size_t admission_queued_ = 0;
+  mutable std::array<std::deque<Pending>, kNumPriorityClasses>
+      admission_queues_;
+  mutable size_t admission_queued_ = 0;  // sum over admission_queues_
   mutable uint64_t admission_rejected_ = 0;
+  mutable uint64_t admission_shed_ = 0;
   mutable std::atomic<uint64_t> admission_cancelled_{0};
+  mutable std::atomic<uint64_t> admission_deadline_expired_{0};
+  mutable std::atomic<uint64_t> admission_cancelled_mid_flight_{0};
 
   mutable std::atomic<uint64_t> requests_routed_{0};
   mutable std::atomic<uint64_t> shards_pruned_{0};

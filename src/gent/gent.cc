@@ -57,16 +57,22 @@ Result<ReclamationResult> GenT::Reclaim(
     const ExpandOptions& expand_options) const {
   auto t0 = std::chrono::steady_clock::now();
   GENT_ASSIGN_OR_RETURN(auto candidates,
-                        DiscoverCandidates(source, discovery_config));
+                        DiscoverCandidates(source, discovery_config, limits));
   return ReclaimFromCandidates(source, candidates, limits, traversal_options,
                                expand_options, SecondsSince(t0));
 }
 
 Result<std::vector<Candidate>> GenT::DiscoverCandidates(
     const Table& source, const DiscoveryConfig& discovery_config) const {
+  return DiscoverCandidates(source, discovery_config, OpLimits());
+}
+
+Result<std::vector<Candidate>> GenT::DiscoverCandidates(
+    const Table& source, const DiscoveryConfig& discovery_config,
+    const OpLimits& limits) const {
   // --- Table Discovery (paper §V-A) ---------------------------------------
   Discovery discovery(*catalog_, discovery_config);
-  return discovery.FindCandidates(source);
+  return discovery.FindCandidates(source, limits);
 }
 
 Result<ReclamationResult> GenT::ReclaimFromCandidates(
@@ -102,8 +108,9 @@ Result<ReclamationResult> GenT::ReclaimFromExpanded(
   if (config_.skip_traversal) {
     originating = std::move(tables);
   } else {
-    GENT_ASSIGN_OR_RETURN(auto traversal,
-                          MatrixTraversal(source, tables, traversal_options));
+    GENT_ASSIGN_OR_RETURN(
+        auto traversal,
+        MatrixTraversal(source, tables, traversal_options, limits));
     predicted = traversal.final_score;
     originating.reserve(traversal.selected.size());
     for (size_t i : traversal.selected) {

@@ -140,6 +140,14 @@ class GenT {
   Result<std::vector<Candidate>> DiscoverCandidates(
       const Table& source, const DiscoveryConfig& discovery) const;
 
+  /// Same, under interruption limits: discovery polls
+  /// OpLimits::Interrupted() at its stage checkpoints and aborts with
+  /// Cancelled/Timeout (never a truncated candidate list). The
+  /// limit-free overload is DiscoverCandidates(source, discovery, {}).
+  Result<std::vector<Candidate>> DiscoverCandidates(
+      const Table& source, const DiscoveryConfig& discovery,
+      const OpLimits& limits) const;
+
   /// The pipeline downstream of discovery (Expand → Matrix Traversal →
   /// Integration). Reads `source`, `candidates`, and config — plus each
   /// candidate's own Candidate::stats catalog (set by the discovery

@@ -199,6 +199,7 @@ Result<ExpandResult> Expand(const Table& source,
   constexpr double kJoinThreshold = 0.3;
   const size_t n = candidates.size();
   ExpandResult result;
+  GENT_RETURN_IF_ERROR(limits.Interrupted());
 
   // Expansion joins are a means to key coverage, not an end product; a
   // path whose intermediate result explodes is a wrong join (weak pair,
@@ -232,6 +233,7 @@ Result<ExpandResult> Expand(const Table& source,
     sorted_schemas[i] = c.table.column_names();
     std::sort(sorted_schemas[i].begin(), sorted_schemas[i].end());
   });
+  GENT_RETURN_IF_ERROR(limits.Interrupted());
 
   // Join graph: value-overlap edges with their best column pair. The
   // pairwise scan shards by the lower candidate index; the reduction
@@ -251,6 +253,7 @@ Result<ExpandResult> Expand(const Table& source,
       forward[i].push_back(Edge{j, *pair});
     }
   });
+  GENT_RETURN_IF_ERROR(limits.Interrupted());
   std::vector<std::vector<Edge>> adj(n);
   for (size_t i = 0; i < n; ++i) {
     for (const Edge& e : forward[i]) {
@@ -286,6 +289,7 @@ Result<ExpandResult> Expand(const Table& source,
       }
       family_union[i] = std::move(t);
     });
+    GENT_RETURN_IF_ERROR(limits.Interrupted());
   }
 
   if (debug) {
@@ -348,6 +352,11 @@ Result<ExpandResult> Expand(const Table& source,
     ColumnSets local_sets;
     const ColumnSets* joined_sets = &sets[path[0]];
     for (size_t p = 1; p < path.size(); ++p) {
+      // Per-hop checkpoint. An interrupted hop drops the path like any
+      // failed join; the driver's terminal Interrupted() check below
+      // turns the run into a hard Cancelled/Timeout, so the dropped
+      // path can never masquerade as a complete expansion.
+      if (!limits.Interrupted().ok()) return std::nullopt;
       size_t next = path[p];
       auto pair = BestJoinPair(*joined_sets, joined.num_rows(), sets[next],
                                candidates[next].table.num_rows(),
@@ -478,6 +487,9 @@ Result<ExpandResult> Expand(const Table& source,
   ParallelFor(pool.get(), n, [&](size_t i) {
     const Candidate& cand = candidates[i];
     Slot& slot = slots[i];
+    // Cooperative abort: leave the slot untouched and let the terminal
+    // checkpoint below fail the whole call.
+    if (!limits.Interrupted().ok()) return;
     if (cand.covers_key) {
       slot.table = cand.table.Clone();
       return;
@@ -526,6 +538,7 @@ Result<ExpandResult> Expand(const Table& source,
     std::optional<Table> best_table;
     double best_score = -1.0;
     for (const auto& path : paths) {
+      if (!limits.Interrupted().ok()) return;
       if (debug) {
         fprintf(stderr, "[expand] %s path:", cand.table.name().c_str());
         for (size_t pnode : path) {
@@ -559,6 +572,13 @@ Result<ExpandResult> Expand(const Table& source,
     slot.table = std::move(best_table);
     slot.expanded = true;
   });
+
+  // Terminal checkpoint — authoritative. The cancel token and an
+  // expired deadline are both permanent, so any path or slot silently
+  // dropped by an interruption above is caught here, and a truncated
+  // expansion can never escape as an OK result (the discovery cache
+  // depends on this: only complete expansions are ever inserted).
+  GENT_RETURN_IF_ERROR(limits.Interrupted());
 
   // Deterministic reduction: candidate-index order, exactly the serial
   // emission order.

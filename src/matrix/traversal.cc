@@ -140,12 +140,14 @@ struct Support {
 
 Result<TraversalResult> MatrixTraversal(const Table& source,
                                         const std::vector<Table>& tables,
-                                        const TraversalOptions& options) {
+                                        const TraversalOptions& options,
+                                        const OpLimits& limits) {
   TraversalResult result;
   if (tables.empty()) return result;
   if (!source.has_key()) {
     return Status::InvalidArgument("source has no key");
   }
+  GENT_RETURN_IF_ERROR(limits.Interrupted());
 
   const size_t num_tables = tables.size();
   const size_t num_rows = source.num_rows();
@@ -176,6 +178,7 @@ Result<TraversalResult> MatrixTraversal(const Table& source,
     matrices.push_back(std::move(inits[i]).value());
   }
   inits.clear();
+  GENT_RETURN_IF_ERROR(limits.Interrupted());
 
   RowScorer scorer(source);
   const size_t words = (source.num_cols() + 63) / 64;
@@ -227,8 +230,11 @@ Result<TraversalResult> MatrixTraversal(const Table& source,
   };
   std::vector<CandidateEval> evals(num_tables);
 
-  // Greedy extension (lines 8-20).
+  // Greedy extension (lines 8-20). One interruption checkpoint per
+  // round: each round is a full candidate re-score, the natural unit of
+  // discarded work.
   while (result.selected.size() < num_tables) {
+    GENT_RETURN_IF_ERROR(limits.Interrupted());
     double prev_correct = most_correct;
 
     ParallelFor(pool.get(), num_tables, [&](size_t i) {
@@ -313,6 +319,7 @@ Result<TraversalResult> MatrixTraversal(const Table& source,
     std::vector<double> full_best(num_rows, 0.0);
     bool pruned = true;
     while (pruned && result.selected.size() > 1) {
+      GENT_RETURN_IF_ERROR(limits.Interrupted());
       pruned = false;
       const size_t num_sel = result.selected.size();
       // Every fold must mirror the left-deep CombineMatrices chain the

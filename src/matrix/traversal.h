@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/matrix/alignment_matrix.h"
+#include "src/ops/op_limits.h"
 #include "src/table/table.h"
 #include "src/util/status.h"
 
@@ -49,10 +50,16 @@ struct TraversalResult {
 };
 
 /// Runs Algorithm 1 over key-covering tables (the output of Expand()).
-/// Empty input yields an empty selection.
+/// Empty input yields an empty selection. `limits` carries the
+/// cooperative-interruption machinery (DESIGN.md §5.9): the traversal
+/// polls OpLimits::Interrupted() after matrix initialization, at the
+/// top of every greedy round, and per backward-pruning sweep, aborting
+/// with Cancelled/Timeout — a partial selection never escapes. Row
+/// budgets do not apply (matrices are bounded by their inputs).
 Result<TraversalResult> MatrixTraversal(const Table& source,
                                         const std::vector<Table>& tables,
-                                        const TraversalOptions& options = {});
+                                        const TraversalOptions& options = {},
+                                        const OpLimits& limits = {});
 
 }  // namespace gent
 

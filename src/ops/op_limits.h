@@ -1,13 +1,24 @@
-// Resource limits for integration operators.
+// Resource limits for integration operators and pipeline checkpoints.
 //
 // Full disjunction and complementation are super-linear; the paper's
 // baselines (notably ALITE) time out on large benchmarks. OpLimits lets
 // callers bound both wall-clock time and intermediate cardinality so a
 // bench can report a timeout instead of hanging.
+//
+// Beyond the original row/timeout budgets, OpLimits carries the
+// service-level interruption machinery (DESIGN.md §5.9): an absolute
+// deadline (so a request's budget covers its queue wait, not just its
+// execution) and a borrowed cancellation token. Pipeline stages poll
+// Interrupted() at their checkpoints; once the token fires or the
+// deadline passes, every later poll fails too — an aborted stage can
+// never be mistaken for a complete one, because the terminal driver
+// checkpoint re-asks the same question.
 
 #ifndef GENT_OPS_OP_LIMITS_H_
 #define GENT_OPS_OP_LIMITS_H_
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -18,15 +29,24 @@ namespace gent {
 
 class OpLimits {
  public:
+  using Clock = std::chrono::steady_clock;
+
   /// Unlimited.
   OpLimits() = default;
 
-  /// Bounded by wall-clock seconds and/or max intermediate rows.
+  /// Bounded by wall-clock seconds from now.
   static OpLimits WithTimeout(double seconds) {
     OpLimits l;
-    l.deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                     std::chrono::duration<double>(seconds));
-    l.has_deadline_ = true;
+    l.Deadline(Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(seconds)));
+    return l;
+  }
+
+  /// Bounded by an absolute steady-clock deadline (a service request's
+  /// end-to-end budget, fixed at admission).
+  static OpLimits WithDeadline(Clock::time_point deadline) {
+    OpLimits l;
+    l.Deadline(deadline);
     return l;
   }
 
@@ -35,13 +55,33 @@ class OpLimits {
     return *this;
   }
 
-  uint64_t max_rows() const { return max_rows_; }
+  /// Adds an absolute deadline; with one already set, the earlier wins
+  /// (a request's timeout and its admission deadline compose).
+  OpLimits& Deadline(Clock::time_point deadline) {
+    deadline_ = has_deadline_ ? std::min(deadline_, deadline) : deadline;
+    has_deadline_ = true;
+    return *this;
+  }
 
-  /// OK while within budget; Timeout/OutOfRange once exceeded.
-  /// `rows` is the current intermediate cardinality.
-  Status Check(uint64_t rows) const {
-    if (rows > max_rows_) {
-      return Status::OutOfRange("intermediate result exceeds row budget");
+  /// Borrows a cancellation token (not owned; must outlive every stage
+  /// running under these limits). Once the token stores true, every
+  /// Check/Interrupted call fails with Cancelled — the flag is
+  /// one-way, so stages that already raced past a checkpoint are caught
+  /// by the next one.
+  OpLimits& CancelToken(const std::atomic<bool>* token) {
+    cancel_ = token;
+    return *this;
+  }
+
+  uint64_t max_rows() const { return max_rows_; }
+  bool has_deadline() const { return has_deadline_; }
+
+  /// The pure interruption test (no row budget): Cancelled once the
+  /// token fired, Timeout once the deadline passed, OK otherwise.
+  /// Pipeline checkpoints call this; both conditions are permanent.
+  Status Interrupted() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_acquire)) {
+      return Status::Cancelled("operation cancelled at checkpoint");
     }
     if (has_deadline_ && Clock::now() > deadline_) {
       return Status::Timeout("operator exceeded time budget");
@@ -49,11 +89,20 @@ class OpLimits {
     return Status::OK();
   }
 
+  /// OK while within budget; OutOfRange/Cancelled/Timeout once
+  /// exceeded. `rows` is the current intermediate cardinality.
+  Status Check(uint64_t rows) const {
+    if (rows > max_rows_) {
+      return Status::OutOfRange("intermediate result exceeds row budget");
+    }
+    return Interrupted();
+  }
+
  private:
-  using Clock = std::chrono::steady_clock;
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
   uint64_t max_rows_ = std::numeric_limits<uint64_t>::max();
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 }  // namespace gent

@@ -484,10 +484,11 @@ TEST(ServiceLifecycleTest, CancelBeforeStartResolvesToCancelled) {
 
   ReclaimRequest request;
   request.lake = "lake";
-  // Occupy the lone worker with a stream of work, then cancel requests
-  // parked behind it. Some cancels land before their request starts
-  // (those must resolve to kCancelled without running); cancels that
-  // lose the race return false and the request completes normally.
+  // Occupy the lone worker with a stream of work, then cancel a request
+  // parked behind it. Cancel()==true now GUARANTEES a kCancelled
+  // resolution whether it lands before the request starts (counted in
+  // stats.cancelled) or mid-flight (stats.cancelled_mid_flight); it
+  // returns false only once the result is already published.
   std::vector<ReclaimTicket> stream;
   for (int i = 0; i < 6; ++i) {
     auto t = service.SubmitReclaim(MakeSource(dict, 0), request);
@@ -500,7 +501,8 @@ TEST(ServiceLifecycleTest, CancelBeforeStartResolvesToCancelled) {
   const auto& result = victim->Wait();
   if (cancelled) {
     EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
-    EXPECT_GE(service.admission_stats().cancelled, 1u);
+    const auto stats = service.admission_stats();
+    EXPECT_GE(stats.cancelled + stats.cancelled_mid_flight, 1u);
   } else {
     EXPECT_TRUE(result.ok()) << result.status().ToString();
   }
