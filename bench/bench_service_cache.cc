@@ -14,8 +14,11 @@
 // Environment knobs: GENT_SOURCES (default 8), GENT_REPEATS (default 3,
 // min-of-reps per pass), GENT_NOISE (default 0 distractor tables).
 
+#include <cstdio>
+
 #include "bench/bench_common.h"
 #include "src/engine/reclaim_service.h"
+#include "src/lake/snapshot.h"
 
 using namespace gent;
 using namespace gent::bench;
@@ -51,6 +54,173 @@ double MinTotal(const std::vector<PassTiming>& reps) {
   double best = reps.empty() ? 0.0 : reps[0].total_s;
   for (const PassTiming& r : reps) best = std::min(best, r.total_s);
   return best;
+}
+
+// --- Warm start: v1 rebuild vs v2 open + fault-in (BENCH_warmstart.json) ----
+//
+// Measures what a shard restart costs under each snapshot format on the
+// TP-TR Med lake:
+//   * v1 AddLakeFromSnapshot — body load + full catalog REBUILD,
+//   * v2 AddLakeFromSnapshot — body load + mapped catalog OPEN,
+// plus the component-level pair underneath the acceptance claim
+// (catalog rebuild vs MappedCatalog open: O(rebuild) vs O(open)), the
+// first post-open query (pays pool fault-in), and a repeat of the same
+// query fully warm. The v2-served results must be bit-identical to v1's.
+int RunWarmStart(size_t repeats) {
+  auto bench = BuildMed();
+  if (!bench.ok()) {
+    std::fprintf(stderr, "warmstart: benchmark generation failed: %s\n",
+                 bench.status().ToString().c_str());
+    return 1;
+  }
+  const DataLake& lake = *bench->lake;
+  const std::string v1_path = "warmstart_v1.snap";
+  const std::string v2_path = "warmstart_v2.snap";
+
+  // The one catalog build the v1 path repeats on every restart; reuse
+  // it to emit the v2 snapshot.
+  auto tb = std::chrono::steady_clock::now();
+  GenT gent(lake);
+  double rebuild_s = Seconds(tb);
+  if (Status s = SaveSnapshot(lake, v1_path); !s.ok()) {
+    std::fprintf(stderr, "warmstart: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = SaveSnapshotV2(lake, gent.catalog().section_views(), v2_path);
+      !s.ok()) {
+    std::fprintf(stderr, "warmstart: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Component pair, min over repeats: rebuild from a loaded lake vs
+  // mapped open of the v2 file (the service's exact open call).
+  DataLake loaded;
+  if (Status s = LoadSnapshot(loaded, v2_path); !s.ok()) {
+    std::fprintf(stderr, "warmstart: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  double open_s = 0.0;
+  bool mapped_ok = true;
+  for (size_t r = 0; r < repeats; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto mapped = ColumnStatsCatalog::OpenMapped(
+        loaded, v2_path,
+        {/*verify_checksums=*/false, /*pool_capacity_blocks=*/0});
+    const double elapsed = Seconds(t0);
+    if (!mapped.ok()) {
+      mapped_ok = false;
+      break;
+    }
+    if (r == 0 || elapsed < open_s) open_s = elapsed;
+    t0 = std::chrono::steady_clock::now();
+    ColumnStatsCatalog again(loaded);
+    rebuild_s = std::min(rebuild_s, Seconds(t0));
+  }
+
+  // End-to-end AddLakeFromSnapshot under each format, min over repeats,
+  // a fresh service (fresh dictionary → identity remap) each time.
+  auto time_add = [&](const std::string& path, bool map_v2,
+                      std::unique_ptr<ReclaimService>* keep) {
+    double best = 0.0;
+    for (size_t r = 0; r < repeats; ++r) {
+      ServiceOptions options;
+      options.cache_capacity = 0;  // measure the catalog path, not the cache
+      options.storage.map_v2_snapshots = map_v2;
+      auto service = std::make_unique<ReclaimService>(std::move(options));
+      auto t0 = std::chrono::steady_clock::now();
+      if (Status s = service->AddLakeFromSnapshot("lake", path); !s.ok()) {
+        std::fprintf(stderr, "warmstart: %s\n", s.ToString().c_str());
+        return -1.0;
+      }
+      const double elapsed = Seconds(t0);
+      if (r == 0 || elapsed < best) best = elapsed;
+      *keep = std::move(service);
+    }
+    return best;
+  };
+  std::unique_ptr<ReclaimService> v1_service, v2_service;
+  const double v1_add_s = time_add(v1_path, /*map_v2=*/false, &v1_service);
+  const double v2_add_s = time_add(v2_path, /*map_v2=*/true, &v2_service);
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  if (v1_add_s < 0 || v2_add_s < 0) return 1;
+  const auto residency = v2_service->residency_stats();
+  const bool mapped = mapped_ok && !residency.empty() &&
+                      residency[0].catalog.mapped;
+
+  // First query after the v2 open pays pool fault-in; the repeat is the
+  // fully warm floor. Bit-identity against the v1-rebuilt backend is
+  // the backend-parity contract, measured end to end.
+  ReclaimRequest request;
+  request.lake = "lake";
+  request.max_rows = 2'000'000;
+  const Table& probe = bench->sources[0].source;
+  auto t0 = std::chrono::steady_clock::now();
+  auto first = v2_service->Reclaim(probe.Clone(), request);
+  const double first_query_s = Seconds(t0);
+  t0 = std::chrono::steady_clock::now();
+  auto warm = v2_service->Reclaim(probe.Clone(), request);
+  const double warm_query_s = Seconds(t0);
+  auto v1_result = v1_service->Reclaim(probe.Clone(), request);
+  const bool identical =
+      first.ok() && warm.ok() && v1_result.ok() &&
+      TablesBitIdentical(first->reclaimed, v1_result->reclaimed) &&
+      TablesBitIdentical(warm->reclaimed, v1_result->reclaimed) &&
+      first->originating_names == v1_result->originating_names;
+  const auto after = v2_service->residency_stats();
+  const auto& cat = after.empty() ? ColumnStatsCatalog::Residency{}
+                                  : after[0].catalog;
+
+  const double open_speedup = open_s > 0 ? rebuild_s / open_s : 0.0;
+  std::printf("\n=== Warm start (%s, min of %zu reps) ===\n",
+              bench->name.c_str(), repeats);
+  std::printf("v1 AddLakeFromSnapshot (rebuild): %8.3fs\n", v1_add_s);
+  std::printf("v2 AddLakeFromSnapshot (open):    %8.3fs\n", v2_add_s);
+  std::printf("catalog rebuild vs mapped open:   %8.3fs vs %.6fs "
+              "(%.1fx)\n",
+              rebuild_s, open_s, open_speedup);
+  std::printf("first query (fault-in):           %8.3fs\n", first_query_s);
+  std::printf("repeat query (fully warm):        %8.3fs\n", warm_query_s);
+  std::printf("mapped backend active: %s; v2 results bit-identical to "
+              "v1: %s\n",
+              mapped ? "yes" : "NO", identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen("BENCH_warmstart.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_warmstart.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"warmstart\",\n");
+  WriteCpuMetadataJson(f);
+  std::fprintf(f, "  \"benchmark\": \"%s\",\n  \"repeats\": %zu,\n",
+               bench->name.c_str(), repeats);
+  std::fprintf(f, "  \"lake_tables\": %zu,\n", lake.size());
+  std::fprintf(f,
+               "  \"v1_add_lake_seconds\": %.6f,\n"
+               "  \"v2_add_lake_seconds\": %.6f,\n",
+               v1_add_s, v2_add_s);
+  std::fprintf(f,
+               "  \"v1_catalog_rebuild_seconds\": %.6f,\n"
+               "  \"v2_catalog_open_seconds\": %.6f,\n"
+               "  \"open_speedup\": %.3f,\n",
+               rebuild_s, open_s, open_speedup);
+  std::fprintf(f,
+               "  \"first_query_seconds\": %.6f,\n"
+               "  \"warm_query_seconds\": %.6f,\n",
+               first_query_s, warm_query_s);
+  std::fprintf(f,
+               "  \"catalog_bytes_total\": %llu,\n"
+               "  \"catalog_bytes_resident\": %llu,\n"
+               "  \"pool_faults\": %llu,\n  \"pool_hits\": %llu,\n",
+               static_cast<unsigned long long>(cat.bytes_total),
+               static_cast<unsigned long long>(cat.bytes_resident),
+               static_cast<unsigned long long>(cat.pool_faults),
+               static_cast<unsigned long long>(cat.pool_hits));
+  std::fprintf(f, "  \"mapped\": %s,\n  \"bit_identical\": %s\n}\n",
+               mapped ? "true" : "false", identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_warmstart.json\n");
+  return identical ? 0 : 1;
 }
 
 }  // namespace
@@ -207,5 +377,7 @@ int main() {
   std::fprintf(f, "]\n}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_service_cache.json\n");
-  return identical && async_identical ? 0 : 1;
+
+  const int warmstart_rc = RunWarmStart(repeats);
+  return identical && async_identical && warmstart_rc == 0 ? 0 : 1;
 }

@@ -24,13 +24,13 @@ std::vector<std::pair<size_t, double>> DiversifyCandidateColumns(
   scored.reserve(ranked.size());
   for (size_t i = 0; i < ranked.size(); ++i) {
     double score = ranked[i].source_overlap;
-    if (i > 0 && !ranked[i].values->empty()) {
+    if (i > 0 && !ranked[i].values.empty()) {
       // Penalize overlap with the previous (higher-ranked) candidate:
       // diverseOverlapScore = |T∩S|/|S| − |T∩T_prev|/|T|   (Eq. 10)
       size_t inter =
-          SortedIntersectionSize(*ranked[i].values, *ranked[i - 1].values);
+          SortedIntersectionSize(ranked[i].values, ranked[i - 1].values);
       score -= static_cast<double>(inter) /
-               static_cast<double>(ranked[i].values->size());
+               static_cast<double>(ranked[i].values.size());
     }
     scored.emplace_back(ranked[i].id, score);
   }
@@ -107,7 +107,7 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
       for (const auto& p : ranked) {
         input.push_back(DiversifyInput{
             p.table, p.overlap,
-            &catalog_.SortedValues(
+            catalog_.SortedValues(
                 ColumnRef{static_cast<uint32_t>(p.table),
                           static_cast<uint32_t>(p.cand_col)})});
       }
@@ -257,7 +257,7 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
         for (size_t sc = 0; sc < source.num_cols(); ++sc) {
           if (source.IsKeyColumn(sc) || src_values[sc].empty()) continue;
           for (size_t cc = 0; cc < lake_table.num_cols(); ++cc) {
-            const std::vector<ValueId>& cvals = catalog_.SortedValues(
+            const ValueSpan cvals = catalog_.SortedValues(
                 ColumnRef{static_cast<uint32_t>(tbl),
                           static_cast<uint32_t>(cc)});
             size_t inter = SortedIntersectionSize(cvals, src_values[sc]);
@@ -337,8 +337,7 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
     // Candidates are still row-identical clones of their lake tables
     // (renames happen below), so the catalog's sorted sets serve as the
     // per-column value sets and containment is a linear std::includes.
-    auto col_values = [&](const Candidate& cand,
-                          size_t c) -> const std::vector<ValueId>& {
+    auto col_values = [&](const Candidate& cand, size_t c) -> ValueSpan {
       return catalog_.SortedValues(
           ColumnRef{static_cast<uint32_t>(cand.lake_index),
                     static_cast<uint32_t>(c)});
@@ -348,11 +347,11 @@ Result<std::vector<Candidate>> Discovery::FindCandidates(
       const Candidate& ca = candidates[a];
       const Candidate& cb = candidates[b];
       for (size_t ac = 0; ac < ca.table.num_cols(); ++ac) {
-        const std::vector<ValueId>& vals_a = col_values(ca, ac);
+        const ValueSpan vals_a = col_values(ca, ac);
         if (vals_a.empty()) continue;
         bool covered = false;
         for (size_t bc = 0; bc < cb.table.num_cols(); ++bc) {
-          const std::vector<ValueId>& vals_b = col_values(cb, bc);
+          const ValueSpan vals_b = col_values(cb, bc);
           if (vals_b.size() < vals_a.size()) continue;
           if (std::includes(vals_b.begin(), vals_b.end(), vals_a.begin(),
                             vals_a.end())) {

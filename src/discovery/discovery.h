@@ -99,7 +99,7 @@ class Discovery {
 struct DiversifyInput {
   size_t id;
   double source_overlap;
-  const std::vector<ValueId>* values;  // sorted ascending, deduplicated
+  ValueSpan values;  // sorted ascending, deduplicated
 };
 std::vector<std::pair<size_t, double>> DiversifyCandidateColumns(
     std::vector<DiversifyInput> ranked_by_overlap);

@@ -47,8 +47,7 @@ std::vector<ValueId> SortedDistinctValues(const Table& t, size_t c) {
   return vals;
 }
 
-size_t SortedIntersectionSize(const std::vector<ValueId>& a,
-                              const std::vector<ValueId>& b) {
+size_t SortedIntersectionSize(ValueSpan a, ValueSpan b) {
   if (a.size() > b.size()) return SortedIntersectionSize(b, a);
   // Skewed pairs (a tiny query set against a huge lake column) gallop:
   // each small-side value advances a lower_bound over the remaining big
@@ -75,25 +74,29 @@ size_t SortedIntersectionSize(const std::vector<ValueId>& a,
   return simd::SortedIntersectSize(a.data(), a.size(), b.data(), b.size());
 }
 
-ColumnStatsCatalog::ColumnStatsCatalog(const DataLake& lake) : lake_(lake) {
+void ColumnStatsCatalog::BuildColumnLayout() {
   // Dense column id space: tables laid out consecutively.
-  table_offsets_.reserve(lake.size());
-  for (size_t t = 0; t < lake.size(); ++t) {
+  table_offsets_.reserve(lake_.size());
+  for (size_t t = 0; t < lake_.size(); ++t) {
     table_offsets_.push_back(static_cast<uint32_t>(col_refs_.size()));
-    for (size_t c = 0; c < lake.table(t).num_cols(); ++c) {
+    for (size_t c = 0; c < lake_.table(t).num_cols(); ++c) {
       col_refs_.push_back(
           ColumnRef{static_cast<uint32_t>(t), static_cast<uint32_t>(c)});
     }
   }
+}
+
+ColumnStatsCatalog::ColumnStatsCatalog(const DataLake& lake) : lake_(lake) {
+  BuildColumnLayout();
 
   // Per-column sorted distinct sets (nulls excluded).
-  sorted_values_.resize(col_refs_.size());
+  owned_values_.resize(col_refs_.size());
   size_t total_postings = 0;
   for (size_t id = 0; id < col_refs_.size(); ++id) {
     const ColumnRef ref = col_refs_[id];
-    sorted_values_[id] =
+    owned_values_[id] =
         SortedDistinctValues(lake.table(ref.table), ref.column);
-    total_postings += sorted_values_[id].size();
+    total_postings += owned_values_[id].size();
   }
 
   // CSR postings, sorted by (value, dense column id). Appending column
@@ -101,50 +104,124 @@ ColumnStatsCatalog::ColumnStatsCatalog(const DataLake& lake) : lake_(lake) {
   // posting list ascending by column id.
   std::vector<std::pair<ValueId, uint32_t>> pairs;
   pairs.reserve(total_postings);
-  for (size_t id = 0; id < sorted_values_.size(); ++id) {
-    for (ValueId v : sorted_values_[id]) {
+  for (size_t id = 0; id < owned_values_.size(); ++id) {
+    for (ValueId v : owned_values_[id]) {
       pairs.emplace_back(v, static_cast<uint32_t>(id));
     }
   }
   std::sort(pairs.begin(), pairs.end());
-  post_cols_.reserve(pairs.size());
+  owned_post_cols_.reserve(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
     if (i == 0 || pairs[i].first != pairs[i - 1].first) {
-      post_values_.push_back(pairs[i].first);
-      post_offsets_.push_back(static_cast<uint32_t>(i));
+      owned_spine_.push_back(pairs[i].first);
+      owned_post_offsets_.push_back(static_cast<uint32_t>(i));
     }
-    post_cols_.push_back(pairs[i].second);
+    owned_post_cols_.push_back(pairs[i].second);
   }
-  post_offsets_.push_back(static_cast<uint32_t>(pairs.size()));
+  owned_post_offsets_.push_back(static_cast<uint32_t>(pairs.size()));
+
+  // Wire the backend-agnostic views at the owned arrays. The vectors
+  // never change size after this point, so the views never dangle.
+  cols_.reserve(owned_values_.size());
+  for (const std::vector<ValueId>& v : owned_values_) cols_.emplace_back(v);
+  spine_ = ValueSpan(owned_spine_);
+  post_offsets_ = storage::Span<uint32_t>(owned_post_offsets_);
+  post_cols_ = storage::Span<uint32_t>(owned_post_cols_);
 }
 
-void ColumnStatsCatalog::MatchedSpineIndices(
-    const std::vector<ValueId>& sorted_query,
-    std::vector<uint32_t>* out) const {
+Result<std::shared_ptr<const ColumnStatsCatalog>>
+ColumnStatsCatalog::OpenMapped(const DataLake& lake, const std::string& path,
+                               const storage::MappedCatalog::Options& options) {
+  auto mapped = storage::MappedCatalog::Open(path, options);
+  if (!mapped.ok()) return mapped.status();
+
+  // Mapped backend: the snapshot's arrays stand in for the built ones.
+  // The only consistency the file cannot prove about itself is that it
+  // describes THIS lake; the column count is the load-bearing check —
+  // every dense column id in the CSR payload was written < num_columns,
+  // so matching counts bound every index the read paths ever use.
+  auto cat = std::shared_ptr<ColumnStatsCatalog>(
+      new ColumnStatsCatalog(lake, /*mapped tag*/ 0));
+  cat->BuildColumnLayout();
+  const storage::CatalogSectionViews& v = (*mapped)->views();
+  if (v.columns.size() != cat->col_refs_.size()) {
+    return Status::InvalidArgument(
+        "snapshot catalog has " + std::to_string(v.columns.size()) +
+        " columns but the lake has " + std::to_string(cat->col_refs_.size()));
+  }
+  cat->cols_.reserve(v.columns.size());
+  for (const storage::Span<uint32_t>& col : v.columns) {
+    cat->cols_.push_back(ValueSpan(col.data(), col.size()));
+  }
+  cat->spine_ = ValueSpan(v.spine.data(), v.spine.size());
+  cat->post_offsets_ = v.post_offsets;
+  cat->post_cols_ = v.post_cols;
+  cat->mapped_ = std::move(*mapped);
+  return std::shared_ptr<const ColumnStatsCatalog>(std::move(cat));
+}
+
+storage::CatalogSectionViews ColumnStatsCatalog::section_views() const {
+  storage::CatalogSectionViews v;
+  v.columns.reserve(cols_.size());
+  for (const ValueSpan& c : cols_) {
+    v.columns.push_back(storage::Span<uint32_t>(c.data(), c.size()));
+  }
+  v.spine = storage::Span<uint32_t>(spine_.data(), spine_.size());
+  v.post_offsets = post_offsets_;
+  v.post_cols = post_cols_;
+  return v;
+}
+
+ColumnStatsCatalog::Residency ColumnStatsCatalog::residency() const {
+  Residency r;
+  uint64_t array_bytes = 0;
+  for (const ValueSpan& c : cols_) array_bytes += c.size() * sizeof(ValueId);
+  array_bytes += spine_.size() * sizeof(ValueId);
+  array_bytes += post_offsets_.size() * sizeof(uint32_t);
+  array_bytes += post_cols_.size() * sizeof(uint32_t);
+  if (mapped_ == nullptr) {
+    r.bytes_total = array_bytes;
+    r.bytes_resident = array_bytes;
+    return r;
+  }
+  r.mapped = true;
+  // Mapped backend: report at pool granularity (whole blocks under
+  // management vs blocks currently resident), so resident ≤ total and
+  // both match what eviction actually operates on.
+  r.bytes_total = mapped_->region_bytes();
+  const storage::BufferPool::Stats s = mapped_->pool().stats();
+  r.bytes_resident = mapped_->pool().resident_bytes();
+  r.pool_hits = s.hits;
+  r.pool_faults = s.faults;
+  r.pool_evictions = s.evictions;
+  return r;
+}
+
+void ColumnStatsCatalog::MatchedSpineIndices(ValueSpan sorted_query,
+                                             std::vector<uint32_t>* out) const {
   out->clear();
-  if (sorted_query.empty() || post_values_.empty()) return;
-  if (sorted_query.size() * kSpineMergeRatio >= post_values_.size()) {
+  if (sorted_query.empty() || spine_.empty()) return;
+  if (sorted_query.size() * kSpineMergeRatio >= spine_.size()) {
     // Dense query: one dispatched block intersection over the whole
     // spine (the per-pair merge the kAvx2 level vectorizes).
-    out->resize(std::min(sorted_query.size(), post_values_.size()));
+    out->resize(std::min(sorted_query.size(), spine_.size()));
     size_t n = simd::SortedIntersectIndices(
-        sorted_query.data(), sorted_query.size(), post_values_.data(),
-        post_values_.size(), out->data());
+        sorted_query.data(), sorted_query.size(), spine_.data(),
+        spine_.size(), out->data());
     out->resize(n);
     return;
   }
   // Sparse query: walk the spine, galloping over gaps with lower_bound
   // (query sets are tiny relative to the lake's value universe).
   size_t i = 0, j = 0;
-  while (i < sorted_query.size() && j < post_values_.size()) {
-    if (sorted_query[i] < post_values_[j]) {
+  while (i < sorted_query.size() && j < spine_.size()) {
+    if (sorted_query[i] < spine_[j]) {
       ++i;
-    } else if (post_values_[j] < sorted_query[i]) {
+    } else if (spine_[j] < sorted_query[i]) {
       j = static_cast<size_t>(
-          std::lower_bound(post_values_.begin() +
-                               static_cast<ptrdiff_t>(j),
-                           post_values_.end(), sorted_query[i]) -
-          post_values_.begin());
+          std::lower_bound(spine_.begin() + static_cast<ptrdiff_t>(j),
+                           spine_.end(), sorted_query[i]) -
+          spine_.begin());
     } else {
       out->push_back(static_cast<uint32_t>(j));
       ++i;
@@ -154,13 +231,18 @@ void ColumnStatsCatalog::MatchedSpineIndices(
 }
 
 std::vector<ColumnStatsCatalog::Overlap> ColumnStatsCatalog::OverlapCounts(
-    const std::vector<ValueId>& sorted_query) const {
+    ValueSpan sorted_query) const {
   std::vector<uint32_t> matched;
   MatchedSpineIndices(sorted_query, &matched);
   std::vector<uint32_t> counts(num_columns(), 0);
   std::vector<uint32_t> touched;
   for (uint32_t j : matched) {
-    for (uint32_t p = post_offsets_[j]; p < post_offsets_[j + 1]; ++p) {
+    const uint32_t begin = post_offsets_[j], end = post_offsets_[j + 1];
+    if (mapped_ != nullptr && end > begin) {
+      mapped_->Touch(post_cols_.data() + begin,
+                     (end - begin) * sizeof(uint32_t));
+    }
+    for (uint32_t p = begin; p < end; ++p) {
       uint32_t col = post_cols_[p];
       if (counts[col]++ == 0) touched.push_back(col);
     }
@@ -174,21 +256,20 @@ std::vector<ColumnStatsCatalog::Overlap> ColumnStatsCatalog::OverlapCounts(
   return out;
 }
 
-bool ColumnStatsCatalog::SharesAnyValue(
-    const std::vector<ValueId>& sorted_query) const {
+bool ColumnStatsCatalog::SharesAnyValue(ValueSpan sorted_query) const {
   // Same spine walk as OverlapCounts, but stopping at the first shared
   // value — the routing prefilter only needs existence, and overlapping
-  // shards (the common case) usually match within a few steps.
+  // shards (the common case) usually match within a few steps. The
+  // spine is pinned in the mapped backend, so this route never faults.
   size_t i = 0, j = 0;
-  while (i < sorted_query.size() && j < post_values_.size()) {
-    if (sorted_query[i] < post_values_[j]) {
+  while (i < sorted_query.size() && j < spine_.size()) {
+    if (sorted_query[i] < spine_[j]) {
       ++i;
-    } else if (post_values_[j] < sorted_query[i]) {
+    } else if (spine_[j] < sorted_query[i]) {
       j = static_cast<size_t>(
-          std::lower_bound(post_values_.begin() +
-                               static_cast<ptrdiff_t>(j),
-                           post_values_.end(), sorted_query[i]) -
-          post_values_.begin());
+          std::lower_bound(spine_.begin() + static_cast<ptrdiff_t>(j),
+                           spine_.end(), sorted_query[i]) -
+          spine_.begin());
     } else {
       return true;
     }
@@ -220,8 +301,13 @@ std::vector<size_t> ColumnStatsCatalog::TopKTables(const Table& query,
   std::vector<size_t> per_table(lake_.size(), 0);
   std::vector<uint32_t> seen_tables;
   for (uint32_t j : matched) {
+    const uint32_t begin = post_offsets_[j], end = post_offsets_[j + 1];
+    if (mapped_ != nullptr && end > begin) {
+      mapped_->Touch(post_cols_.data() + begin,
+                     (end - begin) * sizeof(uint32_t));
+    }
     uint32_t last_table = UINT32_MAX;
-    for (uint32_t p = post_offsets_[j]; p < post_offsets_[j + 1]; ++p) {
+    for (uint32_t p = begin; p < end; ++p) {
       uint32_t table = col_refs_[post_cols_[p]].table;
       if (table != last_table) {
         if (per_table[table]++ == 0) seen_tables.push_back(table);

@@ -10,33 +10,56 @@
 //   3. a CSR-layout postings index mapping each distinct lake value to
 //      the dense ids of the columns containing it.
 //
+// Two storage backends sit behind one accessor surface (DESIGN.md
+// §5.10). The default builds everything in RAM from the lake. The
+// mapped backend (OpenMapped) instead borrows the catalog sections of a
+// v2 snapshot through an mmap + buffer pool: open cost is O(footer +
+// pinning the hot spine), per-column runs and CSR payload fault in on
+// first touch, and a capacity-bounded pool can evict cold blocks.
+// Every accessor returns ValueSpan views, which both backends satisfy
+// and which stay valid across pool eviction (src/storage/span.h); all
+// read results are bit-identical between backends at any thread count —
+// the backend is a residency decision, never a semantics decision.
+//
 // Because the catalog is immutable after construction, any number of
 // threads may query it concurrently without synchronization — this is
 // the contract GenT::ReclaimBatch and ReclaimService build on (a
 // ReclaimService shard is exactly one catalog plus its lake; runtime
-// shard replacement swaps whole catalogs, never mutates one). Overlap
-// computation is merge-based throughout: queries arrive as sorted,
-// deduplicated ValueId vectors and are intersected against the sorted
-// postings / value sets with linear merges instead of hash probing, so
-// hot scans touch memory sequentially and never build per-query hash
-// sets for lake columns.
+// shard replacement swaps whole catalogs, never mutates one). The
+// mapped backend preserves this: the only mutable state behind a read
+// is the buffer pool's residency bookkeeping, which is internally
+// synchronized and invisible to results. Overlap computation is
+// merge-based throughout: queries arrive as sorted, deduplicated
+// ValueId vectors and are intersected against the sorted postings /
+// value sets with linear merges instead of hash probing, so hot scans
+// touch memory sequentially and never build per-query hash sets for
+// lake columns.
 //
 // Thread-safety and determinism summary (details per method): every
-// public method is const, reads only state frozen at construction, and
-// is safe to call concurrently from any number of threads; every
-// method's result is a pure function of (lake content, arguments) —
-// no iteration order, scheduling, or hashing leaks into any output.
+// public method is const, safe to call concurrently from any number of
+// threads, and every method's result is a pure function of (lake
+// content, arguments) — no iteration order, scheduling, hashing, or
+// storage backend leaks into any output.
 
 #ifndef GENT_ENGINE_COLUMN_STATS_CATALOG_H_
 #define GENT_ENGINE_COLUMN_STATS_CATALOG_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/lake/data_lake.h"
+#include "src/storage/catalog_pager.h"
+#include "src/storage/span.h"
 
 namespace gent {
+
+/// Borrowed view of a sorted ValueId run — what every catalog read path
+/// returns. Implicitly constructible from std::vector<ValueId>, so
+/// ad-hoc vectors (query sets, test fixtures) flow through unchanged.
+using ValueSpan = storage::Span<ValueId>;
 
 /// A (table, column) coordinate in the lake.
 struct ColumnRef {
@@ -56,9 +79,21 @@ struct ColumnRefHash {
 
 class ColumnStatsCatalog {
  public:
-  /// Builds stats for every column of every table in `lake`. The catalog
-  /// holds a reference; the lake must outlive it.
+  /// Builds stats for every column of every table in `lake`, in RAM.
+  /// The catalog holds a reference; the lake must outlive it.
   explicit ColumnStatsCatalog(const DataLake& lake);
+
+  /// Opens the built catalog sections of the v2 snapshot at `path` as
+  /// this lake's catalog — O(open + fault-in), no rebuild. The caller
+  /// must ensure the snapshot's id space IS the lake's (LoadSnapshot
+  /// reports this as SnapshotLoadInfo::identity_remap); the file's
+  /// geometry is validated here, its content by checksums at load (or
+  /// at open when `options.verify_checksums`). Fails with
+  /// InvalidArgument on a v1 snapshot or a column-count mismatch with
+  /// the lake, IOError on corruption.
+  static Result<std::shared_ptr<const ColumnStatsCatalog>> OpenMapped(
+      const DataLake& lake, const std::string& path,
+      const storage::MappedCatalog::Options& options);
 
   const DataLake& lake() const { return lake_; }
 
@@ -72,22 +107,25 @@ class ColumnStatsCatalog {
   ColumnRef RefOf(uint32_t col_id) const { return col_refs_[col_id]; }
 
   /// Sorted distinct values of one lake column (ascending, null-free).
-  const std::vector<ValueId>& SortedValues(ColumnRef ref) const {
-    return sorted_values_[ColumnIdOf(ref)];
+  /// The span stays valid for the catalog's lifetime (both backends).
+  ValueSpan SortedValues(ColumnRef ref) const {
+    const ValueSpan s = cols_[ColumnIdOf(ref)];
+    TouchSpan(s);
+    return s;
   }
 
   /// Sorted-set handle by (table, column) index — what ExpandEngine
   /// borrows for candidates that are untouched lake tables, so the
-  /// join-graph build recomputes nothing. The reference stays valid for
-  /// the catalog's lifetime.
-  const std::vector<ValueId>& SortedValuesOf(size_t table,
-                                             size_t column) const {
-    return sorted_values_[table_offsets_[table] + column];
+  /// join-graph build recomputes nothing.
+  ValueSpan SortedValuesOf(size_t table, size_t column) const {
+    const ValueSpan s = cols_[table_offsets_[table] + column];
+    TouchSpan(s);
+    return s;
   }
 
-  /// Distinct non-null count of one lake column.
+  /// Distinct non-null count of one lake column. Never faults.
   size_t Cardinality(ColumnRef ref) const {
-    return sorted_values_[ColumnIdOf(ref)].size();
+    return cols_[ColumnIdOf(ref)].size();
   }
 
   /// One column's overlap with a query value set.
@@ -100,8 +138,7 @@ class ColumnStatsCatalog {
   /// query values present in each lake column sharing at least one value.
   /// Results are ordered by dense column id (deterministic). Thread-safe
   /// (immutable state only).
-  std::vector<Overlap> OverlapCounts(
-      const std::vector<ValueId>& sorted_query) const;
+  std::vector<Overlap> OverlapCounts(ValueSpan sorted_query) const;
 
   /// Top-k lake tables ranked by distinct shared values with the whole
   /// query table (count descending, table index ascending on ties);
@@ -117,15 +154,45 @@ class ColumnStatsCatalog {
   /// sharing at least one), which is the invariant ReclaimService's
   /// stats-prefilter route relies on to skip whole shards without
   /// changing results. Thread-safe; deterministic in (lake, query).
-  bool SharesAnyValue(const std::vector<ValueId>& sorted_query) const;
+  bool SharesAnyValue(ValueSpan sorted_query) const;
+
+  /// Borrowed views of the built arrays in snapshot-v2 section layout —
+  /// what SaveSnapshotV2 serializes. Valid for the catalog's lifetime.
+  storage::CatalogSectionViews section_views() const;
+
+  /// Storage-residency counters for one catalog (surfaced per shard by
+  /// ReclaimService::residency_stats). For the RAM backend everything
+  /// is trivially resident and the pool counters stay zero.
+  struct Residency {
+    bool mapped = false;
+    uint64_t bytes_total = 0;     // catalog array bytes (both backends)
+    uint64_t bytes_resident = 0;  // physically resident catalog bytes
+    uint64_t pool_hits = 0;
+    uint64_t pool_faults = 0;
+    uint64_t pool_evictions = 0;
+  };
+  Residency residency() const;
 
  private:
-  /// Spine positions (indices into post_values_) of the values shared
+  explicit ColumnStatsCatalog(const DataLake& lake, int)  // mapped-backend
+      : lake_(lake) {}
+
+  /// Dense col-id layout shared by both backends.
+  void BuildColumnLayout();
+
+  /// Mapped-backend fault-in hook; no-op for the RAM backend.
+  void TouchSpan(ValueSpan s) const {
+    if (mapped_ != nullptr) {
+      mapped_->Touch(s.data(), s.size() * sizeof(ValueId));
+    }
+  }
+
+  /// Spine positions (indices into spine_) of the values shared
   /// between `sorted_query` and the postings spine, ascending. Dense
   /// queries (≥ 1/kSpineMergeRatio of the spine) run the dispatched
   /// block intersection; sparse ones keep the galloping spine walk.
   /// Both emit the identical index sequence — strategy is perf-only.
-  void MatchedSpineIndices(const std::vector<ValueId>& sorted_query,
+  void MatchedSpineIndices(ValueSpan sorted_query,
                            std::vector<uint32_t>* out) const;
 
   /// Query-to-spine density bound for MatchedSpineIndices: block-merge
@@ -140,14 +207,26 @@ class ColumnStatsCatalog {
   const DataLake& lake_;
   std::vector<uint32_t> table_offsets_;  // table -> first dense col id
   std::vector<ColumnRef> col_refs_;      // dense col id -> (table, column)
-  std::vector<std::vector<ValueId>> sorted_values_;  // by dense col id
 
-  // Postings in CSR layout: post_values_ is the sorted set of all
-  // distinct lake values; list i spans post_cols_[post_offsets_[i] ..
+  // Backend-agnostic views the read paths operate on. For the RAM
+  // backend they point into the owned vectors below; for the mapped
+  // backend into the snapshot mapping.
+  std::vector<ValueSpan> cols_;  // by dense col id, sorted distinct runs
+  // Postings in CSR layout: spine_ is the sorted set of all distinct
+  // lake values; list i spans post_cols_[post_offsets_[i] ..
   // post_offsets_[i+1]) and holds dense column ids in ascending order.
-  std::vector<ValueId> post_values_;
-  std::vector<uint32_t> post_offsets_;
-  std::vector<uint32_t> post_cols_;
+  ValueSpan spine_;
+  storage::Span<uint32_t> post_offsets_;
+  storage::Span<uint32_t> post_cols_;
+
+  // RAM backend storage (empty for the mapped backend).
+  std::vector<std::vector<ValueId>> owned_values_;  // by dense col id
+  std::vector<ValueId> owned_spine_;
+  std::vector<uint32_t> owned_post_offsets_;
+  std::vector<uint32_t> owned_post_cols_;
+
+  // Mapped backend (null for the RAM backend).
+  std::unique_ptr<storage::MappedCatalog> mapped_;
 };
 
 /// Sorted distinct values of column `c` of `t`, excluding kNull and
@@ -162,7 +241,7 @@ std::vector<ValueId> SortedDistinctValues(const Table& t, size_t c);
 /// build the query set identically, so neither may drift alone.
 std::vector<ValueId> SortedQueryValues(const Table& query);
 
-/// |a ∩ b| for sorted, deduplicated vectors — the merge-intersect helper
+/// |a ∩ b| for sorted, deduplicated runs — the merge-intersect helper
 /// shared by discovery, diversification, and ExpandEngine. Balanced
 /// inputs run the dispatched block merge (src/util/simd.h); pairs more
 /// skewed than the active kernel table's gallop_skew_ratio (32 scalar,
@@ -170,11 +249,10 @@ std::vector<ValueId> SortedQueryValues(const Table& query);
 /// crossover, see Kernels::gallop_skew_ratio) gallop the smaller side
 /// over the larger with advancing binary searches. Argument order never
 /// matters.
-size_t SortedIntersectionSize(const std::vector<ValueId>& a,
-                              const std::vector<ValueId>& b);
+size_t SortedIntersectionSize(ValueSpan a, ValueSpan b);
 
-/// Membership in a sorted vector.
-inline bool SortedContains(const std::vector<ValueId>& sorted, ValueId v) {
+/// Membership in a sorted run.
+inline bool SortedContains(ValueSpan sorted, ValueId v) {
   auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
   return it != sorted.end() && *it == v;
 }

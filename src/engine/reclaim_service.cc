@@ -150,9 +150,10 @@ void ReclaimService::PublishLocked(std::shared_ptr<RegistrySnapshot> next) {
   registry_ = std::move(next);
 }
 
-Status ReclaimService::RegisterShard(const std::string& name,
-                                     std::unique_ptr<DataLake> owned,
-                                     const DataLake* borrowed) {
+Status ReclaimService::RegisterShard(
+    const std::string& name, std::unique_ptr<DataLake> owned,
+    const DataLake* borrowed,
+    std::shared_ptr<const ColumnStatsCatalog> catalog) {
   if (name.empty()) {
     return Status::InvalidArgument(
         "shard name must be non-empty (\"\" routes to all shards)");
@@ -178,8 +179,12 @@ Status ReclaimService::RegisterShard(const std::string& name,
   shard->owned = std::move(owned);
   shard->lake = lake;
   // The one catalog build this registration will ever do — outside the
-  // registry lock, so serving is never blocked on it.
-  shard->gent = std::make_unique<GenT>(*lake, options_.config);
+  // registry lock, so serving is never blocked on it. A prebuilt
+  // catalog (the mapped snapshot-open path) skips even that.
+  shard->gent = catalog != nullptr
+                    ? std::make_unique<GenT>(std::move(catalog),
+                                             options_.config)
+                    : std::make_unique<GenT>(*lake, options_.config);
 
   std::lock_guard<std::mutex> lock(registry_mutex_);
   if (registry_->by_name.count(name) > 0) {
@@ -195,26 +200,68 @@ Status ReclaimService::RegisterShard(const std::string& name,
 
 Status ReclaimService::AddLake(const std::string& name, DataLake lake) {
   return RegisterShard(name, std::make_unique<DataLake>(std::move(lake)),
-                       nullptr);
+                       nullptr, nullptr);
 }
 
 Status ReclaimService::AddLakeView(const std::string& name,
                                    const DataLake& lake) {
-  return RegisterShard(name, nullptr, &lake);
+  return RegisterShard(name, nullptr, &lake, nullptr);
+}
+
+Status ReclaimService::LoadShardFromSnapshot(
+    const std::string& path, std::unique_ptr<DataLake>* lake,
+    std::shared_ptr<const ColumnStatsCatalog>* catalog) const {
+  *lake = std::make_unique<DataLake>(dict_);
+  catalog->reset();
+  SnapshotLoadInfo info;
+  GENT_RETURN_IF_ERROR(LoadSnapshot(**lake, path, &info));
+  if (info.version < 2 || !info.identity_remap ||
+      !options_.storage.map_v2_snapshots) {
+    return Status::OK();  // rebuild path
+  }
+  // v2 with a matching id space: the file's catalog sections speak this
+  // lake's ValueIds verbatim, so open them mapped. LoadSnapshot just
+  // verified every section checksum; don't stream the file again.
+  storage::MappedCatalog::Options mopts;
+  mopts.verify_checksums = false;
+  mopts.pool_capacity_blocks = options_.storage.pool_capacity_blocks;
+  auto mapped = ColumnStatsCatalog::OpenMapped(**lake, path, mopts);
+  if (mapped.ok()) {
+    *catalog = std::move(*mapped);
+    return Status::OK();
+  }
+  // Mapped open is an optimization; any failure (e.g. mmap unavailable)
+  // falls back to the rebuild path, which serves identically.
+  return Status::OK();
 }
 
 Status ReclaimService::AddLakeFromSnapshot(const std::string& name,
                                            const std::string& path) {
-  auto lake = std::make_unique<DataLake>(dict_);
-  GENT_RETURN_IF_ERROR(LoadSnapshot(*lake, path));
-  return RegisterShard(name, std::move(lake), nullptr);
+  std::unique_ptr<DataLake> lake;
+  std::shared_ptr<const ColumnStatsCatalog> catalog;
+  GENT_RETURN_IF_ERROR(LoadShardFromSnapshot(path, &lake, &catalog));
+  return RegisterShard(name, std::move(lake), nullptr, std::move(catalog));
 }
 
 Status ReclaimService::AddLakeFromDirectory(const std::string& name,
                                             const std::string& dir) {
   auto lake = std::make_unique<DataLake>(dict_);
   GENT_RETURN_IF_ERROR(lake->LoadDirectory(dir));
-  return RegisterShard(name, std::move(lake), nullptr);
+  return RegisterShard(name, std::move(lake), nullptr, nullptr);
+}
+
+Status ReclaimService::SaveShardSnapshot(const std::string& name,
+                                         const std::string& path) const {
+  // Pin: the shard (lake + catalog) stays alive for the whole write
+  // even against a concurrent RemoveLake/Reload.
+  RegistryPtr registry = Pin();
+  auto it = registry->by_name.find(name);
+  if (it == registry->by_name.end()) {
+    return Status::NotFound("no shard named '" + name + "'");
+  }
+  const Shard& shard = *registry->shards[it->second];
+  return SaveSnapshotV2(*shard.lake, shard.gent->catalog().section_views(),
+                        path);
 }
 
 Status ReclaimService::RemoveLake(const std::string& name) {
@@ -241,12 +288,16 @@ Status ReclaimService::ReloadLakeFromSnapshot(const std::string& name,
                                               const std::string& path) {
   // Expensive work first, outside the lock: if the snapshot is corrupt
   // the old shard keeps serving untouched.
-  auto lake = std::make_unique<DataLake>(dict_);
-  GENT_RETURN_IF_ERROR(LoadSnapshot(*lake, path));
+  std::unique_ptr<DataLake> lake;
+  std::shared_ptr<const ColumnStatsCatalog> catalog;
+  GENT_RETURN_IF_ERROR(LoadShardFromSnapshot(path, &lake, &catalog));
   auto shard = std::make_shared<Shard>();
   shard->name = name;
   shard->lake = lake.get();
-  shard->gent = std::make_unique<GenT>(*lake, options_.config);
+  shard->gent = catalog != nullptr
+                    ? std::make_unique<GenT>(std::move(catalog),
+                                             options_.config)
+                    : std::make_unique<GenT>(*lake, options_.config);
   shard->owned = std::move(lake);
 
   std::lock_guard<std::mutex> lock(registry_mutex_);
@@ -714,6 +765,17 @@ ReclaimService::AdmissionStats ReclaimService::admission_stats() const {
       admission_cancelled_mid_flight_.load(std::memory_order_relaxed);
   stats.pool_backlog = pool_->queue_depth();
   return stats;
+}
+
+std::vector<ReclaimService::ShardResidency> ReclaimService::residency_stats()
+    const {
+  RegistryPtr registry = Pin();
+  std::vector<ShardResidency> out;
+  out.reserve(registry->shards.size());
+  for (const auto& s : registry->shards) {
+    out.push_back({s->name, s->uid, s->gent->catalog().residency()});
+  }
+  return out;
 }
 
 ReclaimService::RoutingStats ReclaimService::routing_stats() const {

@@ -118,6 +118,23 @@ enum class RequestPriority {
 /// Number of RequestPriority classes (queue array size).
 inline constexpr size_t kNumPriorityClasses = 3;
 
+/// How shards built from snapshots store their catalogs (DESIGN.md
+/// §5.10).
+struct CatalogStorageOptions {
+  /// For a v2 snapshot whose id space matches the service dictionary
+  /// (SnapshotLoadInfo::identity_remap — always true when the snapshot
+  /// was saved from this service's own dictionary, or loaded into a
+  /// fresh one), open the on-disk catalog sections via mmap + buffer
+  /// pool instead of rebuilding: O(open + fault-in) registration.
+  /// Falls back to the rebuild path transparently when the snapshot is
+  /// v1 or the id spaces differ; results are bit-identical either way.
+  bool map_v2_snapshots = true;
+  /// Per-shard buffer-pool capacity for the UNPINNED resident set, in
+  /// 64 KiB blocks (0 = unbounded fault-in). The hot spine (postings
+  /// spine, CSR offsets, column index) is pinned and exempt.
+  size_t pool_capacity_blocks = 0;
+};
+
 struct ServiceOptions {
   /// Pipeline configuration shared by every shard. For heavy concurrent
   /// Reclaim traffic set config.traversal.num_threads and
@@ -148,6 +165,8 @@ struct ServiceOptions {
   /// slot in the class, kShedOldest evicts the class's own oldest
   /// entry. Caps compose with admission_capacity (both must admit).
   std::array<size_t, kNumPriorityClasses> priority_capacity = {0, 0, 0};
+  /// Catalog storage backend for snapshot-built shards.
+  CatalogStorageOptions storage;
 };
 
 /// How a request picks its catalog shard(s).
@@ -286,9 +305,22 @@ class ReclaimService {
   Status AddLakeView(const std::string& name, const DataLake& lake);
 
   /// Builds a shard from a binary snapshot (src/lake/snapshot) — the
-  /// warm-start path: one sequential read, no CSV parsing.
+  /// warm-start path: one sequential read, no CSV parsing. For a v2
+  /// snapshot with a matching id space (and
+  /// CatalogStorageOptions::map_v2_snapshots), the catalog is opened
+  /// from the file's own sections instead of rebuilt — O(open +
+  /// fault-in); otherwise the catalog build runs as for AddLake.
+  /// Results are bit-identical between the two paths.
   Status AddLakeFromSnapshot(const std::string& name,
                              const std::string& path);
+
+  /// Writes shard `name`'s lake AND its built catalog to `path` as a v2
+  /// snapshot (NotFound if absent). A service on the same dictionary —
+  /// including a later incarnation of this one loading into a fresh
+  /// dictionary — can AddLakeFromSnapshot it without a catalog rebuild.
+  /// Reads from the pinned snapshot; safe against concurrent traffic.
+  Status SaveShardSnapshot(const std::string& name,
+                           const std::string& path) const;
 
   /// Builds a shard from a directory of CSVs.
   Status AddLakeFromDirectory(const std::string& name,
@@ -392,6 +424,16 @@ class ReclaimService {
   };
   AdmissionStats admission_stats() const;
 
+  /// Catalog storage residency of one shard (mapped shards report live
+  /// buffer-pool counters; RAM shards are trivially fully resident).
+  struct ShardResidency {
+    std::string name;
+    uint64_t uid = 0;
+    ColumnStatsCatalog::Residency catalog;
+  };
+  /// Per-shard residency, in registry order, from the current snapshot.
+  std::vector<ShardResidency> residency_stats() const;
+
   struct RoutingStats {
     /// Requests routed so far (any policy).
     uint64_t requests = 0;
@@ -422,10 +464,21 @@ class ReclaimService {
   RegistryPtr Pin() const;
 
   /// Builds shard state outside the lock, then swaps in a snapshot with
-  /// it appended. Used by all four AddLake* flavors.
+  /// it appended. Used by all four AddLake* flavors. `catalog` (may be
+  /// null) is a prebuilt catalog over the lake — the mapped-open path —
+  /// otherwise the shard builds one.
   Status RegisterShard(const std::string& name,
                        std::unique_ptr<DataLake> owned,
-                       const DataLake* borrowed);
+                       const DataLake* borrowed,
+                       std::shared_ptr<const ColumnStatsCatalog> catalog);
+
+  /// Shared by AddLakeFromSnapshot/ReloadLakeFromSnapshot: loads `path`
+  /// into a fresh lake on the service dictionary and, when the snapshot
+  /// is v2 + identity-remap + storage options allow, opens its catalog
+  /// sections mapped (null `*catalog` = caller builds as usual).
+  Status LoadShardFromSnapshot(
+      const std::string& path, std::unique_ptr<DataLake>* lake,
+      std::shared_ptr<const ColumnStatsCatalog>* catalog) const;
 
   /// Shared tail of RegisterShard/ReloadLakeFromSnapshot: publishes
   /// `next` as the new snapshot under the registry mutex.

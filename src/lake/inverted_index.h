@@ -50,8 +50,9 @@ class InvertedIndex {
     return catalog_->TopKTables(query, k);
   }
 
-  /// Distinct value set of one lake column, ascending.
-  const std::vector<ValueId>& ColumnValues(ColumnRef ref) const {
+  /// Distinct value set of one lake column, ascending. A borrowed view,
+  /// valid for the catalog's lifetime (either storage backend).
+  ValueSpan ColumnValues(ColumnRef ref) const {
     return catalog_->SortedValues(ref);
   }
 

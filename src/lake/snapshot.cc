@@ -4,18 +4,25 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <unordered_set>
 #include <vector>
+
+#include "src/storage/block.h"
 
 namespace gent {
 
 namespace {
 
 constexpr char kMagic[8] = {'G', 'E', 'N', 'T', 'S', 'N', 'A', 'P'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
+constexpr uint32_t kMaxVersion = kVersionV2;
 
 // Thin RAII + typed-write/read helpers over stdio. All multi-byte values
 // little-endian; this code assumes a little-endian host (x86/ARM), as
-// the rest of the library does.
+// the rest of the library does. Both sides accumulate a running offset
+// and Checksum64 of every byte written/read, which v2 records in (and
+// verifies against) the footer's body descriptor.
 class Writer {
  public:
   explicit Writer(const std::string& path)
@@ -28,7 +35,7 @@ class Writer {
   /// Flushes buffered data and closes the file, folding fflush/fclose
   /// failures into ok(). stdio buffers writes, so a full disk often
   /// surfaces only here — a snapshot is not durable until Close()
-  /// succeeds, and SaveSnapshot must check it.
+  /// succeeds, and the savers must check it.
   bool Close() {
     if (file_ != nullptr) {
       failed_ |= std::fflush(file_) != 0;
@@ -41,6 +48,10 @@ class Writer {
   void Bytes(const void* data, size_t n) {
     if (!ok()) return;
     failed_ |= std::fwrite(data, 1, n, file_) != n;
+    if (!failed_) {
+      offset_ += n;
+      checksum_.Append(data, n);
+    }
   }
   void U32(uint32_t v) { Bytes(&v, sizeof v); }
   void U64(uint64_t v) { Bytes(&v, sizeof v); }
@@ -49,9 +60,16 @@ class Writer {
     Bytes(s.data(), s.size());
   }
 
+  std::FILE* file() { return file_; }
+  uint64_t offset() const { return offset_; }
+  uint64_t checksum() const { return checksum_.Finish(); }
+  void MarkFailed() { failed_ = true; }
+
  private:
   std::FILE* file_;
   bool failed_ = false;
+  uint64_t offset_ = 0;
+  storage::Checksum64 checksum_;
 };
 
 class Reader {
@@ -65,8 +83,10 @@ class Reader {
   bool ok() const { return file_ != nullptr && !failed_; }
 
   /// True when every byte has been consumed. Trailing bytes after the
-  /// last section mean the file is not a well-formed snapshot (a
-  /// concatenation accident or corruption) and must be rejected.
+  /// last section mean the file is not a well-formed v1 snapshot (a
+  /// concatenation accident or corruption) and must be rejected. (A v2
+  /// body is followed by the catalog region instead; its tail is
+  /// validated from the footer.)
   bool AtEof() {
     if (!ok()) return false;
     const int c = std::fgetc(file_);
@@ -78,6 +98,10 @@ class Reader {
   void Bytes(void* data, size_t n) {
     if (!ok()) return;
     failed_ |= std::fread(data, 1, n, file_) != n;
+    if (!failed_) {
+      offset_ += n;
+      checksum_.Append(data, n);
+    }
   }
   uint32_t U32() {
     uint32_t v = 0;
@@ -100,21 +124,27 @@ class Reader {
     return s;
   }
 
+  std::FILE* file() { return file_; }
+  uint64_t offset() const { return offset_; }
+  uint64_t checksum() const { return checksum_.Finish(); }
+
  private:
   std::FILE* file_;
   bool failed_ = false;
+  uint64_t offset_ = 0;
+  storage::Checksum64 checksum_;
 };
 
-}  // namespace
-
-Status SaveSnapshot(const DataLake& lake, const std::string& path) {
+// Writes the versioned body (dictionary + tables) — shared by both
+// snapshot versions; they differ only in what follows.
+Status WriteBody(Writer& w, const DataLake& lake, uint32_t version,
+                 const std::string& path) {
   const ValueDictionary& dict = *lake.dict();
-  Writer w(path);
   if (!w.ok()) {
     return Status::IOError("cannot open '" + path + "' for writing");
   }
   w.Bytes(kMagic, sizeof kMagic);
-  w.U32(kVersion);
+  w.U32(version);
 
   // Dictionary: every id in order, so loaded ids can be remapped by
   // index. Id 0 is the null sentinel and is written as the empty string.
@@ -143,6 +173,14 @@ Status SaveSnapshot(const DataLake& lake, const std::string& path) {
     }
   }
   if (!w.ok()) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSnapshot(const DataLake& lake, const std::string& path) {
+  Writer w(path);
+  GENT_RETURN_IF_ERROR(WriteBody(w, lake, kVersionV1, path));
   // The final flush/close can fail where every fwrite "succeeded" (ENOSPC
   // on a full disk surfaces when stdio's buffer drains); an unchecked
   // fclose would report a truncated snapshot as written.
@@ -152,7 +190,29 @@ Status SaveSnapshot(const DataLake& lake, const std::string& path) {
   return Status::OK();
 }
 
-Status LoadSnapshot(DataLake& lake, const std::string& path) {
+Status SaveSnapshotV2(const DataLake& lake,
+                      const storage::CatalogSectionViews& catalog,
+                      const std::string& path) {
+  Writer w(path);
+  GENT_RETURN_IF_ERROR(WriteBody(w, lake, kVersionV2, path));
+  // The catalog region appends strictly after the body; the body's
+  // length and running checksum become its footer descriptor.
+  Status st = storage::AppendCatalogSections(w.file(), w.offset(),
+                                             w.checksum(), catalog,
+                                             kVersionV2);
+  if (!st.ok()) {
+    w.MarkFailed();
+    w.Close();
+    return st;
+  }
+  if (!w.Close()) {
+    return Status::IOError("flush/close failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(DataLake& lake, const std::string& path,
+                    SnapshotLoadInfo* info) {
   Reader r(path);
   if (!r.open()) return Status::IOError("cannot open '" + path + "'");
   char magic[8];
@@ -161,27 +221,33 @@ Status LoadSnapshot(DataLake& lake, const std::string& path) {
     return Status::InvalidArgument("'" + path + "' is not a gent snapshot");
   }
   const uint32_t version = r.U32();
-  if (version > kVersion) {
+  if (version > kMaxVersion) {
     return Status::InvalidArgument(
         "snapshot version " + std::to_string(version) +
-        " is newer than supported version " + std::to_string(kVersion));
+        " is newer than supported version " + std::to_string(kMaxVersion));
   }
 
-  // Dictionary remap: saved id -> id in the target dictionary.
+  // Dictionary remap: saved id -> id in the target dictionary. When the
+  // target already interns each string at the same id (always true for a
+  // fresh lake, since ids are written in order), the remap is the
+  // identity and a v2 file's catalog sections are directly usable.
   const uint64_t dict_size = r.U64();
   if (!r.ok()) return Status::IOError("truncated snapshot header");
   std::vector<ValueId> remap(dict_size, kNull);
+  bool identity = true;
   for (uint64_t id = 0; id < dict_size; ++id) {
     const std::string s = r.String();
     if (!r.ok()) return Status::IOError("truncated snapshot dictionary");
     remap[id] = id == 0 ? kNull : lake.dict()->Intern(s);
+    identity &= remap[id] == id;
   }
 
   const uint64_t table_count = r.U64();
   if (!r.ok()) return Status::IOError("truncated snapshot: no table count");
   // Tables are staged and only registered once the whole file — through
-  // its final byte — has validated, so a corrupt tail cannot leave the
-  // lake half-loaded.
+  // its final byte — has validated AND every name is known to be free,
+  // so neither a corrupt tail nor a collision can leave the lake
+  // half-loaded.
   std::vector<Table> staged;
   staged.reserve(table_count < (1u << 20) ? table_count : 0);
   for (uint64_t i = 0; i < table_count; ++i) {
@@ -218,12 +284,34 @@ Status LoadSnapshot(DataLake& lake, const std::string& path) {
     }
     staged.push_back(std::move(t));
   }
-  if (!r.AtEof()) {
+
+  if (version >= kVersionV2) {
+    // The body ends here; the catalog region and footer follow. Verify
+    // the whole tail — footer geometry, the body bytes just streamed,
+    // every section checksum, and structural consistency — before
+    // anything touches the lake.
+    GENT_RETURN_IF_ERROR(storage::ValidateCatalogTail(
+        r.file(), version, r.offset(), r.checksum()));
+  } else if (!r.AtEof()) {
     return Status::IOError(
         "'" + path + "' has trailing bytes after the last snapshot section");
   }
+
+  // All-or-nothing: every staged name must be free in the lake and
+  // unique within the snapshot before the first registration.
+  std::unordered_set<std::string> seen;
+  for (const Table& t : staged) {
+    if (lake.IndexOf(t.name()).ok() || !seen.insert(t.name()).second) {
+      return Status::AlreadyExists("snapshot table '" + t.name() +
+                                   "' already exists in the lake");
+    }
+  }
   for (Table& t : staged) {
     GENT_RETURN_IF_ERROR(lake.AddTable(std::move(t)));
+  }
+  if (info != nullptr) {
+    info->version = version;
+    info->identity_remap = identity;
   }
   return Status::OK();
 }

@@ -6,13 +6,23 @@
 // once and every table as raw ValueId columns, so reloading is a single
 // sequential read with no parsing or hashing.
 //
-// Format (little-endian, versioned):
+// Body format (little-endian, versioned):
 //   magic "GENTSNAP" | u32 version | u64 dictionary size
 //   per dictionary entry: u32 length, bytes   (ids are implicit, in order)
 //   u64 table count
 //   per table: name, u32 column count, column names,
 //              u32 key-column count, u32 key indices,
 //              u64 row count, columns as u32 ValueId runs
+//
+// Version 1 is the body alone. Version 2 appends the BUILT column-stats
+// catalog — sorted distinct sets, postings spine, CSR postings — as
+// block-aligned, checksummed sections plus a fixed footer at EOF
+// (src/storage/paged_file.h), making the snapshot both the data and the
+// index: a service can open it O(open + fault-in) instead of rebuilding
+// the catalog (src/storage/catalog_pager.h, DESIGN.md §5.10).
+// SaveSnapshot still writes v1; SaveSnapshotV2 writes the paged format.
+// LoadSnapshot reads both, fully validating v2's footer and every
+// section checksum.
 //
 // Snapshots are self-contained: ids written are ids of the saved
 // dictionary, and LoadSnapshot re-interns them into the target
@@ -26,24 +36,50 @@
 #include <string>
 
 #include "src/lake/data_lake.h"
+#include "src/storage/catalog_pager.h"
 #include "src/util/status.h"
 
 namespace gent {
 
-/// Writes `lake` to `path`, overwriting. Fails with InvalidArgument if a
-/// labeled null is present, IOError on filesystem trouble — including a
-/// failed final flush/close, so a snapshot truncated by a full disk
-/// never reports success.
+/// What LoadSnapshot learned about the file, for callers that choose a
+/// warm-start strategy (ReclaimService::AddLakeFromSnapshot).
+struct SnapshotLoadInfo {
+  /// Format version of the loaded file (1 or 2).
+  uint32_t version = 0;
+  /// True when re-interning mapped every saved id to itself — i.e. the
+  /// target dictionary is (a prefix-equal superset of) the saved one, as
+  /// when loading into a fresh lake. Only then do the on-disk catalog
+  /// sections of a v2 snapshot speak the lake's id space, so only then
+  /// may they be mapped directly (catalog_pager.h) instead of rebuilt.
+  bool identity_remap = false;
+};
+
+/// Writes `lake` to `path` in version-1 format, overwriting. Fails with
+/// InvalidArgument if a labeled null is present, IOError on filesystem
+/// trouble — including a failed final flush/close, so a snapshot
+/// truncated by a full disk never reports success.
 Status SaveSnapshot(const DataLake& lake, const std::string& path);
+
+/// Writes `lake` plus its built catalog (`catalog` borrows the
+/// catalog's arrays; see ColumnStatsCatalog::section_views) to `path`
+/// in version-2 format, overwriting. Same failure contract as
+/// SaveSnapshot; the format is append-only, so an ENOSPC mid-write can
+/// only ever produce a file without a valid footer, never a file that
+/// validates.
+Status SaveSnapshotV2(const DataLake& lake,
+                      const storage::CatalogSectionViews& catalog,
+                      const std::string& path);
 
 /// Appends every table of the snapshot at `path` into `lake`,
 /// re-interning values into lake.dict(). Fails with IOError on a
-/// missing/short file or trailing bytes after the last section,
-/// InvalidArgument on bad magic or a version from the future,
-/// AlreadyExists on a table-name collision. Tables are registered only
-/// after the whole file validates (a collision can still leave the lake
-/// with the tables added before it).
-Status LoadSnapshot(DataLake& lake, const std::string& path);
+/// missing/short/corrupt file (for v2 this includes a footer or section
+/// checksum mismatch — the whole file is verified), InvalidArgument on
+/// bad magic or a version from the future, AlreadyExists on a
+/// table-name collision with the lake or within the snapshot.
+/// All-or-nothing: on any failure, including a collision, the lake is
+/// untouched. Fills `*info` (if non-null) on success.
+Status LoadSnapshot(DataLake& lake, const std::string& path,
+                    SnapshotLoadInfo* info = nullptr);
 
 }  // namespace gent
 

@@ -38,12 +38,13 @@ struct JoinPair {
 // keeps the inner heap buffers, so views survive container moves.
 struct ColumnSets {
   std::vector<std::vector<ValueId>> owned;
-  std::vector<const std::vector<ValueId>*> views;
+  std::vector<ValueSpan> views;
 
   // Move-only: `views` may point into `owned`, so a copy's views would
   // alias the source object's storage and dangle with it. Moves are
-  // safe — the outer vectors' heap buffers (and with them the inner
-  // vector objects views point at) survive the move.
+  // safe — the outer vectors' heap buffers (the memory views point at)
+  // survive the move. Catalog-backed views point into the shared
+  // catalog instead and are valid for its lifetime (either backend).
   ColumnSets() = default;
   ColumnSets(const ColumnSets&) = delete;
   ColumnSets& operator=(const ColumnSets&) = delete;
@@ -51,7 +52,7 @@ struct ColumnSets {
   ColumnSets& operator=(ColumnSets&&) = default;
 
   size_t size() const { return views.size(); }
-  const std::vector<ValueId>& col(size_t c) const { return *views[c]; }
+  ValueSpan col(size_t c) const { return views[c]; }
 };
 
 ColumnSets SetsFromTable(const Table& t) {
@@ -61,7 +62,7 @@ ColumnSets SetsFromTable(const Table& t) {
     s.owned[c] = SortedDistinctValues(t, c);
   }
   s.views.reserve(s.owned.size());
-  for (const auto& v : s.owned) s.views.push_back(&v);
+  for (const auto& v : s.owned) s.views.push_back(ValueSpan(v));
   return s;
 }
 
@@ -70,7 +71,7 @@ ColumnSets SetsFromCatalog(const ColumnStatsCatalog& catalog,
   ColumnSets s;
   s.views.reserve(num_cols);
   for (size_t c = 0; c < num_cols; ++c) {
-    s.views.push_back(&catalog.SortedValuesOf(lake_index, c));
+    s.views.push_back(catalog.SortedValuesOf(lake_index, c));
   }
   return s;
 }
@@ -110,14 +111,14 @@ std::optional<JoinPair> BestJoinPair(const ColumnSets& a, size_t rows_a,
                                      double threshold) {
   std::optional<JoinPair> best;
   for (size_t i = 0; i < a.size(); ++i) {
-    const std::vector<ValueId>& va = a.col(i);
+    const ValueSpan va = a.col(i);
     if (va.empty()) continue;
     const double keyness_a =
         rows_a == 0 ? 0.0
                     : static_cast<double>(va.size()) /
                           static_cast<double>(rows_a);
     for (size_t j = 0; j < b.size(); ++j) {
-      const std::vector<ValueId>& vb = b.col(j);
+      const ValueSpan vb = b.col(j);
       if (vb.empty()) continue;
       double keyness = std::max(
           keyness_a, rows_b == 0 ? 0.0

@@ -1,0 +1,213 @@
+#include "src/storage/buffer_pool.h"
+
+#include <algorithm>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define GENT_STORAGE_HAVE_MMAP 1
+#endif
+
+namespace gent::storage {
+
+// --- MappedFile -------------------------------------------------------------
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+#ifndef GENT_STORAGE_HAVE_MMAP
+  return Status::Internal("mmap is not available on this platform");
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path + "' for mapping");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat '" + path + "'");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::IOError("'" + path + "' is empty");
+  }
+  // MAP_PRIVATE read-only: pages are clean file pages, so
+  // MADV_DONTNEED drops them and the next access re-reads the file —
+  // exactly the eviction semantics BufferPool builds on. The fd can be
+  // closed once mapped; the mapping keeps the file alive.
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) {
+    return Status::IOError("mmap failed for '" + path + "'");
+  }
+  MappedFile m;
+  m.data_ = static_cast<const uint8_t*>(p);
+  m.size_ = size;
+  return m;
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& o) noexcept
+    : data_(o.data_), size_(o.size_) {
+  o.data_ = nullptr;
+  o.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
+  if (this != &o) {
+    this->~MappedFile();
+    data_ = o.data_;
+    size_ = o.size_;
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#ifdef GENT_STORAGE_HAVE_MMAP
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+}
+
+// --- BufferPool -------------------------------------------------------------
+
+BufferPool::BufferPool(const uint8_t* base, size_t bytes,
+                       size_t capacity_blocks)
+    : base_(base),
+      bytes_(bytes),
+      capacity_(capacity_blocks),
+      states_((bytes + kBlockSize - 1) / kBlockSize),
+      pins_((bytes + kBlockSize - 1) / kBlockSize, 0) {
+  for (auto& s : states_) s.store(0, std::memory_order_relaxed);
+}
+
+void BufferPool::FaultRange(size_t first, size_t count, bool pin) {
+  if (first >= states_.size()) return;
+  const size_t end = std::min(first + count, states_.size());
+  // Fast path: every block already resident — no lock.
+  bool all_resident = true;
+  for (size_t b = first; b < end; ++b) {
+    const uint8_t s = states_[b].load(std::memory_order_relaxed);
+    if (!(s & kResident)) {
+      all_resident = false;
+      break;
+    }
+  }
+  if (all_resident && !pin) {
+    for (size_t b = first; b < end; ++b) {
+      const uint8_t s = states_[b].load(std::memory_order_relaxed);
+      if (!(s & kRef)) {
+        states_[b].fetch_or(kRef, std::memory_order_relaxed);
+      }
+    }
+    hits_.fetch_add(end - first, std::memory_order_relaxed);
+    return;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t b = first; b < end; ++b) {
+    const uint8_t s = states_[b].load(std::memory_order_relaxed);
+    if (s & kResident) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Prefault the block so residency accounting matches reality: one
+      // volatile read per page brings it in from the file.
+      const uint8_t* p = base_ + b * kBlockSize;
+      const uint8_t* block_end =
+          base_ + std::min(bytes_, (b + 1) * kBlockSize);
+      for (const uint8_t* q = p; q < block_end; q += 4096) {
+        (void)*const_cast<const volatile uint8_t*>(q);
+      }
+      ++resident_;
+      faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+    states_[b].fetch_or(static_cast<uint8_t>(kResident | kRef),
+                        std::memory_order_relaxed);
+    if (pin) {
+      if (pins_[b]++ == 0) ++pinned_blocks_;
+    }
+  }
+  EvictLocked();
+}
+
+void BufferPool::Pin(size_t first, size_t count) {
+  FaultRange(first, count, /*pin=*/true);
+}
+
+void BufferPool::Unpin(size_t first, size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t end = std::min(first + count, states_.size());
+  for (size_t b = first; b < end; ++b) {
+    if (pins_[b] > 0 && --pins_[b] == 0) --pinned_blocks_;
+  }
+  EvictLocked();
+}
+
+void BufferPool::Touch(const void* ptr, size_t bytes) {
+  if (bytes == 0 || ptr < base_ || ptr >= base_ + bytes_) return;
+  const size_t first = BlockOf(ptr);
+  const size_t last =
+      BlockOf(static_cast<const uint8_t*>(ptr) + bytes - 1);
+  FaultRange(first, last - first + 1, /*pin=*/false);
+}
+
+void BufferPool::EvictLocked() {
+  if (capacity_ == 0) return;
+  // CLOCK second chance over the unpinned resident set: clear reference
+  // bits until an unreferenced victim turns up; MADV_DONTNEED releases
+  // its physical pages while the virtual range — and every span
+  // pointing into it — stays valid.
+  size_t evictable = resident_ > pinned_blocks_ ? resident_ - pinned_blocks_
+                                                : 0;
+  size_t sweeps = 0;
+  const size_t n = states_.size();
+  while (evictable > capacity_ && sweeps < 2 * n + 1) {
+    const size_t b = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    ++sweeps;
+    const uint8_t s = states_[b].load(std::memory_order_relaxed);
+    if (!(s & kResident) || pins_[b] > 0) continue;
+    if (s & kRef) {
+      states_[b].fetch_and(static_cast<uint8_t>(~kRef),
+                           std::memory_order_relaxed);
+      continue;
+    }
+#ifdef GENT_STORAGE_HAVE_MMAP
+    uint8_t* p = const_cast<uint8_t*>(base_) + b * kBlockSize;
+    const size_t len = std::min(bytes_ - b * kBlockSize, kBlockSize);
+    ::madvise(p, len, MADV_DONTNEED);
+#endif
+    states_[b].fetch_and(static_cast<uint8_t>(~kResident),
+                         std::memory_order_relaxed);
+    --resident_;
+    --evictable;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.faults = faults_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.resident_blocks = resident_;
+    s.pinned_blocks = pinned_blocks_;
+  }
+  s.total_blocks = states_.size();
+  return s;
+}
+
+uint64_t BufferPool::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<uint64_t>(resident_) * kBlockSize;
+}
+
+}  // namespace gent::storage

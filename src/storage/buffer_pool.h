@@ -1,0 +1,141 @@
+// Read-only file mapping + block-granular buffer pool (DESIGN.md §5.10).
+//
+// MappedFile mmaps a snapshot read-only. BufferPool layers explicit
+// residency management over one block-aligned region of that mapping:
+//
+//   * Pin(first, count)    — fault blocks in and exempt them from
+//                            eviction (the catalog pins its hot spine —
+//                            postings spine, CSR offsets, column index —
+//                            at open; pins nest).
+//   * Unpin(first, count)  — undo one Pin; at zero pins the block joins
+//                            the evictable set.
+//   * Touch(ptr, bytes)    — the read-path hook: ensure the blocks
+//                            under an arbitrary span are resident,
+//                            counting a hit per already-resident block
+//                            and a fault per block brought in.
+//
+// Eviction is CLOCK second-chance (the "scalar LRU" of the design:
+// Touch sets a reference bit; the hand clears bits and evicts the first
+// unreferenced, unpinned block) and releases physical memory with
+// madvise(MADV_DONTNEED) — the virtual mapping is untouched, so every
+// span handed out by the catalog stays VALID across eviction: a read
+// after eviction transparently re-faults the block from the file. That
+// is the property that makes eviction safe to run concurrently with any
+// number of readers, and it is why the pool can bound residency for
+// lakes bigger than RAM without a handle-per-read API.
+//
+// Thread safety: all methods are safe from any number of threads. The
+// fast path (Touch of resident blocks) is lock-free — one relaxed
+// atomic load per block plus a reference-bit store; faults and
+// evictions serialize on one mutex. Counters are relaxed atomics:
+// exact for quiescent reads, monotone always.
+
+#ifndef GENT_STORAGE_BUFFER_POOL_H_
+#define GENT_STORAGE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/block.h"
+#include "src/util/status.h"
+
+namespace gent::storage {
+
+/// A read-only, page-aligned mapping of a whole file. Move-only; unmaps
+/// on destruction.
+class MappedFile {
+ public:
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& o) noexcept;
+  MappedFile& operator=(MappedFile&& o) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;       // Touch/Pin found the block resident
+    uint64_t faults = 0;     // block brought in (first touch or re-fault)
+    uint64_t evictions = 0;  // blocks released via MADV_DONTNEED
+    size_t resident_blocks = 0;
+    size_t pinned_blocks = 0;
+    size_t total_blocks = 0;
+    size_t block_size = kBlockSize;
+  };
+
+  /// Manages `bytes` of mapping starting at `base`. `base` must sit at
+  /// a block-aligned file offset of a page-aligned mapping (i.e. be
+  /// page-aligned itself); the last block may be partial.
+  /// `capacity_blocks` bounds the UNPINNED resident set (0 = unbounded:
+  /// blocks fault in and stay until destruction — the pure fault-in
+  /// model). Pinned blocks never count against capacity.
+  BufferPool(const uint8_t* base, size_t bytes, size_t capacity_blocks);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  size_t num_blocks() const { return states_.size(); }
+
+  /// Faults `count` blocks starting at `first` and pins them (nesting).
+  void Pin(size_t first, size_t count);
+  /// Releases one pin level; blocks whose pin count reaches zero become
+  /// evictable.
+  void Unpin(size_t first, size_t count);
+
+  /// Read-path hook: ensures every block underlying [ptr, ptr+bytes) is
+  /// resident. `ptr` must lie inside the managed region. Cheap for
+  /// resident blocks (one relaxed load each); faulting blocks take the
+  /// mutex and may trigger eviction.
+  void Touch(const void* ptr, size_t bytes);
+
+  Stats stats() const;
+  uint64_t resident_bytes() const;
+
+ private:
+  // Per-block state bits (one atomic per block).
+  static constexpr uint8_t kResident = 1;
+  static constexpr uint8_t kRef = 2;
+
+  /// Faults + bumps counters for [first, first+count); optionally pins.
+  void FaultRange(size_t first, size_t count, bool pin);
+  /// CLOCK sweep evicting until the unpinned resident set fits
+  /// `capacity_`. Caller holds mutex_.
+  void EvictLocked();
+  size_t BlockOf(const void* ptr) const {
+    return (static_cast<const uint8_t*>(ptr) - base_) / kBlockSize;
+  }
+
+  const uint8_t* base_;
+  size_t bytes_;
+  size_t capacity_;
+
+  std::vector<std::atomic<uint8_t>> states_;
+  mutable std::mutex mutex_;
+  std::vector<uint32_t> pins_;   // guarded by mutex_
+  size_t clock_hand_ = 0;        // guarded by mutex_
+  size_t resident_ = 0;          // guarded by mutex_
+  size_t pinned_blocks_ = 0;     // guarded by mutex_
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> faults_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace gent::storage
+
+#endif  // GENT_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,225 @@
+#include "src/storage/paged_file.h"
+
+#include <cstring>
+
+namespace gent::storage {
+
+namespace {
+
+constexpr char kFooterMagic[8] = {'G', 'E', 'N', 'T', 'C', 'A', 'T', 'F'};
+
+// Little-endian field helpers over a flat buffer (the footer is parsed
+// from a fixed-size byte array, never type-punned).
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+const SectionDesc* PagedFooter::Find(SectionId id) const {
+  for (const SectionDesc& s : sections) {
+    if (s.id == static_cast<uint32_t>(id)) return &s;
+  }
+  return nullptr;
+}
+
+SectionWriter::SectionWriter(std::FILE* file, uint64_t start_offset)
+    : file_(file), offset_(start_offset) {}
+
+void SectionWriter::Raw(const void* data, size_t n) {
+  if (failed_) return;
+  failed_ = std::fwrite(data, 1, n, file_) != n;
+  if (!failed_) offset_ += n;
+}
+
+void SectionWriter::PadToBlock() {
+  static const char zeros[4096] = {0};
+  uint64_t pad = AlignToBlock(offset_) - offset_;
+  while (pad > 0 && !failed_) {
+    const size_t chunk = pad < sizeof zeros ? static_cast<size_t>(pad)
+                                            : sizeof zeros;
+    Raw(zeros, chunk);
+    pad -= chunk;
+  }
+}
+
+void SectionWriter::BeginSection(SectionId id) {
+  PadToBlock();
+  in_section_ = true;
+  current_ = SectionDesc{};
+  current_.id = static_cast<uint32_t>(id);
+  current_.offset = offset_;
+  current_checksum_ = Checksum64{};
+}
+
+void SectionWriter::Append(const void* data, size_t n) {
+  if (!in_section_) {
+    failed_ = true;
+    return;
+  }
+  current_checksum_.Append(data, n);
+  Raw(data, n);
+}
+
+void SectionWriter::EndSection() {
+  if (!in_section_) {
+    failed_ = true;
+    return;
+  }
+  current_.bytes = offset_ - current_.offset;
+  current_.checksum = current_checksum_.Finish();
+  sections_.push_back(current_);
+  in_section_ = false;
+}
+
+void SectionWriter::AddBodyDesc(uint64_t body_bytes, uint64_t body_checksum) {
+  SectionDesc body;
+  body.id = static_cast<uint32_t>(SectionId::kBody);
+  body.offset = 0;
+  body.bytes = body_bytes;
+  body.checksum = body_checksum;
+  sections_.insert(sections_.begin(), body);
+}
+
+bool SectionWriter::Finish(uint32_t version) {
+  if (in_section_ || sections_.size() > kMaxSections) failed_ = true;
+  PadToBlock();
+  if (failed_) return false;
+
+  // catalog_begin: where the first catalog section landed (block-aligned
+  // end of the body). Derived from the first non-body descriptor; a
+  // footer with only a body descriptor points at the footer itself.
+  uint64_t catalog_begin = offset_;
+  for (const SectionDesc& s : sections_) {
+    if (s.id != static_cast<uint32_t>(SectionId::kBody)) {
+      catalog_begin = s.offset;
+      break;
+    }
+  }
+
+  uint8_t buf[kFooterBytes] = {0};
+  uint8_t* p = buf;
+  PutU64(p, catalog_begin);
+  p += 8;
+  PutU32(p, version);
+  p += 4;
+  PutU32(p, static_cast<uint32_t>(sections_.size()));
+  p += 4;
+  for (size_t i = 0; i < kMaxSections; ++i) {
+    if (i < sections_.size()) {
+      PutU32(p, sections_[i].id);
+      PutU64(p + 8, sections_[i].offset);
+      PutU64(p + 16, sections_[i].bytes);
+      PutU64(p + 24, sections_[i].checksum);
+    }
+    p += 32;
+  }
+  PutU64(p, Checksum(buf, static_cast<size_t>(p - buf)));
+  p += 8;
+  std::memcpy(p, kFooterMagic, 8);
+  Raw(buf, sizeof buf);
+  return !failed_;
+}
+
+Result<PagedFooter> ReadFooter(std::FILE* file) {
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IOError("snapshot footer: cannot seek to end");
+  }
+  const long end = std::ftell(file);
+  if (end < 0 || static_cast<uint64_t>(end) < kFooterBytes) {
+    return Status::InvalidArgument("snapshot has no catalog footer");
+  }
+  const uint64_t file_size = static_cast<uint64_t>(end);
+  if (std::fseek(file, end - static_cast<long>(kFooterBytes), SEEK_SET) != 0) {
+    return Status::IOError("snapshot footer: cannot seek to footer");
+  }
+  uint8_t buf[kFooterBytes];
+  if (std::fread(buf, 1, sizeof buf, file) != sizeof buf) {
+    return Status::IOError("snapshot footer: short read");
+  }
+  if (std::memcmp(buf + kFooterBytes - 8, kFooterMagic, 8) != 0) {
+    return Status::InvalidArgument("snapshot has no catalog footer");
+  }
+  const uint64_t stored = GetU64(buf + kFooterBytes - 16);
+  if (Checksum(buf, kFooterBytes - 16) != stored) {
+    return Status::IOError("snapshot footer checksum mismatch");
+  }
+
+  PagedFooter footer;
+  footer.footer_offset = file_size - kFooterBytes;
+  const uint8_t* p = buf;
+  footer.catalog_begin = GetU64(p);
+  p += 8;
+  footer.version = GetU32(p);
+  p += 4;
+  const uint32_t count = GetU32(p);
+  p += 4;
+  if (count > kMaxSections) {
+    return Status::IOError("snapshot footer: impossible section count");
+  }
+  uint64_t prev_end = 0;
+  bool saw_body = false;
+  for (uint32_t i = 0; i < count; ++i, p += 32) {
+    SectionDesc s;
+    s.id = GetU32(p);
+    s.offset = GetU64(p + 8);
+    s.bytes = GetU64(p + 16);
+    s.checksum = GetU64(p + 24);
+    if (s.id == static_cast<uint32_t>(SectionId::kBody)) {
+      // The body starts at byte 0 and ends at or before catalog_begin.
+      if (saw_body || s.offset != 0 || s.bytes > footer.catalog_begin) {
+        return Status::IOError("snapshot footer: bad body descriptor");
+      }
+      saw_body = true;
+    } else {
+      // Catalog sections: block-aligned, ascending, non-overlapping,
+      // within [catalog_begin, footer).
+      if (s.offset % kBlockSize != 0 || s.offset < footer.catalog_begin ||
+          s.offset < prev_end || s.bytes > footer.footer_offset ||
+          s.offset > footer.footer_offset - s.bytes) {
+        return Status::IOError("snapshot footer: bad section geometry");
+      }
+      prev_end = s.offset + s.bytes;
+    }
+    footer.sections.push_back(s);
+  }
+  if (footer.catalog_begin % kBlockSize != 0 ||
+      footer.catalog_begin > footer.footer_offset) {
+    return Status::IOError("snapshot footer: bad catalog region bounds");
+  }
+  return footer;
+}
+
+Status VerifySectionChecksum(std::FILE* file, const SectionDesc& desc) {
+  if (std::fseek(file, static_cast<long>(desc.offset), SEEK_SET) != 0) {
+    return Status::IOError("snapshot section: cannot seek");
+  }
+  Checksum64 sum;
+  uint8_t buf[1u << 16];
+  uint64_t left = desc.bytes;
+  while (left > 0) {
+    const size_t chunk =
+        left < sizeof buf ? static_cast<size_t>(left) : sizeof buf;
+    if (std::fread(buf, 1, chunk, file) != chunk) {
+      return Status::IOError("snapshot section: short read (truncated file)");
+    }
+    sum.Append(buf, chunk);
+    left -= chunk;
+  }
+  if (sum.Finish() != desc.checksum) {
+    return Status::IOError("snapshot section " + std::to_string(desc.id) +
+                           " checksum mismatch (corrupt file)");
+  }
+  return Status::OK();
+}
+
+}  // namespace gent::storage

@@ -133,9 +133,9 @@ TEST(DiversifyTest, PenalizesOverlapWithPreviousCandidate) {
   std::vector<ValueId> v2{1, 2, 3, 4};  // duplicate of v1
   std::vector<ValueId> v3{7, 8, 9, 10}; // disjoint
   std::vector<DiversifyInput> ranked{
-      {0, 1.0, &v1},
-      {1, 1.0, &v2},   // same overlap, but duplicates v1 → penalized
-      {2, 0.8, &v3},
+      {0, 1.0, v1},
+      {1, 1.0, v2},   // same overlap, but duplicates v1 → penalized
+      {2, 0.8, v3},
   };
   auto scored = DiversifyCandidateColumns(ranked);
   ASSERT_EQ(scored.size(), 3u);
@@ -149,7 +149,7 @@ TEST(DiversifyTest, PenalizesOverlapWithPreviousCandidate) {
 
 TEST(DiversifyTest, SingleCandidateKeepsScore) {
   std::vector<ValueId> v{1};
-  auto scored = DiversifyCandidateColumns({{5, 0.7, &v}});
+  auto scored = DiversifyCandidateColumns({{5, 0.7, v}});
   ASSERT_EQ(scored.size(), 1u);
   EXPECT_EQ(scored[0].first, 5u);
   EXPECT_DOUBLE_EQ(scored[0].second, 0.7);

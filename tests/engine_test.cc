@@ -242,7 +242,8 @@ TEST(ColumnStatsCatalogTest, NullsNeverEnterPostings) {
   ColumnRef ref{0, 0};
   EXPECT_EQ(catalog.Cardinality(ref), 1u);
   // Querying for null must find nothing.
-  EXPECT_TRUE(catalog.OverlapCounts({kNull}).empty());
+  const std::vector<ValueId> null_query{kNull};
+  EXPECT_TRUE(catalog.OverlapCounts(null_query).empty());
 }
 
 TEST(ColumnStatsCatalogTest, SharesAnyValueProbesTheWholeLake) {

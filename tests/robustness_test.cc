@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/engine/reclaim_service.h"
 #include "src/gent/gent.h"
 #include "src/metrics/precision_recall.h"
 #include "src/metrics/similarity.h"
@@ -365,6 +366,50 @@ TEST_P(CsvFuzzSweep, RoundTripIsExact) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzSweep, ::testing::Range(1, 25));
+
+TEST(RobustnessTest, SaveShardSnapshotUnknownShardIsTyped) {
+  ReclaimService service{ServiceOptions{}};
+  EXPECT_EQ(service.SaveShardSnapshot("nope", "/tmp/never_written").code(),
+            StatusCode::kNotFound);
+}
+
+#ifdef __linux__
+TEST(RobustnessTest, FailedShardSnapshotSaveLeavesServiceServing) {
+  // ENOSPC mid-save (via /dev/full) must surface as a typed error and
+  // leave the registry serving exactly what it served before.
+  DictionaryPtr dict = MakeDictionary();
+  DataLake lake(dict);
+  (void)lake.AddTable(TableBuilder(dict, "t")
+                          .Columns({"k", "a"})
+                          .Row({"1", "x"})
+                          .Row({"2", "y"})
+                          .Build());
+  Table source = TableBuilder(dict, "s")
+                     .Columns({"k", "a"})
+                     .Row({"1", "x"})
+                     .Row({"2", ""})
+                     .Key({"k"})
+                     .Build();
+  ServiceOptions options;
+  options.dict = dict;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLake("lake", std::move(lake)).ok());
+
+  ReclaimRequest request;
+  request.lake = "lake";
+  request.bypass_cache = true;
+  auto before = service.Reclaim(source, request);
+  ASSERT_TRUE(before.ok());
+
+  Status s = service.SaveShardSnapshot("lake", "/dev/full");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+
+  auto after = service.Reclaim(source, request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(TablesBitIdentical(before->reclaimed, after->reclaimed));
+  EXPECT_EQ(before->originating_names, after->originating_names);
+}
+#endif
 
 TEST(RobustnessTest, AddColumnNameCollisionFails) {
   auto dict = MakeDictionary();

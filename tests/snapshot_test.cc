@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include "src/benchgen/tpch.h"
+#include "src/gent/gent.h"
 #include "src/ops/unary.h"
+#include "src/storage/catalog_pager.h"
 #include "src/table/table_builder.h"
 
 namespace gent {
@@ -188,6 +190,173 @@ TEST_F(SnapshotTest, LabeledNullsRefuseToSerialize) {
   Status s = SaveSnapshot(lake, Path("lake.snap"));
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 }
+
+// --- Snapshot v2 (catalog-carrying, src/storage) -----------------------------
+
+// Saves `lake` as a v2 snapshot, building the catalog the same way the
+// engine does.
+std::string SaveV2(const DataLake& lake, const std::string& path) {
+  GenT gent(lake);
+  Status s = SaveSnapshotV2(lake, gent.catalog().section_views(), path);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return path;
+}
+
+TEST_F(SnapshotTest, V2RoundTripLoadsTablesAndReportsIdentity) {
+  DataLake lake = MakeLake();
+  SaveV2(lake, Path("lake.snap2"));
+  DataLake loaded;
+  SnapshotLoadInfo info;
+  ASSERT_TRUE(LoadSnapshot(loaded, Path("lake.snap2"), &info).ok());
+  EXPECT_EQ(info.version, 2u);
+  // A fresh dictionary re-interns the saved dictionary in id order, so
+  // the remap is the identity — the condition for mapped opens.
+  EXPECT_TRUE(info.identity_remap);
+  ASSERT_EQ(loaded.size(), lake.size());
+  for (size_t i = 0; i < lake.size(); ++i) {
+    const Table& a = lake.table(i);
+    const Table& b = loaded.table(i);
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      for (size_t c = 0; c < a.num_cols(); ++c) {
+        EXPECT_EQ(a.CellString(r, c), b.CellString(r, c));
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotTest, V2LoadIntoPreInternedDictClearsIdentityFlag) {
+  DataLake lake = MakeLake();
+  SaveV2(lake, Path("lake.snap2"));
+  DataLake target;
+  // Interning anything first shifts ids, so the remap cannot be the
+  // identity and a mapped open would be wrong — the flag must say so.
+  (void)target.AddTable(TableBuilder(target.dict(), "pre")
+                            .Columns({"x"})
+                            .Row({"zzz"})
+                            .Build());
+  SnapshotLoadInfo info;
+  ASSERT_TRUE(LoadSnapshot(target, Path("lake.snap2"), &info).ok());
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_FALSE(info.identity_remap);
+}
+
+TEST_F(SnapshotTest, V2TruncationFailsCleanlyAtStrategicCuts) {
+  DataLake lake = MakeLake();
+  SaveV2(lake, Path("lake.snap2"));
+  std::ifstream in(Path("lake.snap2"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const size_t n = bytes.size();
+  ASSERT_GT(n, storage::kFooterBytes + storage::kBlockSize);
+  // Cuts inside the body, at the section region, inside the footer, and
+  // one byte short of complete. Every one must fail typed, never crash,
+  // and register nothing.
+  std::vector<size_t> cuts = {1,
+                              50,
+                              storage::kBlockSize - 1,
+                              storage::kBlockSize + 17,
+                              n / 2,
+                              n - storage::kFooterBytes - 1,
+                              n - storage::kFooterBytes + 5,
+                              n - 9,
+                              n - 1};
+  for (size_t cut : cuts) {
+    ASSERT_LT(cut, n);
+    const std::string path = Path("cut.snap2");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    DataLake fresh;
+    Status s = LoadSnapshot(fresh, path);
+    EXPECT_FALSE(s.ok()) << "cut at " << cut << " unexpectedly loaded";
+    EXPECT_EQ(fresh.size(), 0u) << "cut at " << cut;
+  }
+}
+
+TEST_F(SnapshotTest, V2CorruptedSectionChecksumRejected) {
+  DataLake lake = MakeLake();
+  SaveV2(lake, Path("lake.snap2"));
+  const auto n = std::filesystem::file_size(Path("lake.snap2"));
+  // Flip a byte inside the catalog region (after the first block, well
+  // clear of the footer).
+  std::fstream f(Path("lake.snap2"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  const std::streamoff pos = storage::kBlockSize + 64;
+  ASSERT_LT(static_cast<uint64_t>(pos), n - storage::kFooterBytes);
+  f.seekg(pos);
+  char b;
+  f.get(b);
+  b ^= 0x08;
+  f.seekp(pos);
+  f.put(b);
+  f.close();
+  DataLake fresh;
+  Status s = LoadSnapshot(fresh, Path("lake.snap2"));
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(fresh.size(), 0u);
+}
+
+TEST_F(SnapshotTest, V1FileRefusesMappedOpen) {
+  DataLake lake = MakeLake();
+  ASSERT_TRUE(SaveSnapshot(lake, Path("lake.snap")).ok());
+  // A v1 snapshot has no catalog tail; treating it as v2 must be a
+  // typed refusal, not garbage views.
+  auto mapped = storage::MappedCatalog::Open(Path("lake.snap"), {});
+  EXPECT_FALSE(mapped.ok());
+}
+
+TEST_F(SnapshotTest, V2FutureVersionRejected) {
+  DataLake lake = MakeLake();
+  SaveV2(lake, Path("lake.snap2"));
+  std::fstream f(Path("lake.snap2"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(8);
+  uint32_t version = 7;
+  f.write(reinterpret_cast<const char*>(&version), sizeof version);
+  f.close();
+  DataLake fresh;
+  Status s = LoadSnapshot(fresh, Path("lake.snap2"));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, CollisionLeavesTargetCompletelyUntouched) {
+  // All-or-nothing: a collision on ANY snapshot table must register
+  // NONE of them, for both formats.
+  DataLake lake = MakeLake();
+  ASSERT_TRUE(SaveSnapshot(lake, Path("lake.snap")).ok());
+  SaveV2(lake, Path("lake.snap2"));
+  for (const char* snap : {"lake.snap", "lake.snap2"}) {
+    DataLake target;
+    // Collides with "weird" — the LAST table in the snapshot, so a
+    // non-atomic loader would have registered "people" and "empty"
+    // before noticing.
+    (void)target.AddTable(TableBuilder(target.dict(), "weird")
+                              .Columns({"q"})
+                              .Row({"1"})
+                              .Build());
+    Status s = LoadSnapshot(target, Path(snap));
+    EXPECT_EQ(s.code(), StatusCode::kAlreadyExists) << snap;
+    ASSERT_EQ(target.size(), 1u) << snap;
+    EXPECT_EQ(target.table(0).name(), "weird");
+    EXPECT_EQ(target.table(0).CellString(0, 0), "1");
+  }
+}
+
+#ifdef __linux__
+TEST_F(SnapshotTest, V2FullDiskSurfacesTypedError) {
+  // /dev/full: the section writer's buffered bytes hit ENOSPC at drain
+  // time; SaveSnapshotV2 must report it, never claim success.
+  DataLake lake = MakeLake();
+  GenT gent(lake);
+  Status s =
+      SaveSnapshotV2(lake, gent.catalog().section_views(), "/dev/full");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+#endif
 
 }  // namespace
 }  // namespace gent

@@ -118,7 +118,8 @@ int Usage() {
       "  gent diagnose  --source S.csv --keys k1,k2 --reclaimed R.csv\n"
       "  gent compare   --source S.csv --target T.csv [--exact]\n"
       "  gent benchgen  --out DIR [--scale N] [--sources N] [--seed N]\n"
-      "  gent snapshot  --lake DIR --out FILE | --from FILE --out DIR\n");
+      "  gent snapshot  --lake DIR --out FILE [--v2] | --from FILE "
+      "--out DIR\n");
   return 2;
 }
 
@@ -382,7 +383,7 @@ int CmdCompare(const Flags& flags) {
 }
 
 int CmdSnapshot(const Flags& flags) {
-  if (!flags.Expect({"lake", "from", "out"}) || !flags.Has("out") ||
+  if (!flags.Expect({"lake", "from", "out", "v2"}) || !flags.Has("out") ||
       (flags.Has("lake") == flags.Has("from"))) {
     return Usage();
   }
@@ -393,12 +394,22 @@ int CmdSnapshot(const Flags& flags) {
       std::fprintf(stderr, "loading lake: %s\n", s.ToString().c_str());
       return 1;
     }
-    if (Status s = SaveSnapshot(lake, flags.Get("out")); !s.ok()) {
+    if (flags.Has("v2")) {
+      // v2: embed the built catalog so services open without rebuild.
+      GenT gent(lake);
+      if (Status s = SaveSnapshotV2(lake, gent.catalog().section_views(),
+                                    flags.Get("out"));
+          !s.ok()) {
+        std::fprintf(stderr, "saving snapshot: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    } else if (Status s = SaveSnapshot(lake, flags.Get("out")); !s.ok()) {
       std::fprintf(stderr, "saving snapshot: %s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("snapshot of %zu tables written to %s\n", lake.size(),
-                flags.Get("out").c_str());
+    std::printf("snapshot of %zu tables written to %s%s\n", lake.size(),
+                flags.Get("out").c_str(),
+                flags.Has("v2") ? " (v2, catalog embedded)" : "");
     return 0;
   }
   // Snapshot file → CSV directory.
