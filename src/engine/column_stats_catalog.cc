@@ -194,6 +194,7 @@ ColumnStatsCatalog::Residency ColumnStatsCatalog::residency() const {
   r.pool_hits = s.hits;
   r.pool_faults = s.faults;
   r.pool_evictions = s.evictions;
+  r.pool_read_faults = s.read_faults;
   return r;
 }
 

@@ -170,8 +170,19 @@ class ColumnStatsCatalog {
     uint64_t pool_hits = 0;
     uint64_t pool_faults = 0;
     uint64_t pool_evictions = 0;
+    uint64_t pool_read_faults = 0;  // sticky I/O faults (storage_health)
   };
   Residency residency() const;
+
+  /// Sticky storage-health verdict of this catalog's backing store.
+  /// The RAM backend is trivially healthy; the mapped backend reports
+  /// the buffer pool's first prefault I/O fault (IOError) forever once
+  /// one occurs. Cheap (one relaxed atomic load when healthy) — the
+  /// service polls it after serving each request to drive shard
+  /// quarantine (DESIGN.md §5.11).
+  Status storage_health() const {
+    return mapped_ != nullptr ? mapped_->health() : Status::OK();
+  }
 
  private:
   explicit ColumnStatsCatalog(const DataLake& lake, int)  // mapped-backend

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <optional>
 #include <utility>
 
 #include "src/lake/snapshot.h"
+#include "src/util/hash.h"
 
 namespace gent {
 
@@ -35,6 +37,23 @@ OpLimits LimitsFromRequest(const ReclaimRequest& request) {
   }
   if (request.max_rows > 0) limits.MaxRows(request.max_rows);
   return limits;
+}
+
+// Exponential backoff with deterministic per-(shard, attempt) jitter:
+// initial · 2^attempt capped at max, scaled by a splitmix-derived
+// factor in [1 - jitter, 1 + jitter]. Deterministic so recovery tests
+// are reproducible; distinct per shard so a fleet quarantined by one
+// event fans its retries out instead of thundering in lockstep.
+double BackoffSeconds(const ShardHealthOptions& o, uint64_t uid,
+                      uint64_t attempt) {
+  const double exp2 = std::ldexp(1.0, static_cast<int>(std::min<uint64_t>(
+                                          attempt, 62)));
+  double delay = std::min(o.backoff_initial_seconds * exp2,
+                          o.backoff_max_seconds);
+  const uint64_t h = SplitMix64(uid * 0x9E3779B97F4A7C15ULL + attempt);
+  const double unit = static_cast<double>(h >> 11) * 0x1p-53;  // [0, 1)
+  delay *= 1.0 - o.backoff_jitter + 2.0 * o.backoff_jitter * unit;
+  return delay > 0 ? delay : 0.0;
 }
 
 }  // namespace
@@ -132,9 +151,23 @@ ReclaimService::ReclaimService(ServiceOptions options)
       registry_(std::make_shared<RegistrySnapshot>()),
       cache_(options_.cache_capacity),
       pool_(std::make_unique<ThreadPool>(
-          ThreadPool::ResolveThreads(options_.num_threads))) {}
+          ThreadPool::ResolveThreads(options_.num_threads))) {
+  if (options_.health.auto_recover) {
+    recovery_thread_ = std::thread([this]() { RecoveryLoop(); });
+  }
+}
 
-ReclaimService::~ReclaimService() = default;
+ReclaimService::~ReclaimService() {
+  // The recovery thread touches the registry and shards, so it must be
+  // gone before ANY member teardown begins (the pool — declared last,
+  // destroyed first — drains only async requests).
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    stopping_ = true;
+  }
+  health_cv_.notify_all();
+  if (recovery_thread_.joinable()) recovery_thread_.join();
+}
 
 ReclaimService::RegistryPtr ReclaimService::Pin() const {
   std::lock_guard<std::mutex> lock(registry_mutex_);
@@ -153,7 +186,8 @@ void ReclaimService::PublishLocked(std::shared_ptr<RegistrySnapshot> next) {
 Status ReclaimService::RegisterShard(
     const std::string& name, std::unique_ptr<DataLake> owned,
     const DataLake* borrowed,
-    std::shared_ptr<const ColumnStatsCatalog> catalog) {
+    std::shared_ptr<const ColumnStatsCatalog> catalog,
+    const std::string& source_path) {
   if (name.empty()) {
     return Status::InvalidArgument(
         "shard name must be non-empty (\"\" routes to all shards)");
@@ -178,6 +212,7 @@ Status ReclaimService::RegisterShard(
   shard->name = name;
   shard->owned = std::move(owned);
   shard->lake = lake;
+  shard->source_path = source_path;
   // The one catalog build this registration will ever do — outside the
   // registry lock, so serving is never blocked on it. A prebuilt
   // catalog (the mapped snapshot-open path) skips even that.
@@ -240,11 +275,15 @@ Status ReclaimService::AddLakeFromSnapshot(const std::string& name,
   std::unique_ptr<DataLake> lake;
   std::shared_ptr<const ColumnStatsCatalog> catalog;
   GENT_RETURN_IF_ERROR(LoadShardFromSnapshot(path, &lake, &catalog));
-  return RegisterShard(name, std::move(lake), nullptr, std::move(catalog));
+  return RegisterShard(name, std::move(lake), nullptr, std::move(catalog),
+                       path);
 }
 
 Status ReclaimService::AddLakeFromDirectory(const std::string& name,
                                             const std::string& dir) {
+  // Startup housekeeping: a saver that crashed mid-commit strands its
+  // temp file here; collect the strands before serving from the dir.
+  (void)SweepSnapshotTemps(dir);
   auto lake = std::make_unique<DataLake>(dict_);
   GENT_RETURN_IF_ERROR(lake->LoadDirectory(dir));
   return RegisterShard(name, std::move(lake), nullptr, nullptr);
@@ -265,7 +304,7 @@ Status ReclaimService::SaveShardSnapshot(const std::string& name,
 }
 
 Status ReclaimService::RemoveLake(const std::string& name) {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::unique_lock<std::mutex> lock(registry_mutex_);
   auto it = registry_->by_name.find(name);
   if (it == registry_->by_name.end()) {
     return Status::NotFound("no shard named '" + name + "'");
@@ -281,6 +320,8 @@ Status ReclaimService::RemoveLake(const std::string& name) {
   // The removed shard's handle lives on inside every pinned snapshot;
   // the last draining request releases it.
   PublishLocked(std::move(next));
+  lock.unlock();
+  PruneHealthEntries();
   return Status::OK();
 }
 
@@ -294,21 +335,26 @@ Status ReclaimService::ReloadLakeFromSnapshot(const std::string& name,
   auto shard = std::make_shared<Shard>();
   shard->name = name;
   shard->lake = lake.get();
+  shard->source_path = path;
   shard->gent = catalog != nullptr
                     ? std::make_unique<GenT>(std::move(catalog),
                                              options_.config)
                     : std::make_unique<GenT>(*lake, options_.config);
   shard->owned = std::move(lake);
 
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  auto it = registry_->by_name.find(name);
-  if (it == registry_->by_name.end()) {
-    return Status::NotFound("no shard named '" + name + "'");
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = registry_->by_name.find(name);
+    if (it == registry_->by_name.end()) {
+      return Status::NotFound("no shard named '" + name + "'");
+    }
+    shard->uid = next_shard_uid_++;  // new uid: old cache entries dead
+    auto next = std::make_shared<RegistrySnapshot>(*registry_);
+    next->shards[it->second] = std::move(shard);
+    PublishLocked(std::move(next));
   }
-  shard->uid = next_shard_uid_++;  // new uid: old cache entries dead
-  auto next = std::make_shared<RegistrySnapshot>(*registry_);
-  next->shards[it->second] = std::move(shard);
-  PublishLocked(std::move(next));
+  // An explicit reload supersedes any quarantine of the old uid.
+  PruneHealthEntries();
   return Status::OK();
 }
 
@@ -347,6 +393,23 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
   }
   requests_routed_.fetch_add(1, std::memory_order_relaxed);
 
+  // Quarantine gate (DESIGN.md §5.11): the healthy path pays one
+  // relaxed load; the uid set is copied out under the health lock only
+  // while something is actually quarantined, and routing below treats
+  // a quarantined shard as absent (fan-out answers from the remaining
+  // shards, a named request gets Unavailable).
+  std::vector<uint64_t> quarantined;
+  if (quarantined_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    for (const auto& [uid, entry] : health_) {
+      if (entry.state == ShardHealth::kQuarantined) quarantined.push_back(uid);
+    }
+  }
+  auto is_quarantined = [&quarantined](uint64_t uid) {
+    return std::find(quarantined.begin(), quarantined.end(), uid) !=
+           quarantined.end();
+  };
+
   // Resolve the routing policy to a target shard set and a route tag
   // (see discovery_cache.h for the tag contract: uids, not indices).
   RoutingPolicy policy = request.policy;
@@ -371,14 +434,35 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
       if (it == registry.by_name.end()) {
         return Status::NotFound("no shard named '" + request.lake + "'");
       }
+      if (is_quarantined(registry.shards[it->second]->uid)) {
+        unavailable_rejects_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable("shard '" + request.lake +
+                                   "' is quarantined pending recovery");
+      }
       targets.push_back(it->second);
       route_tag = registry.shards[it->second]->uid;
       break;
     }
     case RoutingPolicy::kFanOutAll: {
-      targets.resize(registry.shards.size());
-      for (size_t i = 0; i < registry.shards.size(); ++i) targets[i] = i;
-      route_tag = registry.fanout_tag;
+      if (quarantined.empty()) {
+        targets.resize(registry.shards.size());
+        for (size_t i = 0; i < registry.shards.size(); ++i) targets[i] = i;
+        route_tag = registry.fanout_tag;
+        break;
+      }
+      // Skipping a quarantined shard changes the answering shard set,
+      // so the cache route tag must cover exactly the survivors — a
+      // cached full-fan-out entry must not answer a degraded route.
+      std::vector<uint64_t> uids;
+      for (size_t i = 0; i < registry.shards.size(); ++i) {
+        if (is_quarantined(registry.shards[i]->uid)) {
+          quarantine_skipped_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        targets.push_back(i);
+        uids.push_back(registry.shards[i]->uid);
+      }
+      route_tag = FoldRouteTags(uids);
       break;
     }
     case RoutingPolicy::kStatsPrefilter: {
@@ -392,6 +476,10 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
       const std::vector<ValueId> query = SortedQueryValues(source);
       std::vector<uint64_t> selected_uids;
       for (size_t i = 0; i < registry.shards.size(); ++i) {
+        if (is_quarantined(registry.shards[i]->uid)) {
+          quarantine_skipped_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         if (registry.shards[i]->gent->catalog().SharesAnyValue(query)) {
           targets.push_back(i);
           selected_uids.push_back(registry.shards[i]->uid);
@@ -431,8 +519,8 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
   // populate them. A cancel token needs no such guard: cancellation
   // surfaces as a hard error at Expand's terminal checkpoint, so a
   // truncated set never reaches the Insert below.
-  const bool populate_cache = use_cache && request.timeout_seconds <= 0 &&
-                              request.deadline_seconds <= 0;
+  bool populate_cache = use_cache && request.timeout_seconds <= 0 &&
+                        request.deadline_seconds <= 0;
   SourceFingerprint key;
   if (use_cache) {
     key = FingerprintSource(source, discovery, request.max_rows, route_tag);
@@ -454,11 +542,34 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
   auto t0 = std::chrono::steady_clock::now();
   std::vector<Candidate> merged;
   for (size_t shard : targets) {
-    GENT_ASSIGN_OR_RETURN(auto candidates,
-                          registry.shards[shard]->gent->DiscoverCandidates(
-                              source, discovery, limits));
-    merged.reserve(merged.size() + candidates.size());
-    for (auto& c : candidates) merged.push_back(std::move(c));
+    auto candidates = registry.shards[shard]->gent->DiscoverCandidates(
+        source, discovery, limits);
+    if (!candidates.ok()) {
+      const StatusCode code = candidates.status().code();
+      if (code == StatusCode::kIOError || code == StatusCode::kInternal) {
+        // A storage-class failure mid-serving: quarantine the shard so
+        // later requests skip it while recovery runs.
+        NoteShardFault(*registry.shards[shard],
+                       candidates.status().message());
+        if (targets.size() > 1) {
+          // Fan-out degrades to the surviving shards. The partial
+          // candidate set must NOT enter the cache: its route tag
+          // claims the full target set.
+          populate_cache = false;
+          continue;
+        }
+      }
+      return candidates.status();
+    }
+    merged.reserve(merged.size() + candidates->size());
+    for (auto& c : *candidates) merged.push_back(std::move(c));
+  }
+  // Post-serve sweep: a mapped shard whose prefaults hit I/O faults
+  // reports it through its sticky storage health; quarantine before the
+  // next request routes to it. One relaxed load per healthy shard.
+  for (size_t shard : targets) {
+    Status h = registry.shards[shard]->gent->catalog().storage_health();
+    if (!h.ok()) NoteShardFault(*registry.shards[shard], h.message());
   }
   if (targets.size() > 1) {
     std::stable_sort(merged.begin(), merged.end(),
@@ -782,7 +893,258 @@ ReclaimService::RoutingStats ReclaimService::routing_stats() const {
   RoutingStats stats;
   stats.requests = requests_routed_.load(std::memory_order_relaxed);
   stats.shards_pruned = shards_pruned_.load(std::memory_order_relaxed);
+  stats.shards_quarantine_skipped =
+      quarantine_skipped_.load(std::memory_order_relaxed);
+  stats.unavailable_rejects =
+      unavailable_rejects_.load(std::memory_order_relaxed);
   return stats;
+}
+
+// --- Shard health -----------------------------------------------------------
+
+void ReclaimService::NoteShardFault(const Shard& shard,
+                                    const std::string& error) const {
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    HealthEntry& entry = health_[shard.uid];
+    if (entry.name.empty()) {
+      entry.name = shard.name;
+      entry.snapshot_path = shard.source_path;
+    }
+    ++entry.error_count;
+    entry.last_error = error;
+    if (entry.state != ShardHealth::kQuarantined) {
+      entry.state = ShardHealth::kQuarantined;
+      entry.attempts = 0;
+      entry.rebuilt_from_body = false;
+      entry.retry_enabled = true;
+      entry.next_retry = std::chrono::steady_clock::now() +
+                         DurationFromSeconds(BackoffSeconds(
+                             options_.health, shard.uid, /*attempt=*/0));
+      quarantined_count_.fetch_add(1, std::memory_order_release);
+    }
+  }
+  health_cv_.notify_all();
+}
+
+void ReclaimService::RecoveryLoop() {
+  std::unique_lock<std::mutex> lock(health_mutex_);
+  while (!stopping_) {
+    // Earliest due quarantined entry with retries still enabled; with
+    // none due, sleep until the earliest schedule (or a notify: a new
+    // quarantine, or shutdown).
+    const auto now = std::chrono::steady_clock::now();
+    uint64_t due_uid = 0;
+    bool found_due = false;
+    auto earliest = std::chrono::steady_clock::time_point::max();
+    for (const auto& [uid, entry] : health_) {
+      if (entry.state != ShardHealth::kQuarantined || !entry.retry_enabled) {
+        continue;
+      }
+      if (entry.next_retry <= now) {
+        due_uid = uid;
+        found_due = true;
+        break;
+      }
+      earliest = std::min(earliest, entry.next_retry);
+    }
+    if (!found_due) {
+      if (earliest == std::chrono::steady_clock::time_point::max()) {
+        health_cv_.wait(lock);  // nothing scheduled; loop re-checks
+      } else {
+        health_cv_.wait_until(lock, earliest);
+      }
+      continue;
+    }
+    lock.unlock();
+    AttemptRecovery(due_uid);
+    lock.lock();
+  }
+}
+
+void ReclaimService::AttemptRecovery(uint64_t uid) {
+  std::string name;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    auto it = health_.find(uid);
+    if (it == health_.end() || it->second.state != ShardHealth::kQuarantined) {
+      return;  // pruned or already recovered concurrently
+    }
+    name = it->second.name;
+    path = it->second.snapshot_path;
+    if (path.empty()) {
+      // Nothing on disk to recover from (a RAM/CSV shard): stop
+      // scheduling; only an explicit reload can heal it.
+      it->second.retry_enabled = false;
+      it->second.last_error +=
+          " (not snapshot-backed; awaiting explicit reload)";
+      return;
+    }
+  }
+
+  // Expensive work outside every lock, exactly like ReloadLakeFromSnapshot.
+  // Preferred path: full reopen (mapped when options allow).
+  std::unique_ptr<DataLake> lake;
+  std::shared_ptr<const ColumnStatsCatalog> catalog;
+  Status st = LoadShardFromSnapshot(path, &lake, &catalog);
+  bool salvaged = false;
+  std::string fail_reason;
+  if (!st.ok()) {
+    fail_reason = st.message();
+    // Salvage fallback: the body may still parse even when the v2
+    // catalog tail is damaged — reload it and rebuild the catalog in
+    // RAM. The shard then serves identically, flagged kDegraded.
+    lake = std::make_unique<DataLake>(dict_);
+    catalog.reset();
+    Status body = LoadSnapshotBody(*lake, path);
+    if (body.ok()) {
+      salvaged = true;
+      st = Status::OK();
+    } else {
+      fail_reason += "; body salvage: " + body.message();
+    }
+  }
+
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    auto it = health_.find(uid);
+    if (it == health_.end() || it->second.state != ShardHealth::kQuarantined) {
+      return;
+    }
+    HealthEntry& entry = it->second;
+    ++entry.attempts;
+    entry.last_error = fail_reason;
+    const size_t cap = options_.health.max_recovery_attempts;
+    if (cap > 0 && entry.attempts >= cap) {
+      entry.retry_enabled = false;  // give up; explicit reload only
+    } else {
+      entry.next_retry = std::chrono::steady_clock::now() +
+                         DurationFromSeconds(BackoffSeconds(
+                             options_.health, uid, entry.attempts));
+    }
+    return;
+  }
+
+  auto shard = std::make_shared<Shard>();
+  shard->name = name;
+  shard->lake = lake.get();
+  shard->source_path = path;
+  shard->gent = catalog != nullptr
+                    ? std::make_unique<GenT>(std::move(catalog),
+                                             options_.config)
+                    : std::make_unique<GenT>(*lake, options_.config);
+  shard->owned = std::move(lake);
+
+  // Swap into the registry ONLY if the quarantined registration is
+  // still there — a concurrent RemoveLake/Reload supersedes recovery.
+  uint64_t new_uid = 0;
+  bool swapped = false;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = registry_->by_name.find(name);
+    if (it != registry_->by_name.end() &&
+        registry_->shards[it->second]->uid == uid) {
+      shard->uid = next_shard_uid_++;  // new uid: stale cache entries dead
+      new_uid = shard->uid;
+      auto next = std::make_shared<RegistrySnapshot>(*registry_);
+      next->shards[it->second] = std::move(shard);
+      PublishLocked(std::move(next));
+      swapped = true;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  auto it = health_.find(uid);
+  if (it == health_.end()) return;  // pruned concurrently
+  HealthEntry entry = std::move(it->second);
+  const bool was_quarantined = entry.state == ShardHealth::kQuarantined;
+  health_.erase(it);
+  if (was_quarantined) {
+    quarantined_count_.fetch_sub(1, std::memory_order_release);
+  }
+  if (!swapped) return;  // superseded: drop the stale record entirely
+  // Re-key the record under the healed registration so health_stats()
+  // keeps the shard's fault history and recovery count.
+  ++entry.recoveries;
+  entry.attempts = 0;
+  entry.retry_enabled = true;
+  entry.state = salvaged ? ShardHealth::kDegraded : ShardHealth::kHealthy;
+  entry.rebuilt_from_body = salvaged;
+  health_[new_uid] = std::move(entry);
+}
+
+void ReclaimService::PruneHealthEntries() const {
+  RegistryPtr registry = Pin();
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  for (auto it = health_.begin(); it != health_.end();) {
+    bool live = false;
+    for (const auto& s : registry->shards) {
+      if (s->uid == it->first) {
+        live = true;
+        break;
+      }
+    }
+    if (live) {
+      ++it;
+      continue;
+    }
+    if (it->second.state == ShardHealth::kQuarantined) {
+      quarantined_count_.fetch_sub(1, std::memory_order_release);
+    }
+    it = health_.erase(it);
+  }
+}
+
+std::vector<ReclaimService::ShardHealthStats> ReclaimService::health_stats()
+    const {
+  RegistryPtr registry = Pin();
+  std::vector<ShardHealthStats> out;
+  out.reserve(registry->shards.size());
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  for (const auto& s : registry->shards) {
+    ShardHealthStats stats;
+    stats.name = s->name;
+    stats.uid = s->uid;
+    auto it = health_.find(s->uid);
+    if (it != health_.end()) {
+      const HealthEntry& entry = it->second;
+      stats.state = entry.state;
+      stats.error_count = entry.error_count;
+      stats.recovery_attempts = entry.attempts;
+      stats.recoveries = entry.recoveries;
+      stats.rebuilt_from_body = entry.rebuilt_from_body;
+      stats.last_error = entry.last_error;
+      if (entry.state == ShardHealth::kQuarantined) {
+        if (!entry.retry_enabled || !options_.health.auto_recover) {
+          stats.next_retry_in_seconds = -1;
+        } else if (entry.next_retry > now) {
+          stats.next_retry_in_seconds =
+              std::chrono::duration<double>(entry.next_retry - now).count();
+        }
+      }
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+Status ReclaimService::CheckShardHealth(const std::string& name) const {
+  RegistryPtr registry = Pin();
+  auto it = registry->by_name.find(name);
+  if (it == registry->by_name.end()) {
+    return Status::NotFound("no shard named '" + name + "'");
+  }
+  const Shard& shard = *registry->shards[it->second];
+  // Cheap first: the catalog backend's sticky verdict. Then the deep
+  // check — re-verify the backing snapshot's bytes end to end.
+  Status st = shard.gent->catalog().storage_health();
+  if (st.ok() && !shard.source_path.empty()) {
+    st = VerifySnapshotIntegrity(shard.source_path);
+  }
+  if (!st.ok()) NoteShardFault(shard, st.message());
+  return st;
 }
 
 }  // namespace gent

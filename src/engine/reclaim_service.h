@@ -82,6 +82,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -117,6 +118,40 @@ enum class RequestPriority {
 
 /// Number of RequestPriority classes (queue array size).
 inline constexpr size_t kNumPriorityClasses = 3;
+
+/// Serving state of one shard (DESIGN.md §5.11). State only ever moves
+/// kHealthy → kQuarantined → (kHealthy | kDegraded) through recovery;
+/// a kDegraded shard serves correctly (its catalog was rebuilt in RAM
+/// from the snapshot body) but lost its mapped backend.
+enum class ShardHealth {
+  kHealthy = 0,
+  /// Serving, but recovered via the salvage path (body reload + catalog
+  /// rebuild) because the snapshot's catalog tail stayed damaged.
+  kDegraded = 1,
+  /// Not serving: routing skips the shard (fan-out policies answer from
+  /// the remaining shards; a named-shard request gets Unavailable)
+  /// while background recovery retries with exponential backoff.
+  kQuarantined = 2,
+};
+
+/// Self-healing policy for quarantined shards (DESIGN.md §5.11).
+struct ShardHealthOptions {
+  /// Run the background recovery thread. Off = shards stay quarantined
+  /// until replaced explicitly (ReloadLakeFromSnapshot).
+  bool auto_recover = true;
+  /// First retry delay after quarantine, seconds; doubles per failed
+  /// attempt up to backoff_max_seconds.
+  double backoff_initial_seconds = 0.5;
+  double backoff_max_seconds = 30.0;
+  /// Multiplicative jitter: each delay is scaled by a deterministic
+  /// per-(shard, attempt) factor in [1 - jitter, 1 + jitter], so a
+  /// fleet quarantined by one event does not retry in lockstep.
+  double backoff_jitter = 0.25;
+  /// Give up rescheduling after this many failed recovery attempts
+  /// (0 = retry forever). The shard then stays quarantined until an
+  /// explicit ReloadLakeFromSnapshot/RemoveLake.
+  size_t max_recovery_attempts = 0;
+};
 
 /// How shards built from snapshots store their catalogs (DESIGN.md
 /// §5.10).
@@ -167,6 +202,8 @@ struct ServiceOptions {
   std::array<size_t, kNumPriorityClasses> priority_capacity = {0, 0, 0};
   /// Catalog storage backend for snapshot-built shards.
   CatalogStorageOptions storage;
+  /// Quarantine/recovery policy for shards that hit storage faults.
+  ShardHealthOptions health;
 };
 
 /// How a request picks its catalog shard(s).
@@ -439,8 +476,46 @@ class ReclaimService {
     uint64_t requests = 0;
     /// Shards skipped by kStatsPrefilter (zero value overlap).
     uint64_t shards_pruned = 0;
+    /// Shards skipped by fan-out routing because they were quarantined.
+    uint64_t shards_quarantine_skipped = 0;
+    /// Named-shard requests rejected Unavailable (target quarantined).
+    uint64_t unavailable_rejects = 0;
   };
   RoutingStats routing_stats() const;
+
+  // --- Shard health (thread-safe; DESIGN.md §5.11) -------------------------
+
+  /// One shard's health, as reported by health_stats().
+  struct ShardHealthStats {
+    std::string name;
+    uint64_t uid = 0;
+    ShardHealth state = ShardHealth::kHealthy;
+    /// Storage faults observed against this shard so far.
+    uint64_t error_count = 0;
+    /// Failed background recovery attempts since quarantine.
+    uint64_t recovery_attempts = 0;
+    /// Successful recoveries in the shard's history (a recovered shard
+    /// carries a new uid; the count survives the re-key).
+    uint64_t recoveries = 0;
+    /// The last recovery had to rebuild the catalog from the snapshot
+    /// body (v2 tail damaged) — the shard serves, state kDegraded.
+    bool rebuilt_from_body = false;
+    std::string last_error;
+    /// Seconds until the next recovery attempt (0 when due/serving;
+    /// -1 when retries are exhausted or disabled).
+    double next_retry_in_seconds = 0;
+  };
+  /// Per-shard health in registry order, joined with the health map.
+  /// Shards that never faulted report kHealthy with zero counters.
+  std::vector<ShardHealthStats> health_stats() const;
+
+  /// On-demand health probe of shard `name` (NotFound if absent):
+  /// checks the catalog backend's sticky storage health, then — for a
+  /// snapshot-backed shard — re-verifies the snapshot file end to end
+  /// (VerifySnapshotIntegrity). A failed probe quarantines the shard
+  /// (background recovery takes over) and returns the failure; OK means
+  /// the shard is serving and its backing bytes verify.
+  Status CheckShardHealth(const std::string& name) const;
 
  private:
   struct Shard {
@@ -449,6 +524,10 @@ class ReclaimService {
     std::unique_ptr<DataLake> owned;  // null for AddLakeView shards
     const DataLake* lake = nullptr;
     std::unique_ptr<GenT> gent;       // shard catalog lives inside
+    /// Snapshot file this shard was built from; empty for lakes built
+    /// in RAM or from CSVs. Non-empty is what makes the shard
+    /// disk-recoverable after quarantine.
+    std::string source_path;
   };
 
   /// Immutable once published; mutations swap whole snapshots.
@@ -470,7 +549,8 @@ class ReclaimService {
   Status RegisterShard(const std::string& name,
                        std::unique_ptr<DataLake> owned,
                        const DataLake* borrowed,
-                       std::shared_ptr<const ColumnStatsCatalog> catalog);
+                       std::shared_ptr<const ColumnStatsCatalog> catalog,
+                       const std::string& source_path = std::string());
 
   /// Shared by AddLakeFromSnapshot/ReloadLakeFromSnapshot: loads `path`
   /// into a fresh lake on the service dictionary and, when the snapshot
@@ -555,6 +635,53 @@ class ReclaimService {
 
   mutable std::atomic<uint64_t> requests_routed_{0};
   mutable std::atomic<uint64_t> shards_pruned_{0};
+  mutable std::atomic<uint64_t> quarantine_skipped_{0};
+  mutable std::atomic<uint64_t> unavailable_rejects_{0};
+
+  // --- Shard health state (DESIGN.md §5.11) --------------------------------
+  //
+  // Lock discipline: health_mutex_ and registry_mutex_ are NEVER held
+  // together — every path takes one, releases it, then (maybe) takes
+  // the other, so no ordering between them can deadlock. The serving
+  // fast path pays one relaxed atomic load (quarantined_count_) and
+  // touches the map only while something is actually quarantined.
+
+  /// Health record of one shard registration, keyed by shard uid.
+  struct HealthEntry {
+    ShardHealth state = ShardHealth::kHealthy;
+    uint64_t error_count = 0;
+    uint64_t attempts = 0;    // failed recovery attempts this quarantine
+    uint64_t recoveries = 0;  // successful recoveries, survives re-key
+    bool rebuilt_from_body = false;
+    bool retry_enabled = true;  // false once max_recovery_attempts hit
+    std::string last_error;
+    std::string name;           // shard name at fault time
+    std::string snapshot_path;  // recovery source ("" = unrecoverable)
+    std::chrono::steady_clock::time_point next_retry{};
+  };
+
+  /// Records a storage fault against `shard`; the first fault moves it
+  /// to kQuarantined and wakes the recovery thread.
+  void NoteShardFault(const Shard& shard, const std::string& error) const;
+
+  /// Background recovery loop: waits for the earliest due retry, then
+  /// attempts one recovery outside the locks.
+  void RecoveryLoop();
+  /// One recovery attempt for the quarantined shard `uid`: full reopen
+  /// first, body-salvage + rebuild as fallback, reschedule on failure.
+  void AttemptRecovery(uint64_t uid);
+
+  /// Drops health entries whose uid left the registry (after
+  /// RemoveLake / ReloadLakeFromSnapshot), fixing quarantined_count_.
+  void PruneHealthEntries() const;
+
+  mutable std::mutex health_mutex_;
+  mutable std::condition_variable health_cv_;
+  mutable std::unordered_map<uint64_t, HealthEntry> health_;
+  /// Fast routing gate: number of kQuarantined entries in health_.
+  mutable std::atomic<uint64_t> quarantined_count_{0};
+  bool stopping_ = false;  // guarded by health_mutex_
+  std::thread recovery_thread_;
 
   // Declared last: destroyed first, draining every admitted task while
   // the members above are still alive.

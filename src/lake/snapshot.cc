@@ -3,11 +3,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <unordered_set>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "src/storage/block.h"
+#include "src/storage/io.h"
 
 namespace gent {
 
@@ -26,7 +32,7 @@ constexpr uint32_t kMaxVersion = kVersionV2;
 class Writer {
  public:
   explicit Writer(const std::string& path)
-      : file_(std::fopen(path.c_str(), "wb")) {}
+      : path_(path), file_(io::Fopen(path, "wb")) {}
   ~Writer() {
     if (file_ != nullptr) std::fclose(file_);
   }
@@ -38,16 +44,27 @@ class Writer {
   /// succeeds, and the savers must check it.
   bool Close() {
     if (file_ != nullptr) {
-      failed_ |= std::fflush(file_) != 0;
-      failed_ |= std::fclose(file_) != 0;
+      failed_ |= io::Fflush(file_) != 0;
+      failed_ |= io::Fclose(file_) != 0;
       file_ = nullptr;
     }
     return !failed_;
   }
 
+  /// fsyncs the file's bytes to stable storage, then closes. The commit
+  /// protocol requires content durability BEFORE the rename publishes
+  /// the file (DESIGN.md §5.11), so the savers use this, not Close().
+  bool SyncClose() {
+    if (file_ == nullptr) return !failed_;
+    failed_ |= !io::SyncFile(file_, path_).ok();
+    failed_ |= io::Fclose(file_) != 0;
+    file_ = nullptr;
+    return !failed_;
+  }
+
   void Bytes(const void* data, size_t n) {
     if (!ok()) return;
-    failed_ |= std::fwrite(data, 1, n, file_) != n;
+    failed_ |= io::Fwrite(data, n, file_) != n;
     if (!failed_) {
       offset_ += n;
       checksum_.Append(data, n);
@@ -66,6 +83,7 @@ class Writer {
   void MarkFailed() { failed_ = true; }
 
  private:
+  std::string path_;
   std::FILE* file_;
   bool failed_ = false;
   uint64_t offset_ = 0;
@@ -75,7 +93,7 @@ class Writer {
 class Reader {
  public:
   explicit Reader(const std::string& path)
-      : file_(std::fopen(path.c_str(), "rb")) {}
+      : file_(io::Fopen(path, "rb")) {}
   ~Reader() {
     if (file_ != nullptr) std::fclose(file_);
   }
@@ -97,7 +115,7 @@ class Reader {
 
   void Bytes(void* data, size_t n) {
     if (!ok()) return;
-    failed_ |= std::fread(data, 1, n, file_) != n;
+    failed_ |= io::Fread(data, n, file_) != n;
     if (!failed_) {
       offset_ += n;
       checksum_.Append(data, n);
@@ -176,43 +194,85 @@ Status WriteBody(Writer& w, const DataLake& lake, uint32_t version,
   return Status::OK();
 }
 
+/// Commit-staging name: pid-qualified so concurrent savers in different
+/// processes never clobber each other's temp, and so SweepSnapshotTemps
+/// can recognize strands by shape (`*.tmp.<digits>`).
+std::string TempSnapshotPath(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return path + ".tmp." + std::to_string(pid);
+}
+
+/// Durably publishes the fully written temp at `tmp` as `path`:
+/// fsync(tmp) → close → rename(tmp, path) → fsync(parent directory).
+/// On any failure the temp is unlinked and `path` is never touched, so
+/// a reader of `path` sees the old file intact or the new one complete.
+Status CommitSnapshot(Writer& w, const std::string& tmp,
+                      const std::string& path) {
+  // Content must be durable BEFORE the rename publishes it: rename is
+  // atomic in the namespace but not ordered against data writeback, so
+  // an unsynced commit could surface as a published-yet-hollow file
+  // after power loss.
+  if (!w.SyncClose()) {
+    io::Remove(tmp);
+    return Status::IOError("flush/fsync/close failed for '" + tmp + "'");
+  }
+  if (io::Rename(tmp, path) != 0) {
+    io::Remove(tmp);
+    return Status::IOError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  // The new directory entry must itself reach disk; until then a crash
+  // rolls back to the OLD snapshot — still atomic, just not yet durable.
+  return io::SyncParentDir(path);
+}
+
 }  // namespace
 
 Status SaveSnapshot(const DataLake& lake, const std::string& path) {
-  Writer w(path);
-  GENT_RETURN_IF_ERROR(WriteBody(w, lake, kVersionV1, path));
-  // The final flush/close can fail where every fwrite "succeeded" (ENOSPC
-  // on a full disk surfaces when stdio's buffer drains); an unchecked
-  // fclose would report a truncated snapshot as written.
-  if (!w.Close()) {
-    return Status::IOError("flush/close failed for '" + path + "'");
+  const std::string tmp = TempSnapshotPath(path);
+  Writer w(tmp);
+  Status st = WriteBody(w, lake, kVersionV1, tmp);
+  if (!st.ok()) {
+    w.MarkFailed();
+    w.Close();
+    io::Remove(tmp);
+    return st;
   }
-  return Status::OK();
+  return CommitSnapshot(w, tmp, path);
 }
 
 Status SaveSnapshotV2(const DataLake& lake,
                       const storage::CatalogSectionViews& catalog,
                       const std::string& path) {
-  Writer w(path);
-  GENT_RETURN_IF_ERROR(WriteBody(w, lake, kVersionV2, path));
-  // The catalog region appends strictly after the body; the body's
-  // length and running checksum become its footer descriptor.
-  Status st = storage::AppendCatalogSections(w.file(), w.offset(),
-                                             w.checksum(), catalog,
-                                             kVersionV2);
+  const std::string tmp = TempSnapshotPath(path);
+  Writer w(tmp);
+  Status st = WriteBody(w, lake, kVersionV2, tmp);
+  if (st.ok()) {
+    // The catalog region appends strictly after the body; the body's
+    // length and running checksum become its footer descriptor.
+    st = storage::AppendCatalogSections(w.file(), w.offset(), w.checksum(),
+                                        catalog, kVersionV2);
+  }
   if (!st.ok()) {
     w.MarkFailed();
     w.Close();
+    io::Remove(tmp);
     return st;
   }
-  if (!w.Close()) {
-    return Status::IOError("flush/close failed for '" + path + "'");
-  }
-  return Status::OK();
+  return CommitSnapshot(w, tmp, path);
 }
 
-Status LoadSnapshot(DataLake& lake, const std::string& path,
-                    SnapshotLoadInfo* info) {
+namespace {
+
+/// Shared load path. `validate_tail` = false is the salvage mode
+/// (LoadSnapshotBody): the catalog tail of a v2 file — and the
+/// trailing-bytes check of a v1 file — is skipped, so a snapshot with a
+/// damaged catalog region still loads if its body parses.
+Status LoadSnapshotImpl(DataLake& lake, const std::string& path,
+                        SnapshotLoadInfo* info, bool validate_tail) {
   Reader r(path);
   if (!r.open()) return Status::IOError("cannot open '" + path + "'");
   char magic[8];
@@ -285,16 +345,18 @@ Status LoadSnapshot(DataLake& lake, const std::string& path,
     staged.push_back(std::move(t));
   }
 
-  if (version >= kVersionV2) {
-    // The body ends here; the catalog region and footer follow. Verify
-    // the whole tail — footer geometry, the body bytes just streamed,
-    // every section checksum, and structural consistency — before
-    // anything touches the lake.
-    GENT_RETURN_IF_ERROR(storage::ValidateCatalogTail(
-        r.file(), version, r.offset(), r.checksum()));
-  } else if (!r.AtEof()) {
-    return Status::IOError(
-        "'" + path + "' has trailing bytes after the last snapshot section");
+  if (validate_tail) {
+    if (version >= kVersionV2) {
+      // The body ends here; the catalog region and footer follow. Verify
+      // the whole tail — footer geometry, the body bytes just streamed,
+      // every section checksum, and structural consistency — before
+      // anything touches the lake.
+      GENT_RETURN_IF_ERROR(storage::ValidateCatalogTail(
+          r.file(), version, r.offset(), r.checksum()));
+    } else if (!r.AtEof()) {
+      return Status::IOError(
+          "'" + path + "' has trailing bytes after the last snapshot section");
+    }
   }
 
   // All-or-nothing: every staged name must be free in the lake and
@@ -314,6 +376,68 @@ Status LoadSnapshot(DataLake& lake, const std::string& path,
     info->identity_remap = identity;
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status LoadSnapshot(DataLake& lake, const std::string& path,
+                    SnapshotLoadInfo* info) {
+  return LoadSnapshotImpl(lake, path, info, /*validate_tail=*/true);
+}
+
+Status LoadSnapshotBody(DataLake& lake, const std::string& path,
+                        SnapshotLoadInfo* info) {
+  return LoadSnapshotImpl(lake, path, info, /*validate_tail=*/false);
+}
+
+Status VerifySnapshotIntegrity(const std::string& path) {
+  std::FILE* f = io::Fopen(path, "rb");
+  if (f == nullptr) return Status::IOError("cannot open '" + path + "'");
+  auto footer = storage::ReadFooter(f);
+  if (footer.ok()) {
+    // v2: the footer's descriptors cover every byte — the body via its
+    // offset-0 pseudo-descriptor, the catalog via the real sections —
+    // so checksumming all of them is full-file verification.
+    for (const storage::SectionDesc& desc : footer->sections) {
+      Status st = storage::VerifySectionChecksum(f, desc);
+      if (!st.ok()) {
+        io::Fclose(f);
+        return Status::IOError("'" + path + "': " + st.message());
+      }
+    }
+    io::Fclose(f);
+    return Status::OK();
+  }
+  io::Fclose(f);
+  if (footer.status().code() == StatusCode::kIOError) {
+    // A footer that is present but damaged: corruption, not "v1".
+    return footer.status();
+  }
+  // No v2 footer at all — a v1 snapshot has no checksums, so the only
+  // complete check is a full structural parse into a scratch lake.
+  DataLake scratch;
+  return LoadSnapshot(scratch, path);
+}
+
+size_t SweepSnapshotTemps(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  size_t removed = 0;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    const size_t pos = name.rfind(".tmp.");
+    if (pos == std::string::npos) continue;
+    const std::string suffix = name.substr(pos + 5);
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    if (io::Remove(entry.path().string()) == 0) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace gent

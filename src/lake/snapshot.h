@@ -56,16 +56,24 @@ struct SnapshotLoadInfo {
 
 /// Writes `lake` to `path` in version-1 format, overwriting. Fails with
 /// InvalidArgument if a labeled null is present, IOError on filesystem
-/// trouble — including a failed final flush/close, so a snapshot
+/// trouble — including a failed final flush/fsync, so a snapshot
 /// truncated by a full disk never reports success.
+///
+/// The commit is crash-atomic (DESIGN.md §5.11): bytes stream to
+/// `<path>.tmp.<pid>`, which is fsynced and atomically renamed over
+/// `path`, then the parent directory is fsynced. On ANY failure the
+/// temp is unlinked and `path` is never touched — a reader of `path`
+/// sees either the previous snapshot intact or the new one complete,
+/// never a partial file. A crash mid-save can strand the temp;
+/// SweepSnapshotTemps collects those at startup.
 Status SaveSnapshot(const DataLake& lake, const std::string& path);
 
 /// Writes `lake` plus its built catalog (`catalog` borrows the
 /// catalog's arrays; see ColumnStatsCatalog::section_views) to `path`
-/// in version-2 format, overwriting. Same failure contract as
-/// SaveSnapshot; the format is append-only, so an ENOSPC mid-write can
-/// only ever produce a file without a valid footer, never a file that
-/// validates.
+/// in version-2 format, overwriting. Same failure contract and
+/// crash-atomic temp-file commit as SaveSnapshot; the format is
+/// additionally append-only, so even the temp can never hold a file
+/// that validates without its final footer.
 Status SaveSnapshotV2(const DataLake& lake,
                       const storage::CatalogSectionViews& catalog,
                       const std::string& path);
@@ -80,6 +88,32 @@ Status SaveSnapshotV2(const DataLake& lake,
 /// untouched. Fills `*info` (if non-null) on success.
 Status LoadSnapshot(DataLake& lake, const std::string& path,
                     SnapshotLoadInfo* info = nullptr);
+
+/// Salvage load: like LoadSnapshot but validates only the BODY
+/// (dictionary + tables) and ignores the catalog tail entirely — a v2
+/// snapshot whose catalog sections or footer are damaged still loads
+/// if its body parses, at the cost of a catalog rebuild. This is the
+/// self-healing fallback ReclaimService's shard recovery uses when a
+/// full reopen keeps failing (DESIGN.md §5.11). Same all-or-nothing
+/// and collision contract as LoadSnapshot.
+Status LoadSnapshotBody(DataLake& lake, const std::string& path,
+                        SnapshotLoadInfo* info = nullptr);
+
+/// End-to-end integrity check of the snapshot at `path` without
+/// touching any lake. v2 (footer present): verifies the footer and
+/// every section checksum including the body descriptor — full byte
+/// coverage. v1: full structural parse into a scratch lake. Returns
+/// the first corruption found; OK means LoadSnapshot would accept the
+/// file byte-for-byte. Used by shard health checks and
+/// tools/snapshot_inspect --verify.
+Status VerifySnapshotIntegrity(const std::string& path);
+
+/// Removes orphaned snapshot temp files (`*.tmp.<digits>`, the commit
+/// staging names a crashed saver strands) from directory `dir`.
+/// Returns the number removed. Called by
+/// ReclaimService::AddLakeFromDirectory; standalone snapshot users
+/// should call it once at startup on their snapshot directories.
+size_t SweepSnapshotTemps(const std::string& dir);
 
 }  // namespace gent
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/storage/io.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <sys/mman.h>
@@ -18,12 +20,15 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
 #ifndef GENT_STORAGE_HAVE_MMAP
   return Status::Internal("mmap is not available on this platform");
 #else
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = io::InjectedFailure(io::Op::kOpen)
+                     ? -1
+                     : ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IOError("cannot open '" + path + "' for mapping");
   }
   struct stat st;
-  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+  if (io::InjectedFailure(io::Op::kStat) || ::fstat(fd, &st) != 0 ||
+      st.st_size < 0) {
     ::close(fd);
     return Status::IOError("cannot stat '" + path + "'");
   }
@@ -36,7 +41,9 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
   // MADV_DONTNEED drops them and the next access re-reads the file —
   // exactly the eviction semantics BufferPool builds on. The fd can be
   // closed once mapped; the mapping keeps the file alive.
-  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  void* p = io::InjectedFailure(io::Op::kMmap)
+                ? MAP_FAILED
+                : ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);
   if (p == MAP_FAILED) {
     return Status::IOError("mmap failed for '" + path + "'");
@@ -117,12 +124,21 @@ void BufferPool::FaultRange(size_t first, size_t count, bool pin) {
       hits_.fetch_add(1, std::memory_order_relaxed);
     } else {
       // Prefault the block so residency accounting matches reality: one
-      // volatile read per page brings it in from the file.
+      // volatile read per page brings it in from the file. The probe
+      // stands in for the SIGBUS/EIO a damaged backing file would raise
+      // on the access — a signal userspace cannot locally survive — so
+      // an injected fault is recorded sticky instead of dereferenced
+      // (the shard-health layer reads it via health()).
       const uint8_t* p = base_ + b * kBlockSize;
       const uint8_t* block_end =
           base_ + std::min(bytes_, (b + 1) * kBlockSize);
-      for (const uint8_t* q = p; q < block_end; q += 4096) {
-        (void)*const_cast<const volatile uint8_t*>(q);
+      if (!io::ProbeMappedRead(p, static_cast<size_t>(block_end - p))) {
+        read_faults_.fetch_add(1, std::memory_order_relaxed);
+        last_error_ = "mapped read fault in block " + std::to_string(b);
+      } else {
+        for (const uint8_t* q = p; q < block_end; q += 4096) {
+          (void)*const_cast<const volatile uint8_t*>(q);
+        }
       }
       ++resident_;
       faults_.fetch_add(1, std::memory_order_relaxed);
@@ -181,7 +197,7 @@ void BufferPool::EvictLocked() {
 #ifdef GENT_STORAGE_HAVE_MMAP
     uint8_t* p = const_cast<uint8_t*>(base_) + b * kBlockSize;
     const size_t len = std::min(bytes_ - b * kBlockSize, kBlockSize);
-    ::madvise(p, len, MADV_DONTNEED);
+    io::Madvise(p, len, MADV_DONTNEED);
 #endif
     states_[b].fetch_and(static_cast<uint8_t>(~kResident),
                          std::memory_order_relaxed);
@@ -196,6 +212,7 @@ BufferPool::Stats BufferPool::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.faults = faults_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.read_faults = read_faults_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     s.resident_blocks = resident_;
@@ -208,6 +225,13 @@ BufferPool::Stats BufferPool::stats() const {
 uint64_t BufferPool::resident_bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<uint64_t>(resident_) * kBlockSize;
+}
+
+Status BufferPool::health() const {
+  if (read_faults_.load(std::memory_order_acquire) == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Status::IOError(last_error_.empty() ? "mapped read fault"
+                                             : last_error_);
 }
 
 }  // namespace gent::storage

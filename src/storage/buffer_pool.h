@@ -73,6 +73,7 @@ class BufferPool {
     uint64_t hits = 0;       // Touch/Pin found the block resident
     uint64_t faults = 0;     // block brought in (first touch or re-fault)
     uint64_t evictions = 0;  // blocks released via MADV_DONTNEED
+    uint64_t read_faults = 0;  // prefault reads that hit an I/O fault
     size_t resident_blocks = 0;
     size_t pinned_blocks = 0;
     size_t total_blocks = 0;
@@ -107,6 +108,15 @@ class BufferPool {
   Stats stats() const;
   uint64_t resident_bytes() const;
 
+  /// Sticky storage-health verdict: OK until a prefault read reports an
+  /// I/O fault (io::ProbeMappedRead — the reportable stand-in for the
+  /// SIGBUS/EIO a damaged backing file raises on mapped access), then
+  /// IOError carrying the first failing block forever after. The
+  /// shard-health layer polls this after serving to quarantine the
+  /// shard (DESIGN.md §5.11); spans already handed out remain readable
+  /// wherever the underlying pages are intact.
+  Status health() const;
+
  private:
   // Per-block state bits (one atomic per block).
   static constexpr uint8_t kResident = 1;
@@ -134,6 +144,8 @@ class BufferPool {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> faults_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> read_faults_{0};
+  std::string last_error_;  // guarded by mutex_ (first read fault wins)
 };
 
 }  // namespace gent::storage

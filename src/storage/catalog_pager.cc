@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/storage/io.h"
+
 namespace gent::storage {
 
 namespace {
@@ -171,7 +173,7 @@ Status ValidateCatalogTail(std::FILE* file, uint32_t expected_version,
   // bracketing CSR offsets; everything else was just checksummed.
   std::vector<uint8_t> index_bytes(static_cast<size_t>(index->bytes));
   if (std::fseek(file, static_cast<long>(index->offset), SEEK_SET) != 0 ||
-      std::fread(index_bytes.data(), 1, index_bytes.size(), file) !=
+      io::Fread(index_bytes.data(), index_bytes.size(), file) !=
           index_bytes.size()) {
     return Status::IOError("snapshot: cannot read catalog column index");
   }
@@ -180,12 +182,12 @@ Status ValidateCatalogTail(std::FILE* file, uint32_t expected_version,
                                         values->bytes / 4, &dir));
   uint32_t bracket[2];
   if (std::fseek(file, static_cast<long>(post_offsets->offset), SEEK_SET) != 0 ||
-      std::fread(&bracket[0], 1, 4, file) != 4 ||
+      io::Fread(&bracket[0], 4, file) != 4 ||
       std::fseek(file,
                  static_cast<long>(post_offsets->offset + post_offsets->bytes -
                                    4),
                  SEEK_SET) != 0 ||
-      std::fread(&bracket[1], 1, 4, file) != 4) {
+      io::Fread(&bracket[1], 4, file) != 4) {
     return Status::IOError("snapshot: cannot read CSR offset bounds");
   }
   return CheckCsrBracket(bracket[0], bracket[1], post_cols->bytes / 4);
@@ -198,41 +200,55 @@ Result<std::unique_ptr<MappedCatalog>> MappedCatalog::Open(
 
   // The footer readers work on stdio; reuse them instead of duplicating
   // the geometry validation against the mapping.
-  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::FILE* f = io::Fopen(path, "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open '" + path + "'");
   }
   auto footer = ReadFooter(f);
   if (!footer.ok()) {
-    std::fclose(f);
+    io::Fclose(f);
     return footer.status();
   }
   if (footer->version < 2) {
-    std::fclose(f);
+    io::Fclose(f);
     return Status::InvalidArgument("snapshot has no catalog sections");
   }
   const SectionDesc *index, *values, *spine, *post_offsets, *post_cols;
   Status shapes = CheckSectionShapes(*footer, &index, &values, &spine,
                                      &post_offsets, &post_cols);
   if (!shapes.ok()) {
-    std::fclose(f);
+    io::Fclose(f);
     return shapes;
   }
   if (options.verify_checksums) {
     for (const SectionDesc& s : footer->sections) {
       Status st = VerifySectionChecksum(f, s);
       if (!st.ok()) {
-        std::fclose(f);
+        io::Fclose(f);
         return st;
       }
     }
   }
-  std::fclose(f);
+  io::Fclose(f);
 
   // ReadFooter derived footer_offset from the file size it saw; the
   // mapping must cover exactly the same file.
   if (mapped->size() != footer->footer_offset + kFooterBytes) {
     return Status::IOError("snapshot changed size while opening");
+  }
+
+  // SIGBUS guard: a mapped access past EOF faults the process, and a
+  // file that shrank between the mmap and here would put the
+  // footer-declared extents past EOF. Re-stat and refuse to serve a
+  // file shorter than its own directory claims; after this point the
+  // mapping and the footer agree, and the file is immutable by
+  // contract.
+  auto size_now = io::FileSize(path);
+  if (!size_now.ok()) return size_now.status();
+  if (*size_now < footer->footer_offset + kFooterBytes) {
+    return Status::IOError("'" + path +
+                           "' was truncated below its footer-declared "
+                           "extents while opening");
   }
 
   auto cat = std::unique_ptr<MappedCatalog>(new MappedCatalog());

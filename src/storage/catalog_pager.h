@@ -102,6 +102,10 @@ class MappedCatalog {
   /// Catalog region bytes under pool management.
   uint64_t region_bytes() const { return region_bytes_; }
 
+  /// Sticky storage health of the backing file (BufferPool::health):
+  /// OK until a prefault hits an I/O fault, IOError forever after.
+  Status health() const { return pool_->health(); }
+
  private:
   MappedCatalog() = default;
 

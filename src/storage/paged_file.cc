@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/storage/io.h"
+
 namespace gent::storage {
 
 namespace {
@@ -37,7 +39,7 @@ SectionWriter::SectionWriter(std::FILE* file, uint64_t start_offset)
 
 void SectionWriter::Raw(const void* data, size_t n) {
   if (failed_) return;
-  failed_ = std::fwrite(data, 1, n, file_) != n;
+  failed_ = io::Fwrite(data, n, file_) != n;
   if (!failed_) offset_ += n;
 }
 
@@ -143,7 +145,7 @@ Result<PagedFooter> ReadFooter(std::FILE* file) {
     return Status::IOError("snapshot footer: cannot seek to footer");
   }
   uint8_t buf[kFooterBytes];
-  if (std::fread(buf, 1, sizeof buf, file) != sizeof buf) {
+  if (io::Fread(buf, sizeof buf, file) != sizeof buf) {
     return Status::IOError("snapshot footer: short read");
   }
   if (std::memcmp(buf + kFooterBytes - 8, kFooterMagic, 8) != 0) {
@@ -209,7 +211,7 @@ Status VerifySectionChecksum(std::FILE* file, const SectionDesc& desc) {
   while (left > 0) {
     const size_t chunk =
         left < sizeof buf ? static_cast<size_t>(left) : sizeof buf;
-    if (std::fread(buf, 1, chunk, file) != chunk) {
+    if (io::Fread(buf, chunk, file) != chunk) {
       return Status::IOError("snapshot section: short read (truncated file)");
     }
     sum.Append(buf, chunk);

@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -29,6 +29,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kCancelled,
+  kUnavailable,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -73,6 +74,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,14 +6,20 @@
 #include "src/engine/reclaim_service.h"
 
 #include <atomic>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include <gtest/gtest.h>
 
 #include "src/lake/snapshot.h"
+#include "src/storage/io.h"
 #include "src/metrics/similarity.h"
 #include "src/table/table_builder.h"
 #include "src/table/table_io.h"
@@ -535,20 +541,34 @@ TEST(SnapshotRegressionTest, TrailingGarbageAfterLastSectionRejected) {
   EXPECT_EQ(fresh.size(), 0u);
 }
 
-#ifdef __linux__
 TEST(SnapshotRegressionTest, FullDiskSurfacesAtCloseNotAsSuccess) {
-  // /dev/full accepts opens and (buffered) writes; ENOSPC surfaces when
-  // stdio drains its buffer at fflush/fclose. Before the Close() fix a
-  // small snapshot "saved" successfully while writing nothing.
+  // A full disk accepts opens and buffered writes; ENOSPC surfaces when
+  // the bytes drain at flush/fsync time. Inject exactly that shape:
+  // every fwrite "succeeds", the commit-time flush fails. Before the
+  // Close() fix a small snapshot "saved" successfully while writing
+  // nothing; now the save must fail typed and leave no file behind.
   DataLake lake;
   (void)lake.AddTable(TableBuilder(lake.dict(), "t")
                           .Columns({"a"})
                           .Row({"1"})
                           .Build());
-  Status s = SaveSnapshot(lake, "/dev/full");
-  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("gent_enospc_close_" + std::to_string(::getpid()) + ".snap"))
+          .string();
+  {
+    io::FaultInjector injector;
+    io::FaultPlan plan;
+    plan.op_mask = io::OpBit(io::Op::kFlush);
+    plan.kind = io::FaultKind::kErrno;
+    plan.error_code = ENOSPC;
+    injector.Arm(plan);
+    io::ScopedFaultInjector scope(&injector);
+    Status s = SaveSnapshot(lake, path);
+    EXPECT_EQ(s.code(), StatusCode::kIOError);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
-#endif
 
 }  // namespace
 }  // namespace gent

@@ -4,12 +4,19 @@
 // same: never crash, fail with a typed Status when refusing, and degrade
 // monotonically (never fabricate values) when proceeding.
 
+#include <cerrno>
+#include <filesystem>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include <gtest/gtest.h>
 
 #include "src/engine/reclaim_service.h"
+#include "src/storage/io.h"
 #include "src/gent/gent.h"
 #include "src/metrics/precision_recall.h"
 #include "src/metrics/similarity.h"
@@ -373,10 +380,11 @@ TEST(RobustnessTest, SaveShardSnapshotUnknownShardIsTyped) {
             StatusCode::kNotFound);
 }
 
-#ifdef __linux__
 TEST(RobustnessTest, FailedShardSnapshotSaveLeavesServiceServing) {
-  // ENOSPC mid-save (via /dev/full) must surface as a typed error and
-  // leave the registry serving exactly what it served before.
+  // Injected ENOSPC mid-save must surface as a typed error and leave
+  // the registry serving exactly what it served before — and the
+  // crash-atomic commit must leave neither a destination file nor a
+  // stranded temp behind.
   DictionaryPtr dict = MakeDictionary();
   DataLake lake(dict);
   (void)lake.AddTable(TableBuilder(dict, "t")
@@ -401,15 +409,31 @@ TEST(RobustnessTest, FailedShardSnapshotSaveLeavesServiceServing) {
   auto before = service.Reclaim(source, request);
   ASSERT_TRUE(before.ok());
 
-  Status s = service.SaveShardSnapshot("lake", "/dev/full");
-  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("gent_robust_enospc_" + std::to_string(::getpid()) + ".snap"))
+          .string();
+  {
+    io::FaultInjector injector;
+    io::FaultPlan plan;
+    plan.op_mask = io::OpBit(io::Op::kWrite);
+    plan.trigger_at = 3;  // fail mid-stream, not at open
+    plan.kind = io::FaultKind::kErrno;
+    plan.error_code = ENOSPC;
+    injector.Arm(plan);
+    io::ScopedFaultInjector scope(&injector);
+    Status s = service.SaveShardSnapshot("lake", path);
+    EXPECT_EQ(s.code(), StatusCode::kIOError);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp." +
+                                       std::to_string(::getpid())));
 
   auto after = service.Reclaim(source, request);
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(TablesBitIdentical(before->reclaimed, after->reclaimed));
   EXPECT_EQ(before->originating_names, after->originating_names);
 }
-#endif
 
 TEST(RobustnessTest, AddColumnNameCollisionFails) {
   auto dict = MakeDictionary();

@@ -8,6 +8,7 @@
 // under ThreadSanitizer in CI.
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -20,6 +21,7 @@
 #include "src/discovery/discovery.h"
 #include "src/engine/reclaim_service.h"
 #include "src/lake/snapshot.h"
+#include "src/storage/io.h"
 #include "src/matrix/expand.h"
 #include "src/matrix/traversal.h"
 #include "src/table/table_builder.h"
@@ -533,16 +535,24 @@ TEST(ServiceTailTest, ReloadFaultsLeaveRegistryAndServingUntouched) {
   std::remove(garbage.c_str());
 }
 
-#ifdef __linux__
 TEST(ServiceTailTest, SaveSnapshotSurfacesWriteFailure) {
-  // /dev/full fails every write with ENOSPC — the classic fclose/fwrite
-  // fault injection point. Skip quietly where it does not exist.
-  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP();
+  // Injected ENOSPC on the first write: SaveSnapshot must fail typed
+  // and the commit protocol must leave no file at the destination.
   auto dict = MakeDictionary();
   DataLake lake = MakePairedLake(dict, 0, 2);
-  EXPECT_FALSE(SaveSnapshot(lake, "/dev/full").ok());
+  const std::string path = TempPath("tail_enospc");
+  {
+    io::FaultInjector injector;
+    io::FaultPlan plan;
+    plan.op_mask = io::OpBit(io::Op::kWrite);
+    plan.kind = io::FaultKind::kErrno;
+    plan.error_code = ENOSPC;
+    injector.Arm(plan);
+    io::ScopedFaultInjector scope(&injector);
+    EXPECT_FALSE(SaveSnapshot(lake, path).ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
-#endif
 
 // --- TSan hammer: cancel / reload / serve concurrently ------------------------
 

@@ -3,6 +3,7 @@
 
 #include "src/lake/snapshot.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include "src/gent/gent.h"
 #include "src/ops/unary.h"
 #include "src/storage/catalog_pager.h"
+#include "src/storage/io.h"
 #include "src/table/table_builder.h"
 
 namespace gent {
@@ -346,17 +348,30 @@ TEST_F(SnapshotTest, CollisionLeavesTargetCompletelyUntouched) {
   }
 }
 
-#ifdef __linux__
 TEST_F(SnapshotTest, V2FullDiskSurfacesTypedError) {
-  // /dev/full: the section writer's buffered bytes hit ENOSPC at drain
-  // time; SaveSnapshotV2 must report it, never claim success.
+  // Injected ENOSPC at the durability flush — the classic full-disk
+  // shape, where every fwrite "succeeded" and the failure surfaces only
+  // when the bytes drain. SaveSnapshotV2 must report it, never claim
+  // success, and the crash-atomic commit must leave no file behind:
+  // neither the destination nor the staging temp.
   DataLake lake = MakeLake();
   GenT gent(lake);
-  Status s =
-      SaveSnapshotV2(lake, gent.catalog().section_views(), "/dev/full");
-  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  const std::string path = Path("v2_enospc.snap");
+  io::FaultInjector injector;
+  io::FaultPlan plan;
+  plan.op_mask = io::OpBit(io::Op::kFlush);
+  plan.kind = io::FaultKind::kErrno;
+  plan.error_code = ENOSPC;
+  injector.Arm(plan);
+  {
+    io::ScopedFaultInjector scope(&injector);
+    Status s = SaveSnapshotV2(lake, gent.catalog().section_views(), path);
+    EXPECT_EQ(s.code(), StatusCode::kIOError);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp." +
+                                       std::to_string(::getpid())));
 }
-#endif
 
 }  // namespace
 }  // namespace gent

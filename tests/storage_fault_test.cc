@@ -1,0 +1,417 @@
+// Deterministic storage-fault tests (DESIGN.md §5.11): the gent::io
+// FaultInjector unit contract, failure atomicity of the crash-atomic
+// snapshot commit (injected ENOSPC/EIO/short writes leave the
+// destination untouched and strand no temp), an exhaustive crash-point
+// matrix over the v2 writer (every prefix of the write stream leaves
+// the destination loadable as the OLD snapshot or the NEW one, never a
+// hybrid), orphan-temp sweeping, and VerifySnapshotIntegrity.
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include <gtest/gtest.h>
+
+#include "src/gent/gent.h"
+#include "src/lake/snapshot.h"
+#include "src/storage/io.h"
+#include "src/storage/paged_file.h"
+#include "src/table/table_builder.h"
+
+namespace gent {
+namespace {
+
+class StorageFaultTest : public ::testing::Test {
+ protected:
+  StorageFaultTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gent_fault_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  ~StorageFaultTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::string TempName(const std::string& path) const {
+    return path + ".tmp." + std::to_string(::getpid());
+  }
+
+  /// A small lake whose single table carries `marker` — enough to tell
+  /// apart which snapshot generation a loaded file came from.
+  static DataLake MakeLake(const std::string& marker) {
+    DataLake lake;
+    (void)lake.AddTable(TableBuilder(lake.dict(), "data")
+                            .Columns({"k", "v"})
+                            .Row({"1", marker})
+                            .Row({"2", "shared"})
+                            .Key({"k"})
+                            .Build());
+    return lake;
+  }
+
+  /// Loads `path` into a fresh lake and returns the marker cell, or ""
+  /// if the load failed (the caller asserts on it).
+  static std::string MarkerOf(const std::string& path) {
+    DataLake lake;
+    if (!LoadSnapshot(lake, path).ok()) return std::string();
+    if (lake.size() != 1 || lake.table(0).num_rows() < 1) return std::string();
+    return lake.table(0).CellString(0, 1);
+  }
+
+  std::filesystem::path dir_;
+};
+
+// --- Injector unit behavior -------------------------------------------------
+
+TEST_F(StorageFaultTest, InjectorCountsTriggersAndCrashSticks) {
+  io::FaultInjector injector;
+  EXPECT_EQ(injector.CountOf(io::Op::kWrite), 0u);
+
+  // Unarmed: every call passes but is counted.
+  EXPECT_EQ(injector.OnCall(io::Op::kWrite), io::FaultInjector::Outcome::kPass);
+  EXPECT_EQ(injector.CountOf(io::Op::kWrite), 1u);
+
+  // One-shot errno on the 2nd matching call; later calls pass again.
+  io::FaultPlan plan;
+  plan.op_mask = io::OpBit(io::Op::kWrite);
+  plan.trigger_at = 2;
+  plan.kind = io::FaultKind::kErrno;
+  plan.error_code = ENOSPC;
+  injector.Arm(plan);
+  EXPECT_EQ(injector.OnCall(io::Op::kFlush),
+            io::FaultInjector::Outcome::kPass);  // not in mask
+  EXPECT_EQ(injector.OnCall(io::Op::kWrite), io::FaultInjector::Outcome::kPass);
+  EXPECT_EQ(injector.OnCall(io::Op::kWrite),
+            io::FaultInjector::Outcome::kErrno);
+  EXPECT_EQ(injector.OnCall(io::Op::kWrite), io::FaultInjector::Outcome::kPass);
+  EXPECT_EQ(injector.error_code(), ENOSPC);
+
+  // Crash: sticky for mutating ops, reads still pass.
+  plan.trigger_at = 1;
+  plan.kind = io::FaultKind::kCrash;
+  injector.Arm(plan);
+  EXPECT_FALSE(injector.crashed());
+  EXPECT_EQ(injector.OnCall(io::Op::kWrite),
+            io::FaultInjector::Outcome::kCrashed);
+  EXPECT_TRUE(injector.crashed());
+  EXPECT_EQ(injector.OnCall(io::Op::kRename),
+            io::FaultInjector::Outcome::kCrashed);
+  EXPECT_EQ(injector.OnCall(io::Op::kRemove),
+            io::FaultInjector::Outcome::kCrashed);
+  EXPECT_EQ(injector.OnCall(io::Op::kRead), io::FaultInjector::Outcome::kPass);
+  EXPECT_EQ(injector.OnCall(io::Op::kStat), io::FaultInjector::Outcome::kPass);
+}
+
+// --- Failure atomicity ------------------------------------------------------
+
+TEST_F(StorageFaultTest, InjectedErrnoLeavesNoDestinationAndNoTemp) {
+  DataLake lake = MakeLake("m");
+  const std::string path = Path("fresh.snap");
+  // Fail each op class the commit path exercises, one save per class.
+  const io::Op ops[] = {io::Op::kOpen, io::Op::kWrite, io::Op::kFlush,
+                        io::Op::kSync, io::Op::kRename};
+  for (io::Op op : ops) {
+    io::FaultInjector injector;
+    io::FaultPlan plan;
+    plan.op_mask = io::OpBit(op);
+    plan.kind = io::FaultKind::kErrno;
+    plan.error_code = EIO;
+    injector.Arm(plan);
+    {
+      io::ScopedFaultInjector scope(&injector);
+      Status s = SaveSnapshot(lake, path);
+      // A kSync fault can land on SyncParentDir — after the rename — in
+      // which case the commit happened; status is still an error.
+      EXPECT_FALSE(s.ok()) << "op " << static_cast<int>(op);
+      EXPECT_EQ(s.code(), StatusCode::kIOError);
+    }
+    EXPECT_FALSE(std::filesystem::exists(TempName(path)))
+        << "op " << static_cast<int>(op);
+    if (std::filesystem::exists(path)) {
+      // Only the post-rename sync failure may leave the file — and then
+      // it must be the complete new snapshot.
+      EXPECT_EQ(op, io::Op::kSync);
+      EXPECT_EQ(MarkerOf(path), "m");
+      std::filesystem::remove(path);
+    }
+  }
+}
+
+TEST_F(StorageFaultTest, ShortWriteNeverReachesDestination) {
+  DataLake lake = MakeLake("m");
+  const std::string path = Path("short.snap");
+  io::FaultInjector injector;
+  io::FaultPlan plan;
+  plan.op_mask = io::OpBit(io::Op::kWrite);
+  plan.trigger_at = 4;
+  plan.kind = io::FaultKind::kShortWrite;
+  injector.Arm(plan);
+  {
+    io::ScopedFaultInjector scope(&injector);
+    EXPECT_EQ(SaveSnapshot(lake, path).code(), StatusCode::kIOError);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(TempName(path)));
+}
+
+TEST_F(StorageFaultTest, FailedOverwriteKeepsOldSnapshotLoadable) {
+  // The destination already holds a good snapshot; a failed re-save
+  // must leave it byte-for-byte serviceable.
+  const std::string path = Path("overwrite.snap");
+  ASSERT_TRUE(SaveSnapshot(MakeLake("old"), path).ok());
+
+  DataLake next = MakeLake("new");
+  io::FaultInjector injector;
+  io::FaultPlan plan;
+  plan.op_mask = io::OpBit(io::Op::kWrite);
+  plan.trigger_at = 2;
+  plan.kind = io::FaultKind::kErrno;
+  plan.error_code = ENOSPC;
+  injector.Arm(plan);
+  {
+    io::ScopedFaultInjector scope(&injector);
+    EXPECT_FALSE(SaveSnapshot(next, path).ok());
+  }
+  EXPECT_EQ(MarkerOf(path), "old");
+  EXPECT_TRUE(VerifySnapshotIntegrity(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(TempName(path)));
+}
+
+// --- Crash-point matrix over the v2 writer ----------------------------------
+
+TEST_F(StorageFaultTest, V2CrashPointMatrixLeavesOldOrNew) {
+  // Enumerate every mutating storage call a SaveSnapshotV2 issues and
+  // simulate a crash at each one. After every crash point the
+  // destination must load as exactly the OLD snapshot or exactly the
+  // NEW one (and verify end to end); a stranded temp must be exactly
+  // what SweepSnapshotTemps collects.
+  const std::string path = Path("matrix.snap");
+  {
+    DataLake old_lake = MakeLake("old");
+    GenT old_gent(old_lake);
+    ASSERT_TRUE(
+        SaveSnapshotV2(old_lake, old_gent.catalog().section_views(), path)
+            .ok());
+  }
+  DataLake new_lake = MakeLake("new");
+  GenT new_gent(new_lake);
+  const auto views = new_gent.catalog().section_views();
+
+  constexpr uint32_t kMutatingMask =
+      io::OpBit(io::Op::kOpen) | io::OpBit(io::Op::kWrite) |
+      io::OpBit(io::Op::kFlush) | io::OpBit(io::Op::kSync) |
+      io::OpBit(io::Op::kRename);
+
+  // Counting run: one injected-but-disarmed save sizes the matrix.
+  // (The injector disables stdio buffering, so the op sequence of the
+  // counting run is identical to every crash run's.)
+  uint64_t total_ops = 0;
+  {
+    io::FaultInjector counter;
+    io::ScopedFaultInjector scope(&counter);
+    const std::string probe = Path("probe.snap");
+    ASSERT_TRUE(SaveSnapshotV2(new_lake, views, probe).ok());
+    total_ops = counter.CountOf(io::Op::kOpen) +
+                counter.CountOf(io::Op::kWrite) +
+                counter.CountOf(io::Op::kFlush) +
+                counter.CountOf(io::Op::kSync) +
+                counter.CountOf(io::Op::kRename);
+  }
+  ASSERT_GT(total_ops, 4u);
+
+  size_t old_outcomes = 0;
+  size_t new_outcomes = 0;
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    io::FaultInjector injector;
+    io::FaultPlan plan;
+    plan.op_mask = kMutatingMask;
+    plan.trigger_at = k;
+    plan.kind = io::FaultKind::kCrash;
+    injector.Arm(plan);
+    {
+      io::ScopedFaultInjector scope(&injector);
+      (void)SaveSnapshotV2(new_lake, views, path);
+      EXPECT_TRUE(injector.crashed()) << "crash point " << k;
+    }
+
+    // Crash anywhere: the destination is the old file intact or the
+    // new file complete — and verifies byte-for-byte either way.
+    const std::string marker = MarkerOf(path);
+    EXPECT_TRUE(marker == "old" || marker == "new")
+        << "crash point " << k << " left an unloadable/hybrid file";
+    EXPECT_TRUE(VerifySnapshotIntegrity(path).ok()) << "crash point " << k;
+    if (marker == "old") {
+      ++old_outcomes;
+    } else {
+      ++new_outcomes;
+    }
+
+    // A crash strands its temp (cleanup "didn't run"); the startup
+    // sweep must collect it — and must collect nothing else.
+    const bool stranded = std::filesystem::exists(TempName(path));
+    const size_t swept = SweepSnapshotTemps(dir_.string());
+    EXPECT_EQ(swept, stranded ? 1u : 0u) << "crash point " << k;
+    EXPECT_FALSE(std::filesystem::exists(TempName(path)));
+
+    // Re-seed the old generation when the crash landed pre-commit, so
+    // every iteration starts from the same two-generation state.
+    if (marker != "old") {
+      // New content committed: it IS the old generation from here on —
+      // no reseed needed, both generations now carry "new". Rewrite a
+      // fresh "old" so the old-vs-new discrimination stays sharp.
+      DataLake old_lake = MakeLake("old");
+      GenT old_gent(old_lake);
+      ASSERT_TRUE(
+          SaveSnapshotV2(old_lake, old_gent.catalog().section_views(), path)
+              .ok());
+    }
+  }
+  // The matrix must actually exercise both outcomes: early crash
+  // points preserve the old file, the post-rename tail yields the new.
+  EXPECT_GT(old_outcomes, 0u);
+  EXPECT_GT(new_outcomes, 0u);
+}
+
+// --- Read-side and verification ---------------------------------------------
+
+TEST_F(StorageFaultTest, InjectedReadErrorSurfacesAsTypedIOError) {
+  const std::string path = Path("readerr.snap");
+  ASSERT_TRUE(SaveSnapshot(MakeLake("m"), path).ok());
+
+  io::FaultInjector injector;
+  io::FaultPlan plan;
+  plan.op_mask = io::OpBit(io::Op::kRead);
+  plan.trigger_at = 3;
+  plan.kind = io::FaultKind::kErrno;
+  plan.error_code = EIO;
+  injector.Arm(plan);
+  io::ScopedFaultInjector scope(&injector);
+  DataLake lake;
+  Status s = LoadSnapshot(lake, path);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(lake.size(), 0u);  // all-or-nothing held
+}
+
+TEST_F(StorageFaultTest, VerifyIntegrityDetectsBitFlips) {
+  // v2: a flip inside any checksummed payload — body or any catalog
+  // section — must fail verification, as must one in the footer itself.
+  // (Only the zero padding between block-aligned sections is don't-care
+  // bytes.)
+  const std::string path = Path("verify.snap");
+  DataLake lake = MakeLake("m");
+  GenT gent(lake);
+  ASSERT_TRUE(
+      SaveSnapshotV2(lake, gent.catalog().section_views(), path).ok());
+  ASSERT_TRUE(VerifySnapshotIntegrity(path).ok());
+
+  const auto size = std::filesystem::file_size(path);
+  std::vector<uint64_t> offsets = {24, size - 12};  // body head, footer
+  {
+    std::FILE* f = io::Fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    auto footer = storage::ReadFooter(f);
+    io::Fclose(f);
+    ASSERT_TRUE(footer.ok());
+    for (const auto& desc : footer->sections) {
+      if (desc.bytes == 0) continue;
+      offsets.push_back(desc.offset + desc.bytes / 2);
+    }
+    ASSERT_GT(offsets.size(), 3u) << "fixture catalog has no sections";
+  }
+  for (uint64_t offset : offsets) {
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+    f.close();
+    EXPECT_FALSE(VerifySnapshotIntegrity(path).ok())
+        << "flip at offset " << offset << " not detected";
+    // Restore.
+    std::fstream g(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    byte = static_cast<char>(byte ^ 0x40);
+    g.seekp(static_cast<std::streamoff>(offset));
+    g.write(&byte, 1);
+    g.close();
+    ASSERT_TRUE(VerifySnapshotIntegrity(path).ok());
+  }
+
+  // v1 (no checksums): verification is a full structural parse; a
+  // truncation must fail it.
+  const std::string v1 = Path("verify_v1.snap");
+  ASSERT_TRUE(SaveSnapshot(lake, v1).ok());
+  ASSERT_TRUE(VerifySnapshotIntegrity(v1).ok());
+  std::filesystem::resize_file(v1, std::filesystem::file_size(v1) - 5);
+  EXPECT_FALSE(VerifySnapshotIntegrity(v1).ok());
+
+  EXPECT_EQ(VerifySnapshotIntegrity(Path("missing.snap")).code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(StorageFaultTest, SalvageLoadIgnoresDamagedCatalogTail) {
+  const std::string path = Path("salvage.snap");
+  DataLake lake = MakeLake("m");
+  GenT gent(lake);
+  ASSERT_TRUE(
+      SaveSnapshotV2(lake, gent.catalog().section_views(), path).ok());
+
+  // Damage the footer: the full load must refuse, the body salvage
+  // must still produce every table.
+  const auto size = std::filesystem::file_size(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(size - 16));
+    const char junk[8] = {'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X'};
+    f.write(junk, sizeof junk);
+  }
+  DataLake full;
+  EXPECT_FALSE(LoadSnapshot(full, path).ok());
+  EXPECT_EQ(full.size(), 0u);
+
+  DataLake body;
+  SnapshotLoadInfo info;
+  ASSERT_TRUE(LoadSnapshotBody(body, path, &info).ok());
+  EXPECT_EQ(info.version, 2u);
+  ASSERT_EQ(body.size(), 1u);
+  EXPECT_EQ(body.table(0).CellString(0, 1), "m");
+}
+
+TEST_F(StorageFaultTest, SweepMatchesOnlyCommitTempNames) {
+  const auto touch = [&](const std::string& name) {
+    std::ofstream(Path(name)) << "x";
+  };
+  touch("keep.snap");
+  touch("keep.tmp");          // no pid suffix
+  touch("keep.tmp.12ab");     // non-digit suffix
+  touch("keep.tmp.");         // empty suffix
+  touch("a.snap.tmp.123");
+  touch("b.snap.tmp.99999");
+  EXPECT_EQ(SweepSnapshotTemps(dir_.string()), 2u);
+  EXPECT_TRUE(std::filesystem::exists(Path("keep.snap")));
+  EXPECT_TRUE(std::filesystem::exists(Path("keep.tmp")));
+  EXPECT_TRUE(std::filesystem::exists(Path("keep.tmp.12ab")));
+  EXPECT_TRUE(std::filesystem::exists(Path("keep.tmp.")));
+  EXPECT_FALSE(std::filesystem::exists(Path("a.snap.tmp.123")));
+  EXPECT_FALSE(std::filesystem::exists(Path("b.snap.tmp.99999")));
+  EXPECT_EQ(SweepSnapshotTemps(Path("no_such_dir")), 0u);
+}
+
+}  // namespace
+}  // namespace gent

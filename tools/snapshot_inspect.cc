@@ -10,9 +10,11 @@
 // Exit code: 0 when the file parses (and, with --verify, all checksums
 // pass), 1 otherwise — scriptable as a shard health check.
 
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "src/lake/data_lake.h"
@@ -20,6 +22,31 @@
 #include "src/storage/paged_file.h"
 
 namespace {
+
+/// Warns about `*.tmp.<digits>` siblings of `path` — staging files a
+/// crashed saver stranded (SweepSnapshotTemps naming). Informational
+/// only: they never affect the inspected file's validity.
+void WarnOrphanTemps(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const size_t at = name.rfind(".tmp.");
+    if (at == std::string::npos) continue;
+    const std::string suffix = name.substr(at + 5);
+    if (suffix.empty()) continue;
+    bool digits = true;
+    for (char c : suffix) {
+      digits &= std::isdigit(static_cast<unsigned char>(c)) != 0;
+    }
+    if (!digits) continue;
+    std::printf("  warning: orphaned snapshot temp in this directory: %s "
+                "(stranded by a crashed save; removed by "
+                "SweepSnapshotTemps / service startup)\n",
+                name.c_str());
+  }
+}
 
 const char* SectionName(uint32_t id) {
   switch (static_cast<gent::storage::SectionId>(id)) {
@@ -72,6 +99,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n", path.c_str());
+  WarnOrphanTemps(path);
   if (load.ok()) {
     std::printf("  format version: %" PRIu32 "%s\n", info.version,
                 info.version >= 2 ? " (carries built catalog)" : "");
