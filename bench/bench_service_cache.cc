@@ -461,6 +461,254 @@ int RunFaultRecovery(size_t max_sources) {
   return ok ? 0 : 1;
 }
 
+// --- Incremental ingest: append-delta vs full reload ------------------------
+//
+// Registers half the TP-TR Small lake as a v2-mapped shard, then grows
+// it to full size through AppendTablesToLake in batches while reader
+// threads keep reclaiming through the shard. Measures per-batch append
+// latency (run build + durable delta append + catalog layering +
+// publish) against the full-reload alternative (catalog rebuild + v2
+// save + fresh open) and the online compaction fold. After every batch
+// the grown shard is checked bit-identical to a one-shot service over
+// the same tables — the "zero query mismatches during concurrent
+// appends" acceptance line. Writes BENCH_ingest.json.
+int RunIngest(size_t max_sources) {
+  auto bench = MakeTpTrBenchmark("TP-TR Small", TpTrSmallConfig());
+  if (!bench.ok()) {
+    std::fprintf(stderr, "ingest: benchmark generation failed: %s\n",
+                 bench.status().ToString().c_str());
+    return 1;
+  }
+  const DictionaryPtr dict = bench->lake->dict();
+  const size_t total_tables = bench->lake->size();
+  const size_t base_tables = std::max<size_t>(1, total_tables / 2);
+  constexpr size_t kBatches = 4;
+
+  DataLake base(dict);
+  for (size_t i = 0; i < base_tables; ++i) {
+    if (Status s = base.AddTable(bench->lake->table(i).Clone()); !s.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::vector<std::vector<Table>> batches(kBatches);
+  for (size_t i = base_tables; i < total_tables; ++i) {
+    batches[(i - base_tables) % kBatches].push_back(
+        bench->lake->table(i).Clone());
+  }
+
+  const std::string path = "ingest.snap";
+  const auto cleanup = [&] { std::remove(path.c_str()); };
+  {
+    GenT gent(base);
+    if (Status s = SaveSnapshotV2(base, gent.catalog().section_views(), path);
+        !s.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  ServiceOptions options;
+  options.dict = dict;
+  options.cache_capacity = 64;
+  options.storage.compact_after_runs = 0;  // timed explicitly below
+  ReclaimService service(std::move(options));
+  auto t0 = std::chrono::steady_clock::now();
+  if (Status s = service.AddLakeFromSnapshot("lake", path); !s.ok()) {
+    std::fprintf(stderr, "ingest: %s\n", s.ToString().c_str());
+    cleanup();
+    return 1;
+  }
+  const double open_s = Seconds(t0);
+
+  std::vector<Table> sources;
+  for (size_t i = 0; i < bench->sources.size() && i < max_sources; ++i) {
+    sources.push_back(bench->sources[i].source.Clone());
+  }
+
+  // Readers hammer the shard for the whole ingest window; every result
+  // must be OK (some pre-, some post-append — both are valid
+  // generations, each internally consistent via the pinned registry).
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> failed{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      ReclaimRequest request;
+      request.lake = "lake";
+      request.max_rows = 2'000'000;
+      size_t i = r;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto res = service.Reclaim(sources[i % sources.size()], request);
+        (res.ok() ? served : failed).fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  // Grow the shard batch by batch; after each publish, check the grown
+  // shard against a one-shot reference over the identical table set.
+  DataLake accumulated(base);
+  std::vector<double> append_s;
+  size_t appended_tables = 0;
+  uint64_t mismatches = 0;
+  ReclaimRequest probe_request;
+  probe_request.lake = "lake";
+  probe_request.max_rows = 2'000'000;
+  probe_request.bypass_cache = true;
+  for (size_t b = 0; b < kBatches; ++b) {
+    if (batches[b].empty()) continue;
+    appended_tables += batches[b].size();
+    for (const Table& t : batches[b]) {
+      if (Status s = accumulated.AddTable(t.Clone()); !s.ok()) {
+        std::fprintf(stderr, "ingest: %s\n", s.ToString().c_str());
+        stop.store(true, std::memory_order_release);
+        for (auto& th : readers) th.join();
+        cleanup();
+        return 1;
+      }
+    }
+    t0 = std::chrono::steady_clock::now();
+    Status s = service.AppendTablesToLake("lake", std::move(batches[b]));
+    append_s.push_back(Seconds(t0));
+    if (!s.ok()) {
+      std::fprintf(stderr, "ingest: append %zu: %s\n", b,
+                   s.ToString().c_str());
+      stop.store(true, std::memory_order_release);
+      for (auto& th : readers) th.join();
+      cleanup();
+      return 1;
+    }
+
+    ServiceOptions ref_options;
+    ref_options.dict = dict;
+    ref_options.cache_capacity = 0;
+    ReclaimService reference(std::move(ref_options));
+    if (Status rs = reference.AddLakeView("lake", accumulated); !rs.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", rs.ToString().c_str());
+      stop.store(true, std::memory_order_release);
+      for (auto& th : readers) th.join();
+      cleanup();
+      return 1;
+    }
+    for (const Table& source : sources) {
+      auto grown = service.Reclaim(source.Clone(), probe_request);
+      auto expect = reference.Reclaim(source.Clone(), probe_request);
+      const bool same =
+          grown.ok() == expect.ok() &&
+          (!grown.ok() ||
+           (TablesBitIdentical(grown->reclaimed, expect->reclaimed) &&
+            grown->originating_names == expect->originating_names));
+      if (!same) ++mismatches;
+    }
+  }
+
+  // Online fold: same content, one region, chain released.
+  t0 = std::chrono::steady_clock::now();
+  const Status compact = service.CompactShardSnapshot("lake");
+  const double compact_s = Seconds(t0);
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  if (!compact.ok()) {
+    std::fprintf(stderr, "ingest: compact: %s\n", compact.ToString().c_str());
+    cleanup();
+    return 1;
+  }
+
+  // The alternative this replaces: rebuild the catalog over the full
+  // lake, save a fresh v2 snapshot, open it in a fresh service.
+  double full_reload_s = 0.0;
+  {
+    const std::string reload_path = "ingest_reload.snap";
+    t0 = std::chrono::steady_clock::now();
+    GenT full(accumulated);
+    if (Status s = SaveSnapshotV2(accumulated,
+                                  full.catalog().section_views(),
+                                  reload_path);
+        !s.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", s.ToString().c_str());
+      cleanup();
+      return 1;
+    }
+    ServiceOptions reload_options;
+    reload_options.dict = dict;
+    ReclaimService fresh(std::move(reload_options));
+    if (Status s = fresh.AddLakeFromSnapshot("lake", reload_path); !s.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", s.ToString().c_str());
+      cleanup();
+      return 1;
+    }
+    full_reload_s = Seconds(t0);
+    std::remove(reload_path.c_str());
+  }
+  cleanup();
+
+  double append_total_s = 0.0;
+  double append_max_s = 0.0;
+  for (double s : append_s) {
+    append_total_s += s;
+    append_max_s = std::max(append_max_s, s);
+  }
+  const double append_mean_s =
+      append_s.empty() ? 0.0 : append_total_s / append_s.size();
+  const double speedup =
+      append_mean_s > 0 ? full_reload_s / append_mean_s : 0.0;
+
+  std::printf("\n=== Incremental ingest (%s) ===\n", bench->name.c_str());
+  std::printf("base tables: %zu, appended: %zu in %zu batches\n",
+              base_tables, appended_tables, append_s.size());
+  std::printf("v2 open: %.3fs; append mean %.4fs max %.4fs; "
+              "full reload %.3fs (%.1fx vs append)\n",
+              open_s, append_mean_s, append_max_s, full_reload_s, speedup);
+  std::printf("compaction fold: %.3fs\n", compact_s);
+  std::printf("concurrent queries: %llu ok, %llu failed; "
+              "post-append mismatches: %llu\n",
+              static_cast<unsigned long long>(served.load()),
+              static_cast<unsigned long long>(failed.load()),
+              static_cast<unsigned long long>(mismatches));
+
+  std::FILE* f = std::fopen("BENCH_ingest.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_ingest.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ingest\",\n");
+  WriteCpuMetadataJson(f);
+  std::fprintf(f, "  \"benchmark\": \"%s\",\n", bench->name.c_str());
+  std::fprintf(f,
+               "  \"base_tables\": %zu,\n  \"appended_tables\": %zu,\n"
+               "  \"batches\": %zu,\n  \"sources\": %zu,\n",
+               base_tables, appended_tables, append_s.size(),
+               sources.size());
+  std::fprintf(f, "  \"v2_open_seconds\": %.6f,\n", open_s);
+  std::fprintf(f, "  \"append_seconds\": [");
+  for (size_t i = 0; i < append_s.size(); ++i) {
+    std::fprintf(f, "%s%.6f", i ? ", " : "", append_s[i]);
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f,
+               "  \"append_mean_seconds\": %.6f,\n"
+               "  \"append_max_seconds\": %.6f,\n"
+               "  \"full_reload_seconds\": %.6f,\n"
+               "  \"reload_over_append_speedup\": %.3f,\n"
+               "  \"compact_seconds\": %.6f,\n",
+               append_mean_s, append_max_s, full_reload_s, speedup,
+               compact_s);
+  std::fprintf(f,
+               "  \"concurrent_queries_ok\": %llu,\n"
+               "  \"concurrent_queries_failed\": %llu,\n"
+               "  \"query_mismatches\": %llu,\n"
+               "  \"bit_identical\": %s\n}\n",
+               static_cast<unsigned long long>(served.load()),
+               static_cast<unsigned long long>(failed.load()),
+               static_cast<unsigned long long>(mismatches),
+               (mismatches == 0 && failed.load() == 0) ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_ingest.json\n");
+  return (mismatches == 0 && failed.load() == 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main() {
@@ -618,8 +866,9 @@ int main() {
 
   const int warmstart_rc = RunWarmStart(repeats);
   const int faultrecovery_rc = RunFaultRecovery(max_sources);
+  const int ingest_rc = RunIngest(max_sources);
   return identical && async_identical && warmstart_rc == 0 &&
-                 faultrecovery_rc == 0
+                 faultrecovery_rc == 0 && ingest_rc == 0
              ? 0
              : 1;
 }

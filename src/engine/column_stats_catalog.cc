@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/lake/snapshot.h"
 #include "src/util/simd.h"
 
 namespace gent {
@@ -86,17 +87,28 @@ void ColumnStatsCatalog::BuildColumnLayout() {
   }
 }
 
-ColumnStatsCatalog::ColumnStatsCatalog(const DataLake& lake) : lake_(lake) {
-  BuildColumnLayout();
+namespace {
 
+// The one catalog-array construction, shared by the full build
+// (first_table = 0) and BuildDeltaRun: per-column sorted distinct sets
+// for tables [first_table, lake.size()) with dense ids starting at
+// `first_col`, plus the CSR postings over exactly those columns.
+// Sharing it is what makes "fold the runs and rebuild" bit-identical to
+// "append and merge at read time" — there is no second algorithm to
+// drift.
+void BuildRegionArrays(const DataLake& lake, size_t first_table,
+                       uint32_t first_col,
+                       std::vector<std::vector<ValueId>>* values,
+                       std::vector<ValueId>* spine,
+                       std::vector<uint32_t>* post_offsets,
+                       std::vector<uint32_t>* post_cols) {
   // Per-column sorted distinct sets (nulls excluded).
-  owned_values_.resize(col_refs_.size());
   size_t total_postings = 0;
-  for (size_t id = 0; id < col_refs_.size(); ++id) {
-    const ColumnRef ref = col_refs_[id];
-    owned_values_[id] =
-        SortedDistinctValues(lake.table(ref.table), ref.column);
-    total_postings += owned_values_[id].size();
+  for (size_t t = first_table; t < lake.size(); ++t) {
+    for (size_t c = 0; c < lake.table(t).num_cols(); ++c) {
+      values->push_back(SortedDistinctValues(lake.table(t), c));
+      total_postings += values->back().size();
+    }
   }
 
   // CSR postings, sorted by (value, dense column id). Appending column
@@ -104,29 +116,118 @@ ColumnStatsCatalog::ColumnStatsCatalog(const DataLake& lake) : lake_(lake) {
   // posting list ascending by column id.
   std::vector<std::pair<ValueId, uint32_t>> pairs;
   pairs.reserve(total_postings);
-  for (size_t id = 0; id < owned_values_.size(); ++id) {
-    for (ValueId v : owned_values_[id]) {
-      pairs.emplace_back(v, static_cast<uint32_t>(id));
+  for (size_t i = 0; i < values->size(); ++i) {
+    for (ValueId v : (*values)[i]) {
+      pairs.emplace_back(v, first_col + static_cast<uint32_t>(i));
     }
   }
   std::sort(pairs.begin(), pairs.end());
-  owned_post_cols_.reserve(pairs.size());
+  post_cols->reserve(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
     if (i == 0 || pairs[i].first != pairs[i - 1].first) {
-      owned_spine_.push_back(pairs[i].first);
-      owned_post_offsets_.push_back(static_cast<uint32_t>(i));
+      spine->push_back(pairs[i].first);
+      post_offsets->push_back(static_cast<uint32_t>(i));
     }
-    owned_post_cols_.push_back(pairs[i].second);
+    post_cols->push_back(pairs[i].second);
   }
-  owned_post_offsets_.push_back(static_cast<uint32_t>(pairs.size()));
+  post_offsets->push_back(static_cast<uint32_t>(pairs.size()));
+}
+
+}  // namespace
+
+ColumnStatsCatalog::ColumnStatsCatalog(const DataLake& lake) : lake_(lake) {
+  BuildColumnLayout();
+  BuildRegionArrays(lake, 0, 0, &owned_values_, &owned_spine_,
+                    &owned_post_offsets_, &owned_post_cols_);
 
   // Wire the backend-agnostic views at the owned arrays. The vectors
   // never change size after this point, so the views never dangle.
   cols_.reserve(owned_values_.size());
   for (const std::vector<ValueId>& v : owned_values_) cols_.emplace_back(v);
-  spine_ = ValueSpan(owned_spine_);
-  post_offsets_ = storage::Span<uint32_t>(owned_post_offsets_);
-  post_cols_ = storage::Span<uint32_t>(owned_post_cols_);
+  SpineRegion rg;
+  rg.spine = ValueSpan(owned_spine_);
+  rg.post_offsets = storage::Span<uint32_t>(owned_post_offsets_);
+  rg.post_cols = storage::Span<uint32_t>(owned_post_cols_);
+  regions_.push_back(rg);
+}
+
+storage::DeltaRunCatalogViews ColumnStatsCatalog::DeltaRunArrays::views()
+    const {
+  storage::DeltaRunCatalogViews v;
+  v.first_col = first_col;
+  v.columns.reserve(values.size());
+  for (const std::vector<ValueId>& col : values) {
+    v.columns.push_back(storage::Span<uint32_t>(col.data(), col.size()));
+  }
+  v.spine = storage::Span<uint32_t>(spine.data(), spine.size());
+  v.post_offsets = storage::Span<uint32_t>(post_offsets);
+  v.post_cols = storage::Span<uint32_t>(post_cols);
+  return v;
+}
+
+ColumnStatsCatalog::DeltaRunArrays ColumnStatsCatalog::BuildDeltaRun(
+    const DataLake& lake, size_t first_table) {
+  DeltaRunArrays run;
+  for (size_t t = 0; t < first_table && t < lake.size(); ++t) {
+    run.first_col += lake.table(t).num_cols();
+  }
+  BuildRegionArrays(lake, first_table, static_cast<uint32_t>(run.first_col),
+                    &run.values, &run.spine, &run.post_offsets,
+                    &run.post_cols);
+  return run;
+}
+
+Result<std::shared_ptr<const ColumnStatsCatalog>>
+ColumnStatsCatalog::WithAppended(
+    std::shared_ptr<const ColumnStatsCatalog> base, const DataLake& lake,
+    size_t first_table) {
+  if (base == nullptr || first_table > lake.size()) {
+    return Status::InvalidArgument("WithAppended: bad base or split point");
+  }
+  auto cat = std::shared_ptr<ColumnStatsCatalog>(
+      new ColumnStatsCatalog(lake, /*mapped tag*/ 0));
+  cat->BuildColumnLayout();
+  const uint32_t first_col =
+      first_table < lake.size() ? cat->table_offsets_[first_table]
+                                : static_cast<uint32_t>(cat->col_refs_.size());
+  if (base->num_columns() != first_col) {
+    return Status::InvalidArgument(
+        "WithAppended: base catalog has " +
+        std::to_string(base->num_columns()) + " columns but tables [0, " +
+        std::to_string(first_table) + ") have " + std::to_string(first_col));
+  }
+
+  // Borrow the base's views (base_ keeps them alive) and build the run
+  // region over the appended tables in RAM.
+  cat->cols_ = base->cols_;
+  cat->regions_ = base->regions_;
+  BuildRegionArrays(lake, first_table, first_col, &cat->owned_values_,
+                    &cat->owned_spine_, &cat->owned_post_offsets_,
+                    &cat->owned_post_cols_);
+  for (const std::vector<ValueId>& v : cat->owned_values_) {
+    cat->cols_.emplace_back(v);
+  }
+  SpineRegion rg;
+  rg.spine = ValueSpan(cat->owned_spine_);
+  rg.post_offsets = storage::Span<uint32_t>(cat->owned_post_offsets_);
+  rg.post_cols = storage::Span<uint32_t>(cat->owned_post_cols_);
+  cat->regions_.push_back(rg);
+  cat->base_ = std::move(base);
+  return std::shared_ptr<const ColumnStatsCatalog>(std::move(cat));
+}
+
+Status CompactSnapshotV2(const std::string& path, size_t* runs_folded) {
+  DataLake lake;
+  SnapshotLoadInfo info;
+  GENT_RETURN_IF_ERROR(LoadSnapshot(lake, path, &info));
+  if (runs_folded != nullptr) *runs_folded = info.delta_runs;
+  if (info.delta_runs == 0) return Status::OK();
+  // Rebuilding over the merged lake and rewriting (temp + rename, the
+  // SaveSnapshotV2 commit) is bit-identical to a one-shot save by
+  // construction: load order IS append order, and the builder is the
+  // same code path either way.
+  const ColumnStatsCatalog catalog(lake);
+  return SaveSnapshotV2(lake, catalog.section_views(), path);
 }
 
 Result<std::shared_ptr<const ColumnStatsCatalog>>
@@ -144,18 +245,39 @@ ColumnStatsCatalog::OpenMapped(const DataLake& lake, const std::string& path,
       new ColumnStatsCatalog(lake, /*mapped tag*/ 0));
   cat->BuildColumnLayout();
   const storage::CatalogSectionViews& v = (*mapped)->views();
-  if (v.columns.size() != cat->col_refs_.size()) {
+  const std::vector<storage::MappedCatalog::RunViews>& runs =
+      (*mapped)->delta_runs();
+  size_t total_cols = v.columns.size();
+  for (const storage::MappedCatalog::RunViews& rv : runs) {
+    total_cols += rv.catalog.columns.size();
+  }
+  if (total_cols != cat->col_refs_.size()) {
     return Status::InvalidArgument(
-        "snapshot catalog has " + std::to_string(v.columns.size()) +
+        "snapshot catalog has " + std::to_string(total_cols) +
         " columns but the lake has " + std::to_string(cat->col_refs_.size()));
   }
-  cat->cols_.reserve(v.columns.size());
+  cat->cols_.reserve(total_cols);
   for (const storage::Span<uint32_t>& col : v.columns) {
     cat->cols_.push_back(ValueSpan(col.data(), col.size()));
   }
-  cat->spine_ = ValueSpan(v.spine.data(), v.spine.size());
-  cat->post_offsets_ = v.post_offsets;
-  cat->post_cols_ = v.post_cols;
+  SpineRegion base_rg;
+  base_rg.spine = ValueSpan(v.spine.data(), v.spine.size());
+  base_rg.post_offsets = v.post_offsets;
+  base_rg.post_cols = v.post_cols;
+  cat->regions_.push_back(base_rg);
+  // Delta runs: one region each, columns chaining onto the base (the
+  // pager validated first_col continuity; total count is checked above,
+  // which together bound every dense id the CSR payloads carry).
+  for (const storage::MappedCatalog::RunViews& rv : runs) {
+    for (const storage::Span<uint32_t>& col : rv.catalog.columns) {
+      cat->cols_.push_back(ValueSpan(col.data(), col.size()));
+    }
+    SpineRegion rg;
+    rg.spine = ValueSpan(rv.catalog.spine.data(), rv.catalog.spine.size());
+    rg.post_offsets = rv.catalog.post_offsets;
+    rg.post_cols = rv.catalog.post_cols;
+    cat->regions_.push_back(rg);
+  }
   cat->mapped_ = std::move(*mapped);
   return std::shared_ptr<const ColumnStatsCatalog>(std::move(cat));
 }
@@ -166,9 +288,10 @@ storage::CatalogSectionViews ColumnStatsCatalog::section_views() const {
   for (const ValueSpan& c : cols_) {
     v.columns.push_back(storage::Span<uint32_t>(c.data(), c.size()));
   }
-  v.spine = storage::Span<uint32_t>(spine_.data(), spine_.size());
-  v.post_offsets = post_offsets_;
-  v.post_cols = post_cols_;
+  const SpineRegion& rg = regions_.front();
+  v.spine = storage::Span<uint32_t>(rg.spine.data(), rg.spine.size());
+  v.post_offsets = rg.post_offsets;
+  v.post_cols = rg.post_cols;
   return v;
 }
 
@@ -176,9 +299,26 @@ ColumnStatsCatalog::Residency ColumnStatsCatalog::residency() const {
   Residency r;
   uint64_t array_bytes = 0;
   for (const ValueSpan& c : cols_) array_bytes += c.size() * sizeof(ValueId);
-  array_bytes += spine_.size() * sizeof(ValueId);
-  array_bytes += post_offsets_.size() * sizeof(uint32_t);
-  array_bytes += post_cols_.size() * sizeof(uint32_t);
+  for (const SpineRegion& rg : regions_) {
+    array_bytes += rg.spine.size() * sizeof(ValueId);
+    array_bytes += rg.post_offsets.size() * sizeof(uint32_t);
+    array_bytes += rg.post_cols.size() * sizeof(uint32_t);
+  }
+  if (base_ != nullptr) {
+    // Layered catalog: the base's accounting plus this object's RAM
+    // run arrays, which are trivially resident.
+    r = base_->residency();
+    uint64_t run_bytes = 0;
+    for (const std::vector<ValueId>& c : owned_values_) {
+      run_bytes += c.size() * sizeof(ValueId);
+    }
+    run_bytes += owned_spine_.size() * sizeof(ValueId);
+    run_bytes += owned_post_offsets_.size() * sizeof(uint32_t);
+    run_bytes += owned_post_cols_.size() * sizeof(uint32_t);
+    r.bytes_total += run_bytes;
+    r.bytes_resident += run_bytes;
+    return r;
+  }
   if (mapped_ == nullptr) {
     r.bytes_total = array_bytes;
     r.bytes_resident = array_bytes;
@@ -198,31 +338,33 @@ ColumnStatsCatalog::Residency ColumnStatsCatalog::residency() const {
   return r;
 }
 
-void ColumnStatsCatalog::MatchedSpineIndices(ValueSpan sorted_query,
+void ColumnStatsCatalog::MatchedSpineIndices(const SpineRegion& rg,
+                                             ValueSpan sorted_query,
                                              std::vector<uint32_t>* out) const {
+  const ValueSpan spine = rg.spine;
   out->clear();
-  if (sorted_query.empty() || spine_.empty()) return;
-  if (sorted_query.size() * kSpineMergeRatio >= spine_.size()) {
+  if (sorted_query.empty() || spine.empty()) return;
+  if (sorted_query.size() * kSpineMergeRatio >= spine.size()) {
     // Dense query: one dispatched block intersection over the whole
     // spine (the per-pair merge the kAvx2 level vectorizes).
-    out->resize(std::min(sorted_query.size(), spine_.size()));
+    out->resize(std::min(sorted_query.size(), spine.size()));
     size_t n = simd::SortedIntersectIndices(
-        sorted_query.data(), sorted_query.size(), spine_.data(),
-        spine_.size(), out->data());
+        sorted_query.data(), sorted_query.size(), spine.data(), spine.size(),
+        out->data());
     out->resize(n);
     return;
   }
   // Sparse query: walk the spine, galloping over gaps with lower_bound
   // (query sets are tiny relative to the lake's value universe).
   size_t i = 0, j = 0;
-  while (i < sorted_query.size() && j < spine_.size()) {
-    if (sorted_query[i] < spine_[j]) {
+  while (i < sorted_query.size() && j < spine.size()) {
+    if (sorted_query[i] < spine[j]) {
       ++i;
-    } else if (spine_[j] < sorted_query[i]) {
+    } else if (spine[j] < sorted_query[i]) {
       j = static_cast<size_t>(
-          std::lower_bound(spine_.begin() + static_cast<ptrdiff_t>(j),
-                           spine_.end(), sorted_query[i]) -
-          spine_.begin());
+          std::lower_bound(spine.begin() + static_cast<ptrdiff_t>(j),
+                           spine.end(), sorted_query[i]) -
+          spine.begin());
     } else {
       out->push_back(static_cast<uint32_t>(j));
       ++i;
@@ -233,19 +375,25 @@ void ColumnStatsCatalog::MatchedSpineIndices(ValueSpan sorted_query,
 
 std::vector<ColumnStatsCatalog::Overlap> ColumnStatsCatalog::OverlapCounts(
     ValueSpan sorted_query) const {
+  // Each column's postings live in exactly one region (a delta run
+  // carries only its own appended tables), so accumulating per-column
+  // counts region by region reproduces a rebuilt catalog's counts
+  // exactly; the final sort by dense id erases accumulation order.
   std::vector<uint32_t> matched;
-  MatchedSpineIndices(sorted_query, &matched);
   std::vector<uint32_t> counts(num_columns(), 0);
   std::vector<uint32_t> touched;
-  for (uint32_t j : matched) {
-    const uint32_t begin = post_offsets_[j], end = post_offsets_[j + 1];
-    if (mapped_ != nullptr && end > begin) {
-      mapped_->Touch(post_cols_.data() + begin,
-                     (end - begin) * sizeof(uint32_t));
-    }
-    for (uint32_t p = begin; p < end; ++p) {
-      uint32_t col = post_cols_[p];
-      if (counts[col]++ == 0) touched.push_back(col);
+  for (const SpineRegion& rg : regions_) {
+    MatchedSpineIndices(rg, sorted_query, &matched);
+    for (uint32_t j : matched) {
+      const uint32_t begin = rg.post_offsets[j], end = rg.post_offsets[j + 1];
+      if (end > begin) {
+        TouchBytes(rg.post_cols.data() + begin,
+                   (end - begin) * sizeof(uint32_t));
+      }
+      for (uint32_t p = begin; p < end; ++p) {
+        uint32_t col = rg.post_cols[p];
+        if (counts[col]++ == 0) touched.push_back(col);
+      }
     }
   }
   std::sort(touched.begin(), touched.end());
@@ -261,18 +409,22 @@ bool ColumnStatsCatalog::SharesAnyValue(ValueSpan sorted_query) const {
   // Same spine walk as OverlapCounts, but stopping at the first shared
   // value — the routing prefilter only needs existence, and overlapping
   // shards (the common case) usually match within a few steps. The
-  // spine is pinned in the mapped backend, so this route never faults.
-  size_t i = 0, j = 0;
-  while (i < sorted_query.size() && j < spine_.size()) {
-    if (sorted_query[i] < spine_[j]) {
-      ++i;
-    } else if (spine_[j] < sorted_query[i]) {
-      j = static_cast<size_t>(
-          std::lower_bound(spine_.begin() + static_cast<ptrdiff_t>(j),
-                           spine_.end(), sorted_query[i]) -
-          spine_.begin());
-    } else {
-      return true;
+  // spines (base and runs) are pinned in the mapped backend, so this
+  // route never faults.
+  for (const SpineRegion& rg : regions_) {
+    const ValueSpan spine = rg.spine;
+    size_t i = 0, j = 0;
+    while (i < sorted_query.size() && j < spine.size()) {
+      if (sorted_query[i] < spine[j]) {
+        ++i;
+      } else if (spine[j] < sorted_query[i]) {
+        j = static_cast<size_t>(
+            std::lower_bound(spine.begin() + static_cast<ptrdiff_t>(j),
+                             spine.end(), sorted_query[i]) -
+            spine.begin());
+      } else {
+        return true;
+      }
     }
   }
   return false;
@@ -296,23 +448,28 @@ std::vector<size_t> ColumnStatsCatalog::TopKTables(const Table& query,
 
   // Count distinct shared values per table (a value hitting multiple
   // columns of one table counts once; posting lists are ascending by
-  // dense column id, hence grouped by table).
+  // dense column id, hence grouped by table). A table's columns live in
+  // exactly one region, so summing the per-region counts equals the
+  // rebuilt catalog's count per table; the rank sort's total order
+  // (count desc, index asc) erases region iteration order.
   std::vector<uint32_t> matched;
-  MatchedSpineIndices(qvalues, &matched);
   std::vector<size_t> per_table(lake_.size(), 0);
   std::vector<uint32_t> seen_tables;
-  for (uint32_t j : matched) {
-    const uint32_t begin = post_offsets_[j], end = post_offsets_[j + 1];
-    if (mapped_ != nullptr && end > begin) {
-      mapped_->Touch(post_cols_.data() + begin,
-                     (end - begin) * sizeof(uint32_t));
-    }
-    uint32_t last_table = UINT32_MAX;
-    for (uint32_t p = begin; p < end; ++p) {
-      uint32_t table = col_refs_[post_cols_[p]].table;
-      if (table != last_table) {
-        if (per_table[table]++ == 0) seen_tables.push_back(table);
-        last_table = table;
+  for (const SpineRegion& rg : regions_) {
+    MatchedSpineIndices(rg, qvalues, &matched);
+    for (uint32_t j : matched) {
+      const uint32_t begin = rg.post_offsets[j], end = rg.post_offsets[j + 1];
+      if (end > begin) {
+        TouchBytes(rg.post_cols.data() + begin,
+                   (end - begin) * sizeof(uint32_t));
+      }
+      uint32_t last_table = UINT32_MAX;
+      for (uint32_t p = begin; p < end; ++p) {
+        uint32_t table = col_refs_[rg.post_cols[p]].table;
+        if (table != last_table) {
+          if (per_table[table]++ == 0) seen_tables.push_back(table);
+          last_table = table;
+        }
       }
     }
   }

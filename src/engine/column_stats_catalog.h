@@ -95,6 +95,40 @@ class ColumnStatsCatalog {
       const DataLake& lake, const std::string& path,
       const storage::MappedCatalog::Options& options);
 
+  /// Owning run-catalog arrays for the tables [first_table, lake.size())
+  /// — what AppendSnapshotDelta serializes as one delta run and what
+  /// WithAppended layers over a base catalog. Column ids are GLOBAL
+  /// dense ids (they continue the lake's layout), so the run's postings
+  /// compose with any catalog over tables [0, first_table).
+  struct DeltaRunArrays {
+    uint64_t first_col = 0;
+    std::vector<std::vector<ValueId>> values;  // per appended column
+    std::vector<ValueId> spine;                // run's own distinct set
+    std::vector<uint32_t> post_offsets;        // spine.size() + 1
+    std::vector<uint32_t> post_cols;           // global dense col ids
+    storage::DeltaRunCatalogViews views() const;
+  };
+
+  /// Builds the run catalog for `lake`'s tables [first_table,
+  /// lake.size()) with exactly the algorithm the full constructor uses
+  /// per table, so folding runs into a rebuilt catalog is bit-identical
+  /// to having built over all tables at once. Deterministic in (lake
+  /// content, first_table).
+  static DeltaRunArrays BuildDeltaRun(const DataLake& lake,
+                                      size_t first_table);
+
+  /// Layers a freshly built run catalog for `lake`'s tables
+  /// [first_table, lake.size()) over `base` (whose catalog covers
+  /// [0, first_table) of the SAME content — `lake` is base->lake() plus
+  /// appended tables in the same id space). The result serves reads
+  /// over the union through the run-merge layer, bit-identical to a
+  /// full rebuild over `lake`, for both base backends. `base` is kept
+  /// alive by the returned catalog; `lake` must outlive it. Fails with
+  /// InvalidArgument when the column layouts do not chain.
+  static Result<std::shared_ptr<const ColumnStatsCatalog>> WithAppended(
+      std::shared_ptr<const ColumnStatsCatalog> base, const DataLake& lake,
+      size_t first_table);
+
   const DataLake& lake() const { return lake_; }
 
   /// Total number of columns across all lake tables (dense id space).
@@ -158,7 +192,17 @@ class ColumnStatsCatalog {
 
   /// Borrowed views of the built arrays in snapshot-v2 section layout —
   /// what SaveSnapshotV2 serializes. Valid for the catalog's lifetime.
+  /// Only meaningful for a single-region catalog (a fresh RAM build or
+  /// a mapped snapshot without runs); a layered catalog cannot be
+  /// serialized as one base section set — rebuild first
+  /// (CompactSnapshotV2 does exactly that).
   storage::CatalogSectionViews section_views() const;
+
+  /// Number of postings regions behind the read paths: 1 for a fresh
+  /// build, 1 + runs for a catalog carrying delta runs. Reads are
+  /// region-count-invariant; this exists for tests and residency
+  /// reporting.
+  size_t num_regions() const { return regions_.size(); }
 
   /// Storage-residency counters for one catalog (surfaced per shard by
   /// ReclaimService::residency_stats). For the RAM backend everything
@@ -179,31 +223,52 @@ class ColumnStatsCatalog {
   /// the buffer pool's first prefault I/O fault (IOError) forever once
   /// one occurs. Cheap (one relaxed atomic load when healthy) — the
   /// service polls it after serving each request to drive shard
-  /// quarantine (DESIGN.md §5.11).
+  /// quarantine (DESIGN.md §5.11). A layered catalog (WithAppended)
+  /// forwards to its base: the appended arrays live in RAM.
   Status storage_health() const {
-    return mapped_ != nullptr ? mapped_->health() : Status::OK();
+    if (mapped_ != nullptr) return mapped_->health();
+    return base_ != nullptr ? base_->storage_health() : Status::OK();
   }
 
  private:
   explicit ColumnStatsCatalog(const DataLake& lake, int)  // mapped-backend
       : lake_(lake) {}
 
+  /// One postings region: a sorted value spine with its CSR lists over
+  /// GLOBAL dense column ids. Region 0 is the base catalog; each delta
+  /// run adds one region whose columns are disjoint from all earlier
+  /// regions' (a run carries only its own appended tables), so
+  /// per-column and per-table accumulation across regions reproduces a
+  /// rebuilt catalog's counts exactly.
+  struct SpineRegion {
+    ValueSpan spine;
+    storage::Span<uint32_t> post_offsets;  // spine.size() + 1
+    storage::Span<uint32_t> post_cols;     // global dense col ids
+  };
+
   /// Dense col-id layout shared by both backends.
   void BuildColumnLayout();
 
-  /// Mapped-backend fault-in hook; no-op for the RAM backend.
-  void TouchSpan(ValueSpan s) const {
+  /// Mapped-backend fault-in hook; no-op for the RAM backend. A layered
+  /// catalog forwards to its base, whose pool ignores pointers outside
+  /// its mapping (the appended arrays).
+  void TouchBytes(const void* p, size_t bytes) const {
     if (mapped_ != nullptr) {
-      mapped_->Touch(s.data(), s.size() * sizeof(ValueId));
+      mapped_->Touch(p, bytes);
+    } else if (base_ != nullptr) {
+      base_->TouchBytes(p, bytes);
     }
   }
+  void TouchSpan(ValueSpan s) const {
+    TouchBytes(s.data(), s.size() * sizeof(ValueId));
+  }
 
-  /// Spine positions (indices into spine_) of the values shared
-  /// between `sorted_query` and the postings spine, ascending. Dense
+  /// Spine positions (indices into `rg.spine`) of the values shared
+  /// between `sorted_query` and that region's spine, ascending. Dense
   /// queries (≥ 1/kSpineMergeRatio of the spine) run the dispatched
   /// block intersection; sparse ones keep the galloping spine walk.
   /// Both emit the identical index sequence — strategy is perf-only.
-  void MatchedSpineIndices(ValueSpan sorted_query,
+  void MatchedSpineIndices(const SpineRegion& rg, ValueSpan sorted_query,
                            std::vector<uint32_t>* out) const;
 
   /// Query-to-spine density bound for MatchedSpineIndices: block-merge
@@ -221,16 +286,15 @@ class ColumnStatsCatalog {
 
   // Backend-agnostic views the read paths operate on. For the RAM
   // backend they point into the owned vectors below; for the mapped
-  // backend into the snapshot mapping.
+  // backend into the snapshot mapping; for a layered catalog into the
+  // base (kept alive by base_) plus this object's owned run arrays.
   std::vector<ValueSpan> cols_;  // by dense col id, sorted distinct runs
-  // Postings in CSR layout: spine_ is the sorted set of all distinct
-  // lake values; list i spans post_cols_[post_offsets_[i] ..
-  // post_offsets_[i+1]) and holds dense column ids in ascending order.
-  ValueSpan spine_;
-  storage::Span<uint32_t> post_offsets_;
-  storage::Span<uint32_t> post_cols_;
+  // Postings regions (see SpineRegion): region 0 is the base, one more
+  // per delta run, in generation order.
+  std::vector<SpineRegion> regions_;
 
-  // RAM backend storage (empty for the mapped backend).
+  // RAM backend storage (empty for the mapped backend). For a layered
+  // catalog these hold the run's arrays only.
   std::vector<std::vector<ValueId>> owned_values_;  // by dense col id
   std::vector<ValueId> owned_spine_;
   std::vector<uint32_t> owned_post_offsets_;
@@ -238,6 +302,9 @@ class ColumnStatsCatalog {
 
   // Mapped backend (null for the RAM backend).
   std::unique_ptr<storage::MappedCatalog> mapped_;
+  // Layered backend (WithAppended): the catalog whose views regions
+  // [0, base_->num_regions()) and cols [0, first_col) borrow.
+  std::shared_ptr<const ColumnStatsCatalog> base_;
 };
 
 /// Sorted distinct values of column `c` of `t`, excluding kNull and

@@ -67,6 +67,20 @@
 
 namespace gent {
 
+/// Route tag of one shard registration at one delta generation.
+/// Incremental ingest (ReclaimService::AppendTablesToLake) mutates a
+/// shard's CONTENT without re-registering it: the uid survives, the
+/// delta generation bumps. Folding the generation in invalidates
+/// exactly the entries whose answering shard grew — named routes to
+/// untouched shards, and fan-outs over unchanged shard sets, keep
+/// hitting. Generation 0 folds to the bare uid so tags from before a
+/// shard's first append (and from shards never appended to) are
+/// unchanged. Deterministic, no global state.
+inline uint64_t ShardRouteTag(uint64_t uid, uint64_t delta_gen) {
+  if (delta_gen == 0) return uid;
+  return SplitMix64(uid ^ (delta_gen * 0x9E3779B97F4A7C15ULL));
+}
+
 /// Folds an ordered set of shard uids into a route tag (order-sensitive
 /// splitmix chain). Callers pass the uids in registry order so the same
 /// shard set always folds to the same tag. A one-element set folds to

@@ -149,6 +149,10 @@ ReclaimService::ReclaimService(ServiceOptions options)
     : options_(std::move(options)),
       dict_(options_.dict != nullptr ? options_.dict : MakeDictionary()),
       registry_(std::make_shared<RegistrySnapshot>()),
+      pool_budget_(options_.storage.pool_capacity_blocks > 0
+                       ? std::make_shared<storage::PoolBudget>(
+                             options_.storage.pool_capacity_blocks)
+                       : nullptr),
       cache_(options_.cache_capacity),
       pool_(std::make_unique<ThreadPool>(
           ThreadPool::ResolveThreads(options_.num_threads))) {
@@ -176,10 +180,15 @@ ReclaimService::RegistryPtr ReclaimService::Pin() const {
 
 void ReclaimService::PublishLocked(std::shared_ptr<RegistrySnapshot> next) {
   next->epoch = registry_->epoch + 1;
-  std::vector<uint64_t> uids;
-  uids.reserve(next->shards.size());
-  for (const auto& s : next->shards) uids.push_back(s->uid);
-  next->fanout_tag = FoldRouteTags(uids);
+  // Per-shard tags fold (uid, delta_gen), not bare uids: an append
+  // mutates content without re-registering, and the fan-out tag must
+  // change with it (discovery_cache.h, ShardRouteTag).
+  std::vector<uint64_t> tags;
+  tags.reserve(next->shards.size());
+  for (const auto& s : next->shards) {
+    tags.push_back(ShardRouteTag(s->uid, s->delta_gen));
+  }
+  next->fanout_tag = FoldRouteTags(tags);
   registry_ = std::move(next);
 }
 
@@ -259,7 +268,10 @@ Status ReclaimService::LoadShardFromSnapshot(
   // verified every section checksum; don't stream the file again.
   storage::MappedCatalog::Options mopts;
   mopts.verify_checksums = false;
-  mopts.pool_capacity_blocks = options_.storage.pool_capacity_blocks;
+  // One capacity budget for the whole service: every mapped shard's
+  // pool registers against it, so eviction pressure is fleet-wide
+  // instead of per-shard (pool_capacity_blocks is the budget's size).
+  mopts.budget = pool_budget_;
   auto mapped = ColumnStatsCatalog::OpenMapped(**lake, path, mopts);
   if (mapped.ok()) {
     *catalog = std::move(*mapped);
@@ -358,6 +370,157 @@ Status ReclaimService::ReloadLakeFromSnapshot(const std::string& name,
   return Status::OK();
 }
 
+Status ReclaimService::AppendTablesToLake(const std::string& name,
+                                          std::vector<Table> tables) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("append needs at least one table");
+  }
+  // Appends/compactions serialize among themselves; serving never waits
+  // on this lock.
+  std::lock_guard<std::mutex> append_lock(append_mutex_);
+
+  RegistryPtr registry = Pin();
+  auto it = registry->by_name.find(name);
+  if (it == registry->by_name.end()) {
+    return Status::NotFound("no shard named '" + name + "'");
+  }
+  std::shared_ptr<const Shard> old = registry->shards[it->second];
+  if (quarantined_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    auto h = health_.find(old->uid);
+    if (h != health_.end() && h->second.state == ShardHealth::kQuarantined) {
+      return Status::Unavailable("shard '" + name +
+                                 "' is quarantined pending recovery");
+    }
+  }
+
+  // The served lake is immutable (in-flight requests read it), so the
+  // appended generation is a fresh lake: copied table handles plus the
+  // re-interned new tables. Any failure below leaves the old shard
+  // serving untouched.
+  auto lake = std::make_unique<DataLake>(*old->lake);
+  const size_t first_table = lake->size();
+  for (Table& t : tables) {
+    GENT_RETURN_IF_ERROR(lake->AddTable(
+        t.dict() != dict_ ? TranslateToDictionary(t, dict_) : std::move(t)));
+  }
+
+  // Durability before visibility: a snapshot-backed shard gets the run
+  // on disk first, so a crash after this call replays the append on the
+  // next load while a crash during it leaves the previous generation
+  // intact (the footer-commit protocol in AppendSnapshotDelta).
+  size_t runs_total = 0;
+  if (!old->source_path.empty()) {
+    const ColumnStatsCatalog::DeltaRunArrays run =
+        ColumnStatsCatalog::BuildDeltaRun(*lake, first_table);
+    GENT_RETURN_IF_ERROR(AppendSnapshotDelta(
+        *lake, first_table, run.views(), old->source_path, &runs_total));
+  }
+
+  // Serve through the run-merge layer: the shard's existing catalog —
+  // RAM or mapped — plus a RAM region for the new tables. Bit-identical
+  // to a rebuild over the grown lake, at the cost of building only the
+  // run's arrays.
+  auto layered = ColumnStatsCatalog::WithAppended(old->gent->shared_catalog(),
+                                                  *lake, first_table);
+  if (!layered.ok()) return layered.status();
+
+  auto shard = std::make_shared<Shard>();
+  shard->name = name;
+  shard->lake = lake.get();
+  shard->owned = std::move(lake);
+  shard->source_path = old->source_path;
+  shard->delta_gen = old->delta_gen + 1;
+  shard->predecessor = old;  // keeps the borrowed views' owner alive
+  shard->gent = std::make_unique<GenT>(std::move(*layered), options_.config);
+
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto now = registry_->by_name.find(name);
+    if (now == registry_->by_name.end() ||
+        registry_->shards[now->second]->uid != old->uid ||
+        registry_->shards[now->second]->delta_gen != old->delta_gen) {
+      // Remove/Reload/recovery replaced the shard under us. Nothing is
+      // published; the durable run (if any) belongs to the superseded
+      // file and the next load of it will still see a valid snapshot.
+      return Status::Aborted("shard '" + name +
+                             "' was modified concurrently with the append");
+    }
+    shard->uid = old->uid;  // same registration, next content generation
+    auto next = std::make_shared<RegistrySnapshot>(*registry_);
+    next->shards[now->second] = std::move(shard);
+    PublishLocked(std::move(next));
+  }
+
+  // Compaction policy: enough runs accreted — queue a background fold.
+  // The queue lives with the health machinery so one thread serves
+  // both; without that thread the fold waits for an explicit
+  // CompactShardSnapshot call.
+  const size_t threshold = options_.storage.compact_after_runs;
+  if (threshold > 0 && runs_total >= threshold) {
+    {
+      std::lock_guard<std::mutex> lock(health_mutex_);
+      compaction_queue_.push_back(name);
+    }
+    health_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Status ReclaimService::CompactShardSnapshot(const std::string& name) {
+  std::lock_guard<std::mutex> append_lock(append_mutex_);
+
+  RegistryPtr registry = Pin();
+  auto it = registry->by_name.find(name);
+  if (it == registry->by_name.end()) {
+    return Status::NotFound("no shard named '" + name + "'");
+  }
+  std::shared_ptr<const Shard> old = registry->shards[it->second];
+  if (old->source_path.empty()) {
+    return Status::InvalidArgument("shard '" + name +
+                                   "' has no snapshot backing to compact");
+  }
+
+  // Fold on disk first (temp + rename — crash leaves old or new, never
+  // torn). Readers of the old mapping keep the replaced inode alive.
+  size_t folded = 0;
+  GENT_RETURN_IF_ERROR(CompactSnapshotV2(old->source_path, &folded));
+  if (folded == 0) return Status::OK();
+
+  // Reopen from the compacted file and republish under the SAME
+  // (uid, delta_gen): the content is bit-identical, so cache entries
+  // and route tags stay valid — compaction is invisible to serving.
+  std::unique_ptr<DataLake> lake;
+  std::shared_ptr<const ColumnStatsCatalog> catalog;
+  GENT_RETURN_IF_ERROR(LoadShardFromSnapshot(old->source_path, &lake, &catalog));
+  auto shard = std::make_shared<Shard>();
+  shard->name = name;
+  shard->lake = lake.get();
+  shard->source_path = old->source_path;
+  shard->uid = old->uid;
+  shard->delta_gen = old->delta_gen;
+  shard->gent = catalog != nullptr
+                    ? std::make_unique<GenT>(std::move(catalog),
+                                             options_.config)
+                    : std::make_unique<GenT>(*lake, options_.config);
+  shard->owned = std::move(lake);
+
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto now = registry_->by_name.find(name);
+  if (now == registry_->by_name.end() ||
+      registry_->shards[now->second]->uid != old->uid ||
+      registry_->shards[now->second]->delta_gen != old->delta_gen) {
+    // Replaced while folding. The compacted file is durable and
+    // equivalent; whoever replaced the shard owns the registration now.
+    return Status::Aborted("shard '" + name +
+                           "' was modified concurrently with the compaction");
+  }
+  auto next = std::make_shared<RegistrySnapshot>(*registry_);
+  next->shards[now->second] = std::move(shard);
+  PublishLocked(std::move(next));
+  return Status::OK();
+}
+
 // --- Registry observation ---------------------------------------------------
 
 size_t ReclaimService::num_lakes() const { return Pin()->shards.size(); }
@@ -440,7 +603,8 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
                                    "' is quarantined pending recovery");
       }
       targets.push_back(it->second);
-      route_tag = registry.shards[it->second]->uid;
+      route_tag = ShardRouteTag(registry.shards[it->second]->uid,
+                                registry.shards[it->second]->delta_gen);
       break;
     }
     case RoutingPolicy::kFanOutAll: {
@@ -460,7 +624,8 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
           continue;
         }
         targets.push_back(i);
-        uids.push_back(registry.shards[i]->uid);
+        uids.push_back(ShardRouteTag(registry.shards[i]->uid,
+                                     registry.shards[i]->delta_gen));
       }
       route_tag = FoldRouteTags(uids);
       break;
@@ -482,7 +647,8 @@ Result<ReclamationResult> ReclaimService::ReclaimImpl(
         }
         if (registry.shards[i]->gent->catalog().SharesAnyValue(query)) {
           targets.push_back(i);
-          selected_uids.push_back(registry.shards[i]->uid);
+          selected_uids.push_back(ShardRouteTag(
+              registry.shards[i]->uid, registry.shards[i]->delta_gen));
         } else {
           shards_pruned_.fetch_add(1, std::memory_order_relaxed);
         }
@@ -930,6 +1096,18 @@ void ReclaimService::NoteShardFault(const Shard& shard,
 void ReclaimService::RecoveryLoop() {
   std::unique_lock<std::mutex> lock(health_mutex_);
   while (!stopping_) {
+    // Queued compactions drain ahead of recovery scans: the policy that
+    // queued them fired on the append path, so the work is known-due.
+    // Best-effort — a concurrent append/remove aborts the fold and the
+    // next threshold crossing re-queues it.
+    if (!compaction_queue_.empty()) {
+      std::string name = std::move(compaction_queue_.front());
+      compaction_queue_.pop_front();
+      lock.unlock();
+      (void)CompactShardSnapshot(name);
+      lock.lock();
+      continue;
+    }
     // Earliest due quarantined entry with retries still enabled; with
     // none due, sleep until the earliest schedule (or a notify: a new
     // quarantine, or shutdown).

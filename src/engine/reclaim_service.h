@@ -164,10 +164,23 @@ struct CatalogStorageOptions {
   /// Falls back to the rebuild path transparently when the snapshot is
   /// v1 or the id spaces differ; results are bit-identical either way.
   bool map_v2_snapshots = true;
-  /// Per-shard buffer-pool capacity for the UNPINNED resident set, in
-  /// 64 KiB blocks (0 = unbounded fault-in). The hot spine (postings
-  /// spine, CSR offsets, column index) is pinned and exempt.
+  /// ONE buffer-pool capacity budget for the UNPINNED resident set of
+  /// ALL mapped shards together, in 64 KiB blocks (0 = unbounded
+  /// fault-in). Shards no longer get a private cap each: a service's
+  /// shards share the allowance, so a cold shard's fault-in evicts the
+  /// fleet's coldest blocks instead of thrashing its own small pool
+  /// while others idle (storage::PoolBudget; DESIGN.md §5.12). The hot
+  /// spines (postings spine, CSR offsets, column index — base and delta
+  /// runs) stay pinned and exempt.
   size_t pool_capacity_blocks = 0;
+  /// Incremental ingest (DESIGN.md §5.12): fold a snapshot-backed
+  /// shard's delta runs back into its base sections when an append
+  /// leaves the file with at least this many runs (0 = never compact
+  /// automatically; CompactShardSnapshot still works). Compaction runs
+  /// on the background recovery thread (ShardHealthOptions::
+  /// auto_recover), bounding both read amplification (one spine merge
+  /// per run per query) and the predecessor chain appends keep alive.
+  size_t compact_after_runs = 8;
 };
 
 struct ServiceOptions {
@@ -378,6 +391,43 @@ class ReclaimService {
   Status ReloadLakeFromSnapshot(const std::string& name,
                                 const std::string& path);
 
+  /// Incremental ingest (DESIGN.md §5.12): appends `tables` to shard
+  /// `name` WITHOUT a rebuild or reload — the catalog for the new
+  /// tables alone is built and layered over the shard's existing one
+  /// (ColumnStatsCatalog::WithAppended), and for a snapshot-backed
+  /// shard the same run is first appended to the snapshot file
+  /// crash-atomically (AppendSnapshotDelta), so durability precedes
+  /// visibility: a crash after return replays the append on restart, a
+  /// crash during it leaves the old generation intact. Publishes under
+  /// the same uid with the delta generation bumped — discovery-cache
+  /// entries routed at this shard stop replaying (its content changed)
+  /// while entries for untouched shards stay warm. Foreign-dictionary
+  /// tables are re-interned; in-flight requests keep serving the pinned
+  /// pre-append generation, and results at any generation are
+  /// bit-identical to a shard built from all its tables at once.
+  ///
+  /// Appends and compactions serialize among themselves per service;
+  /// fails Aborted when RemoveLake/ReloadLakeFromSnapshot/recovery
+  /// replaced the shard mid-append (nothing published), NotFound /
+  /// AlreadyExists / InvalidArgument as usual, Unavailable while the
+  /// shard is quarantined. When the snapshot's run count reaches
+  /// CatalogStorageOptions::compact_after_runs, a background compaction
+  /// is queued (see CompactShardSnapshot).
+  Status AppendTablesToLake(const std::string& name,
+                            std::vector<Table> tables);
+
+  /// Folds shard `name`'s snapshot delta runs into its base sections
+  /// (CompactSnapshotV2: rewrite-and-rename, bit-identical to a
+  /// one-shot save) and republishes the shard from the compacted file —
+  /// SAME uid and delta generation, because the content is unchanged,
+  /// so every cache entry stays warm. No-op (OK) when the file has no
+  /// runs. InvalidArgument for shards without a snapshot backing;
+  /// Aborted when the shard was replaced or appended to concurrently
+  /// (the fold itself is durable either way — the next reload sees the
+  /// compacted file). The background recovery thread calls this for
+  /// shards queued by the compact_after_runs policy.
+  Status CompactShardSnapshot(const std::string& name);
+
   // --- Registry observation (thread-safe) --------------------------------
 
   size_t num_lakes() const;
@@ -528,6 +578,15 @@ class ReclaimService {
     /// in RAM or from CSVs. Non-empty is what makes the shard
     /// disk-recoverable after quarantine.
     std::string source_path;
+    /// Appends applied to this registration (AppendTablesToLake), 0 at
+    /// registration. (uid, delta_gen) identifies shard CONTENT for the
+    /// discovery cache (ShardRouteTag); compaction keeps both.
+    uint64_t delta_gen = 0;
+    /// The pre-append shard this registration's layered catalog borrows
+    /// views from (null for fresh registrations and compacted reopens).
+    /// Keeps the predecessor's lake and catalog alive; the chain's
+    /// length is bounded by the compaction policy.
+    std::shared_ptr<const Shard> predecessor;
   };
 
   /// Immutable once published; mutations swap whole snapshots.
@@ -620,6 +679,17 @@ class ReclaimService {
   RegistryPtr registry_;
   uint64_t next_shard_uid_ = 1;
 
+  /// Serializes AppendTablesToLake and CompactShardSnapshot among
+  /// themselves (never held together with registry_mutex_ or
+  /// health_mutex_ — both are taken and released inside). Concurrent
+  /// Remove/Reload still race an append; the (uid, delta_gen) recheck
+  /// at publish turns that race into Status::Aborted.
+  mutable std::mutex append_mutex_;
+
+  /// Shared buffer-pool capacity across every mapped shard (null when
+  /// CatalogStorageOptions::pool_capacity_blocks is 0 = unbounded).
+  std::shared_ptr<storage::PoolBudget> pool_budget_;
+
   mutable DiscoveryCache cache_;
 
   mutable std::mutex admission_mutex_;
@@ -664,8 +734,9 @@ class ReclaimService {
   /// to kQuarantined and wakes the recovery thread.
   void NoteShardFault(const Shard& shard, const std::string& error) const;
 
-  /// Background recovery loop: waits for the earliest due retry, then
-  /// attempts one recovery outside the locks.
+  /// Background recovery loop: drains queued compactions first, then
+  /// waits for the earliest due retry and attempts one recovery — all
+  /// actual work outside the locks.
   void RecoveryLoop();
   /// One recovery attempt for the quarantined shard `uid`: full reopen
   /// first, body-salvage + rebuild as fallback, reschedule on failure.
@@ -678,6 +749,10 @@ class ReclaimService {
   mutable std::mutex health_mutex_;
   mutable std::condition_variable health_cv_;
   mutable std::unordered_map<uint64_t, HealthEntry> health_;
+  /// Shards awaiting a background fold (compact_after_runs policy),
+  /// by name; drained by RecoveryLoop before recovery work. Guarded by
+  /// health_mutex_; duplicates are benign (the fold is idempotent).
+  mutable std::deque<std::string> compaction_queue_;
   /// Fast routing gate: number of kQuarantined entries in health_.
   mutable std::atomic<uint64_t> quarantined_count_{0};
   bool stopping_ = false;  // guarded by health_mutex_

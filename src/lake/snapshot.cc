@@ -13,7 +13,9 @@
 #endif
 
 #include "src/storage/block.h"
+#include "src/storage/delta_run.h"
 #include "src/storage/io.h"
+#include "src/storage/paged_file.h"
 
 namespace gent {
 
@@ -146,6 +148,16 @@ class Reader {
   uint64_t offset() const { return offset_; }
   uint64_t checksum() const { return checksum_.Finish(); }
 
+  /// Repositions the reader at an absolute file offset (delta-run
+  /// parsing jumps to blob offsets from the directory). The running
+  /// offset/checksum are body-relative and meaningless after a seek;
+  /// callers use them only before the first SeekTo.
+  bool SeekTo(uint64_t off) {
+    if (!ok()) return false;
+    failed_ |= std::fseek(file_, static_cast<long>(off), SEEK_SET) != 0;
+    return !failed_;
+  }
+
  private:
   std::FILE* file_;
   bool failed_ = false;
@@ -267,10 +279,330 @@ Status SaveSnapshotV2(const DataLake& lake,
 
 namespace {
 
+// In-memory little-endian accumulator for a delta blob's table part —
+// its length becomes the header's catalog_off field, so it must be
+// known before any blob byte reaches the file.
+class MemWriter {
+ public:
+  void Bytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  void U32(uint32_t v) { Bytes(&v, sizeof v); }
+  void U64(uint64_t v) { Bytes(&v, sizeof v); }
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+  std::vector<uint8_t>& buf() { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Streams blob bytes at the file's current position, accumulating the
+// blob length and checksum for its directory entry.
+class BlobWriter {
+ public:
+  explicit BlobWriter(std::FILE* file) : file_(file) {}
+  void Bytes(const void* data, size_t n) {
+    if (failed_) return;
+    failed_ = io::Fwrite(data, n, file_) != n;
+    if (!failed_) {
+      bytes_ += n;
+      sum_.Append(data, n);
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof v); }
+  bool ok() const { return !failed_; }
+  uint64_t bytes() const { return bytes_; }
+  uint64_t checksum() const { return sum_.Finish(); }
+
+ private:
+  std::FILE* file_;
+  bool failed_ = false;
+  uint64_t bytes_ = 0;
+  storage::Checksum64 sum_;
+};
+
+}  // namespace
+
+Status AppendSnapshotDelta(const DataLake& lake, size_t first_table,
+                           const storage::DeltaRunCatalogViews& catalog,
+                           const std::string& path, size_t* runs_total) {
+  const ValueDictionary& dict = *lake.dict();
+  if (first_table >= lake.size()) {
+    return Status::InvalidArgument("delta run must carry at least one table");
+  }
+  size_t appended_cols = 0;
+  for (size_t i = first_table; i < lake.size(); ++i) {
+    appended_cols += lake.table(i).num_cols();
+  }
+  if (catalog.post_offsets.size() != catalog.spine.size() + 1 ||
+      catalog.columns.size() != appended_cols) {
+    return Status::InvalidArgument(
+        "delta run catalog does not match the appended tables");
+  }
+
+  std::FILE* f = io::Fopen(path, "r+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for appending");
+  }
+  auto footer = storage::ReadFooterRecover(f);
+  if (!footer.ok()) {
+    io::Fclose(f);
+    if (footer.status().code() == StatusCode::kInvalidArgument) {
+      return Status::InvalidArgument(
+          "'" + path + "' is not a v2 snapshot (cannot append a delta run)");
+    }
+    return footer.status();
+  }
+  auto runs = storage::ReadDeltaDir(f, *footer);
+  if (!runs.ok()) {
+    io::Fclose(f);
+    return runs.status();
+  }
+
+  // Dictionary ids the file already covers: the base body's count, plus
+  // the last run's base + count (runs chain, so the last one ends the
+  // coverage). The new run carries everything from there up to `dict`'s
+  // current size — possibly including entries its own tables never use
+  // (a shared service dictionary grows under concurrent traffic), which
+  // is harmless: loading re-interns them in the same order.
+  auto read_u64_at = [f](uint64_t off, uint64_t* out) {
+    return std::fseek(f, static_cast<long>(off), SEEK_SET) == 0 &&
+           io::Fread(out, sizeof *out, f) == sizeof *out;
+  };
+  uint64_t dict_base = 0;
+  bool cover_ok;
+  if (runs->empty()) {
+    cover_ok = read_u64_at(12, &dict_base);  // body: magic(8) u32 version
+  } else {
+    uint64_t last_base = 0, last_count = 0;
+    cover_ok = read_u64_at(runs->back().offset + 24, &last_base) &&
+               read_u64_at(runs->back().offset + 32, &last_count);
+    dict_base = last_base + last_count;
+  }
+  if (!cover_ok) {
+    io::Fclose(f);
+    return Status::IOError("cannot read dictionary coverage of '" + path +
+                           "'");
+  }
+  if (dict_base > dict.size()) {
+    io::Fclose(f);
+    return Status::InvalidArgument(
+        "'" + path + "' covers " + std::to_string(dict_base) +
+        " dictionary entries but the lake's dictionary has only " +
+        std::to_string(dict.size()));
+  }
+
+  // Table part, serialized in memory first (see MemWriter).
+  MemWriter mem;
+  mem.Bytes(storage::kDeltaRunMagic, sizeof storage::kDeltaRunMagic);
+  mem.U32(storage::kDeltaRunVersion);
+  mem.U32(0);  // pad
+  const size_t catalog_off_at = mem.buf().size();
+  mem.U64(0);  // catalog_off, backpatched once the table part is sized
+  mem.U64(dict_base);
+  mem.U64(dict.size() - dict_base);
+  for (uint64_t id = dict_base; id < dict.size(); ++id) {
+    if (dict.IsLabeledNull(static_cast<ValueId>(id))) {
+      io::Fclose(f);
+      return Status::InvalidArgument(
+          "snapshot cannot contain labeled nulls (transient integration "
+          "state)");
+    }
+    mem.String(dict.StringOf(static_cast<ValueId>(id)));
+  }
+  mem.U64(lake.size() - first_table);
+  for (size_t i = first_table; i < lake.size(); ++i) {
+    const Table& t = lake.table(i);
+    mem.String(t.name());
+    mem.U32(static_cast<uint32_t>(t.num_cols()));
+    for (const std::string& name : t.column_names()) mem.String(name);
+    mem.U32(static_cast<uint32_t>(t.key_columns().size()));
+    for (size_t k : t.key_columns()) mem.U32(static_cast<uint32_t>(k));
+    mem.U64(t.num_rows());
+    for (size_t c = 0; c < t.num_cols(); ++c) {
+      const auto& col = t.column(c);
+      mem.Bytes(col.data(), col.size() * sizeof(ValueId));
+    }
+  }
+  while (mem.buf().size() % 8 != 0) mem.buf().push_back(0);
+  const uint64_t catalog_off = mem.buf().size();
+  std::memcpy(mem.buf().data() + catalog_off_at, &catalog_off, 8);
+
+  // The run blob lands block-aligned after the last durable footer.
+  // Bytes at or past that offset are at most torn debris from a crashed
+  // earlier append; nothing below it is ever written — that is the
+  // whole crash-safety argument.
+  const uint64_t run_offset =
+      storage::AlignToBlock(footer->footer_offset + storage::kFooterBytes);
+  if (std::fseek(f, static_cast<long>(run_offset), SEEK_SET) != 0) {
+    io::Fclose(f);
+    return Status::IOError("cannot seek to append position in '" + path +
+                           "'");
+  }
+  BlobWriter blob(f);
+  blob.Bytes(mem.buf().data(), mem.buf().size());
+  blob.U64(catalog.first_col);
+  blob.U64(static_cast<uint64_t>(catalog.columns.size()));
+  uint64_t values_count = 0;
+  for (const storage::Span<uint32_t>& col : catalog.columns) {
+    blob.U64(values_count);
+    blob.U64(static_cast<uint64_t>(col.size()));
+    values_count += col.size();
+  }
+  blob.U64(values_count);
+  for (const storage::Span<uint32_t>& col : catalog.columns) {
+    blob.Bytes(col.data(), col.size() * sizeof(uint32_t));
+  }
+  blob.U64(static_cast<uint64_t>(catalog.spine.size()));
+  blob.Bytes(catalog.spine.data(), catalog.spine.size() * sizeof(uint32_t));
+  blob.Bytes(catalog.post_offsets.data(),
+             catalog.post_offsets.size() * sizeof(uint32_t));
+  blob.U64(static_cast<uint64_t>(catalog.post_cols.size()));
+  blob.Bytes(catalog.post_cols.data(),
+             catalog.post_cols.size() * sizeof(uint32_t));
+  if (!blob.ok()) {
+    io::Fclose(f);
+    return Status::IOError("short write appending delta run to '" + path +
+                           "'");
+  }
+
+  storage::DeltaRunDesc new_run;
+  new_run.generation = runs->size() + 1;
+  new_run.offset = run_offset;
+  new_run.bytes = blob.bytes();
+  new_run.checksum = blob.checksum();
+  runs->push_back(new_run);
+
+  // Rewrite the directory section and footer after the blob. The old
+  // footer's descriptors carry forward unchanged — base sections and
+  // prior runs are never rewritten.
+  storage::SectionWriter w(f, run_offset + new_run.bytes);
+  for (const storage::SectionDesc& s : footer->sections) {
+    if (s.id != static_cast<uint32_t>(storage::SectionId::kDeltaDir)) {
+      w.SeedSection(s);
+    }
+  }
+  w.BeginSection(storage::SectionId::kDeltaDir);
+  const std::vector<uint8_t> dir = storage::SerializeDeltaDir(*runs);
+  w.Append(dir.data(), dir.size());
+  w.EndSection();
+  // Barrier: run + directory must be durable BEFORE the footer that
+  // references them; the footer is the commit point.
+  if (!w.ok() || io::Fflush(f) != 0 || !io::SyncFile(f, path).ok()) {
+    io::Fclose(f);
+    return Status::IOError("flush/fsync failed appending delta run to '" +
+                           path + "'");
+  }
+  if (!w.Finish(storage::kFooterVersionDelta) || io::Fflush(f) != 0 ||
+      !io::SyncFile(f, path).ok()) {
+    io::Fclose(f);
+    return Status::IOError("commit failed appending delta run to '" + path +
+                           "'");
+  }
+  if (io::Fclose(f) != 0) {
+    return Status::IOError("close failed after appending to '" + path + "'");
+  }
+  if (runs_total != nullptr) *runs_total = runs->size();
+  return Status::OK();
+}
+
+namespace {
+
+/// Parses one body-format table from `r`, remapping cell ids through
+/// `remap`, and stages it. Shared by the base-table loop and the
+/// delta-run loader (runs serialize tables identically).
+Status ParseSnapshotTable(Reader& r, DataLake& lake,
+                          const std::vector<ValueId>& remap,
+                          std::vector<Table>* staged) {
+  const std::string name = r.String();
+  const uint32_t cols = r.U32();
+  if (!r.ok() || cols > (1u << 20)) {
+    return Status::IOError("truncated or corrupt snapshot table header");
+  }
+  Table t(name, lake.dict());
+  for (uint32_t c = 0; c < cols; ++c) {
+    GENT_RETURN_IF_ERROR(t.AddColumn(r.String()));
+  }
+  const uint32_t key_count = r.U32();
+  std::vector<size_t> keys;
+  for (uint32_t k = 0; k < key_count; ++k) keys.push_back(r.U32());
+  const uint64_t rows = r.U64();
+  if (!r.ok()) return Status::IOError("truncated snapshot table");
+  std::vector<ValueId> column(rows);
+  for (uint32_t c = 0; c < cols; ++c) {
+    r.Bytes(column.data(), rows * sizeof(ValueId));
+    if (!r.ok()) return Status::IOError("truncated snapshot column data");
+    auto& dst = t.mutable_column(c);
+    dst.resize(rows);
+    for (uint64_t row = 0; row < rows; ++row) {
+      const ValueId saved = column[row];
+      if (saved >= remap.size()) {
+        return Status::IOError("corrupt snapshot: value id out of range");
+      }
+      dst[row] = remap[saved];
+    }
+  }
+  if (!keys.empty()) {
+    GENT_RETURN_IF_ERROR(t.SetKeyColumns(keys));
+  }
+  staged->push_back(std::move(t));
+  return Status::OK();
+}
+
+/// Stages the dictionary entries and tables of one delta run, extending
+/// `remap` with the run's new entries. `r` is repositioned at the blob;
+/// the blob's bytes were already checksum-verified by
+/// ValidateCatalogTail.
+Status LoadDeltaRun(Reader& r, const storage::DeltaRunDesc& run,
+                    DataLake& lake, std::vector<ValueId>* remap,
+                    bool* identity, std::vector<Table>* staged) {
+  if (!r.SeekTo(run.offset)) {
+    return Status::IOError("cannot seek to snapshot delta run");
+  }
+  char magic[8];
+  r.Bytes(magic, sizeof magic);
+  const uint32_t run_version = r.U32();
+  r.U32();  // pad
+  const uint64_t catalog_off = r.U64();
+  const uint64_t dict_base = r.U64();
+  const uint64_t dict_count = r.U64();
+  if (!r.ok() ||
+      std::memcmp(magic, storage::kDeltaRunMagic, sizeof magic) != 0 ||
+      run_version != storage::kDeltaRunVersion || catalog_off > run.bytes) {
+    return Status::IOError("corrupt snapshot delta run header");
+  }
+  // Runs extend the snapshot's id space strictly in append order.
+  if (dict_base != remap->size() || dict_count > run.bytes) {
+    return Status::IOError(
+        "corrupt snapshot delta run: dictionary does not chain");
+  }
+  for (uint64_t i = 0; i < dict_count; ++i) {
+    const std::string s = r.String();
+    if (!r.ok()) return Status::IOError("truncated snapshot delta run");
+    const ValueId id = lake.dict()->Intern(s);
+    *identity &= id == remap->size();
+    remap->push_back(id);
+  }
+  const uint64_t table_count = r.U64();
+  if (!r.ok() || table_count > run.bytes) {
+    return Status::IOError("truncated snapshot delta run");
+  }
+  for (uint64_t i = 0; i < table_count; ++i) {
+    GENT_RETURN_IF_ERROR(ParseSnapshotTable(r, lake, *remap, staged));
+  }
+  return Status::OK();
+}
+
 /// Shared load path. `validate_tail` = false is the salvage mode
 /// (LoadSnapshotBody): the catalog tail of a v2 file — and the
 /// trailing-bytes check of a v1 file — is skipped, so a snapshot with a
-/// damaged catalog region still loads if its body parses.
+/// damaged catalog region still loads if its body parses. Salvage also
+/// skips delta runs (they live in the damaged tail), so it recovers the
+/// base generation only.
 Status LoadSnapshotImpl(DataLake& lake, const std::string& path,
                         SnapshotLoadInfo* info, bool validate_tail) {
   Reader r(path);
@@ -311,48 +643,28 @@ Status LoadSnapshotImpl(DataLake& lake, const std::string& path,
   std::vector<Table> staged;
   staged.reserve(table_count < (1u << 20) ? table_count : 0);
   for (uint64_t i = 0; i < table_count; ++i) {
-    const std::string name = r.String();
-    const uint32_t cols = r.U32();
-    if (!r.ok() || cols > (1u << 20)) {
-      return Status::IOError("truncated or corrupt snapshot table header");
-    }
-    Table t(name, lake.dict());
-    for (uint32_t c = 0; c < cols; ++c) {
-      GENT_RETURN_IF_ERROR(t.AddColumn(r.String()));
-    }
-    const uint32_t key_count = r.U32();
-    std::vector<size_t> keys;
-    for (uint32_t k = 0; k < key_count; ++k) keys.push_back(r.U32());
-    const uint64_t rows = r.U64();
-    if (!r.ok()) return Status::IOError("truncated snapshot table");
-    std::vector<ValueId> column(rows);
-    for (uint32_t c = 0; c < cols; ++c) {
-      r.Bytes(column.data(), rows * sizeof(ValueId));
-      if (!r.ok()) return Status::IOError("truncated snapshot column data");
-      auto& dst = t.mutable_column(c);
-      dst.resize(rows);
-      for (uint64_t row = 0; row < rows; ++row) {
-        const ValueId saved = column[row];
-        if (saved >= remap.size()) {
-          return Status::IOError("corrupt snapshot: value id out of range");
-        }
-        dst[row] = remap[saved];
-      }
-    }
-    if (!keys.empty()) {
-      GENT_RETURN_IF_ERROR(t.SetKeyColumns(keys));
-    }
-    staged.push_back(std::move(t));
+    GENT_RETURN_IF_ERROR(ParseSnapshotTable(r, lake, remap, &staged));
   }
 
+  size_t delta_runs = 0;
   if (validate_tail) {
     if (version >= kVersionV2) {
       // The body ends here; the catalog region and footer follow. Verify
       // the whole tail — footer geometry, the body bytes just streamed,
       // every section checksum, and structural consistency — before
       // anything touches the lake.
+      storage::PagedFooter footer;
+      std::vector<storage::DeltaRunDesc> runs;
       GENT_RETURN_IF_ERROR(storage::ValidateCatalogTail(
-          r.file(), version, r.offset(), r.checksum()));
+          r.file(), version, r.offset(), r.checksum(), &footer, &runs));
+      // Delta runs stage after the base tables, in generation order, so
+      // the loaded lake is indistinguishable from one whose snapshot
+      // was saved with those tables in the base.
+      for (const storage::DeltaRunDesc& run : runs) {
+        GENT_RETURN_IF_ERROR(
+            LoadDeltaRun(r, run, lake, &remap, &identity, &staged));
+      }
+      delta_runs = runs.size();
     } else if (!r.AtEof()) {
       return Status::IOError(
           "'" + path + "' has trailing bytes after the last snapshot section");
@@ -374,6 +686,7 @@ Status LoadSnapshotImpl(DataLake& lake, const std::string& path,
   if (info != nullptr) {
     info->version = version;
     info->identity_remap = identity;
+    info->delta_runs = delta_runs;
   }
   return Status::OK();
 }
@@ -393,13 +706,27 @@ Status LoadSnapshotBody(DataLake& lake, const std::string& path,
 Status VerifySnapshotIntegrity(const std::string& path) {
   std::FILE* f = io::Fopen(path, "rb");
   if (f == nullptr) return Status::IOError("cannot open '" + path + "'");
-  auto footer = storage::ReadFooter(f);
+  auto footer = storage::ReadFooterRecover(f);
   if (footer.ok()) {
-    // v2: the footer's descriptors cover every byte — the body via its
-    // offset-0 pseudo-descriptor, the catalog via the real sections —
-    // so checksumming all of them is full-file verification.
+    // v2: the footer's descriptors cover every byte the snapshot
+    // serves — the body via its offset-0 pseudo-descriptor, the catalog
+    // via the real sections, delta runs via the directory — so
+    // checksumming all of them is full verification. (Debris past a
+    // recovered footer is torn-append garbage no reader dereferences.)
     for (const storage::SectionDesc& desc : footer->sections) {
       Status st = storage::VerifySectionChecksum(f, desc);
+      if (!st.ok()) {
+        io::Fclose(f);
+        return Status::IOError("'" + path + "': " + st.message());
+      }
+    }
+    auto runs = storage::ReadDeltaDir(f, *footer);
+    if (!runs.ok()) {
+      io::Fclose(f);
+      return Status::IOError("'" + path + "': " + runs.status().message());
+    }
+    for (const storage::DeltaRunDesc& run : *runs) {
+      Status st = storage::VerifyDeltaRunChecksum(f, run);
       if (!st.ok()) {
         io::Fclose(f);
         return Status::IOError("'" + path + "': " + st.message());

@@ -44,14 +44,20 @@ namespace gent {
 /// What LoadSnapshot learned about the file, for callers that choose a
 /// warm-start strategy (ReclaimService::AddLakeFromSnapshot).
 struct SnapshotLoadInfo {
-  /// Format version of the loaded file (1 or 2).
+  /// Format version of the loaded file's body (1 or 2). A v2 body with
+  /// appended delta runs still reports 2; see delta_runs.
   uint32_t version = 0;
   /// True when re-interning mapped every saved id to itself — i.e. the
   /// target dictionary is (a prefix-equal superset of) the saved one, as
   /// when loading into a fresh lake. Only then do the on-disk catalog
   /// sections of a v2 snapshot speak the lake's id space, so only then
   /// may they be mapped directly (catalog_pager.h) instead of rebuilt.
+  /// Covers the delta runs too: run blobs extend the same id space in
+  /// append order.
   bool identity_remap = false;
+  /// Number of delta runs loaded after the base tables (0 for a plain
+  /// snapshot; see AppendSnapshotDelta).
+  size_t delta_runs = 0;
 };
 
 /// Writes `lake` to `path` in version-1 format, overwriting. Fails with
@@ -78,6 +84,50 @@ Status SaveSnapshotV2(const DataLake& lake,
                       const storage::CatalogSectionViews& catalog,
                       const std::string& path);
 
+/// Incremental ingest (DESIGN.md §5.12): appends one delta run to the
+/// v2 snapshot at `path` IN PLACE, crash-atomically, without rewriting
+/// any existing byte. The run carries `lake`'s tables
+/// [first_table, lake.size()), every dictionary entry the file does not
+/// cover yet (the file's own base + run headers say how many it does —
+/// the caller cannot know, a shared service dictionary grows under it),
+/// and `catalog` — the PRE-BUILT run catalog arrays for exactly those
+/// tables, with global dense column ids continuing the snapshot's
+/// (ColumnStatsCatalog::BuildDeltaRun produces one).
+///
+/// Protocol: the run blob, a rewritten delta-run directory section, and
+/// a new footer are appended after the last durable footer (block-
+/// aligned), with an fsync barrier before the footer and another after
+/// — the new footer IS the commit point. A crash at any step leaves the
+/// previous footer (and everything it describes) untouched, so readers
+/// see the old generation intact or the new one complete
+/// (ReadFooterRecover skips torn debris). Concurrent mmap readers of
+/// the old generation are unaffected: no byte below the old EOF is
+/// written.
+///
+/// Fails with InvalidArgument when `path` is not a v2 snapshot, the run
+/// would be empty, or the file's dictionary coverage does not prefix
+/// `lake`'s; IOError on filesystem trouble. The snapshot's footer
+/// version becomes storage::kFooterVersionDelta, which readers
+/// predating deltas refuse (no silent loss of appended tables). Fills
+/// `*runs_total` (if non-null) with the file's run count after the
+/// append — the compaction-policy input.
+Status AppendSnapshotDelta(const DataLake& lake, size_t first_table,
+                           const storage::DeltaRunCatalogViews& catalog,
+                           const std::string& path,
+                           size_t* runs_total = nullptr);
+
+/// Folds a snapshot's delta runs back into its base sections: loads
+/// base + runs, rebuilds the catalog arrays over the merged lake, and
+/// rewrites `path` as a plain v2 snapshot (temp + rename, same
+/// crash-atomic commit as SaveSnapshotV2 — old-or-new, never torn).
+/// The rebuilt catalog is bit-identical to one built over the merged
+/// tables directly, so readers cannot distinguish a compacted snapshot
+/// from a one-shot save. No-op (OK, *runs_folded = 0) when the file has
+/// no runs. Declared here, implemented in the engine
+/// (column_stats_catalog.cc) — folding needs the catalog builder.
+Status CompactSnapshotV2(const std::string& path,
+                         size_t* runs_folded = nullptr);
+
 /// Appends every table of the snapshot at `path` into `lake`,
 /// re-interning values into lake.dict(). Fails with IOError on a
 /// missing/short/corrupt file (for v2 this includes a footer or section
@@ -85,7 +135,9 @@ Status SaveSnapshotV2(const DataLake& lake,
 /// bad magic or a version from the future, AlreadyExists on a
 /// table-name collision with the lake or within the snapshot.
 /// All-or-nothing: on any failure, including a collision, the lake is
-/// untouched. Fills `*info` (if non-null) on success.
+/// untouched. Delta runs appended by AppendSnapshotDelta load too, in
+/// generation order, as if their tables had been in the base. Fills
+/// `*info` (if non-null) on success.
 Status LoadSnapshot(DataLake& lake, const std::string& path,
                     SnapshotLoadInfo* info = nullptr);
 

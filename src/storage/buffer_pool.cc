@@ -82,16 +82,69 @@ MappedFile::~MappedFile() {
   size_ = 0;
 }
 
+// --- PoolBudget -------------------------------------------------------------
+
+void PoolBudget::Register(BufferPool* pool) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pools_.push_back(pool);
+}
+
+void PoolBudget::Unregister(BufferPool* pool) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pools_.erase(std::remove(pools_.begin(), pools_.end(), pool), pools_.end());
+  if (rr_ >= pools_.size()) rr_ = 0;
+}
+
+size_t PoolBudget::used_blocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const BufferPool* p : pools_) total += p->UnpinnedResident();
+  return total;
+}
+
+void PoolBudget::Rebalance() {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pools_.empty()) return;
+  // Round-robin across pools, each running its own CLOCK hand, until
+  // the global unpinned resident set fits. A full zero-progress cycle
+  // means everything left is pinned or freshly referenced — stop rather
+  // than spin (same over-capacity tolerance as a pool whose pins exceed
+  // its capacity).
+  for (;;) {
+    size_t total = 0;
+    for (const BufferPool* p : pools_) total += p->UnpinnedResident();
+    if (total <= capacity_) return;
+    size_t need = total - capacity_;
+    size_t progress = 0;
+    for (size_t i = 0; i < pools_.size() && need > 0; ++i) {
+      BufferPool* p = pools_[rr_];
+      rr_ = (rr_ + 1) % pools_.size();
+      const size_t got = p->EvictSome(need);
+      progress += got;
+      need -= got < need ? got : need;
+    }
+    if (progress == 0) return;
+  }
+}
+
 // --- BufferPool -------------------------------------------------------------
 
 BufferPool::BufferPool(const uint8_t* base, size_t bytes,
-                       size_t capacity_blocks)
+                       size_t capacity_blocks,
+                       std::shared_ptr<PoolBudget> budget)
     : base_(base),
       bytes_(bytes),
-      capacity_(capacity_blocks),
+      capacity_(budget == nullptr ? capacity_blocks : 0),
+      budget_(std::move(budget)),
       states_((bytes + kBlockSize - 1) / kBlockSize),
       pins_((bytes + kBlockSize - 1) / kBlockSize, 0) {
   for (auto& s : states_) s.store(0, std::memory_order_relaxed);
+  if (budget_ != nullptr) budget_->Register(this);
+}
+
+BufferPool::~BufferPool() {
+  if (budget_ != nullptr) budget_->Unregister(this);
 }
 
 void BufferPool::FaultRange(size_t first, size_t count, bool pin) {
@@ -117,39 +170,46 @@ void BufferPool::FaultRange(size_t first, size_t count, bool pin) {
     return;
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (size_t b = first; b < end; ++b) {
-    const uint8_t s = states_[b].load(std::memory_order_relaxed);
-    if (s & kResident) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      // Prefault the block so residency accounting matches reality: one
-      // volatile read per page brings it in from the file. The probe
-      // stands in for the SIGBUS/EIO a damaged backing file would raise
-      // on the access — a signal userspace cannot locally survive — so
-      // an injected fault is recorded sticky instead of dereferenced
-      // (the shard-health layer reads it via health()).
-      const uint8_t* p = base_ + b * kBlockSize;
-      const uint8_t* block_end =
-          base_ + std::min(bytes_, (b + 1) * kBlockSize);
-      if (!io::ProbeMappedRead(p, static_cast<size_t>(block_end - p))) {
-        read_faults_.fetch_add(1, std::memory_order_relaxed);
-        last_error_ = "mapped read fault in block " + std::to_string(b);
+  bool faulted = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t b = first; b < end; ++b) {
+      const uint8_t s = states_[b].load(std::memory_order_relaxed);
+      if (s & kResident) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
       } else {
-        for (const uint8_t* q = p; q < block_end; q += 4096) {
-          (void)*const_cast<const volatile uint8_t*>(q);
+        faulted = true;
+        // Prefault the block so residency accounting matches reality:
+        // one volatile read per page brings it in from the file. The
+        // probe stands in for the SIGBUS/EIO a damaged backing file
+        // would raise on the access — a signal userspace cannot locally
+        // survive — so an injected fault is recorded sticky instead of
+        // dereferenced (the shard-health layer reads it via health()).
+        const uint8_t* p = base_ + b * kBlockSize;
+        const uint8_t* block_end =
+            base_ + std::min(bytes_, (b + 1) * kBlockSize);
+        if (!io::ProbeMappedRead(p, static_cast<size_t>(block_end - p))) {
+          read_faults_.fetch_add(1, std::memory_order_relaxed);
+          last_error_ = "mapped read fault in block " + std::to_string(b);
+        } else {
+          for (const uint8_t* q = p; q < block_end; q += 4096) {
+            (void)*const_cast<const volatile uint8_t*>(q);
+          }
         }
+        ++resident_;
+        faults_.fetch_add(1, std::memory_order_relaxed);
       }
-      ++resident_;
-      faults_.fetch_add(1, std::memory_order_relaxed);
+      states_[b].fetch_or(static_cast<uint8_t>(kResident | kRef),
+                          std::memory_order_relaxed);
+      if (pin) {
+        if (pins_[b]++ == 0) ++pinned_blocks_;
+      }
     }
-    states_[b].fetch_or(static_cast<uint8_t>(kResident | kRef),
-                        std::memory_order_relaxed);
-    if (pin) {
-      if (pins_[b]++ == 0) ++pinned_blocks_;
-    }
+    EvictLocked();
   }
-  EvictLocked();
+  // Outside our own mutex (lock order: budget → pool, never the
+  // reverse) the shared budget trims the fleet-wide resident set.
+  if (faulted && budget_ != nullptr) budget_->Rebalance();
 }
 
 void BufferPool::Pin(size_t first, size_t count) {
@@ -157,12 +217,15 @@ void BufferPool::Pin(size_t first, size_t count) {
 }
 
 void BufferPool::Unpin(size_t first, size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const size_t end = std::min(first + count, states_.size());
-  for (size_t b = first; b < end; ++b) {
-    if (pins_[b] > 0 && --pins_[b] == 0) --pinned_blocks_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t end = std::min(first + count, states_.size());
+    for (size_t b = first; b < end; ++b) {
+      if (pins_[b] > 0 && --pins_[b] == 0) --pinned_blocks_;
+    }
+    EvictLocked();
   }
-  EvictLocked();
+  if (budget_ != nullptr) budget_->Rebalance();
 }
 
 void BufferPool::Touch(const void* ptr, size_t bytes) {
@@ -175,15 +238,20 @@ void BufferPool::Touch(const void* ptr, size_t bytes) {
 
 void BufferPool::EvictLocked() {
   if (capacity_ == 0) return;
+  const size_t evictable =
+      resident_ > pinned_blocks_ ? resident_ - pinned_blocks_ : 0;
+  if (evictable > capacity_) EvictSomeLocked(evictable - capacity_);
+}
+
+size_t BufferPool::EvictSomeLocked(size_t want) {
   // CLOCK second chance over the unpinned resident set: clear reference
   // bits until an unreferenced victim turns up; MADV_DONTNEED releases
   // its physical pages while the virtual range — and every span
   // pointing into it — stays valid.
-  size_t evictable = resident_ > pinned_blocks_ ? resident_ - pinned_blocks_
-                                                : 0;
+  size_t evicted = 0;
   size_t sweeps = 0;
   const size_t n = states_.size();
-  while (evictable > capacity_ && sweeps < 2 * n + 1) {
+  while (evicted < want && sweeps < 2 * n + 1) {
     const size_t b = clock_hand_;
     clock_hand_ = (clock_hand_ + 1) % n;
     ++sweeps;
@@ -202,9 +270,20 @@ void BufferPool::EvictLocked() {
     states_[b].fetch_and(static_cast<uint8_t>(~kResident),
                          std::memory_order_relaxed);
     --resident_;
-    --evictable;
+    ++evicted;
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+  return evicted;
+}
+
+size_t BufferPool::UnpinnedResident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_ > pinned_blocks_ ? resident_ - pinned_blocks_ : 0;
+}
+
+size_t BufferPool::EvictSome(size_t want) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EvictSomeLocked(want);
 }
 
 BufferPool::Stats BufferPool::stats() const {

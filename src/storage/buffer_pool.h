@@ -67,6 +67,41 @@ class MappedFile {
   size_t size_ = 0;
 };
 
+class BufferPool;
+
+/// One capacity budget shared by every BufferPool of a service
+/// (DESIGN.md §5.12): the bound applies to the SUM of the pools'
+/// unpinned resident sets instead of per shard, so one hot shard can
+/// use the whole allowance while cold shards hold nothing. Pools
+/// register on construction; after any fault they call Rebalance, which
+/// sweeps pools round-robin with each pool's own CLOCK hand until the
+/// total fits. capacity_blocks == 0 means unbounded (pure fault-in).
+///
+/// Lock order: budget mutex → pool mutex, never the reverse — pools
+/// call Rebalance only after releasing their own mutex.
+class PoolBudget {
+ public:
+  explicit PoolBudget(size_t capacity_blocks) : capacity_(capacity_blocks) {}
+
+  size_t capacity_blocks() const { return capacity_; }
+  /// Total unpinned resident blocks across registered pools.
+  size_t used_blocks() const;
+  /// Evicts round-robin across pools until used_blocks() fits the
+  /// budget (or nothing more is evictable). Called by pools post-fault
+  /// and usable directly by tests.
+  void Rebalance();
+
+ private:
+  friend class BufferPool;
+  void Register(BufferPool* pool);
+  void Unregister(BufferPool* pool);
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<BufferPool*> pools_;  // guarded by mutex_
+  size_t rr_ = 0;                   // round-robin sweep cursor
+};
+
 class BufferPool {
  public:
   struct Stats {
@@ -85,8 +120,13 @@ class BufferPool {
   /// page-aligned itself); the last block may be partial.
   /// `capacity_blocks` bounds the UNPINNED resident set (0 = unbounded:
   /// blocks fault in and stay until destruction — the pure fault-in
-  /// model). Pinned blocks never count against capacity.
-  BufferPool(const uint8_t* base, size_t bytes, size_t capacity_blocks);
+  /// model). Pinned blocks never count against capacity. When `budget`
+  /// is non-null the pool joins that shared budget instead:
+  /// `capacity_blocks` is ignored and eviction happens through
+  /// PoolBudget::Rebalance across every registered pool.
+  BufferPool(const uint8_t* base, size_t bytes, size_t capacity_blocks,
+             std::shared_ptr<PoolBudget> budget = nullptr);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -117,6 +157,13 @@ class BufferPool {
   /// wherever the underlying pages are intact.
   Status health() const;
 
+  /// Unpinned resident blocks — this pool's charge against a shared
+  /// budget.
+  size_t UnpinnedResident() const;
+  /// CLOCK-evicts up to `want` unpinned resident blocks regardless of
+  /// the local capacity; returns how many went. PoolBudget's lever.
+  size_t EvictSome(size_t want);
+
  private:
   // Per-block state bits (one atomic per block).
   static constexpr uint8_t kResident = 1;
@@ -127,6 +174,8 @@ class BufferPool {
   /// CLOCK sweep evicting until the unpinned resident set fits
   /// `capacity_`. Caller holds mutex_.
   void EvictLocked();
+  /// CLOCK sweep evicting up to `want` blocks. Caller holds mutex_.
+  size_t EvictSomeLocked(size_t want);
   size_t BlockOf(const void* ptr) const {
     return (static_cast<const uint8_t*>(ptr) - base_) / kBlockSize;
   }
@@ -134,6 +183,7 @@ class BufferPool {
   const uint8_t* base_;
   size_t bytes_;
   size_t capacity_;
+  std::shared_ptr<PoolBudget> budget_;  // null = local capacity_ applies
 
   std::vector<std::atomic<uint8_t>> states_;
   mutable std::mutex mutex_;

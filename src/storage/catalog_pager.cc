@@ -139,11 +139,42 @@ Status AppendCatalogSections(std::FILE* file, uint64_t body_bytes,
   return Status::OK();
 }
 
+Result<std::vector<DeltaRunDesc>> ReadDeltaDir(std::FILE* file,
+                                               const PagedFooter& footer) {
+  const SectionDesc* dir = footer.Find(SectionId::kDeltaDir);
+  if (dir == nullptr) return std::vector<DeltaRunDesc>{};
+  std::vector<uint8_t> payload(static_cast<size_t>(dir->bytes));
+  if (std::fseek(file, static_cast<long>(dir->offset), SEEK_SET) != 0 ||
+      io::Fread(payload.data(), payload.size(), file) != payload.size()) {
+    return Status::IOError("snapshot: cannot read delta-run directory");
+  }
+  return ParseDeltaDir(payload.data(), payload.size(), dir->offset);
+}
+
+Status VerifyDeltaRunChecksum(std::FILE* file, const DeltaRunDesc& run) {
+  SectionDesc as_section;
+  as_section.id = static_cast<uint32_t>(SectionId::kDeltaDir);
+  as_section.offset = run.offset;
+  as_section.bytes = run.bytes;
+  as_section.checksum = run.checksum;
+  Status st = VerifySectionChecksum(file, as_section);
+  if (!st.ok()) {
+    return Status::IOError("snapshot delta run " +
+                           std::to_string(run.generation) +
+                           " checksum mismatch (corrupt file)");
+  }
+  return Status::OK();
+}
+
 Status ValidateCatalogTail(std::FILE* file, uint32_t expected_version,
-                           uint64_t body_bytes, uint64_t body_checksum) {
-  auto footer = ReadFooter(file);
+                           uint64_t body_bytes, uint64_t body_checksum,
+                           PagedFooter* out_footer,
+                           std::vector<DeltaRunDesc>* out_runs) {
+  auto footer = ReadFooterRecover(file);
   if (!footer.ok()) return footer.status();
-  if (footer->version != expected_version) {
+  const bool delta_ok = expected_version == 2 &&
+                        footer->version == kFooterVersionDelta;
+  if (footer->version != expected_version && !delta_ok) {
     return Status::IOError("snapshot: footer version " +
                            std::to_string(footer->version) +
                            " disagrees with header version " +
@@ -190,7 +221,19 @@ Status ValidateCatalogTail(std::FILE* file, uint32_t expected_version,
       io::Fread(&bracket[1], 4, file) != 4) {
     return Status::IOError("snapshot: cannot read CSR offset bounds");
   }
-  return CheckCsrBracket(bracket[0], bracket[1], post_cols->bytes / 4);
+  GENT_RETURN_IF_ERROR(
+      CheckCsrBracket(bracket[0], bracket[1], post_cols->bytes / 4));
+
+  // Delta runs are not footer sections (the directory is), so their
+  // checksums are verified from the directory here.
+  auto runs = ReadDeltaDir(file, *footer);
+  if (!runs.ok()) return runs.status();
+  for (const DeltaRunDesc& run : *runs) {
+    GENT_RETURN_IF_ERROR(VerifyDeltaRunChecksum(file, run));
+  }
+  if (out_footer != nullptr) *out_footer = *footer;
+  if (out_runs != nullptr) *out_runs = std::move(*runs);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<MappedCatalog>> MappedCatalog::Open(
@@ -204,7 +247,7 @@ Result<std::unique_ptr<MappedCatalog>> MappedCatalog::Open(
   if (f == nullptr) {
     return Status::IOError("cannot open '" + path + "'");
   }
-  auto footer = ReadFooter(f);
+  auto footer = ReadFooterRecover(f);
   if (!footer.ok()) {
     io::Fclose(f);
     return footer.status();
@@ -220,6 +263,11 @@ Result<std::unique_ptr<MappedCatalog>> MappedCatalog::Open(
     io::Fclose(f);
     return shapes;
   }
+  auto runs = ReadDeltaDir(f, *footer);
+  if (!runs.ok()) {
+    io::Fclose(f);
+    return runs.status();
+  }
   if (options.verify_checksums) {
     for (const SectionDesc& s : footer->sections) {
       Status st = VerifySectionChecksum(f, s);
@@ -228,12 +276,20 @@ Result<std::unique_ptr<MappedCatalog>> MappedCatalog::Open(
         return st;
       }
     }
+    for (const DeltaRunDesc& run : *runs) {
+      Status st = VerifyDeltaRunChecksum(f, run);
+      if (!st.ok()) {
+        io::Fclose(f);
+        return st;
+      }
+    }
   }
   io::Fclose(f);
 
-  // ReadFooter derived footer_offset from the file size it saw; the
-  // mapping must cover exactly the same file.
-  if (mapped->size() != footer->footer_offset + kFooterBytes) {
+  // The mapping must cover at least everything the recovered footer
+  // describes; trailing bytes past the footer are crash debris from a
+  // torn append and never referenced.
+  if (mapped->size() < footer->footer_offset + kFooterBytes) {
     return Status::IOError("snapshot changed size while opening");
   }
 
@@ -262,14 +318,18 @@ Result<std::unique_ptr<MappedCatalog>> MappedCatalog::Open(
   cat->pool_ = std::make_unique<BufferPool>(data + region_begin,
                                             static_cast<size_t>(
                                                 cat->region_bytes_),
-                                            options.pool_capacity_blocks);
+                                            options.pool_capacity_blocks,
+                                            options.budget);
 
-  const auto pin_section = [&](const SectionDesc& s) {
+  const auto pin_range = [&](uint64_t offset, uint64_t bytes) {
     const size_t first =
-        static_cast<size_t>((s.offset - region_begin) / kBlockSize);
+        static_cast<size_t>((offset - region_begin) / kBlockSize);
     const size_t blocks = static_cast<size_t>(
-        AlignToBlock(s.offset - region_begin + s.bytes) / kBlockSize - first);
+        AlignToBlock(offset - region_begin + bytes) / kBlockSize - first);
     cat->pool_->Pin(first, blocks);
+  };
+  const auto pin_section = [&](const SectionDesc& s) {
+    pin_range(s.offset, s.bytes);
   };
   // Hot spine stays pinned: the column index, postings spine, and CSR
   // offsets are touched by effectively every query; only column runs and
@@ -304,6 +364,38 @@ Result<std::unique_ptr<MappedCatalog>> MappedCatalog::Open(
   cat->views_.post_cols = Span<uint32_t>(
       reinterpret_cast<const uint32_t*>(data + post_cols->offset),
       static_cast<size_t>(post_cols->bytes / 4));
+
+  // Delta runs: parse each blob's catalog part straight from the
+  // mapping (runs live inside the pool region, before the footer) and
+  // pin its hot prefix — run column index through CSR offsets — like
+  // the base sections' spine. Column-id chaining is validated so the
+  // engine can treat base + runs as one dense id space.
+  uint64_t next_col = dir.entries.size();
+  for (const DeltaRunDesc& run : *runs) {
+    RunViews rv;
+    rv.generation = run.generation;
+    Status run_st = ParseDeltaRunCatalog(data + run.offset,
+                                         static_cast<size_t>(run.bytes),
+                                         &rv.catalog);
+    if (!run_st.ok()) return run_st;
+    if (rv.catalog.first_col != next_col) {
+      return Status::IOError(
+          "snapshot delta run " + std::to_string(run.generation) +
+          ": column ids do not chain onto the preceding catalog");
+    }
+    next_col += rv.catalog.columns.size();
+    uint64_t catalog_off = 0;
+    run_st = ParseDeltaRunHeader(data + run.offset,
+                                 static_cast<size_t>(run.bytes),
+                                 &catalog_off);
+    if (!run_st.ok()) return run_st;
+    const uint8_t* hot_begin = data + run.offset + catalog_off;
+    const uint8_t* hot_end = reinterpret_cast<const uint8_t*>(
+        rv.catalog.post_offsets.data() + rv.catalog.post_offsets.size());
+    pin_range(static_cast<uint64_t>(hot_begin - data),
+              static_cast<uint64_t>(hot_end - hot_begin));
+    cat->delta_runs_.push_back(std::move(rv));
+  }
   return cat;
 }
 

@@ -33,11 +33,17 @@
 #include <vector>
 
 #include "src/storage/buffer_pool.h"
+#include "src/storage/delta_run.h"
 #include "src/storage/paged_file.h"
 #include "src/storage/span.h"
 #include "src/util/status.h"
 
 namespace gent::storage {
+
+/// Footer version of a v2 snapshot that carries delta runs (body header
+/// stays 2; readers that predate deltas refuse the footer instead of
+/// silently dropping appended tables).
+inline constexpr uint32_t kFooterVersionDelta = 3;
 
 /// Borrowed views of a built catalog's arrays (see header comment).
 struct CatalogSectionViews {
@@ -65,9 +71,27 @@ Status AppendCatalogSections(std::FILE* file, uint64_t body_bytes,
 /// invariants (column offsets form an exact concatenation, CSR offsets
 /// bracket the CSR payload). `file` may be positioned anywhere;
 /// `expected_version` is the version the caller read from the body
-/// header — the footer must agree.
+/// header — the footer must agree, except that a version-2 body may
+/// carry a kFooterVersionDelta footer (appended runs). When the footer
+/// declares delta runs, each run blob's checksum is verified too.
+/// Tolerates crash debris past the last durable footer
+/// (ReadFooterRecover). Fills `out_footer`/`out_runs` (if non-null) so
+/// the loader can stage the runs' tables without re-reading the
+/// directory.
 Status ValidateCatalogTail(std::FILE* file, uint32_t expected_version,
-                           uint64_t body_bytes, uint64_t body_checksum);
+                           uint64_t body_bytes, uint64_t body_checksum,
+                           PagedFooter* out_footer = nullptr,
+                           std::vector<DeltaRunDesc>* out_runs = nullptr);
+
+/// Reads and geometry-checks the delta-run directory of `footer` from
+/// `file` (empty result when the footer predates deltas or has none).
+/// Does NOT verify run checksums.
+Result<std::vector<DeltaRunDesc>> ReadDeltaDir(std::FILE* file,
+                                               const PagedFooter& footer);
+
+/// Streams run blob `run` through Checksum64 and compares. IOError on
+/// read failure or mismatch.
+Status VerifyDeltaRunChecksum(std::FILE* file, const DeltaRunDesc& run);
 
 /// The mapped, pool-managed catalog backend of a v2 snapshot.
 class MappedCatalog {
@@ -79,8 +103,18 @@ class MappedCatalog {
     bool verify_checksums = true;
     /// BufferPool capacity for the UNPINNED resident set, in blocks of
     /// kBlockSize (0 = unbounded fault-in). The pinned hot spine is
-    /// exempt.
+    /// exempt. Ignored when `budget` is set.
     size_t pool_capacity_blocks = 0;
+    /// Shared capacity budget across catalogs (a service's shards share
+    /// one allowance instead of per-shard caps; DESIGN.md §5.12).
+    std::shared_ptr<PoolBudget> budget;
+  };
+
+  /// One delta run's catalog views plus its generation, for the
+  /// engine's run-merge layer.
+  struct RunViews {
+    uint64_t generation = 0;
+    DeltaRunCatalogViews catalog;
   };
 
   /// Opens `path`, validates the directory against the mapping bounds,
@@ -92,6 +126,10 @@ class MappedCatalog {
   /// Views into the mapping; valid for this object's lifetime,
   /// including across pool evictions.
   const CatalogSectionViews& views() const { return views_; }
+
+  /// Delta runs appended after the base sections, in generation order
+  /// (empty for a snapshot without appends). Same lifetime as views().
+  const std::vector<RunViews>& delta_runs() const { return delta_runs_; }
 
   /// Read-path fault-in hook (forwards to the pool; see BufferPool).
   void Touch(const void* ptr, size_t bytes) const {
@@ -112,6 +150,7 @@ class MappedCatalog {
   MappedFile file_;
   std::unique_ptr<BufferPool> pool_;
   CatalogSectionViews views_;
+  std::vector<RunViews> delta_runs_;
   uint64_t region_bytes_ = 0;
 };
 

@@ -1,0 +1,125 @@
+#include "src/storage/delta_run.h"
+
+#include <cstring>
+
+namespace gent::storage {
+
+namespace {
+
+// Bounds-checked little-endian cursor over the blob. Scalars go through
+// memcpy so nothing here assumes alignment; array spans are handed out
+// as pointers, which ARE aligned because the catalog part starts
+// 8-aligned within a block-aligned blob and every array element is u32.
+struct Cursor {
+  const uint8_t* p;
+  size_t left;
+  bool ok = true;
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    if (left < 8) {
+      ok = false;
+      return 0;
+    }
+    std::memcpy(&v, p, 8);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  const uint32_t* Array(uint64_t count) {
+    if (!ok || count > left / 4) {
+      ok = false;
+      return nullptr;
+    }
+    const uint32_t* a = reinterpret_cast<const uint32_t*>(p);
+    p += count * 4;
+    left -= static_cast<size_t>(count) * 4;
+    return a;
+  }
+};
+
+}  // namespace
+
+Status ParseDeltaRunHeader(const uint8_t* blob, size_t bytes,
+                           uint64_t* catalog_off) {
+  if (bytes < 24 || std::memcmp(blob, kDeltaRunMagic, 8) != 0) {
+    return Status::IOError("delta run: bad magic");
+  }
+  uint32_t version;
+  std::memcpy(&version, blob + 8, 4);
+  if (version != kDeltaRunVersion) {
+    return Status::IOError("delta run: unsupported run version " +
+                           std::to_string(version));
+  }
+  uint64_t off;
+  std::memcpy(&off, blob + 16, 8);
+  if (off % 8 != 0 || off < 24 || off >= bytes) {
+    return Status::IOError("delta run: bad catalog offset");
+  }
+  *catalog_off = off;
+  return Status::OK();
+}
+
+Status ParseDeltaRunCatalog(const uint8_t* blob, size_t bytes,
+                            DeltaRunCatalogViews* out) {
+  uint64_t catalog_off = 0;
+  GENT_RETURN_IF_ERROR(ParseDeltaRunHeader(blob, bytes, &catalog_off));
+  Cursor c{blob + catalog_off, bytes - static_cast<size_t>(catalog_off)};
+
+  out->first_col = c.U64();
+  const uint64_t col_count = c.U64();
+  if (!c.ok || col_count > c.left / 16) {
+    return Status::IOError("delta run: truncated column index");
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(static_cast<size_t>(col_count));
+  for (uint64_t i = 0; i < col_count; ++i) {
+    const uint64_t offset = c.U64();
+    const uint64_t count = c.U64();
+    entries.emplace_back(offset, count);
+  }
+
+  const uint64_t values_count = c.U64();
+  const uint32_t* values = c.Array(values_count);
+  const uint64_t spine_count = c.U64();
+  const uint32_t* spine = c.Array(spine_count);
+  const uint32_t* post_offsets = c.Array(spine_count + 1);
+  const uint64_t post_cols_count = c.U64();
+  const uint32_t* post_cols = c.Array(post_cols_count);
+  if (!c.ok) {
+    return Status::IOError("delta run: catalog part does not fit the blob");
+  }
+
+  // Same structural invariants the base catalog enforces: exact
+  // concatenation and a bracketing CSR.
+  uint64_t running = 0;
+  for (const auto& [offset, count] : entries) {
+    if (offset != running || count > values_count - running) {
+      return Status::IOError(
+          "delta run: column offsets are not an exact concatenation");
+    }
+    running += count;
+  }
+  if (running != values_count) {
+    return Status::IOError("delta run: values array has unclaimed entries");
+  }
+  if (post_offsets[0] != 0 ||
+      post_offsets[spine_count] != post_cols_count) {
+    return Status::IOError("delta run: CSR offsets do not bracket the payload");
+  }
+
+  out->columns.clear();
+  out->columns.reserve(entries.size());
+  for (const auto& [offset, count] : entries) {
+    out->columns.push_back(
+        Span<uint32_t>(values + offset, static_cast<size_t>(count)));
+  }
+  out->spine = Span<uint32_t>(spine, static_cast<size_t>(spine_count));
+  out->post_offsets =
+      Span<uint32_t>(post_offsets, static_cast<size_t>(spine_count) + 1);
+  out->post_cols =
+      Span<uint32_t>(post_cols, static_cast<size_t>(post_cols_count));
+  return Status::OK();
+}
+
+}  // namespace gent::storage

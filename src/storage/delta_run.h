@@ -1,0 +1,79 @@
+// Delta-run blob format for incremental snapshot ingest
+// (DESIGN.md §5.12).
+//
+// An appended batch of tables travels as ONE contiguous, block-aligned,
+// checksummed blob between a v2 snapshot's base catalog sections and
+// its (rewritten) footer. The blob is self-contained: the new
+// dictionary entries and tables in body format, followed by the
+// PRE-BUILT catalog arrays for just those tables — a log-structured run
+// the read path merges with the base catalog instead of rebuilding it.
+//
+// Blob layout (little-endian; scalars read via memcpy, u32 arrays
+// 4-byte aligned relative to the blob start, which is itself
+// block-aligned in the file):
+//
+//   magic "GENTDRUN" | u32 run_version | u32 pad
+//   u64 catalog_off            -- blob-relative offset of the catalog part
+//   u64 dict_base              -- dictionary size before this run
+//   u64 dict_count             -- new entries (ids dict_base..)
+//   per entry: u32 length, bytes
+//   u64 table_count
+//   per table: body-format table (snapshot.h header comment)
+//   zero pad to 8-byte blob alignment    <- catalog_off points here
+//   u64 first_col              -- first global dense column id of the run
+//   u64 col_count
+//   per col: u64 offset, u64 count       -- into the run values array
+//   u64 values_count | u32 values[...]   -- sorted distinct runs, per col
+//   u64 spine_count  | u32 spine[...]    -- run's sorted distinct values
+//   u32 post_offsets[spine_count + 1]    -- CSR offsets
+//   u64 post_cols_count | u32 post_cols[...]  -- GLOBAL dense column ids
+//
+// The writer lives in src/lake/snapshot.cc (AppendSnapshotDelta); this
+// header owns the catalog-part views and parser shared by the mapped
+// backend and the engine's run-merge layer. The table part is parsed by
+// the snapshot loader with its existing body machinery.
+
+#ifndef GENT_STORAGE_DELTA_RUN_H_
+#define GENT_STORAGE_DELTA_RUN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/span.h"
+#include "src/util/status.h"
+
+namespace gent::storage {
+
+inline constexpr char kDeltaRunMagic[8] = {'G', 'E', 'N', 'T',
+                                           'D', 'R', 'U', 'N'};
+inline constexpr uint32_t kDeltaRunVersion = 1;
+
+/// Borrowed views of one run's catalog arrays — the per-run analogue of
+/// CatalogSectionViews. `post_cols` entries are GLOBAL dense column
+/// ids; `columns[i]` is the sorted distinct run of global column id
+/// `first_col + i`.
+struct DeltaRunCatalogViews {
+  uint64_t first_col = 0;
+  std::vector<Span<uint32_t>> columns;
+  Span<uint32_t> spine;
+  Span<uint32_t> post_offsets;
+  Span<uint32_t> post_cols;
+};
+
+/// Parses the header of a run blob: magic + version, and the
+/// blob-relative offset of its catalog part. IOError on a malformed
+/// blob (the caller already checksum-verified the bytes).
+Status ParseDeltaRunHeader(const uint8_t* blob, size_t bytes,
+                           uint64_t* catalog_off);
+
+/// Parses the catalog part of a run blob into borrowed views and checks
+/// its structural invariants: column entries form an exact
+/// concatenation of the values array, CSR offsets bracket the payload,
+/// and every array lies inside the blob. The views alias `blob` and
+/// stay valid for its lifetime.
+Status ParseDeltaRunCatalog(const uint8_t* blob, size_t bytes,
+                            DeltaRunCatalogViews* out);
+
+}  // namespace gent::storage
+
+#endif  // GENT_STORAGE_DELTA_RUN_H_

@@ -83,6 +83,14 @@ void SectionWriter::EndSection() {
   in_section_ = false;
 }
 
+void SectionWriter::SeedSection(const SectionDesc& desc) {
+  if (in_section_) {
+    failed_ = true;
+    return;
+  }
+  sections_.push_back(desc);
+}
+
 void SectionWriter::AddBodyDesc(uint64_t body_bytes, uint64_t body_checksum) {
   SectionDesc body;
   body.id = static_cast<uint32_t>(SectionId::kBody);
@@ -132,16 +140,13 @@ bool SectionWriter::Finish(uint32_t version) {
   return !failed_;
 }
 
-Result<PagedFooter> ReadFooter(std::FILE* file) {
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    return Status::IOError("snapshot footer: cannot seek to end");
-  }
-  const long end = std::ftell(file);
-  if (end < 0 || static_cast<uint64_t>(end) < kFooterBytes) {
-    return Status::InvalidArgument("snapshot has no catalog footer");
-  }
-  const uint64_t file_size = static_cast<uint64_t>(end);
-  if (std::fseek(file, end - static_cast<long>(kFooterBytes), SEEK_SET) != 0) {
+namespace {
+
+// Parses and validates the kFooterBytes footer at `footer_offset`.
+// InvalidArgument when no footer magic is there; IOError when a footer
+// is present but damaged.
+Result<PagedFooter> ParseFooterAt(std::FILE* file, uint64_t footer_offset) {
+  if (std::fseek(file, static_cast<long>(footer_offset), SEEK_SET) != 0) {
     return Status::IOError("snapshot footer: cannot seek to footer");
   }
   uint8_t buf[kFooterBytes];
@@ -157,7 +162,7 @@ Result<PagedFooter> ReadFooter(std::FILE* file) {
   }
 
   PagedFooter footer;
-  footer.footer_offset = file_size - kFooterBytes;
+  footer.footer_offset = footer_offset;
   const uint8_t* p = buf;
   footer.catalog_begin = GetU64(p);
   p += 8;
@@ -199,6 +204,102 @@ Result<PagedFooter> ReadFooter(std::FILE* file) {
     return Status::IOError("snapshot footer: bad catalog region bounds");
   }
   return footer;
+}
+
+}  // namespace
+
+Result<PagedFooter> ReadFooter(std::FILE* file) {
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IOError("snapshot footer: cannot seek to end");
+  }
+  const long end = std::ftell(file);
+  if (end < 0 || static_cast<uint64_t>(end) < kFooterBytes) {
+    return Status::InvalidArgument("snapshot has no catalog footer");
+  }
+  return ParseFooterAt(file, static_cast<uint64_t>(end) - kFooterBytes);
+}
+
+Result<PagedFooter> ReadFooterRecover(std::FILE* file) {
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IOError("snapshot footer: cannot seek to end");
+  }
+  const long end = std::ftell(file);
+  if (end < 0 || static_cast<uint64_t>(end) < kFooterBytes) {
+    return Status::InvalidArgument("snapshot has no catalog footer");
+  }
+  const uint64_t file_size = static_cast<uint64_t>(end);
+
+  Result<PagedFooter> strict = ParseFooterAt(file, file_size - kFooterBytes);
+  if (strict.ok()) return strict;
+  if (strict.status().code() != StatusCode::kInvalidArgument) {
+    // Footer magic is at EOF but the footer is damaged: a bit flip, not
+    // a torn append (torn writes shorten the file, so the magic — the
+    // footer's final 8 bytes — cannot land at EOF). Surface corruption.
+    return strict;
+  }
+
+  // Torn-append recovery: every committed footer starts 4 KiB-aligned
+  // (the writer pads to a block boundary first) and is never
+  // overwritten, so the newest durable footer is the highest aligned
+  // candidate that parses. Scan backward, bounded so a file with no
+  // footer at all (a v1 snapshot) costs at most one tail sweep; torn
+  // appends larger than the bound fall through to the body-salvage
+  // path.
+  constexpr uint64_t kScanAlign = 4096;
+  constexpr uint64_t kMaxScanSteps = (256u << 20) / kScanAlign;
+  uint64_t cand = ((file_size - kFooterBytes) / kScanAlign) * kScanAlign;
+  for (uint64_t step = 0; step < kMaxScanSteps; ++step, cand -= kScanAlign) {
+    Result<PagedFooter> f = ParseFooterAt(file, cand);
+    if (f.ok()) return f;
+    if (cand == 0) break;
+  }
+  return Status::InvalidArgument("snapshot has no catalog footer");
+}
+
+std::vector<uint8_t> SerializeDeltaDir(const std::vector<DeltaRunDesc>& runs) {
+  std::vector<uint8_t> out(8 + 32 * runs.size());
+  uint8_t* p = out.data();
+  PutU64(p, runs.size());
+  p += 8;
+  for (const DeltaRunDesc& r : runs) {
+    PutU64(p, r.generation);
+    PutU64(p + 8, r.offset);
+    PutU64(p + 16, r.bytes);
+    PutU64(p + 24, r.checksum);
+    p += 32;
+  }
+  return out;
+}
+
+Result<std::vector<DeltaRunDesc>> ParseDeltaDir(const uint8_t* data,
+                                                size_t bytes,
+                                                uint64_t dir_offset) {
+  if (bytes < 8) {
+    return Status::IOError("snapshot delta dir: truncated header");
+  }
+  const uint64_t count = GetU64(data);
+  if (count > (bytes - 8) / 32 || bytes != 8 + 32 * count) {
+    return Status::IOError("snapshot delta dir: bad run count");
+  }
+  std::vector<DeltaRunDesc> runs;
+  runs.reserve(static_cast<size_t>(count));
+  uint64_t prev_end = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* p = data + 8 + 32 * i;
+    DeltaRunDesc r;
+    r.generation = GetU64(p);
+    r.offset = GetU64(p + 8);
+    r.bytes = GetU64(p + 16);
+    r.checksum = GetU64(p + 24);
+    if (r.generation != i + 1 || r.offset % kBlockSize != 0 ||
+        r.bytes == 0 || r.offset < prev_end || r.bytes > dir_offset ||
+        r.offset > dir_offset - r.bytes) {
+      return Status::IOError("snapshot delta dir: bad run geometry");
+    }
+    prev_end = r.offset + r.bytes;
+    runs.push_back(r);
+  }
+  return runs;
 }
 
 Status VerifySectionChecksum(std::FILE* file, const SectionDesc& desc) {

@@ -46,6 +46,12 @@ enum class SectionId : uint32_t {
   kSpine = 3,         // sorted distinct lake values (postings spine)
   kPostOffsets = 4,   // u32 CSR offsets, spine size + 1 entries
   kPostCols = 5,      // u32 dense column ids, CSR payload
+  kDeltaDir = 6,      // delta-run directory: u64 run count, then per run
+                      // (u64 generation, u64 offset, u64 bytes,
+                      // u64 checksum) — run blobs live between the base
+                      // catalog sections and the footer, outside any
+                      // footer descriptor, and are rewritten as a whole
+                      // on every append (DESIGN.md §5.12)
 };
 
 struct SectionDesc {
@@ -54,6 +60,29 @@ struct SectionDesc {
   uint64_t bytes = 0;   // unpadded content length
   uint64_t checksum = 0;
 };
+
+/// One log-structured delta run appended to a v2 snapshot. The blob at
+/// [offset, offset + bytes) is a self-contained run: the new tables in
+/// body format plus their pre-built catalog arrays (snapshot.cc owns the
+/// blob layout). `checksum` covers the whole blob, so runs verify
+/// independently of the footer's section descriptors.
+struct DeltaRunDesc {
+  uint64_t generation = 0;  // 1-based append generation
+  uint64_t offset = 0;      // absolute, block-aligned file offset
+  uint64_t bytes = 0;       // unpadded blob length
+  uint64_t checksum = 0;    // Checksum() of the blob
+};
+
+/// Serializes `runs` into the kDeltaDir section payload.
+std::vector<uint8_t> SerializeDeltaDir(const std::vector<DeltaRunDesc>& runs);
+
+/// Parses a kDeltaDir section payload (already checksum-verified by the
+/// footer machinery). Validates geometry: runs block-aligned, ascending,
+/// non-overlapping, below `dir_offset` (the directory section itself),
+/// generations strictly increasing from 1.
+Result<std::vector<DeltaRunDesc>> ParseDeltaDir(const uint8_t* data,
+                                                size_t bytes,
+                                                uint64_t dir_offset);
 
 /// Parsed, validated footer of a v2 snapshot.
 struct PagedFooter {
@@ -94,6 +123,12 @@ class SectionWriter {
   /// Finish.
   void AddBodyDesc(uint64_t body_bytes, uint64_t body_checksum);
 
+  /// Carries an existing descriptor forward unchanged into the footer
+  /// this writer will emit — the delta-append path rewrites the footer
+  /// without rewriting the base sections it describes. Seed in the
+  /// original footer order (body first) before any BeginSection.
+  void SeedSection(const SectionDesc& desc);
+
   /// Pads to a block boundary and writes the footer. Returns false if
   /// any write failed (the caller still owns flush/close).
   bool Finish(uint32_t version);
@@ -120,6 +155,16 @@ class SectionWriter {
 /// InvalidArgument when the file has no v2 footer; IOError on a footer
 /// that is present but damaged.
 Result<PagedFooter> ReadFooter(std::FILE* file);
+
+/// Like ReadFooter, but tolerant of crash debris after the last durable
+/// footer: a delta append that died mid-write leaves a valid footer
+/// followed by partial bytes, so the strict EOF parse fails. Recovery
+/// order: (1) the strict EOF parse; (2) if EOF holds footer magic with a
+/// bad checksum, surface that IOError (a bit flip, not a torn append);
+/// (3) otherwise scan backward over 4 KiB-aligned candidates for the
+/// last valid footer. `footer_offset` then points below EOF — callers
+/// must treat bytes past footer_offset + kFooterBytes as garbage.
+Result<PagedFooter> ReadFooterRecover(std::FILE* file);
 
 /// Streams section `desc` of `file` through Checksum64 and compares
 /// with the recorded checksum. IOError on read failure or mismatch.

@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

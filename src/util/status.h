@@ -30,6 +30,7 @@ enum class StatusCode {
   kResourceExhausted,
   kCancelled,
   kUnavailable,
+  kAborted,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -77,6 +78,11 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Lost a race with a concurrent mutation; safe to retry against the
+  /// current state (unlike Unavailable, nothing is unhealthy).
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

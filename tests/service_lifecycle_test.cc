@@ -302,6 +302,71 @@ TEST(ServiceLifecycleTest, ReloadInvalidatesCacheEpochForThatShardOnly) {
   std::filesystem::remove(snap_v2);
 }
 
+TEST(ServiceLifecycleTest, AppendBumpsGenerationAndInvalidatesOnlyThatShard) {
+  // Incremental ingest mutates shard CONTENT without re-registering:
+  // the uid survives, delta_gen bumps, and the (uid, delta_gen) route
+  // tag must invalidate exactly the grown shard's cache entries.
+  auto dict = MakeDictionary();
+  DataLake hot = MakePairedLake(dict, 0, 1);     // cannot serve source 1 yet
+  DataLake other = MakePairedLake(dict, 2, 4);   // holds source 2, 3
+
+  ServiceOptions options;
+  options.dict = dict;
+  ReclaimService service(std::move(options));
+  ASSERT_TRUE(service.AddLake("hot", std::move(hot)).ok());
+  ASSERT_TRUE(service.AddLake("other", std::move(other)).ok());
+
+  Table source1 = MakeSource(dict, 1);
+  Table source2 = MakeSource(dict, 2);
+  ReclaimRequest to_hot;
+  to_hot.lake = "hot";
+  ReclaimRequest to_other;
+  to_other.lake = "other";
+
+  // Warm both named routes. "hot" lacks source 1's fragments, so its
+  // cached answer is the imperfect one.
+  auto before = service.Reclaim(source1, to_hot);
+  ASSERT_TRUE(before.ok());
+  EXPECT_LT(EisScore(source1, before->reclaimed).value(), 1.0);
+  auto other_cold = service.Reclaim(source2, to_other);
+  ASSERT_TRUE(other_cold.ok());
+  const auto warm_before = service.cache_stats();
+
+  // Grow "hot" with exactly the fragments source 1 needs. An append is
+  // NOT an epoch-style re-registration — but a stale cache hit would
+  // replay the imperfect pre-append answer all the same.
+  {
+    const auto rows = SourceRows(1);
+    TableBuilder fa(dict, "s1_frag_a");
+    fa.Columns({"k", "a"});
+    for (const auto& row : rows) fa.Row({row[0], row[1]});
+    TableBuilder fb(dict, "s1_frag_b");
+    fb.Columns({"k", "b"});
+    for (const auto& row : rows) fb.Row({row[0], row[2]});
+    std::vector<Table> batch;
+    batch.push_back(fa.Build());
+    batch.push_back(fb.Build());
+    ASSERT_TRUE(service.AppendTablesToLake("hot", std::move(batch)).ok());
+  }
+
+  auto after = service.Reclaim(source1, to_hot);
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(EisScore(source1, after->reclaimed).value(), 1.0)
+      << "append was invisible — a stale (uid, delta_gen) cache replay";
+
+  // The untouched shard's entry survived the neighbor's append.
+  auto other_warm = service.Reclaim(source2, to_other);
+  ExpectSameReclamation(other_warm, other_cold, "untouched shard");
+  EXPECT_GT(service.cache_stats().hits, warm_before.hits);
+
+  // And the grown shard re-caches at its new generation: an identical
+  // repeat now hits without recomputing.
+  const auto post_append = service.cache_stats();
+  auto repeat = service.Reclaim(source1, to_hot);
+  ExpectSameReclamation(repeat, after, "grown shard repeat");
+  EXPECT_GT(service.cache_stats().hits, post_append.hits);
+}
+
 // --- Routing policies --------------------------------------------------------
 
 TEST(ServiceLifecycleTest, StatsPrefilterMatchesFanOutAndPrunes) {

@@ -21,6 +21,7 @@
 
 #include "src/gent/gent.h"
 #include "src/lake/snapshot.h"
+#include "src/storage/catalog_pager.h"
 #include "src/storage/io.h"
 #include "src/storage/paged_file.h"
 #include "src/table/table_builder.h"
@@ -285,6 +286,207 @@ TEST_F(StorageFaultTest, V2CrashPointMatrixLeavesOldOrNew) {
   EXPECT_GT(new_outcomes, 0u);
 }
 
+// --- Crash-point matrix over the delta-append writer ------------------------
+
+TEST_F(StorageFaultTest, DeltaAppendCrashPointMatrixLeavesOldOrNew) {
+  // AppendSnapshotDelta mutates the snapshot IN PLACE (no temp file):
+  // run blob, rewritten delta directory, fsync barrier, new footer,
+  // fsync. Crash at every mutating call; the file must load as exactly
+  // the pre-append generation (base only) or the post-append one (base
+  // plus the run's table), and verify end to end either way.
+  DictionaryPtr dict = MakeDictionary();
+  DataLake base_lake(dict);
+  ASSERT_TRUE(base_lake.AddTable(TableBuilder(dict, "data")
+                                     .Columns({"k", "v"})
+                                     .Row({"1", "old"})
+                                     .Key({"k"})
+                                     .Build())
+                  .ok());
+  GenT base_gent(base_lake);
+  const std::string tmpl = Path("append_base.snap");
+  ASSERT_TRUE(
+      SaveSnapshotV2(base_lake, base_gent.catalog().section_views(), tmpl)
+          .ok());
+
+  // The appended table interns values the base file's dictionary does
+  // not cover, so the run must carry the growth too.
+  DataLake full_lake(base_lake);
+  ASSERT_TRUE(full_lake.AddTable(TableBuilder(dict, "extra")
+                                     .Columns({"x"})
+                                     .Row({"appended_value"})
+                                     .Build())
+                  .ok());
+  const auto run = ColumnStatsCatalog::BuildDeltaRun(full_lake, 1);
+
+  const std::string path = Path("append.snap");
+  const auto reset = [&] {
+    std::filesystem::copy_file(
+        tmpl, path, std::filesystem::copy_options::overwrite_existing);
+  };
+
+  constexpr uint32_t kMutatingMask =
+      io::OpBit(io::Op::kOpen) | io::OpBit(io::Op::kWrite) |
+      io::OpBit(io::Op::kFlush) | io::OpBit(io::Op::kSync) |
+      io::OpBit(io::Op::kRename);
+
+  uint64_t total_ops = 0;
+  {
+    reset();
+    io::FaultInjector counter;
+    io::ScopedFaultInjector scope(&counter);
+    ASSERT_TRUE(
+        AppendSnapshotDelta(full_lake, 1, run.views(), path).ok());
+    total_ops = counter.CountOf(io::Op::kOpen) +
+                counter.CountOf(io::Op::kWrite) +
+                counter.CountOf(io::Op::kFlush) +
+                counter.CountOf(io::Op::kSync) +
+                counter.CountOf(io::Op::kRename);
+  }
+  ASSERT_GT(total_ops, 3u);
+
+  size_t old_outcomes = 0;
+  size_t new_outcomes = 0;
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    reset();
+    io::FaultInjector injector;
+    io::FaultPlan plan;
+    plan.op_mask = kMutatingMask;
+    plan.trigger_at = k;
+    plan.kind = io::FaultKind::kCrash;
+    injector.Arm(plan);
+    {
+      io::ScopedFaultInjector scope(&injector);
+      (void)AppendSnapshotDelta(full_lake, 1, run.views(), path);
+      EXPECT_TRUE(injector.crashed()) << "crash point " << k;
+    }
+
+    DataLake loaded;
+    SnapshotLoadInfo info;
+    ASSERT_TRUE(LoadSnapshot(loaded, path, &info).ok())
+        << "crash point " << k << " left an unloadable file";
+    ASSERT_TRUE(loaded.size() == 1 || loaded.size() == 2)
+        << "crash point " << k << " left a hybrid";
+    if (loaded.size() == 1) {
+      EXPECT_EQ(info.delta_runs, 0u) << "crash point " << k;
+      ++old_outcomes;
+    } else {
+      EXPECT_EQ(info.delta_runs, 1u) << "crash point " << k;
+      EXPECT_EQ(loaded.table(1).CellString(0, 0), "appended_value")
+          << "crash point " << k;
+      ++new_outcomes;
+    }
+    EXPECT_TRUE(VerifySnapshotIntegrity(path).ok()) << "crash point " << k;
+    // In-place append never stages a temp, crashed or not.
+    EXPECT_EQ(SweepSnapshotTemps(dir_.string()), 0u) << "crash point " << k;
+  }
+  // Pre-barrier crashes keep the old generation; the footer write and
+  // the post-commit fsync yield the new one.
+  EXPECT_GT(old_outcomes, 0u);
+  EXPECT_GT(new_outcomes, 0u);
+}
+
+// --- Crash-point matrix over compaction -------------------------------------
+
+TEST_F(StorageFaultTest, CompactionCrashPointMatrixLeavesOldOrNew) {
+  // CompactSnapshotV2 folds runs via the temp + rename commit. A crash
+  // at any mutating call leaves the file loadable with the SAME content
+  // either way — with its run (not yet folded) or without (folded);
+  // only delta_runs tells the generations apart.
+  DictionaryPtr dict = MakeDictionary();
+  DataLake base_lake(dict);
+  ASSERT_TRUE(base_lake.AddTable(TableBuilder(dict, "data")
+                                     .Columns({"k", "v"})
+                                     .Row({"1", "m"})
+                                     .Key({"k"})
+                                     .Build())
+                  .ok());
+  GenT base_gent(base_lake);
+  const std::string tmpl = Path("compact_base.snap");
+  ASSERT_TRUE(
+      SaveSnapshotV2(base_lake, base_gent.catalog().section_views(), tmpl)
+          .ok());
+  DataLake full_lake(base_lake);
+  ASSERT_TRUE(full_lake.AddTable(TableBuilder(dict, "extra")
+                                     .Columns({"x"})
+                                     .Row({"run_value"})
+                                     .Build())
+                  .ok());
+  {
+    const auto run = ColumnStatsCatalog::BuildDeltaRun(full_lake, 1);
+    ASSERT_TRUE(
+        AppendSnapshotDelta(full_lake, 1, run.views(), tmpl).ok());
+  }
+
+  const std::string path = Path("compact.snap");
+  const auto reset = [&] {
+    std::filesystem::copy_file(
+        tmpl, path, std::filesystem::copy_options::overwrite_existing);
+  };
+
+  constexpr uint32_t kMutatingMask =
+      io::OpBit(io::Op::kOpen) | io::OpBit(io::Op::kWrite) |
+      io::OpBit(io::Op::kFlush) | io::OpBit(io::Op::kSync) |
+      io::OpBit(io::Op::kRename);
+
+  uint64_t total_ops = 0;
+  {
+    reset();
+    io::FaultInjector counter;
+    io::ScopedFaultInjector scope(&counter);
+    size_t folded = 0;
+    ASSERT_TRUE(CompactSnapshotV2(path, &folded).ok());
+    ASSERT_EQ(folded, 1u);
+    total_ops = counter.CountOf(io::Op::kOpen) +
+                counter.CountOf(io::Op::kWrite) +
+                counter.CountOf(io::Op::kFlush) +
+                counter.CountOf(io::Op::kSync) +
+                counter.CountOf(io::Op::kRename);
+  }
+  ASSERT_GT(total_ops, 4u);
+
+  size_t unfolded_outcomes = 0;
+  size_t folded_outcomes = 0;
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    reset();
+    io::FaultInjector injector;
+    io::FaultPlan plan;
+    plan.op_mask = kMutatingMask;
+    plan.trigger_at = k;
+    plan.kind = io::FaultKind::kCrash;
+    injector.Arm(plan);
+    {
+      io::ScopedFaultInjector scope(&injector);
+      (void)CompactSnapshotV2(path);
+      EXPECT_TRUE(injector.crashed()) << "crash point " << k;
+    }
+
+    DataLake loaded;
+    SnapshotLoadInfo info;
+    ASSERT_TRUE(LoadSnapshot(loaded, path, &info).ok())
+        << "crash point " << k << " left an unloadable file";
+    // Content is generation-independent: both tables, same cells.
+    ASSERT_EQ(loaded.size(), 2u) << "crash point " << k;
+    EXPECT_EQ(loaded.table(0).CellString(0, 1), "m") << "crash point " << k;
+    EXPECT_EQ(loaded.table(1).CellString(0, 0), "run_value")
+        << "crash point " << k;
+    EXPECT_TRUE(VerifySnapshotIntegrity(path).ok()) << "crash point " << k;
+    if (info.delta_runs == 1) {
+      ++unfolded_outcomes;
+    } else {
+      EXPECT_EQ(info.delta_runs, 0u) << "crash point " << k;
+      ++folded_outcomes;
+    }
+
+    // A crash before the rename strands the staging temp; the startup
+    // sweep collects it (and nothing else).
+    const bool stranded = std::filesystem::exists(TempName(path));
+    const size_t swept = SweepSnapshotTemps(dir_.string());
+    EXPECT_EQ(swept, stranded ? 1u : 0u) << "crash point " << k;
+  }
+  EXPECT_GT(unfolded_outcomes, 0u);
+  EXPECT_GT(folded_outcomes, 0u);
+}
+
 // --- Read-side and verification ---------------------------------------------
 
 TEST_F(StorageFaultTest, InjectedReadErrorSurfacesAsTypedIOError) {
@@ -363,6 +565,69 @@ TEST_F(StorageFaultTest, VerifyIntegrityDetectsBitFlips) {
 
   EXPECT_EQ(VerifySnapshotIntegrity(Path("missing.snap")).code(),
             StatusCode::kIOError);
+}
+
+TEST_F(StorageFaultTest, VerifyIntegrityDetectsDeltaRunBitFlips) {
+  // A flip anywhere inside an appended run blob — dictionary growth,
+  // table bytes, or the run catalog — must fail verification and the
+  // full load, exactly like a flip in a base section.
+  DictionaryPtr dict = MakeDictionary();
+  DataLake lake(dict);
+  ASSERT_TRUE(lake.AddTable(TableBuilder(dict, "data")
+                                .Columns({"k", "v"})
+                                .Row({"1", "m"})
+                                .Key({"k"})
+                                .Build())
+                  .ok());
+  GenT gent(lake);
+  const std::string path = Path("rundamage.snap");
+  ASSERT_TRUE(
+      SaveSnapshotV2(lake, gent.catalog().section_views(), path).ok());
+  ASSERT_TRUE(lake.AddTable(TableBuilder(dict, "extra")
+                                .Columns({"x"})
+                                .Row({"run_value"})
+                                .Build())
+                  .ok());
+  const auto run = ColumnStatsCatalog::BuildDeltaRun(lake, 1);
+  ASSERT_TRUE(AppendSnapshotDelta(lake, 1, run.views(), path).ok());
+  ASSERT_TRUE(VerifySnapshotIntegrity(path).ok());
+
+  // Locate the run extent from the delta directory.
+  storage::DeltaRunDesc desc;
+  {
+    std::FILE* f = io::Fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    auto footer = storage::ReadFooterRecover(f);
+    ASSERT_TRUE(footer.ok());
+    auto runs = storage::ReadDeltaDir(f, *footer);
+    io::Fclose(f);
+    ASSERT_TRUE(runs.ok());
+    ASSERT_EQ(runs->size(), 1u);
+    desc = runs->front();
+  }
+  for (uint64_t offset : {desc.offset, desc.offset + desc.bytes / 2,
+                          desc.offset + desc.bytes - 1}) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+    f.close();
+    EXPECT_FALSE(VerifySnapshotIntegrity(path).ok())
+        << "flip at run offset " << offset << " not detected";
+    DataLake poisoned;
+    EXPECT_FALSE(LoadSnapshot(poisoned, path).ok())
+        << "flip at run offset " << offset << " loaded anyway";
+    EXPECT_EQ(poisoned.size(), 0u);
+    std::fstream g(path, std::ios::in | std::ios::out | std::ios::binary);
+    byte = static_cast<char>(byte ^ 0x40);
+    g.seekp(static_cast<std::streamoff>(offset));
+    g.write(&byte, 1);
+    g.close();
+    ASSERT_TRUE(VerifySnapshotIntegrity(path).ok());
+  }
 }
 
 TEST_F(StorageFaultTest, SalvageLoadIgnoresDamagedCatalogTail) {

@@ -119,7 +119,8 @@ int Usage() {
       "  gent compare   --source S.csv --target T.csv [--exact]\n"
       "  gent benchgen  --out DIR [--scale N] [--sources N] [--seed N]\n"
       "  gent snapshot  --lake DIR --out FILE [--v2] | --from FILE "
-      "--out DIR\n");
+      "--out DIR\n"
+      "                 | --append DIR --out FILE   (delta run, in place)\n");
   return 2;
 }
 
@@ -383,9 +384,35 @@ int CmdCompare(const Flags& flags) {
 }
 
 int CmdSnapshot(const Flags& flags) {
-  if (!flags.Expect({"lake", "from", "out", "v2"}) || !flags.Has("out") ||
-      (flags.Has("lake") == flags.Has("from"))) {
+  if (!flags.Expect({"lake", "from", "out", "v2", "append"}) ||
+      !flags.Has("out") ||
+      (flags.Has("lake") + flags.Has("from") + flags.Has("append")) != 1) {
     return Usage();
+  }
+  if (flags.Has("append")) {
+    // CSV directory → one delta run appended in place to the v2
+    // snapshot at --out (crash-atomic; see AppendSnapshotDelta).
+    DataLake lake;
+    if (Status s = LoadSnapshot(lake, flags.Get("out")); !s.ok()) {
+      std::fprintf(stderr, "loading snapshot: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const size_t first = lake.size();
+    if (Status s = lake.LoadDirectory(flags.Get("append")); !s.ok()) {
+      std::fprintf(stderr, "loading tables: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const auto run = ColumnStatsCatalog::BuildDeltaRun(lake, first);
+    size_t runs_total = 0;
+    if (Status s = AppendSnapshotDelta(lake, first, run.views(),
+                                       flags.Get("out"), &runs_total);
+        !s.ok()) {
+      std::fprintf(stderr, "appending delta run: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("appended %zu tables to %s as delta run %zu\n",
+                lake.size() - first, flags.Get("out").c_str(), runs_total);
+    return 0;
   }
   if (flags.Has("lake")) {
     // CSV directory (or .snap) → snapshot file.

@@ -19,6 +19,7 @@
 
 #include "src/lake/data_lake.h"
 #include "src/lake/snapshot.h"
+#include "src/storage/catalog_pager.h"
 #include "src/storage/paged_file.h"
 
 namespace {
@@ -62,6 +63,8 @@ const char* SectionName(uint32_t id) {
       return "post-offsets";
     case gent::storage::SectionId::kPostCols:
       return "post-cols";
+    case gent::storage::SectionId::kDeltaDir:
+      return "delta-dir";
   }
   return "unknown";
 }
@@ -141,6 +144,30 @@ int main(int argc, char** argv) {
                 " bytes  checksum %016" PRIx64 "  %s\n",
                 desc.id, SectionName(desc.id), desc.offset, desc.bytes,
                 desc.checksum, state.c_str());
+  }
+  // Delta-run directory (incremental ingest): one line per appended
+  // run, checksummed like any section when --verify is on.
+  auto runs = gent::storage::ReadDeltaDir(f, *footer);
+  if (!runs.ok()) {
+    std::printf("  delta runs: UNREADABLE (%s)\n",
+                runs.status().ToString().c_str());
+    all_ok = false;
+  } else if (!runs->empty()) {
+    std::printf("  delta runs: %zu (footer v%" PRIu32
+                "; fold with CompactSnapshotV2)\n",
+                runs->size(), footer->version);
+    for (const gent::storage::DeltaRunDesc& run : *runs) {
+      std::string state = "not checked";
+      if (verify) {
+        gent::Status s = gent::storage::VerifyDeltaRunChecksum(f, run);
+        state = s.ok() ? "OK" : s.ToString();
+        all_ok &= s.ok();
+      }
+      std::printf("    run %3" PRIu64 "  offset %10" PRIu64 "  %10" PRIu64
+                  " bytes  checksum %016" PRIx64 "  %s\n",
+                  run.generation, run.offset, run.bytes, run.checksum,
+                  state.c_str());
+    }
   }
   std::fclose(f);
   if (verify) {
